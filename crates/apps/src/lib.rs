@@ -1,0 +1,41 @@
+//! # linview-apps
+//!
+//! The paper's analytical workloads (§5, §7), each maintainable under the
+//! evaluation strategies the paper compares:
+//!
+//! | Module | Paper section | Views maintained |
+//! |---|---|---|
+//! | [`models`] | §3.2 | the Linear / Exponential / Skip-s iterative models |
+//! | [`powers`] | §5.2 | `Aᵏ` |
+//! | [`sums`] | §5.2.3 | `I + A + … + Aᵏ⁻¹` |
+//! | [`general`] | §5.3, App. B | `Tᵢ₊₁ = A Tᵢ + B` (REEVAL / INCR / HYBRID) |
+//! | [`ols`] | §5.1 | `β* = (XᵀX)⁻¹XᵀY` with Sherman–Morrison |
+//! | [`gd`] | §7 "General Form" | gradient-descent linear regression |
+//! | [`pagerank`] | §5.2/§7 | PageRank power iteration over a link matrix |
+//! | [`convergence`] | §3.1 (future work) | threshold-terminated iteration with adaptive horizon |
+//! | [`expm`] | §5.2 (ODE motivation) | truncated-Taylor matrix exponential |
+//!
+//! Powers/sums incremental maintenance goes through the *compiler* (the
+//! generated program is compiled by Algorithm 1 and executed by
+//! `linview-runtime`), while the general form implements the hand-derived
+//! recurrences of Appendix A/B numerically — the test suites cross-validate
+//! the two paths against full re-evaluation.
+
+#![warn(missing_docs)]
+
+pub mod convergence;
+pub mod distributed;
+pub mod expm;
+pub mod gd;
+pub mod general;
+pub mod models;
+pub mod ols;
+pub mod pagerank;
+pub mod powers;
+pub mod reach;
+pub mod sums;
+
+pub use models::IterModel;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, linview_runtime::RuntimeError>;

@@ -1,0 +1,150 @@
+//! The three iterative models of §3.2.
+
+/// How an iterative computation schedules its materialized iterations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IterModel {
+    /// Every iteration: `T₁, T₂, …, T_k` (k steps).
+    Linear,
+    /// Exponentiation by squaring: `T₁, T₂, T₄, …, T_k` (log₂ k steps).
+    Exponential,
+    /// Exponential up to `s`, then strides of `s`: `T₁, …, T_s, T₂ₛ, …, T_k`
+    /// (log₂ s + k/s steps).
+    Skip(usize),
+}
+
+impl IterModel {
+    /// The iteration indices this model materializes to reach `k`,
+    /// in evaluation order (Table 1's row structure).
+    ///
+    /// Panics if `k` (and `s` for Skip) violate the model's divisibility
+    /// requirements — use [`IterModel::validate`] for a fallible check.
+    pub fn iterations(&self, k: usize) -> Vec<usize> {
+        self.validate(k).expect("invalid model parameters");
+        match *self {
+            IterModel::Linear => (1..=k).collect(),
+            IterModel::Exponential => {
+                let mut v = vec![1];
+                let mut i = 2;
+                while i <= k {
+                    v.push(i);
+                    i *= 2;
+                }
+                v
+            }
+            IterModel::Skip(s) => {
+                let mut v = IterModel::Exponential.iterations(s);
+                let mut i = 2 * s;
+                while i <= k {
+                    v.push(i);
+                    i += s;
+                }
+                v
+            }
+        }
+    }
+
+    /// Checks divisibility constraints: Exponential needs `k` a power of
+    /// two; Skip-s needs `s` a power of two dividing `k`.
+    pub fn validate(&self, k: usize) -> Result<(), String> {
+        if k == 0 {
+            return Err("k must be positive".into());
+        }
+        match *self {
+            IterModel::Linear => Ok(()),
+            IterModel::Exponential => {
+                if k.is_power_of_two() {
+                    Ok(())
+                } else {
+                    Err(format!(
+                        "exponential model requires k a power of two, got {k}"
+                    ))
+                }
+            }
+            IterModel::Skip(s) => {
+                if s == 0 || !s.is_power_of_two() {
+                    Err(format!("skip size must be a power of two, got {s}"))
+                } else if !k.is_multiple_of(s) || k < s {
+                    Err(format!("skip-{s} requires s | k, got k = {k}"))
+                } else {
+                    Ok(())
+                }
+            }
+        }
+    }
+
+    /// Number of iteration steps to reach `k` (the step counts §5.2.2
+    /// compares: `k`, `log₂ k`, `log₂ s + k/s`).
+    pub fn step_count(&self, k: usize) -> usize {
+        self.iterations(k).len()
+    }
+
+    /// Display label matching the paper's plots ("LIN", "EXP", "SKIP-4").
+    pub fn label(&self) -> String {
+        match *self {
+            IterModel::Linear => "LIN".into(),
+            IterModel::Exponential => "EXP".into(),
+            IterModel::Skip(s) => format!("SKIP-{s}"),
+        }
+    }
+
+    /// The models benchmarked in Fig. 3a/3h: LIN, SKIP-2, SKIP-4, SKIP-8, EXP.
+    pub fn paper_lineup() -> Vec<IterModel> {
+        vec![
+            IterModel::Linear,
+            IterModel::Skip(2),
+            IterModel::Skip(4),
+            IterModel::Skip(8),
+            IterModel::Exponential,
+        ]
+    }
+}
+
+impl std::fmt::Display for IterModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_iterations() {
+        assert_eq!(IterModel::Linear.iterations(4), vec![1, 2, 3, 4]);
+        assert_eq!(IterModel::Linear.step_count(16), 16);
+    }
+
+    #[test]
+    fn exponential_iterations() {
+        assert_eq!(IterModel::Exponential.iterations(16), vec![1, 2, 4, 8, 16]);
+        assert_eq!(IterModel::Exponential.step_count(16), 5);
+        assert!(IterModel::Exponential.validate(12).is_err());
+    }
+
+    #[test]
+    fn skip_iterations_match_table_1() {
+        // s = 8, k = 32: exponential to 8, then strides of 8.
+        assert_eq!(
+            IterModel::Skip(8).iterations(32),
+            vec![1, 2, 4, 8, 16, 24, 32]
+        );
+        // Skip-s degenerates: s = 1 ~ linear-ish after T1; s = k ~ exponential.
+        assert_eq!(IterModel::Skip(2).iterations(8), vec![1, 2, 4, 6, 8]);
+    }
+
+    #[test]
+    fn skip_validation() {
+        assert!(IterModel::Skip(3).validate(9).is_err()); // not a power of 2
+        assert!(IterModel::Skip(4).validate(10).is_err()); // s does not divide k
+        assert!(IterModel::Skip(4).validate(16).is_ok());
+        assert!(IterModel::Skip(0).validate(8).is_err());
+        assert!(IterModel::Linear.validate(0).is_err());
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(IterModel::Skip(4).label(), "SKIP-4");
+        assert_eq!(IterModel::paper_lineup().len(), 5);
+    }
+}

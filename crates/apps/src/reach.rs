@@ -1,0 +1,259 @@
+//! Bounded-hop graph reachability via maintained matrix powers.
+//!
+//! §5.2 motivates matrix powers with "answering graph reachability queries
+//! where k represents the maximum path length". This app makes that
+//! concrete: for a directed graph with (scaled) adjacency matrix `A`, the
+//! view
+//!
+//! ```text
+//! R = A + A² + … + Aᵏ  =  A · (I + A + … + Aᵏ⁻¹)  =  A · S_k
+//! ```
+//!
+//! has `R[i][j] > 0` iff `j` is reachable from `i` in at most `k` hops.
+//! The program is the sums-of-powers program of Table 1 extended with one
+//! statement, compiled by Algorithm 1, so every edge insertion/removal is
+//! a rank-1 trigger firing instead of a fresh `O(k·nᵞ)` recomputation.
+//!
+//! Adjacency entries are scaled by a damping constant `< 1` so path-count
+//! magnitudes stay bounded at large `k` (the positivity of `R` entries is
+//! unaffected).
+
+use linview_compiler::Program;
+use linview_expr::{Catalog, Expr};
+use linview_matrix::Matrix;
+use linview_runtime::{IncrementalView, RankOneUpdate};
+use std::collections::BTreeSet;
+
+use crate::sums::sums_program;
+use crate::{IterModel, Result};
+
+/// Entries of `R` above this count as reachable (guards fp noise; genuine
+/// path weights are ≥ dampingᵏ, far larger for the sizes used here).
+const REACH_TOL: f64 = 1e-12;
+
+/// An incrementally maintained ≤ k-hop reachability index.
+#[derive(Debug, Clone)]
+pub struct Reachability {
+    n: usize,
+    k: usize,
+    damping: f64,
+    adj: Vec<BTreeSet<usize>>,
+    view: IncrementalView,
+}
+
+impl Reachability {
+    /// Builds the index for `n` nodes, an initial edge list, and hop bound
+    /// `k` (maintained with the exponential model when `k` is a power of
+    /// two, linear otherwise).
+    pub fn new(n: usize, edges: &[(usize, usize)], k: usize) -> Result<Self> {
+        assert!(n > 0 && k > 0, "empty graph or zero hop bound");
+        let model = if k.is_power_of_two() {
+            IterModel::Exponential
+        } else {
+            IterModel::Linear
+        };
+        let damping = 0.5;
+        let mut adj = vec![BTreeSet::new(); n];
+        for &(src, dst) in edges {
+            assert!(src < n && dst < n, "edge ({src},{dst}) out of range");
+            adj[src].insert(dst);
+        }
+        let mut a = Matrix::zeros(n, n);
+        for (src, outs) in adj.iter().enumerate() {
+            for &dst in outs {
+                a.set(src, dst, damping);
+            }
+        }
+        // Sums program + the closing statement R := A · S_k.
+        let (mut program, final_sum) = sums_program(model, k, n);
+        let mut extended = Program::new();
+        for stmt in program.statements() {
+            extended.assign(stmt.target.clone(), stmt.expr.clone());
+        }
+        extended.assign("R", Expr::var("A") * Expr::var(final_sum));
+        program = extended;
+        let mut cat = Catalog::new();
+        cat.declare("A", n, n);
+        let view = IncrementalView::build(&program, &[("A", a)], &cat)?;
+        Ok(Reachability {
+            n,
+            k,
+            damping,
+            adj,
+            view,
+        })
+    }
+
+    /// Node count.
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// Hop bound.
+    pub fn hop_bound(&self) -> usize {
+        self.k
+    }
+
+    /// True when an edge `src → dst` exists.
+    pub fn has_edge(&self, src: usize, dst: usize) -> bool {
+        self.adj[src].contains(&dst)
+    }
+
+    /// Inserts an edge (no-op if present): one rank-1 trigger firing.
+    pub fn add_edge(&mut self, src: usize, dst: usize) -> Result<()> {
+        assert!(src < self.n && dst < self.n, "edge out of range");
+        if !self.adj[src].insert(dst) {
+            return Ok(());
+        }
+        self.fire(src, dst, self.damping)
+    }
+
+    /// Removes an edge (no-op if absent): one rank-1 trigger firing.
+    pub fn remove_edge(&mut self, src: usize, dst: usize) -> Result<()> {
+        assert!(src < self.n && dst < self.n, "edge out of range");
+        if !self.adj[src].remove(&dst) {
+            return Ok(());
+        }
+        self.fire(src, dst, -self.damping)
+    }
+
+    fn fire(&mut self, src: usize, dst: usize, weight: f64) -> Result<()> {
+        let mut u = Matrix::zeros(self.n, 1);
+        u.set(src, 0, 1.0);
+        let mut v = Matrix::zeros(self.n, 1);
+        v.set(dst, 0, weight);
+        self.view.apply("A", &RankOneUpdate { u, v })
+    }
+
+    /// True when `dst` is reachable from `src` in at most `k` hops.
+    pub fn reachable(&self, src: usize, dst: usize) -> Result<bool> {
+        let r = self.view.get("R")?;
+        Ok(r.get(src, dst) > REACH_TOL)
+    }
+
+    /// The damped path weight `Σ_{l=1..k} damping^l · #paths(src→dst, l)`.
+    pub fn path_weight(&self, src: usize, dst: usize) -> Result<f64> {
+        Ok(self.view.get("R")?.get(src, dst))
+    }
+
+    /// All nodes reachable from `src` within `k` hops (excluding trivial
+    /// self-reachability unless a cycle exists).
+    pub fn reachable_set(&self, src: usize) -> Result<Vec<usize>> {
+        let r = self.view.get("R")?;
+        Ok((0..self.n).filter(|&j| r.get(src, j) > REACH_TOL).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// BFS reference: nodes reachable from `src` within `k` hops.
+    fn bfs(adj: &[BTreeSet<usize>], src: usize, k: usize) -> BTreeSet<usize> {
+        let mut frontier = BTreeSet::from([src]);
+        let mut seen = BTreeSet::new();
+        for _ in 0..k {
+            let mut next = BTreeSet::new();
+            for &u in &frontier {
+                for &v in &adj[u] {
+                    if seen.insert(v) {
+                        next.insert(v);
+                    }
+                }
+            }
+            frontier = next;
+            if frontier.is_empty() {
+                break;
+            }
+        }
+        seen
+    }
+
+    fn chain(n: usize) -> Vec<(usize, usize)> {
+        (0..n - 1).map(|i| (i, i + 1)).collect()
+    }
+
+    #[test]
+    fn chain_respects_hop_bound() {
+        let n = 10;
+        let r = Reachability::new(n, &chain(n), 4).unwrap();
+        assert!(r.reachable(0, 4).unwrap());
+        assert!(!r.reachable(0, 5).unwrap()); // 5 hops away
+        assert!(!r.reachable(4, 0).unwrap()); // directed
+    }
+
+    #[test]
+    fn edge_insertion_opens_paths() {
+        let n = 10;
+        let mut r = Reachability::new(n, &chain(n), 4).unwrap();
+        assert!(!r.reachable(0, 8).unwrap());
+        r.add_edge(1, 7).unwrap(); // 0→1→7→8 = 3 hops
+        assert!(r.reachable(0, 8).unwrap());
+        assert!(r.has_edge(1, 7));
+    }
+
+    #[test]
+    fn edge_removal_closes_paths() {
+        let n = 8;
+        let mut r = Reachability::new(n, &chain(n), 8).unwrap();
+        assert!(r.reachable(0, 7).unwrap());
+        r.remove_edge(3, 4).unwrap();
+        assert!(!r.reachable(0, 7).unwrap());
+        assert!(r.reachable(0, 3).unwrap());
+        assert!(r.reachable(4, 7).unwrap());
+    }
+
+    #[test]
+    fn matches_bfs_after_random_churn() {
+        use rand::rngs::StdRng;
+        use rand::{RngExt, SeedableRng};
+        let n = 14;
+        let k = 4;
+        let mut rng = StdRng::seed_from_u64(77);
+        let edges: Vec<(usize, usize)> = (0..25)
+            .map(|_| (rng.random_range(0..n), rng.random_range(0..n)))
+            .collect();
+        let mut r = Reachability::new(n, &edges, k).unwrap();
+        // Churn: 20 random insert/remove events.
+        for _ in 0..20 {
+            let (s, d) = (rng.random_range(0..n), rng.random_range(0..n));
+            if rng.random::<f64>() < 0.5 {
+                r.add_edge(s, d).unwrap();
+            } else {
+                r.remove_edge(s, d).unwrap();
+            }
+        }
+        for src in 0..n {
+            let expected = bfs(&r.adj, src, k);
+            let got: BTreeSet<usize> = r.reachable_set(src).unwrap().into_iter().collect();
+            assert_eq!(got, expected, "reachable set from {src} diverges from BFS");
+        }
+    }
+
+    #[test]
+    fn duplicate_operations_are_noops() {
+        let n = 6;
+        let mut r = Reachability::new(n, &chain(n), 2).unwrap();
+        let w = r.path_weight(0, 2).unwrap();
+        r.add_edge(0, 1).unwrap(); // already present
+        r.remove_edge(5, 0).unwrap(); // absent
+        assert_eq!(r.path_weight(0, 2).unwrap(), w);
+    }
+
+    #[test]
+    fn path_weight_counts_damped_paths() {
+        // Two 2-hop paths 0→{1,2}→3: weight = 2·0.5² = 0.5.
+        let edges = [(0, 1), (0, 2), (1, 3), (2, 3)];
+        let r = Reachability::new(4, &edges, 2).unwrap();
+        assert!((r.path_weight(0, 3).unwrap() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn non_power_of_two_k_uses_linear_model() {
+        let n = 7;
+        let r = Reachability::new(n, &chain(n), 3).unwrap();
+        assert_eq!(r.hop_bound(), 3);
+        assert!(r.reachable(0, 3).unwrap());
+        assert!(!r.reachable(0, 4).unwrap());
+    }
+}

@@ -1,0 +1,309 @@
+//! Sums of matrix powers `S_k = I + A + … + Aᵏ⁻¹` (§5.2.3) — the second
+//! auxiliary view the general iterative form needs, with the same REEVAL /
+//! INCR pairing as the powers app (Fig. 3d).
+
+use linview_compiler::Program;
+use linview_expr::{Catalog, Expr};
+use linview_matrix::Matrix;
+use linview_runtime::{BatchUpdate, IncrementalView, RankOneUpdate};
+
+use crate::powers::{compute_power, power_view};
+use crate::{IterModel, Result};
+
+/// Name of the view holding `Sᵢ = I + A + … + Aⁱ⁻¹`.
+pub fn sum_view(i: usize) -> String {
+    format!("S{i}")
+}
+
+/// Builds the program computing `S_k` under `model` (the "Sums of Matrix
+/// Powers" column of Table 1). The exponential and skip models interleave
+/// the power views `Pᵢ` they depend on. Returns the program and the final
+/// view name.
+pub fn sums_program(model: IterModel, k: usize, n: usize) -> (Program, String) {
+    let mut prog = Program::new();
+    match model {
+        IterModel::Linear => {
+            prog.assign(sum_view(1), Expr::identity(n));
+            for i in 2..=k {
+                prog.assign(
+                    sum_view(i),
+                    Expr::var("A") * Expr::var(sum_view(i - 1)) + Expr::identity(n),
+                );
+            }
+        }
+        IterModel::Exponential => {
+            prog.assign(power_view(1), Expr::var("A"));
+            prog.assign(sum_view(1), Expr::identity(n));
+            let mut i = 2;
+            while i <= k {
+                prog.assign(
+                    sum_view(i),
+                    Expr::var(power_view(i / 2)) * Expr::var(sum_view(i / 2))
+                        + Expr::var(sum_view(i / 2)),
+                );
+                if i < k {
+                    // P_k itself is never read; skip materializing it.
+                    prog.assign(
+                        power_view(i),
+                        Expr::var(power_view(i / 2)) * Expr::var(power_view(i / 2)),
+                    );
+                }
+                i *= 2;
+            }
+        }
+        IterModel::Skip(s) => {
+            // Exponential phase up to s (P and S both needed at s).
+            prog.assign(power_view(1), Expr::var("A"));
+            prog.assign(sum_view(1), Expr::identity(n));
+            let mut i = 2;
+            while i <= s {
+                prog.assign(
+                    sum_view(i),
+                    Expr::var(power_view(i / 2)) * Expr::var(sum_view(i / 2))
+                        + Expr::var(sum_view(i / 2)),
+                );
+                prog.assign(
+                    power_view(i),
+                    Expr::var(power_view(i / 2)) * Expr::var(power_view(i / 2)),
+                );
+                i *= 2;
+            }
+            // Strided phase: S_i = P_s S_{i-s} + S_s.
+            let mut i = 2 * s;
+            while i <= k {
+                prog.assign(
+                    sum_view(i),
+                    Expr::var(power_view(s)) * Expr::var(sum_view(i - s)) + Expr::var(sum_view(s)),
+                );
+                i += s;
+            }
+        }
+    }
+    (prog, sum_view(k))
+}
+
+/// Directly computes `S_k` with the model's minimal working set.
+pub fn compute_sum(a: &Matrix, model: IterModel, k: usize) -> Result<Matrix> {
+    model.validate(k).expect("invalid model parameters");
+    let n = a.rows();
+    Ok(match model {
+        IterModel::Linear => {
+            let mut s = Matrix::identity(n);
+            for _ in 2..=k {
+                s = a.try_matmul(&s)?.try_add(&Matrix::identity(n))?;
+            }
+            s
+        }
+        IterModel::Exponential => {
+            let mut p = a.clone();
+            let mut s = Matrix::identity(n);
+            let mut i = 1;
+            while i < k {
+                s = p.try_matmul(&s)?.try_add(&s)?;
+                i *= 2;
+                if i < k {
+                    p = p.try_matmul(&p)?;
+                }
+            }
+            s
+        }
+        IterModel::Skip(sz) => {
+            let ps = compute_power(a, IterModel::Exponential, sz)?;
+            let ss = compute_sum(a, IterModel::Exponential, sz)?;
+            let mut s = ss.clone();
+            let mut i = sz;
+            while i < k {
+                s = ps.try_matmul(&s)?.try_add(&ss)?;
+                i += sz;
+            }
+            s
+        }
+    })
+}
+
+/// Re-evaluation maintainer for `S_k`.
+#[derive(Debug, Clone)]
+pub struct ReevalSums {
+    model: IterModel,
+    k: usize,
+    a: Matrix,
+    result: Matrix,
+}
+
+impl ReevalSums {
+    /// Builds the view (one full evaluation).
+    pub fn new(a: Matrix, model: IterModel, k: usize) -> Result<Self> {
+        let result = compute_sum(&a, model, k)?;
+        Ok(ReevalSums {
+            model,
+            k,
+            a,
+            result,
+        })
+    }
+
+    /// Applies a rank-1 update and re-evaluates.
+    pub fn apply(&mut self, upd: &RankOneUpdate) -> Result<()> {
+        upd.apply_to(&mut self.a)?;
+        self.result = compute_sum(&self.a, self.model, self.k)?;
+        Ok(())
+    }
+
+    /// Applies a batched update and re-evaluates.
+    pub fn apply_batch(&mut self, upd: &BatchUpdate) -> Result<()> {
+        self.a.add_assign_from(&upd.to_dense()?)?;
+        self.result = compute_sum(&self.a, self.model, self.k)?;
+        Ok(())
+    }
+
+    /// The maintained `S_k`.
+    pub fn result(&self) -> &Matrix {
+        &self.result
+    }
+
+    /// Persistent state bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.a.memory_bytes() + self.result.memory_bytes()
+    }
+}
+
+/// Incremental maintainer for `S_k` via the compiled trigger program.
+#[derive(Debug, Clone)]
+pub struct IncrSums {
+    view: IncrementalView,
+    final_view: String,
+}
+
+impl IncrSums {
+    /// Compiles the model's program and materializes all views.
+    pub fn new(a: Matrix, model: IterModel, k: usize) -> Result<Self> {
+        let n = a.rows();
+        let (program, final_view) = sums_program(model, k, n);
+        let mut cat = Catalog::new();
+        cat.declare("A", n, n);
+        let view = IncrementalView::build(&program, &[("A", a)], &cat)?;
+        Ok(IncrSums { view, final_view })
+    }
+
+    /// Fires the compiled trigger for a rank-1 update.
+    pub fn apply(&mut self, upd: &RankOneUpdate) -> Result<()> {
+        self.view.apply("A", upd)
+    }
+
+    /// Fires the compiled trigger for a batched update.
+    pub fn apply_batch(&mut self, upd: &BatchUpdate) -> Result<()> {
+        self.view.apply_batch("A", upd)
+    }
+
+    /// The maintained `S_k`.
+    pub fn result(&self) -> &Matrix {
+        self.view.get(&self.final_view).expect("final view exists")
+    }
+
+    /// Persistent state bytes (all materialized iterations).
+    pub fn memory_bytes(&self) -> usize {
+        self.view.memory_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use linview_matrix::ApproxEq;
+    use linview_runtime::UpdateStream;
+
+    fn brute_sum(a: &Matrix, k: usize) -> Matrix {
+        let n = a.rows();
+        let mut acc = Matrix::identity(n);
+        let mut p = Matrix::identity(n);
+        for _ in 1..k {
+            p = p.try_matmul(a).unwrap();
+            acc.add_assign_from(&p).unwrap();
+        }
+        acc
+    }
+
+    #[test]
+    fn compute_sum_agrees_across_models() {
+        let a = Matrix::random_spectral(10, 4, 0.8);
+        let expected = brute_sum(&a, 16);
+        for model in IterModel::paper_lineup() {
+            let s = compute_sum(&a, model, 16).unwrap();
+            assert!(
+                s.approx_eq(&expected, 1e-9),
+                "model {model} disagrees with brute force"
+            );
+        }
+    }
+
+    #[test]
+    fn sums_program_evaluates_correctly() {
+        // Initial evaluation through the generic runtime must match.
+        let n = 8;
+        let a = Matrix::random_spectral(n, 9, 0.8);
+        for model in [
+            IterModel::Linear,
+            IterModel::Exponential,
+            IterModel::Skip(2),
+        ] {
+            let incr = IncrSums::new(a.clone(), model, 8).unwrap();
+            assert!(
+                incr.result().approx_eq(&brute_sum(&a, 8), 1e-9),
+                "model {model} initial evaluation wrong"
+            );
+        }
+    }
+
+    #[test]
+    fn incremental_matches_reeval_over_stream() {
+        let n = 12;
+        let k = 8;
+        let a = Matrix::random_spectral(n, 11, 0.8);
+        for model in [
+            IterModel::Linear,
+            IterModel::Exponential,
+            IterModel::Skip(4),
+        ] {
+            let mut reeval = ReevalSums::new(a.clone(), model, k).unwrap();
+            let mut incr = IncrSums::new(a.clone(), model, k).unwrap();
+            let mut stream = UpdateStream::new(n, n, 0.01, 29);
+            for _ in 0..6 {
+                let upd = stream.next_rank_one();
+                reeval.apply(&upd).unwrap();
+                incr.apply(&upd).unwrap();
+            }
+            assert!(
+                incr.result().approx_eq(reeval.result(), 1e-7),
+                "model {model} diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn batch_updates_agree() {
+        let n = 12;
+        let a = Matrix::random_spectral(n, 13, 0.8);
+        let mut reeval = ReevalSums::new(a.clone(), IterModel::Exponential, 8).unwrap();
+        let mut incr = IncrSums::new(a, IterModel::Exponential, 8).unwrap();
+        let mut stream = UpdateStream::new(n, n, 0.01, 31);
+        let batch = stream.next_batch_zipf(5, 2.0).unwrap();
+        reeval.apply_batch(&batch).unwrap();
+        incr.apply_batch(&batch).unwrap();
+        assert!(incr.result().approx_eq(reeval.result(), 1e-8));
+    }
+
+    #[test]
+    fn s1_stays_identity_under_updates() {
+        // ΔS₁ = 0: the compiler must skip updating the constant view.
+        let n = 8;
+        let a = Matrix::random_spectral(n, 15, 0.8);
+        let mut incr = IncrSums::new(a, IterModel::Exponential, 4).unwrap();
+        incr.apply(&RankOneUpdate::row_update(n, n, 1, 0.1, 3))
+            .unwrap();
+        assert!(incr
+            .view
+            .get("S1")
+            .unwrap()
+            .approx_eq(&Matrix::identity(n), 1e-12));
+    }
+}

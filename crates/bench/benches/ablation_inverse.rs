@@ -1,0 +1,43 @@
+//! Ablation — inverse-maintenance primitive: sequential Sherman–Morrison
+//! (§4.1, the paper's choice) vs one rank-k Woodbury solve (the natural
+//! §4.2 batch generalization).
+//!
+//! Both cost `O(kn²)`; Sherman–Morrison pays `k` passes over `W` while
+//! Woodbury pays one `n×k` GEMM pair plus a `k×k` solve. The crossover as
+//! batch rank grows is the design datum this ablation records.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use linview_matrix::Matrix;
+use linview_runtime::{sherman_morrison, woodbury};
+
+const N: usize = 384;
+
+fn bench(c: &mut Criterion) {
+    let e = Matrix::random_diag_dominant(N, 1);
+    let w = e.inverse().expect("diag dominant is invertible");
+
+    let mut group = c.benchmark_group("ablation_inverse");
+    group.sample_size(10);
+    for k in [1usize, 4, 16, 64] {
+        let p = Matrix::random_uniform(N, k, 2).scale(0.01);
+        let q = Matrix::random_uniform(N, k, 3).scale(0.01);
+        group.bench_function(format!("sherman_morrison/k={k}"), |b| {
+            b.iter_batched_ref(
+                || (),
+                |_| sherman_morrison(&w, &p, &q).expect("nonsingular"),
+                BatchSize::SmallInput,
+            )
+        });
+        group.bench_function(format!("woodbury/k={k}"), |b| {
+            b.iter_batched_ref(
+                || (),
+                |_| woodbury(&w, &p, &q).expect("nonsingular"),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,94 @@
+//! Ablation — numerical delta recompression (the extension to §4.3).
+//!
+//! The paper's common-factor extraction is syntactic; the runtime's
+//! optional SVD-based recompression pass additionally collapses *numerical*
+//! rank deficiency. Two regimes:
+//!
+//! * `generic/…` — a generic rank-1 row update: every block is already
+//!   numerically tight, so the pass is pure overhead (it should lose, but
+//!   only by the small `O((n+m)k²)` inspection cost).
+//! * `redundant/…` — an uncompacted batch of 8 updates hitting 2 distinct
+//!   rows (true rank 2, syntactic rank 8): the pass collapses block ranks
+//!   4× and should win.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use linview_compiler::parse::parse_program;
+use linview_expr::Catalog;
+use linview_matrix::Matrix;
+use linview_runtime::{ExecOptions, IncrementalView, RankOneUpdate};
+
+const N: usize = 256;
+
+fn redundant_batch() -> (Matrix, Matrix) {
+    // 8 rank-1 row updates over only 2 distinct rows, deliberately NOT
+    // compacted (the ingest path may not know rows repeat).
+    let mut us = Vec::new();
+    let mut vs = Vec::new();
+    for i in 0..8u64 {
+        let row = if i % 2 == 0 { 7 } else { 23 };
+        let one = RankOneUpdate::row_update(N, N, row, 0.01, 100 + i);
+        us.push(one.u);
+        vs.push(one.v);
+    }
+    let urefs: Vec<&Matrix> = us.iter().collect();
+    let vrefs: Vec<&Matrix> = vs.iter().collect();
+    (
+        Matrix::hstack(&urefs).expect("same height"),
+        Matrix::hstack(&vrefs).expect("same height"),
+    )
+}
+
+fn bench(c: &mut Criterion) {
+    let program = parse_program("B := A * A; C := B * B;").expect("parses");
+    let mut cat = Catalog::new();
+    cat.declare("A", N, N);
+    let a = Matrix::random_spectral(N, 9, 0.8);
+    let base = IncrementalView::build(&program, &[("A", a)], &cat).expect("builds");
+
+    let generic = RankOneUpdate::row_update(N, N, 11, 0.01, 55);
+    let (bu, bv) = redundant_batch();
+
+    let mut group = c.benchmark_group("ablation_recompress");
+    group.sample_size(10);
+    for (label, tol) in [("off", None), ("on", Some(1e-10))] {
+        let exec = ExecOptions {
+            recompress_tol: tol,
+            ..ExecOptions::default()
+        };
+        group.bench_function(format!("generic/{label}"), |b| {
+            b.iter_batched_ref(
+                || {
+                    let mut v = base.clone();
+                    v.set_exec_options(exec);
+                    v
+                },
+                |v| v.apply("A", &generic).expect("update"),
+                BatchSize::LargeInput,
+            )
+        });
+        group.bench_function(format!("redundant/{label}"), |b| {
+            b.iter_batched_ref(
+                || {
+                    let mut v = base.clone();
+                    v.set_exec_options(exec);
+                    v
+                },
+                |v| {
+                    v.apply_batch(
+                        "A",
+                        &linview_runtime::BatchUpdate {
+                            u: bu.clone(),
+                            v: bv.clone(),
+                        },
+                    )
+                    .expect("update")
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

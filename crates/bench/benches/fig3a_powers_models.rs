@@ -1,0 +1,43 @@
+//! Fig. 3a — matrix powers `Aᵏ`: REEVAL vs INCR across the five evaluation
+//! models (LIN, SKIP-2, SKIP-4, SKIP-8, EXP). One Criterion benchmark per
+//! (model, strategy) pair; the measured quantity is one view refresh for a
+//! rank-1 row update.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use linview_apps::powers::{IncrPowers, ReevalPowers};
+use linview_apps::IterModel;
+use linview_matrix::Matrix;
+use linview_runtime::RankOneUpdate;
+
+const N: usize = 192;
+const K: usize = 16;
+
+fn bench(c: &mut Criterion) {
+    let a = Matrix::random_spectral(N, 7, 0.9);
+    let upd = RankOneUpdate::row_update(N, N, N / 3, 0.01, 99);
+    let mut group = c.benchmark_group("fig3a_powers_models");
+    group.sample_size(10);
+
+    for model in IterModel::paper_lineup() {
+        let reeval = ReevalPowers::new(a.clone(), model, K).expect("builds");
+        group.bench_function(format!("REEVAL/{}", model.label()), |b| {
+            b.iter_batched_ref(
+                || reeval.clone(),
+                |v| v.apply(&upd).expect("update"),
+                BatchSize::LargeInput,
+            )
+        });
+        let incr = IncrPowers::new(a.clone(), model, K).expect("builds");
+        group.bench_function(format!("INCR/{}", model.label()), |b| {
+            b.iter_batched_ref(
+                || incr.clone(),
+                |v| v.apply(&upd).expect("update"),
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

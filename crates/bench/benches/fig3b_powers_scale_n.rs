@@ -1,0 +1,42 @@
+//! Fig. 3b — matrix powers scalability in the dimension `n` (EXP model):
+//! REEVAL-EXP and INCR-EXP refresh time as `n` grows. The paper's claim is
+//! asymptotic separation (`nᵞ` vs `n²`), i.e. the speedup column of the
+//! harness grows with `n`.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use linview_apps::powers::{IncrPowers, ReevalPowers};
+use linview_apps::IterModel;
+use linview_matrix::Matrix;
+use linview_runtime::RankOneUpdate;
+
+const K: usize = 16;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3b_powers_scale_n");
+    group.sample_size(10);
+
+    for n in [96usize, 144, 192, 288] {
+        let a = Matrix::random_spectral(n, 11, 0.9);
+        let upd = RankOneUpdate::row_update(n, n, n / 2, 0.01, 99);
+        let reeval = ReevalPowers::new(a.clone(), IterModel::Exponential, K).expect("builds");
+        group.bench_with_input(BenchmarkId::new("REEVAL-EXP", n), &n, |b, _| {
+            b.iter_batched_ref(
+                || reeval.clone(),
+                |v| v.apply(&upd).expect("update"),
+                BatchSize::LargeInput,
+            )
+        });
+        let incr = IncrPowers::new(a, IterModel::Exponential, K).expect("builds");
+        group.bench_with_input(BenchmarkId::new("INCR-EXP", n), &n, |b, _| {
+            b.iter_batched_ref(
+                || incr.clone(),
+                |v| v.apply(&upd).expect("update"),
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Fig. 3c — matrix powers scalability in the iteration count `k`
+//! (EXP model, fixed `n`). The incremental delta rank grows with `k`, so
+//! the INCR advantage narrows as `k` approaches `n` — the same trend the
+//! paper observes at k = 256 on Octave.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use linview_apps::powers::{IncrPowers, ReevalPowers};
+use linview_apps::IterModel;
+use linview_matrix::Matrix;
+use linview_runtime::RankOneUpdate;
+
+const N: usize = 160;
+
+fn bench(c: &mut Criterion) {
+    let a = Matrix::random_spectral(N, 13, 0.9);
+    let upd = RankOneUpdate::row_update(N, N, N / 4, 0.01, 99);
+    let mut group = c.benchmark_group("fig3c_powers_scale_k");
+    group.sample_size(10);
+
+    for k in [4usize, 8, 16, 32, 64] {
+        let reeval = ReevalPowers::new(a.clone(), IterModel::Exponential, k).expect("builds");
+        group.bench_with_input(BenchmarkId::new("REEVAL-EXP", k), &k, |b, _| {
+            b.iter_batched_ref(
+                || reeval.clone(),
+                |v| v.apply(&upd).expect("update"),
+                BatchSize::LargeInput,
+            )
+        });
+        let incr = IncrPowers::new(a.clone(), IterModel::Exponential, k).expect("builds");
+        group.bench_with_input(BenchmarkId::new("INCR-EXP", k), &k, |b, _| {
+            b.iter_batched_ref(
+                || incr.clone(),
+                |v| v.apply(&upd).expect("update"),
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Fig. 3d — sums of matrix powers `I + A + … + Aᵏ⁻¹` vs `n` (EXP model):
+//! the computation shares the powers' complexity class, so REEVAL/INCR
+//! separate the same way.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use linview_apps::sums::{IncrSums, ReevalSums};
+use linview_apps::IterModel;
+use linview_matrix::Matrix;
+use linview_runtime::RankOneUpdate;
+
+const K: usize = 16;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3d_sums_of_powers");
+    group.sample_size(10);
+
+    for n in [96usize, 192, 288] {
+        let a = Matrix::random_spectral(n, 17, 0.9);
+        let upd = RankOneUpdate::row_update(n, n, n / 2, 0.01, 99);
+        let reeval = ReevalSums::new(a.clone(), IterModel::Exponential, K).expect("builds");
+        group.bench_with_input(BenchmarkId::new("REEVAL-EXP", n), &n, |b, _| {
+            b.iter_batched_ref(
+                || reeval.clone(),
+                |v| v.apply(&upd).expect("update"),
+                BatchSize::LargeInput,
+            )
+        });
+        let incr = IncrSums::new(a, IterModel::Exponential, K).expect("builds");
+        group.bench_with_input(BenchmarkId::new("INCR-EXP", n), &n, |b, _| {
+            b.iter_batched_ref(
+                || incr.clone(),
+                |v| v.apply(&upd).expect("update"),
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

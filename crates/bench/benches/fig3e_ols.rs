@@ -1,0 +1,39 @@
+//! Fig. 3e — Ordinary Least Squares `(XᵀX)⁻¹XᵀY` vs `n`, `p = 1`:
+//! LU re-inversion (REEVAL) against the compiled Sherman–Morrison trigger
+//! (INCR). The paper's asymptotics: `O(nᵞ + mn²)` vs `O(n² + mn)`.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use linview_apps::ols::{IncrOls, ReevalOls};
+use linview_matrix::Matrix;
+use linview_runtime::RankOneUpdate;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3e_ols");
+    group.sample_size(10);
+
+    for n in [96usize, 144, 192, 256] {
+        let x = Matrix::random_diag_dominant(n, 19);
+        let y = Matrix::random_col(n, 20);
+        let upd = RankOneUpdate::row_update(n, n, n / 3, 0.001, 99);
+        let reeval = ReevalOls::new(x.clone(), y.clone()).expect("builds");
+        group.bench_with_input(BenchmarkId::new("REEVAL", n), &n, |b, _| {
+            b.iter_batched_ref(
+                || reeval.clone(),
+                |v| v.apply(&upd).expect("update"),
+                BatchSize::LargeInput,
+            )
+        });
+        let incr = IncrOls::new(x, y).expect("builds");
+        group.bench_with_input(BenchmarkId::new("INCR", n), &n, |b, _| {
+            b.iter_batched_ref(
+                || incr.clone(),
+                |v| v.apply(&upd).expect("update"),
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Fig. 3f — distributed `A⁴` on the simulated cluster, varying the worker
+//! count: distributed re-evaluation (block shuffles + block products)
+//! against central trigger evaluation + broadcast low-rank updates of the
+//! partitioned views.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use linview_dist::{dist_add_low_rank, dist_matmul, Cluster, DistMatrix};
+use linview_matrix::Matrix;
+use linview_runtime::RankOneUpdate;
+
+const N: usize = 240;
+
+fn bench(c: &mut Criterion) {
+    let a = Matrix::random_spectral(N, 23, 0.9);
+    let upd = RankOneUpdate::row_update(N, N, N / 5, 0.01, 99);
+    let mut group = c.benchmark_group("fig3f_cluster_scale");
+    group.sample_size(10);
+
+    for workers in [1usize, 4, 16] {
+        let grid = (workers as f64).sqrt() as usize;
+        let cluster = Cluster::new(workers);
+        // REEVAL: two distributed squarings per refresh.
+        group.bench_with_input(BenchmarkId::new("REEVAL-EXP", workers), &workers, |b, _| {
+            b.iter_batched(
+                || {
+                    let mut a2 = a.clone();
+                    upd.apply_to(&mut a2).expect("update");
+                    DistMatrix::from_dense(&a2, grid).expect("partitions")
+                },
+                |da| {
+                    let d2 = dist_matmul(&da, &da, &cluster).expect("A^2");
+                    dist_matmul(&d2, &d2, &cluster).expect("A^4")
+                },
+                BatchSize::LargeInput,
+            )
+        });
+        // INCR: rank-4 broadcast update of the partitioned A⁴ view
+        // (the factor width the trigger produces for k = 4).
+        let a4 = {
+            let a2 = a.try_matmul(&a).expect("A^2");
+            a2.try_matmul(&a2).expect("A^4")
+        };
+        let dc = DistMatrix::from_dense(&a4, grid).expect("partitions");
+        let u = Matrix::random_uniform(N, 4, 5).scale(0.01);
+        let v = Matrix::random_uniform(N, 4, 6);
+        group.bench_with_input(BenchmarkId::new("INCR-EXP", workers), &workers, |b, _| {
+            b.iter_batched(
+                || dc.clone(),
+                |mut view| {
+                    dist_add_low_rank(&mut view, &u, &v, &cluster).expect("low-rank update");
+                    view
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Fig. 3g — `Tᵢ₊₁ = A·Tᵢ` (B = 0), linear model, varying the view width
+//! `p`: REEVAL vs INCR vs HYBRID. The crossover at small `p` is the point
+//! of the hybrid strategy (§5.3).
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use linview_apps::general::{GeneralForm, Strategy};
+use linview_apps::IterModel;
+use linview_matrix::Matrix;
+use linview_runtime::RankOneUpdate;
+
+const N: usize = 192;
+const K: usize = 16;
+
+fn bench(c: &mut Criterion) {
+    let a = Matrix::random_spectral(N, 29, 0.9);
+    let upd = RankOneUpdate::row_update(N, N, N / 3, 0.01, 99);
+    let mut group = c.benchmark_group("fig3g_general_b0");
+    group.sample_size(10);
+
+    for p in [1usize, 8, 64] {
+        let b = Matrix::zeros(N, p);
+        let t0 = Matrix::random_uniform(N, p, 31);
+        for strategy in [Strategy::Reeval, Strategy::Incremental, Strategy::Hybrid] {
+            let gf = GeneralForm::new(
+                a.clone(),
+                b.clone(),
+                t0.clone(),
+                IterModel::Linear,
+                K,
+                strategy,
+            )
+            .expect("builds");
+            group.bench_with_input(
+                BenchmarkId::new(format!("{}-LIN", strategy.label()), p),
+                &p,
+                |bch, _| {
+                    bch.iter_batched_ref(
+                        || gf.clone(),
+                        |v| v.apply(&upd).expect("update"),
+                        BatchSize::LargeInput,
+                    )
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Fig. 3h — gradient-descent linear regression `Tᵢ₊₁ = A·Tᵢ + B`
+//! (`A = I − λXᵀX`, `B = λXᵀY`): the five iterative models under REEVAL
+//! and INCR. Each refresh handles a rank-1 observation update that induces
+//! a rank-2 `ΔA` plus a rank-1 `ΔB`.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use linview_apps::gd::GradientDescentLR;
+use linview_apps::general::Strategy;
+use linview_apps::IterModel;
+use linview_matrix::Matrix;
+use linview_runtime::RankOneUpdate;
+
+const M: usize = 192;
+const NF: usize = 96;
+const P: usize = 32;
+const K: usize = 16;
+
+fn bench(c: &mut Criterion) {
+    let x = Matrix::random_uniform(M, NF, 37).scale(0.3);
+    let y = Matrix::random_uniform(M, P, 38);
+    let theta0 = Matrix::zeros(NF, P);
+    let upd = RankOneUpdate::row_update(M, NF, M / 4, 0.01, 99);
+    let mut group = c.benchmark_group("fig3h_gradient_descent");
+    group.sample_size(10);
+
+    for model in IterModel::paper_lineup() {
+        for strategy in [Strategy::Reeval, Strategy::Incremental] {
+            let gd = GradientDescentLR::new(
+                x.clone(),
+                y.clone(),
+                0.05,
+                theta0.clone(),
+                model,
+                K,
+                strategy,
+            )
+            .expect("builds");
+            group.bench_function(format!("{}/{}", strategy.label(), model.label()), |b| {
+                b.iter_batched_ref(
+                    || gd.clone(),
+                    |v| v.apply(&upd).expect("update"),
+                    BatchSize::LargeInput,
+                )
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Table 2 — the complexity ablations, measured as wall time: (a) the
+//! common-factor-extraction toggle of §4.3 (factored vs unfactored delta
+//! compilation), and (b) the chain-ordering toggle in the evaluator
+//! (skinny-first vs as-written association) that separates `O(kn²)` from
+//! the `O(nᵞ)` avalanche.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use linview_apps::powers::IncrPowers;
+use linview_apps::IterModel;
+use linview_compiler::CompileOptions;
+use linview_expr::{DeltaOptions, Expr};
+use linview_matrix::Matrix;
+use linview_runtime::{Env, Evaluator, RankOneUpdate};
+
+const N: usize = 160;
+const K: usize = 16;
+
+fn bench(c: &mut Criterion) {
+    let a = Matrix::random_spectral(N, 53, 0.9);
+    let upd = RankOneUpdate::row_update(N, N, N / 3, 0.01, 99);
+    let mut group = c.benchmark_group("table2_complexity");
+    group.sample_size(10);
+
+    // (a) §4.3 ablation: factored vs unfactored trigger compilation.
+    for (label, factored) in [("factored", true), ("unfactored", false)] {
+        let opts = CompileOptions {
+            update_rank: 1,
+            delta: DeltaOptions {
+                factor_common: factored,
+            },
+        };
+        let incr = IncrPowers::new_with_options(a.clone(), IterModel::Exponential, K, &opts)
+            .expect("builds");
+        group.bench_function(format!("INCR-EXP/{label}"), |b| {
+            b.iter_batched_ref(
+                || incr.clone(),
+                |v| v.apply(&upd).expect("update"),
+                BatchSize::LargeInput,
+            )
+        });
+    }
+
+    // (b) chain-ordering ablation: evaluate U (Vᵀ B) vs ((U Vᵀ) B).
+    let mut env = Env::new();
+    env.bind("B", a.clone());
+    env.bind("U", Matrix::random_uniform(N, 2, 1));
+    env.bind("V", Matrix::random_uniform(N, 2, 2));
+    let expr = Expr::var("U") * Expr::var("V").t() * Expr::var("B");
+    for (label, opt) in [("chain-opt", true), ("as-written", false)] {
+        let ev = Evaluator::with_chain_opt(opt);
+        group.bench_function(format!("delta-product/{label}"), |b| {
+            b.iter(|| ev.eval(&expr, &env).expect("evaluates"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Table 3 — the speedup side of the memory/speed trade-off: REEVAL-EXP vs
+//! INCR-EXP refresh time for `A¹⁶` at growing `n` (the memory numbers are
+//! reported by the harness, which can inspect the maintainers' state).
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use linview_apps::powers::{IncrPowers, ReevalPowers};
+use linview_apps::IterModel;
+use linview_matrix::Matrix;
+use linview_runtime::RankOneUpdate;
+
+const K: usize = 16;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table3_memory");
+    group.sample_size(10);
+
+    for n in [96usize, 192, 288] {
+        let a = Matrix::random_spectral(n, 59, 0.9);
+        let upd = RankOneUpdate::row_update(n, n, n / 2, 0.01, 99);
+        let reeval = ReevalPowers::new(a.clone(), IterModel::Exponential, K).expect("builds");
+        let incr = IncrPowers::new(a, IterModel::Exponential, K).expect("builds");
+        // Print the memory ratio once per size (criterion reports time).
+        println!(
+            "table3_memory n={n}: REEVAL {} B, INCR {} B ({:.2}x overhead)",
+            reeval.memory_bytes(),
+            incr.memory_bytes(),
+            incr.memory_bytes() as f64 / reeval.memory_bytes() as f64
+        );
+        group.bench_with_input(BenchmarkId::new("REEVAL-EXP", n), &n, |b, _| {
+            b.iter_batched_ref(
+                || reeval.clone(),
+                |v| v.apply(&upd).expect("update"),
+                BatchSize::LargeInput,
+            )
+        });
+        group.bench_with_input(BenchmarkId::new("INCR-EXP", n), &n, |b, _| {
+            b.iter_batched_ref(
+                || incr.clone(),
+                |v| v.apply(&upd).expect("update"),
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

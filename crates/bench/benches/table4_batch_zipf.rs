@@ -1,0 +1,53 @@
+//! Table 4 — batched updates under Zipf-distributed row skew: INCR-EXP
+//! refresh time per batch of 64 row updates, for skew factors 0–5. As skew
+//! decreases the effective batch rank approaches the batch size and the
+//! incremental advantage evaporates.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use linview_apps::powers::{IncrPowers, ReevalPowers};
+use linview_apps::IterModel;
+use linview_matrix::Matrix;
+use linview_runtime::UpdateStream;
+
+const N: usize = 160;
+const K: usize = 16;
+const BATCH: usize = 64;
+
+fn bench(c: &mut Criterion) {
+    let a = Matrix::random_spectral(N, 61, 0.9);
+    let mut group = c.benchmark_group("table4_batch_zipf");
+    group.sample_size(10);
+
+    for z in [5.0f64, 3.0, 1.0, 0.0] {
+        let mut stream = UpdateStream::new(N, N, 0.01, 52);
+        let batch = stream.next_batch_zipf(BATCH, z).expect("batch generates");
+        println!(
+            "table4_batch_zipf z={z}: effective rank {} of {BATCH}",
+            batch.rank()
+        );
+        let incr = IncrPowers::new(a.clone(), IterModel::Exponential, K).expect("builds");
+        group.bench_with_input(BenchmarkId::new("INCR-EXP", format!("z{z}")), &z, |b, _| {
+            b.iter_batched_ref(
+                || incr.clone(),
+                |v| v.apply_batch(&batch).expect("update"),
+                BatchSize::LargeInput,
+            )
+        });
+        let reeval = ReevalPowers::new(a.clone(), IterModel::Exponential, K).expect("builds");
+        group.bench_with_input(
+            BenchmarkId::new("REEVAL-EXP", format!("z{z}")),
+            &z,
+            |b, _| {
+                b.iter_batched_ref(
+                    || reeval.clone(),
+                    |v| v.apply_batch(&batch).expect("update"),
+                    BatchSize::LargeInput,
+                )
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

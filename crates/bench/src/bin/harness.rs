@@ -1,0 +1,48 @@
+//! Paper-table harness: regenerates the rows of every table and figure in
+//! LINVIEW's evaluation section at laptop scale.
+//!
+//! ```text
+//! cargo run -p linview-bench --release --bin harness -- all
+//! cargo run -p linview-bench --release --bin harness -- fig3a fig3e
+//! cargo run -p linview-bench --release --bin harness -- --quick all
+//! ```
+
+use linview_bench::{experiments, Config};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let names: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    let cfg = if quick {
+        Config::quick()
+    } else {
+        Config::default()
+    };
+
+    if names.is_empty() {
+        eprintln!(
+            "usage: harness [--quick] <experiment>...\n\
+             experiments: fig3a fig3b fig3c fig3d fig3e fig3f fig3g fig3h \
+             table2 table3 table4 ablations extensions all"
+        );
+        std::process::exit(2);
+    }
+
+    println!(
+        "LINVIEW experiment harness (n = {}, k = {}, {} updates per point)\n",
+        cfg.n, cfg.k, cfg.updates
+    );
+    for name in names {
+        match experiments::by_name(name, &cfg) {
+            Some(tables) => {
+                for t in tables {
+                    println!("{t}");
+                }
+            }
+            None => {
+                eprintln!("unknown experiment '{name}'");
+                std::process::exit(2);
+            }
+        }
+    }
+}

@@ -1,0 +1,891 @@
+//! Experiment drivers — one function per table/figure of §7.
+//!
+//! All workloads follow the paper's protocol: build the view(s), generate a
+//! seeded "continuous random stream of rank-1 updates where each update
+//! affects one row of an input matrix", and report the **average view
+//! refresh time** per strategy. Sizes are laptop-scale; EXPERIMENTS.md
+//! records how the measured *shapes* (who wins, by what factor, where the
+//! crossovers sit) compare to the paper's cluster-scale numbers.
+
+use linview_apps::gd::GradientDescentLR;
+use linview_apps::general::{GeneralForm, Strategy};
+use linview_apps::ols::{IncrOls, ReevalOls};
+use linview_apps::powers::{IncrPowers, ReevalPowers};
+use linview_apps::sums::{IncrSums, ReevalSums};
+use linview_apps::IterModel;
+use linview_compiler::{CompileOptions, TriggerStmt};
+use linview_dist::{dist_add_low_rank, dist_matmul, Cluster, DistMatrix};
+use linview_expr::DeltaOptions;
+use linview_matrix::{flops, Matrix};
+use linview_runtime::{Env, Evaluator, UpdateStream};
+use std::time::{Duration, Instant};
+
+use crate::report::{fmt_bytes, fmt_duration, fmt_speedup, Table};
+use crate::Config;
+
+/// Mean wall time of `iters` invocations of `f`.
+fn avg_time(iters: usize, mut f: impl FnMut()) -> Duration {
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    t0.elapsed() / iters.max(1) as u32
+}
+
+/// Mean FLOPs of `iters` invocations of `f`.
+fn avg_flops(iters: usize, mut f: impl FnMut()) -> f64 {
+    let start = flops::read();
+    for _ in 0..iters {
+        f();
+    }
+    (flops::read() - start) as f64 / iters.max(1) as f64
+}
+
+/// Fig. 3a — matrix powers `Aᵏ` across the five evaluation models,
+/// REEVAL vs INCR average refresh time.
+pub fn fig3a(cfg: &Config) -> Table {
+    let mut t = Table::new(
+        format!(
+            "Fig 3a - Matrix Powers A^k: evaluation models (n = {}, k = {})",
+            cfg.n, cfg.k
+        ),
+        &["model", "REEVAL", "INCR", "speedup"],
+    );
+    let a = Matrix::random_spectral(cfg.n, 7, 0.9);
+    for model in IterModel::paper_lineup() {
+        let mut reeval = ReevalPowers::new(a.clone(), model, cfg.k).expect("reeval builds");
+        let mut incr = IncrPowers::new(a.clone(), model, cfg.k).expect("incr builds");
+        let mut s1 = UpdateStream::new(cfg.n, cfg.n, 0.01, 42);
+        let re = avg_time(cfg.updates, || {
+            reeval.apply(&s1.next_rank_one()).expect("reeval update")
+        });
+        let mut s2 = UpdateStream::new(cfg.n, cfg.n, 0.01, 42);
+        let inc = avg_time(cfg.updates, || {
+            incr.apply(&s2.next_rank_one()).expect("incr update")
+        });
+        t.row(vec![
+            model.label(),
+            fmt_duration(re),
+            fmt_duration(inc),
+            fmt_speedup(re, inc),
+        ]);
+    }
+    t.note("paper: INCR wins in every model; EXP dominates (16-25x on Octave/Spark)");
+    t
+}
+
+/// Fig. 3b — powers scalability in the dimension `n` (EXP model).
+pub fn fig3b(cfg: &Config) -> Table {
+    let mut t = Table::new(
+        format!(
+            "Fig 3b - Matrix Powers A^k: scalability in n (k = {})",
+            cfg.k
+        ),
+        &["n", "REEVAL-EXP", "INCR-EXP", "speedup"],
+    );
+    for &n in &[cfg.n / 2, cfg.n * 2 / 3, cfg.n, cfg.n * 4 / 3, cfg.n * 2] {
+        let a = Matrix::random_spectral(n, 11, 0.9);
+        let mut reeval =
+            ReevalPowers::new(a.clone(), IterModel::Exponential, cfg.k).expect("reeval builds");
+        let mut incr = IncrPowers::new(a, IterModel::Exponential, cfg.k).expect("incr builds");
+        let mut s1 = UpdateStream::new(n, n, 0.01, 43);
+        let re = avg_time(cfg.updates, || {
+            reeval.apply(&s1.next_rank_one()).expect("reeval update")
+        });
+        let mut s2 = UpdateStream::new(n, n, 0.01, 43);
+        let inc = avg_time(cfg.updates, || {
+            incr.apply(&s2.next_rank_one()).expect("incr update")
+        });
+        t.row(vec![
+            n.to_string(),
+            fmt_duration(re),
+            fmt_duration(inc),
+            fmt_speedup(re, inc),
+        ]);
+    }
+    t.note("paper: speedup grows with n (6.2x @ 4K to 31.3x @ 20K on Octave)");
+    t
+}
+
+/// Fig. 3c — powers scalability in the iteration count `k` (EXP model).
+pub fn fig3c(cfg: &Config) -> Table {
+    let mut t = Table::new(
+        format!(
+            "Fig 3c - Matrix Powers A^k: scalability in k (n = {})",
+            cfg.n
+        ),
+        &["k", "REEVAL-EXP", "INCR-EXP", "speedup"],
+    );
+    let a = Matrix::random_spectral(cfg.n, 13, 0.9);
+    for &k in &[4, 8, 16, 32, 64] {
+        let mut reeval =
+            ReevalPowers::new(a.clone(), IterModel::Exponential, k).expect("reeval builds");
+        let mut incr = IncrPowers::new(a.clone(), IterModel::Exponential, k).expect("incr builds");
+        let mut s1 = UpdateStream::new(cfg.n, cfg.n, 0.01, 44);
+        let re = avg_time(cfg.updates, || {
+            reeval.apply(&s1.next_rank_one()).expect("reeval update")
+        });
+        let mut s2 = UpdateStream::new(cfg.n, cfg.n, 0.01, 44);
+        let inc = avg_time(cfg.updates, || {
+            incr.apply(&s2.next_rank_one()).expect("incr update")
+        });
+        t.row(vec![
+            k.to_string(),
+            fmt_duration(re),
+            fmt_duration(inc),
+            fmt_speedup(re, inc),
+        ]);
+    }
+    t.note("paper: gap narrows once delta rank (~k) becomes comparable to n");
+    t
+}
+
+/// Fig. 3d — sums of matrix powers vs `n` (EXP model).
+pub fn fig3d(cfg: &Config) -> Table {
+    let mut t = Table::new(
+        format!(
+            "Fig 3d - Sums of Powers I + A + ... + A^(k-1) (k = {})",
+            cfg.k
+        ),
+        &["n", "REEVAL-EXP", "INCR-EXP", "speedup"],
+    );
+    for &n in &[cfg.n / 2, cfg.n, cfg.n * 2] {
+        let a = Matrix::random_spectral(n, 17, 0.9);
+        let mut reeval =
+            ReevalSums::new(a.clone(), IterModel::Exponential, cfg.k).expect("reeval builds");
+        let mut incr = IncrSums::new(a, IterModel::Exponential, cfg.k).expect("incr builds");
+        let mut s1 = UpdateStream::new(n, n, 0.01, 45);
+        let re = avg_time(cfg.updates, || {
+            reeval.apply(&s1.next_rank_one()).expect("reeval update")
+        });
+        let mut s2 = UpdateStream::new(n, n, 0.01, 45);
+        let inc = avg_time(cfg.updates, || {
+            incr.apply(&s2.next_rank_one()).expect("incr update")
+        });
+        t.row(vec![
+            n.to_string(),
+            fmt_duration(re),
+            fmt_duration(inc),
+            fmt_speedup(re, inc),
+        ]);
+    }
+    t.note("paper: same complexity class as matrix powers; speedup grows with n");
+    t
+}
+
+/// Fig. 3e — OLS `(XᵀX)⁻¹XᵀY` vs `n`, REEVAL (LU) vs INCR
+/// (Sherman–Morrison).
+pub fn fig3e(cfg: &Config) -> Table {
+    let mut t = Table::new(
+        "Fig 3e - Ordinary Least Squares (X'X)^-1 X'Y (p = 1)",
+        &["n", "REEVAL", "INCR", "speedup"],
+    );
+    for &n in &[cfg.n / 2, cfg.n * 2 / 3, cfg.n, cfg.n * 4 / 3] {
+        let x = Matrix::random_diag_dominant(n, 19);
+        let y = Matrix::random_col(n, 20);
+        let mut reeval = ReevalOls::new(x.clone(), y.clone()).expect("reeval builds");
+        let mut incr = IncrOls::new(x, y).expect("incr builds");
+        let mut s1 = UpdateStream::new(n, n, 0.001, 46);
+        let re = avg_time(cfg.updates, || {
+            reeval.apply(&s1.next_rank_one()).expect("reeval update")
+        });
+        let mut s2 = UpdateStream::new(n, n, 0.001, 46);
+        let inc = avg_time(cfg.updates, || {
+            incr.apply(&s2.next_rank_one()).expect("incr update")
+        });
+        t.row(vec![
+            n.to_string(),
+            fmt_duration(re),
+            fmt_duration(inc),
+            fmt_speedup(re, inc),
+        ]);
+    }
+    t.note("paper: 3.6x @ 4K growing to 11.5x @ 20K — asymptotically different curves");
+    t
+}
+
+/// Fig. 3f — distributed powers vs worker count on the simulated cluster:
+/// refresh time and communication volume for REEVAL vs INCR.
+pub fn fig3f(cfg: &Config) -> Table {
+    let n = 240; // divisible by every grid side used
+    let mut t = Table::new(
+        format!("Fig 3f - Distributed A^4 vs cluster size (n = {n})"),
+        &["workers", "REEVAL", "REEVAL comm", "INCR", "INCR comm"],
+    );
+    let a = Matrix::random_spectral(n, 23, 0.9);
+    let program =
+        linview_compiler::parse::parse_program("B := A * A; C := B * B;").expect("program parses");
+    let mut cat = linview_expr::Catalog::new();
+    cat.declare("A", n, n);
+    let tp = linview_compiler::compile(&program, &["A"], &cat, &CompileOptions::default())
+        .expect("compiles");
+    let trigger = tp.trigger_for("A").expect("trigger exists");
+
+    for &workers in &[1usize, 4, 9, 16] {
+        let grid = (workers as f64).sqrt() as usize;
+        // REEVAL: per update, repartition A and run two distributed products.
+        let cluster = Cluster::new(workers);
+        let mut a_cur = a.clone();
+        let mut s1 = UpdateStream::new(n, n, 0.01, 47);
+        let re = avg_time(cfg.updates, || {
+            let upd = s1.next_rank_one();
+            upd.apply_to(&mut a_cur).expect("update applies");
+            let da = DistMatrix::from_dense(&a_cur, grid).expect("partitions");
+            let d2 = dist_matmul(&da, &da, &cluster).expect("A^2");
+            let _d4 = dist_matmul(&d2, &d2, &cluster).expect("A^4");
+        });
+        let re_comm = cluster.comm().reset();
+
+        // INCR: central trigger computes the delta blocks; workers receive
+        // broadcast factors and update their partitions locally.
+        let incr_cluster = Cluster::new(workers);
+        let evaluator = Evaluator::new();
+        let mut env = Env::new();
+        env.bind("A", a.clone());
+        let b0 = a.try_matmul(&a).expect("B");
+        env.bind("C", b0.try_matmul(&b0).expect("C"));
+        env.bind("B", b0);
+        let mut dist: std::collections::BTreeMap<String, DistMatrix> = ["A", "B", "C"]
+            .iter()
+            .map(|v| {
+                (
+                    v.to_string(),
+                    DistMatrix::from_dense(env.get(v).expect("bound"), grid).expect("parts"),
+                )
+            })
+            .collect();
+        let mut s2 = UpdateStream::new(n, n, 0.01, 47);
+        let inc = avg_time(cfg.updates, || {
+            let upd = s2.next_rank_one();
+            env.bind("dU_A", upd.u.clone());
+            env.bind("dV_A", upd.v.clone());
+            for stmt in &trigger.stmts {
+                match stmt {
+                    TriggerStmt::Assign { var, expr } => {
+                        let value = evaluator.eval(expr, &env).expect("block evaluates");
+                        env.bind(var.clone(), value);
+                    }
+                    TriggerStmt::ApplyDelta { target, u, v } => {
+                        let um = evaluator.eval(u, &env).expect("U");
+                        let vm = evaluator.eval(v, &env).expect("V");
+                        dist_add_low_rank(
+                            dist.get_mut(target).expect("view partitioned"),
+                            &um,
+                            &vm,
+                            &incr_cluster,
+                        )
+                        .expect("low-rank update");
+                        let delta = um.try_matmul(&vm.transpose()).expect("delta");
+                        env.get_mut(target)
+                            .expect("bound")
+                            .add_assign_from(&delta)
+                            .expect("shapes match");
+                    }
+                    TriggerStmt::ShermanMorrison { .. } => unreachable!("no inverses"),
+                }
+            }
+        });
+        let inc_comm = incr_cluster.comm().reset();
+        t.row(vec![
+            workers.to_string(),
+            fmt_duration(re),
+            fmt_bytes(re_comm.total_bytes() / cfg.updates as u64),
+            fmt_duration(inc),
+            fmt_bytes(inc_comm.total_bytes() / cfg.updates as u64),
+        ]);
+    }
+    t.note("paper: INCR is far less sensitive to cluster size (10-26s flat vs shuffles)");
+    t
+}
+
+/// Fig. 3g — general form with `B = 0` (`Tᵢ₊₁ = A·Tᵢ`), varying `p`:
+/// REEVAL vs INCR vs HYBRID under the linear model.
+pub fn fig3g(cfg: &Config) -> Table {
+    let mut t = Table::new(
+        format!(
+            "Fig 3g - T(i+1) = A T(i), LIN model, varying p (n = {}, k = {})",
+            cfg.n, cfg.k
+        ),
+        &["p", "REEVAL-LIN", "INCR-LIN", "HYBRID-LIN"],
+    );
+    let a = Matrix::random_spectral(cfg.n, 29, 0.9);
+    for &p in &[1usize, 8, 64] {
+        let b = Matrix::zeros(cfg.n, p);
+        let t0m = Matrix::random_uniform(cfg.n, p, 31);
+        let mut cells = vec![p.to_string()];
+        for strategy in [Strategy::Reeval, Strategy::Incremental, Strategy::Hybrid] {
+            let mut gf = GeneralForm::new(
+                a.clone(),
+                b.clone(),
+                t0m.clone(),
+                IterModel::Linear,
+                cfg.k,
+                strategy,
+            )
+            .expect("builds");
+            let mut s = UpdateStream::new(cfg.n, cfg.n, 0.01, 48);
+            let d = avg_time(cfg.updates, || {
+                gf.apply(&s.next_rank_one()).expect("update applies")
+            });
+            cells.push(fmt_duration(d));
+        }
+        t.row(cells);
+    }
+    t.note("paper: HYBRID wins at p = 1; INCR wins once p is large enough to justify factoring");
+    t
+}
+
+/// Fig. 3h — gradient-descent linear regression `Tᵢ₊₁ = A·Tᵢ + B` across
+/// the model lineup, REEVAL vs INCR (log-scale plot in the paper).
+pub fn fig3h(cfg: &Config) -> Table {
+    let m = cfg.n;
+    let nf = cfg.n / 2;
+    let p = 32;
+    let mut t = Table::new(
+        format!(
+            "Fig 3h - Gradient descent LR (m = {m}, n = {nf}, p = {p}, k = {})",
+            cfg.k
+        ),
+        &["model", "REEVAL", "INCR", "speedup"],
+    );
+    let x = Matrix::random_uniform(m, nf, 37).scale(0.3);
+    let y = Matrix::random_uniform(m, p, 38);
+    let theta0 = Matrix::zeros(nf, p);
+    for model in IterModel::paper_lineup() {
+        let mut row = vec![model.label()];
+        let mut times = Vec::new();
+        for strategy in [Strategy::Reeval, Strategy::Incremental] {
+            let mut gd = GradientDescentLR::new(
+                x.clone(),
+                y.clone(),
+                0.05,
+                theta0.clone(),
+                model,
+                cfg.k,
+                strategy,
+            )
+            .expect("builds");
+            let mut s = UpdateStream::new(m, nf, 0.01, 49);
+            let d = avg_time(cfg.updates, || {
+                gd.apply(&s.next_rank_one()).expect("update applies")
+            });
+            times.push(d);
+            row.push(fmt_duration(d));
+        }
+        row.push(fmt_speedup(times[0], times[1]));
+        t.row(row);
+    }
+    t.note("paper: REEVAL best with LIN; INCR best with SKIP-4; overall INCR wins 36.7x");
+    t
+}
+
+/// Table 2 — empirical verification of the asymptotic complexity table via
+/// FLOP counters, plus the common-factor-extraction ablation (§4.3).
+pub fn table2(cfg: &Config) -> Table {
+    let n = cfg.n / 2;
+    let k = cfg.k;
+    let mut t = Table::new(
+        format!("Table 2 - complexity shapes from FLOP counters (n = {n}, k = {k})"),
+        &["quantity", "measured", "predicted"],
+    );
+
+    let measure_powers = |model: IterModel, k: usize, incremental: bool, factored: bool| -> f64 {
+        let a = Matrix::random_spectral(n, 53, 0.9);
+        let mut s = UpdateStream::new(n, n, 0.01, 50);
+        if incremental {
+            let opts = CompileOptions {
+                update_rank: 1,
+                delta: DeltaOptions {
+                    factor_common: factored,
+                },
+            };
+            let mut v = IncrPowers::new_with_options(a, model, k, &opts).expect("builds");
+            avg_flops(cfg.updates, || v.apply(&s.next_rank_one()).expect("update"))
+        } else {
+            let mut v = ReevalPowers::new(a, model, k).expect("builds");
+            avg_flops(cfg.updates, || v.apply(&s.next_rank_one()).expect("update"))
+        }
+    };
+
+    // INCR-LIN scales ~k²: doubling k quadruples the work.
+    let lin_k = measure_powers(IterModel::Linear, k, true, true);
+    let lin_2k = measure_powers(IterModel::Linear, 2 * k, true, true);
+    t.row(vec![
+        "INCR-LIN flops ratio k->2k (n²k²)".into(),
+        format!("{:.2}", lin_2k / lin_k),
+        "~4".into(),
+    ]);
+
+    // INCR-EXP scales ~k: doubling k doubles the work.
+    let exp_k = measure_powers(IterModel::Exponential, k, true, true);
+    let exp_2k = measure_powers(IterModel::Exponential, 2 * k, true, true);
+    t.row(vec![
+        "INCR-EXP flops ratio k->2k (n²k)".into(),
+        format!("{:.2}", exp_2k / exp_k),
+        "~2".into(),
+    ]);
+
+    // REEVAL-EXP scales ~log k: k→2k adds one squaring.
+    let re_k = measure_powers(IterModel::Exponential, k, false, true);
+    let re_2k = measure_powers(IterModel::Exponential, 2 * k, false, true);
+    t.row(vec![
+        "REEVAL-EXP flops ratio k->2k (n³·log k)".into(),
+        format!("{:.2}", re_2k / re_k),
+        format!(
+            "~{:.2}",
+            (2.0 * k as f64).log2().ceil() / (k as f64).log2().ceil()
+        ),
+    ]);
+
+    // REEVAL vs INCR at fixed (n, k): n³ vs n²k class separation.
+    t.row(vec![
+        "REEVAL-EXP / INCR-EXP flops at (n, k)".into(),
+        format!("{:.1}", re_k / exp_k),
+        format!("~n/k = {:.1} (class separation)", n as f64 / k as f64),
+    ]);
+
+    // Ablation: disabling §4.3 common-factor extraction blows ranks up
+    // (2 per squaring → 3 per squaring ⇒ (3/2)^log2(k) more block width).
+    let unfactored = measure_powers(IterModel::Exponential, k, true, false);
+    t.row(vec![
+        "ablation: unfactored / factored INCR-EXP flops".into(),
+        format!("{:.2}", unfactored / exp_k),
+        format!(
+            "~{:.2} ((3/2)^log2 k rank blow-up, cost-weighted)",
+            (1.5f64).powf((k as f64).log2())
+        ),
+    ]);
+    t.note("ratios are the paper's Table 2 exponents observed through kernel FLOP counters");
+    t
+}
+
+/// Table 3 — memory vs speedup for `A¹⁶`: REEVAL-EXP vs INCR-EXP.
+pub fn table3(cfg: &Config) -> Table {
+    let mut t = Table::new(
+        format!("Table 3 - memory vs speedup for A^{} (EXP model)", cfg.k),
+        &[
+            "n",
+            "REEVAL mem",
+            "INCR mem",
+            "REEVAL time",
+            "INCR time",
+            "speedup/mem-cost",
+        ],
+    );
+    for &n in &[cfg.n / 2, cfg.n, cfg.n * 2] {
+        let a = Matrix::random_spectral(n, 59, 0.9);
+        let mut reeval =
+            ReevalPowers::new(a.clone(), IterModel::Exponential, cfg.k).expect("builds");
+        let mut incr = IncrPowers::new(a, IterModel::Exponential, cfg.k).expect("builds");
+        let mut s1 = UpdateStream::new(n, n, 0.01, 51);
+        let re = avg_time(cfg.updates, || {
+            reeval.apply(&s1.next_rank_one()).expect("update")
+        });
+        let mut s2 = UpdateStream::new(n, n, 0.01, 51);
+        let inc = avg_time(cfg.updates, || {
+            incr.apply(&s2.next_rank_one()).expect("update")
+        });
+        let speedup = re.as_secs_f64() / inc.as_secs_f64();
+        let mem_cost = incr.memory_bytes() as f64 / reeval.memory_bytes() as f64;
+        t.row(vec![
+            n.to_string(),
+            fmt_bytes(reeval.memory_bytes() as u64),
+            fmt_bytes(incr.memory_bytes() as u64),
+            fmt_duration(re),
+            fmt_duration(inc),
+            format!("{:.2}", speedup / mem_cost),
+        ]);
+    }
+    t.note("paper: the benefit of investing memory grows with dimensionality (2.99 -> 16.0)");
+    t
+}
+
+/// Table 4 — batched updates with Zipf-distributed row frequency:
+/// INCR-EXP average refresh time per batch, across skew factors.
+pub fn table4(cfg: &Config) -> Table {
+    let batch = 64;
+    let mut t = Table::new(
+        format!(
+            "Table 4 - batch updates (batch = {batch}, A^{}, n = {})",
+            cfg.k, cfg.n
+        ),
+        &["zipf", "distinct rows", "INCR", "REEVAL"],
+    );
+    let a = Matrix::random_spectral(cfg.n, 61, 0.9);
+    for &z in &[5.0, 4.0, 3.0, 2.0, 1.0, 0.0] {
+        let mut incr = IncrPowers::new(a.clone(), IterModel::Exponential, cfg.k).expect("builds");
+        let mut reeval =
+            ReevalPowers::new(a.clone(), IterModel::Exponential, cfg.k).expect("builds");
+        let mut s = UpdateStream::new(cfg.n, cfg.n, 0.01, 52);
+        let batches: Vec<_> = (0..cfg.updates)
+            .map(|_| s.next_batch_zipf(batch, z).expect("batch generates"))
+            .collect();
+        let ranks: usize = batches.iter().map(|b| b.rank()).sum::<usize>() / batches.len();
+        let mut it = batches.iter();
+        let inc = avg_time(batches.len(), || {
+            incr.apply_batch(it.next().expect("batch available"))
+                .expect("update")
+        });
+        let mut it2 = batches.iter();
+        let re = avg_time(batches.len(), || {
+            reeval
+                .apply_batch(it2.next().expect("batch available"))
+                .expect("update")
+        });
+        t.row(vec![
+            format!("{z:.1}"),
+            ranks.to_string(),
+            fmt_duration(inc),
+            fmt_duration(re),
+        ]);
+    }
+    t.note("paper: INCR loses its advantage as updates become uniform (rank -> batch size)");
+    t
+}
+
+/// Ablations — the design-choice studies DESIGN.md calls out, as printable
+/// tables (the Criterion versions live in `benches/ablation_*.rs`).
+pub fn ablations(cfg: &Config) -> Vec<Table> {
+    vec![
+        ablation_factoring(cfg),
+        ablation_recompress(cfg),
+        ablation_inverse(cfg),
+    ]
+}
+
+/// §4.3 common-factor extraction on/off: one `A⁸` trigger firing.
+fn ablation_factoring(cfg: &Config) -> Table {
+    use linview_compiler::{compile, Program};
+    use linview_expr::{Catalog, Expr};
+    use linview_runtime::fire_trigger;
+
+    let n = cfg.n;
+    let mut t = Table::new(
+        format!("Ablation - common-factor extraction (A^8 trigger, n = {n})"),
+        &["variant", "block ranks dB/dC/dD", "refresh", "flops"],
+    );
+    let mut cat = Catalog::new();
+    cat.declare("A", n, n);
+    let mut prog = Program::new();
+    prog.assign("B", Expr::var("A") * Expr::var("A"));
+    prog.assign("C", Expr::var("B") * Expr::var("B"));
+    prog.assign("D", Expr::var("C") * Expr::var("C"));
+    let a = Matrix::random_spectral(n, 3, 0.8);
+    let du = Matrix::random_col(n, 5).scale(0.01);
+    let dv = Matrix::random_col(n, 6);
+    let ev = Evaluator::new();
+    let build_env = || {
+        let b = a.try_matmul(&a).expect("square");
+        let c = b.try_matmul(&b).expect("square");
+        let d = c.try_matmul(&c).expect("square");
+        let mut env = Env::new();
+        env.bind("A", a.clone());
+        env.bind("B", b);
+        env.bind("C", c);
+        env.bind("D", d);
+        env
+    };
+    for (label, factored) in [("factored (§4.3)", true), ("unfactored", false)] {
+        let opts = CompileOptions {
+            update_rank: 1,
+            delta: DeltaOptions {
+                factor_common: factored,
+            },
+        };
+        let tp = compile(&prog, &["A"], &cat, &opts).expect("compiles");
+        let ranks = ["U_B", "U_C", "U_D"]
+            .iter()
+            .map(|v| tp.catalog.get(v).expect("declared").cols.to_string())
+            .collect::<Vec<_>>()
+            .join("/");
+        let mut env = build_env();
+        let time = avg_time(cfg.updates, || {
+            fire_trigger(&mut env, &ev, &tp.triggers[0], &du, &dv).expect("fires")
+        });
+        let mut env2 = build_env();
+        let fl = avg_flops(cfg.updates, || {
+            fire_trigger(&mut env2, &ev, &tp.triggers[0], &du, &dv).expect("fires")
+        });
+        t.row(vec![
+            label.into(),
+            ranks,
+            fmt_duration(time),
+            format!("{:.2e}", fl),
+        ]);
+    }
+    t.note("block ranks grow additively (2/4/8) with §4.3, multiplicatively (3/9/27) without");
+    t
+}
+
+/// Numerical recompression on/off, generic vs redundant updates.
+fn ablation_recompress(cfg: &Config) -> Table {
+    use linview_compiler::parse::parse_program;
+    use linview_expr::Catalog;
+    use linview_runtime::{BatchUpdate, ExecOptions, IncrementalView, RankOneUpdate};
+
+    let n = cfg.n;
+    let mut t = Table::new(
+        format!("Ablation - numerical delta recompression (A^4 views, n = {n})"),
+        &["workload", "recompress", "refresh"],
+    );
+    let program = parse_program("B := A * A; C := B * B;").expect("parses");
+    let mut cat = Catalog::new();
+    cat.declare("A", n, n);
+    let a = Matrix::random_spectral(n, 9, 0.8);
+    let base = IncrementalView::build(&program, &[("A", a)], &cat).expect("builds");
+
+    let generic = RankOneUpdate::row_update(n, n, n / 5, 0.01, 55);
+    // Uncompacted batch of 8 updates over 2 distinct rows: true rank 2.
+    let mut us = Vec::new();
+    let mut vs = Vec::new();
+    for i in 0..8u64 {
+        let row = if i % 2 == 0 { 7 } else { 23 };
+        let one = RankOneUpdate::row_update(n, n, row, 0.01, 100 + i);
+        us.push(one.u);
+        vs.push(one.v);
+    }
+    let urefs: Vec<&Matrix> = us.iter().collect();
+    let vrefs: Vec<&Matrix> = vs.iter().collect();
+    let batch = BatchUpdate {
+        u: Matrix::hstack(&urefs).expect("stack"),
+        v: Matrix::hstack(&vrefs).expect("stack"),
+    };
+
+    for (label, tol) in [("off", None), ("on (1e-10)", Some(1e-10))] {
+        let exec = ExecOptions {
+            recompress_tol: tol,
+            ..ExecOptions::default()
+        };
+        let mut v1 = base.clone();
+        v1.set_exec_options(exec);
+        let time = avg_time(cfg.updates, || {
+            v1.apply("A", &generic).expect("update");
+        });
+        t.row(vec!["generic rank-1".into(), label.into(), fmt_duration(time)]);
+        let mut v2 = base.clone();
+        v2.set_exec_options(exec);
+        let time = avg_time(cfg.updates, || {
+            v2.apply_batch("A", &batch).expect("update");
+        });
+        t.row(vec![
+            "redundant rank-8 (true rank 2)".into(),
+            label.into(),
+            fmt_duration(time),
+        ]);
+    }
+    t.note("the pass is pure overhead on tight blocks, a 4x rank cut on redundant batches");
+    t
+}
+
+/// Sherman–Morrison (k sequential steps) vs Woodbury (one rank-k solve).
+fn ablation_inverse(cfg: &Config) -> Table {
+    use linview_runtime::{sherman_morrison, woodbury};
+
+    let n = cfg.n;
+    let mut t = Table::new(
+        format!("Ablation - inverse maintenance primitive (n = {n})"),
+        &["k", "Sherman-Morrison", "Woodbury"],
+    );
+    let e = Matrix::random_diag_dominant(n, 1);
+    let w = e.inverse().expect("invertible");
+    for k in [1usize, 4, 16, 64] {
+        let p = Matrix::random_uniform(n, k, 2).scale(0.01);
+        let q = Matrix::random_uniform(n, k, 3).scale(0.01);
+        let sm = avg_time(cfg.updates, || {
+            sherman_morrison(&w, &p, &q).expect("nonsingular");
+        });
+        let wb = avg_time(cfg.updates, || {
+            woodbury(&w, &p, &q).expect("nonsingular");
+        });
+        t.row(vec![k.to_string(), fmt_duration(sm), fmt_duration(wb)]);
+    }
+    t.note("both are O(kn²); Woodbury amortizes the k passes over W into two GEMMs + a k×k solve");
+    t
+}
+
+/// Extension studies — the §3.1/§4.2 "future work" features, measured.
+pub fn extensions(cfg: &Config) -> Vec<Table> {
+    vec![ext_convergence(cfg), ext_expm(cfg), ext_warm_pagerank(cfg)]
+}
+
+/// Convergence-threshold maintenance: horizon behaviour and refresh cost.
+fn ext_convergence(cfg: &Config) -> Table {
+    use linview_apps::convergence::ConvergentIteration;
+
+    let n = cfg.n;
+    let mut t = Table::new(
+        format!("Extension - convergence-threshold iteration (n = {n}, eps = 1e-9)"),
+        &["event", "k (horizon)", "extended", "truncated", "refresh"],
+    );
+    let m = Matrix::random_stochastic(n, 11).transpose();
+    let a = m.scale(0.85);
+    let b = Matrix::filled(n, 1, 0.15 / n as f64);
+    let mut t0 = Matrix::zeros(n, 1);
+    t0.set(0, 0, 1.0);
+    let mut it = ConvergentIteration::new(a, b, t0, 1e-9, 10_000).expect("converges");
+    t.row(vec![
+        "initial run".into(),
+        it.iterations().to_string(),
+        "-".into(),
+        "-".into(),
+        "-".into(),
+    ]);
+    let mut stream = UpdateStream::new(n, n, 0.002, 13);
+    for i in 0..3 {
+        let upd = stream.next_rank_one();
+        let t1 = Instant::now();
+        it.apply(&upd).expect("maintains");
+        t.row(vec![
+            format!("link update #{}", i + 1),
+            it.iterations().to_string(),
+            it.last_extension().to_string(),
+            it.last_truncation().to_string(),
+            fmt_duration(t1.elapsed()),
+        ]);
+    }
+    t.note("§3.1's future work: the horizon adapts per update (footnote-3 extension / truncation)");
+    t
+}
+
+/// Matrix exponential: INCR vs REEVAL refresh for the truncated series.
+fn ext_expm(cfg: &Config) -> Table {
+    use linview_apps::expm::{IncrExpm, ReevalExpm};
+
+    let n = cfg.n;
+    let k = 12;
+    let mut t = Table::new(
+        format!("Extension - matrix exponential, {k}-term Taylor (n = {n})"),
+        &["strategy", "refresh", "speedup"],
+    );
+    let a = Matrix::random_spectral(n, 5, 0.6);
+    let mut reeval = ReevalExpm::new(a.clone(), k).expect("builds");
+    let mut incr = IncrExpm::new(a, k).expect("builds");
+    let mut s1 = UpdateStream::new(n, n, 0.01, 21);
+    let re = avg_time(cfg.updates, || {
+        reeval.apply(&s1.next_rank_one()).expect("update")
+    });
+    let mut s2 = UpdateStream::new(n, n, 0.01, 21);
+    let inc = avg_time(cfg.updates, || {
+        incr.apply(&s2.next_rank_one()).expect("update")
+    });
+    t.row(vec!["REEVAL".into(), fmt_duration(re), "1.0x".into()]);
+    t.row(vec!["INCR".into(), fmt_duration(inc), fmt_speedup(re, inc)]);
+    t.note("§5.2's ODE motivation: exp(A)·x0 maintained under rank-1 updates to A");
+    t
+}
+
+/// Warm-started sparse PageRank after one edge mutation.
+fn ext_warm_pagerank(cfg: &Config) -> Table {
+    use linview_sparse::{pagerank, pagerank_warm, Graph, PageRankOptions};
+
+    let n = cfg.n * 4; // sparse scales further
+    let mut t = Table::new(
+        format!("Extension - warm-started sparse PageRank (n = {n}, tol = 1e-10)"),
+        &["strategy", "iterations", "solve"],
+    );
+    let mut g = Graph::random(n, 6, 29);
+    let opts = PageRankOptions {
+        tol: 1e-10,
+        max_iterations: 1000,
+        ..PageRankOptions::default()
+    };
+    let before = pagerank(&g.transition(), &opts).expect("converges");
+    g.insert_edge(3, n / 2).expect("new edge");
+    let p_new = g.transition();
+    let t1 = Instant::now();
+    let cold = pagerank(&p_new, &opts).expect("converges");
+    let cold_t = t1.elapsed();
+    let t2 = Instant::now();
+    let warm = pagerank_warm(&p_new, &opts, &before).expect("converges");
+    let warm_t = t2.elapsed();
+    t.row(vec![
+        "cold (uniform start)".into(),
+        cold.iterations().to_string(),
+        fmt_duration(cold_t),
+    ]);
+    t.row(vec![
+        "warm (previous scores)".into(),
+        warm.iterations().to_string(),
+        fmt_duration(warm_t),
+    ]);
+    t.note("after one edge flip the old solution is near the new fixed point");
+    t
+}
+
+/// Every experiment, in paper order.
+pub fn all(cfg: &Config) -> Vec<Table> {
+    vec![
+        fig3a(cfg),
+        fig3b(cfg),
+        fig3c(cfg),
+        fig3d(cfg),
+        fig3e(cfg),
+        fig3f(cfg),
+        fig3g(cfg),
+        fig3h(cfg),
+        table2(cfg),
+        table3(cfg),
+        table4(cfg),
+    ]
+}
+
+/// Looks up an experiment by CLI name.
+pub fn by_name(name: &str, cfg: &Config) -> Option<Vec<Table>> {
+    Some(match name {
+        "fig3a" => vec![fig3a(cfg)],
+        "fig3b" => vec![fig3b(cfg)],
+        "fig3c" => vec![fig3c(cfg)],
+        "fig3d" => vec![fig3d(cfg)],
+        "fig3e" => vec![fig3e(cfg)],
+        "fig3f" => vec![fig3f(cfg)],
+        "fig3g" => vec![fig3g(cfg)],
+        "fig3h" => vec![fig3h(cfg)],
+        "table2" => vec![table2(cfg)],
+        "table3" => vec![table3(cfg)],
+        "table4" => vec![table4(cfg)],
+        "ablations" => ablations(cfg),
+        "extensions" => extensions(cfg),
+        "all" => {
+            let mut v = all(cfg);
+            v.extend(ablations(cfg));
+            v.extend(extensions(cfg));
+            v
+        }
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Smoke tests at quick scale: every experiment driver must run and
+    // produce a fully populated table.
+    #[test]
+    fn every_experiment_runs_at_quick_scale() {
+        let cfg = Config::quick();
+        for name in ["fig3a", "fig3c", "fig3g", "table2", "table4"] {
+            let tables = by_name(name, &cfg).expect("known experiment");
+            for t in tables {
+                assert!(!t.rows.is_empty(), "{name} produced no rows");
+            }
+        }
+    }
+
+    #[test]
+    fn ablation_and_extension_tables_run_at_quick_scale() {
+        let cfg = Config::quick();
+        for name in ["ablations", "extensions"] {
+            let tables = by_name(name, &cfg).expect("known experiment");
+            assert_eq!(tables.len(), 3, "{name} table count");
+            for t in tables {
+                assert!(!t.rows.is_empty(), "{name} produced no rows");
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_experiment_is_none() {
+        assert!(by_name("fig9z", &Config::quick()).is_none());
+    }
+}

@@ -1,0 +1,51 @@
+//! # linview-bench
+//!
+//! Shared experiment drivers for regenerating every table and figure of the
+//! LINVIEW paper's evaluation (§7). Each `figNx`/`tableN` function in
+//! [`experiments`] builds the paper's workload at laptop scale, measures the
+//! strategies being compared, and returns a printable [`report::Table`]
+//! whose rows mirror the paper's plot series.
+//!
+//! Two consumers:
+//!
+//! * `cargo run -p linview-bench --release --bin harness -- <experiment>` —
+//!   prints the tables (the source of EXPERIMENTS.md).
+//! * `cargo bench -p linview-bench` — Criterion benches, one per figure or
+//!   table, reusing the same workload builders.
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod report;
+
+/// Scaling configuration shared by all experiments.
+#[derive(Debug, Clone, Copy)]
+pub struct Config {
+    /// Base square dimension for single-size experiments.
+    pub n: usize,
+    /// Iteration count for the iterative workloads.
+    pub k: usize,
+    /// Updates measured per data point (averaged).
+    pub updates: usize,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            n: 192,
+            k: 16,
+            updates: 5,
+        }
+    }
+}
+
+impl Config {
+    /// A fast configuration for smoke tests.
+    pub fn quick() -> Self {
+        Config {
+            n: 96,
+            k: 8,
+            updates: 2,
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! Plain-text table rendering for the harness output.
+
+use std::fmt;
+
+/// A printable experiment result table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Experiment title (e.g. "Fig 3a — Matrix Powers, evaluation models").
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows (stringified cells).
+    pub rows: Vec<Vec<String>>,
+    /// Free-form notes appended under the table.
+    pub notes: Vec<String>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|h| h.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a row; panics if the cell count disagrees with the headers.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width must match headers"
+        );
+        self.rows.push(cells);
+    }
+
+    /// Appends a note line.
+    pub fn note(&mut self, text: impl Into<String>) {
+        self.notes.push(text.into());
+    }
+
+    fn widths(&self) -> Vec<usize> {
+        let mut w: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                w[i] = w[i].max(c.len());
+            }
+        }
+        w
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "## {}", self.title)?;
+        let w = self.widths();
+        let header: Vec<String> = self
+            .headers
+            .iter()
+            .enumerate()
+            .map(|(i, h)| format!("{h:>width$}", width = w[i]))
+            .collect();
+        writeln!(f, "| {} |", header.join(" | "))?;
+        let sep: Vec<String> = w.iter().map(|&x| "-".repeat(x)).collect();
+        writeln!(f, "| {} |", sep.join(" | "))?;
+        for row in &self.rows {
+            let cells: Vec<String> = row
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{c:>width$}", width = w[i]))
+                .collect();
+            writeln!(f, "| {} |", cells.join(" | "))?;
+        }
+        for n in &self.notes {
+            writeln!(f, "> {n}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a duration in adaptive units.
+pub fn fmt_duration(d: std::time::Duration) -> String {
+    let s = d.as_secs_f64();
+    if s >= 1.0 {
+        format!("{s:.2} s")
+    } else if s >= 1e-3 {
+        format!("{:.2} ms", s * 1e3)
+    } else {
+        format!("{:.1} us", s * 1e6)
+    }
+}
+
+/// Formats a speedup factor the way the paper annotates its bars ("18.1x").
+pub fn fmt_speedup(reeval: std::time::Duration, incr: std::time::Duration) -> String {
+    let denom = incr.as_secs_f64();
+    if denom == 0.0 {
+        return "inf".into();
+    }
+    format!("{:.1}x", reeval.as_secs_f64() / denom)
+}
+
+/// Formats byte counts.
+pub fn fmt_bytes(b: u64) -> String {
+    if b >= 1 << 20 {
+        format!("{:.1} MiB", b as f64 / (1 << 20) as f64)
+    } else if b >= 1 << 10 {
+        format!("{:.1} KiB", b as f64 / (1 << 10) as f64)
+    } else {
+        format!("{b} B")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new("Demo", &["model", "time"]);
+        t.row(vec!["LIN".into(), "12.0 ms".into()]);
+        t.row(vec!["SKIP-8".into(), "3.1 ms".into()]);
+        t.note("shape only");
+        let s = t.to_string();
+        assert!(s.contains("## Demo"));
+        assert!(s.contains("| SKIP-8 |"));
+        assert!(s.contains("> shape only"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn row_width_checked() {
+        let mut t = Table::new("Demo", &["a", "b"]);
+        t.row(vec!["x".into()]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_duration(Duration::from_millis(1500)), "1.50 s");
+        assert_eq!(fmt_duration(Duration::from_micros(1500)), "1.50 ms");
+        assert_eq!(fmt_duration(Duration::from_nanos(800_000)), "800.0 us");
+        assert_eq!(
+            fmt_speedup(Duration::from_secs(2), Duration::from_secs(1)),
+            "2.0x"
+        );
+        assert_eq!(fmt_bytes(512), "512 B");
+        assert_eq!(fmt_bytes(2048), "2.0 KiB");
+        assert_eq!(fmt_bytes(3 << 20), "3.0 MiB");
+    }
+}

@@ -1,0 +1,228 @@
+//! Analytical REEVAL-vs-INCR comparison (§5 as an API).
+//!
+//! Given a program and the set of dynamic inputs, [`analyze`] prices both
+//! maintenance strategies under the symbolic cost model:
+//!
+//! * **re-evaluation** — the cost of evaluating every statement whose value
+//!   can change (statements over purely static inputs are computed once and
+//!   never again);
+//! * **incremental** — the compiled trigger program's cost
+//!   ([`TriggerProgram::cost`]), i.e. delta-block evaluation plus low-rank
+//!   view updates.
+//!
+//! The resulting [`AnalysisReport`] carries the predicted speedup and the
+//! extra memory incremental maintenance needs (it materializes every
+//! statement; re-evaluation only needs the final view and live
+//! intermediates) — the same trade-off Tables 2 and 3 tabulate.
+
+use linview_expr::cost::CostModel;
+use linview_expr::Catalog;
+
+use crate::{compile, CompileOptions, Program, Result, TriggerProgram};
+
+/// The outcome of the §5-style analysis.
+#[derive(Debug, Clone)]
+pub struct AnalysisReport {
+    /// Modeled FLOPs to re-evaluate all dynamic statements once.
+    pub reeval_flops: f64,
+    /// Modeled FLOPs for one firing of every trigger.
+    pub incremental_flops: f64,
+    /// Bytes of state incremental maintenance materializes (all views).
+    pub incremental_memory_bytes: usize,
+    /// Bytes of state re-evaluation must keep (inputs + final view).
+    pub reeval_memory_bytes: usize,
+    /// The compiled trigger program the estimate is based on.
+    pub trigger_program: TriggerProgram,
+}
+
+impl AnalysisReport {
+    /// Predicted REEVAL/INCR speedup per update.
+    pub fn predicted_speedup(&self) -> f64 {
+        if self.incremental_flops == 0.0 {
+            f64::INFINITY
+        } else {
+            self.reeval_flops / self.incremental_flops
+        }
+    }
+
+    /// Memory overhead factor of going incremental.
+    pub fn memory_overhead(&self) -> f64 {
+        if self.reeval_memory_bytes == 0 {
+            1.0
+        } else {
+            self.incremental_memory_bytes as f64 / self.reeval_memory_bytes as f64
+        }
+    }
+
+    /// True when the model predicts incremental maintenance pays off.
+    pub fn incremental_wins(&self) -> bool {
+        self.predicted_speedup() > 1.0
+    }
+}
+
+impl std::fmt::Display for AnalysisReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "REEVAL: {:.3e} flops/update, {} B state",
+            self.reeval_flops, self.reeval_memory_bytes
+        )?;
+        writeln!(
+            f,
+            "INCR:   {:.3e} flops/update, {} B state",
+            self.incremental_flops, self.incremental_memory_bytes
+        )?;
+        writeln!(
+            f,
+            "predicted speedup {:.1}x at {:.1}x the memory",
+            self.predicted_speedup(),
+            self.memory_overhead()
+        )
+    }
+}
+
+/// Prices both strategies for `program` under rank-`update_rank` updates to
+/// `inputs`. The catalog must declare every base matrix.
+pub fn analyze(
+    program: &Program,
+    inputs: &[&str],
+    cat: &Catalog,
+    model: &CostModel,
+    opts: &CompileOptions,
+) -> Result<AnalysisReport> {
+    let normalized = program.hoist_inverses(inputs);
+    let tp = compile(&normalized, inputs, cat, opts)?;
+    let full_cat = &tp.catalog;
+
+    // Re-evaluation: statements transitively affected by any input.
+    let mut dynamic: Vec<String> = inputs.iter().map(|s| s.to_string()).collect();
+    let mut reeval_flops = 0.0;
+    for stmt in normalized.statements() {
+        if stmt.expr.references_any(dynamic.iter().map(String::as_str)) {
+            reeval_flops += model.expr_cost(&stmt.expr, full_cat)?;
+            dynamic.push(stmt.target.clone());
+        }
+    }
+    // Applying the input delta itself costs one rank-k outer product.
+    for input in inputs {
+        let d = full_cat.get(input)?;
+        reeval_flops += linview_expr::cost::low_rank_update_cost(d, opts.update_rank);
+    }
+
+    let incremental_flops = tp.cost(model)?;
+
+    // Memory: INCR materializes inputs + every statement target; REEVAL
+    // holds inputs + the final statement's view.
+    let bytes_of = |name: &str| -> Result<usize> {
+        Ok(full_cat.get(name)?.len() * std::mem::size_of::<f64>())
+    };
+    let mut incr_mem = 0usize;
+    for input in inputs {
+        incr_mem += bytes_of(input)?;
+    }
+    for stmt in normalized.statements() {
+        incr_mem += bytes_of(&stmt.target)?;
+    }
+    let mut reeval_mem = 0usize;
+    for input in inputs {
+        reeval_mem += bytes_of(input)?;
+    }
+    if let Some(last) = normalized.statements().last() {
+        reeval_mem += bytes_of(&last.target)?;
+    }
+
+    Ok(AnalysisReport {
+        reeval_flops,
+        incremental_flops,
+        incremental_memory_bytes: incr_mem,
+        reeval_memory_bytes: reeval_mem,
+        trigger_program: tp,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use linview_expr::Expr;
+
+    fn powers(n: usize, statements: usize) -> (Program, Catalog) {
+        let mut cat = Catalog::new();
+        cat.declare("A", n, n);
+        let mut p = Program::new();
+        let mut prev = "A".to_string();
+        for i in 0..statements {
+            let name = format!("P{i}");
+            p.assign(&name, Expr::var(&prev) * Expr::var(&prev));
+            prev = name;
+        }
+        (p, cat)
+    }
+
+    #[test]
+    fn incremental_wins_for_matrix_powers() {
+        let (p, cat) = powers(256, 3); // A^8
+        let report = analyze(
+            &p,
+            &["A"],
+            &cat,
+            &CostModel::cubic(),
+            &CompileOptions::default(),
+        )
+        .unwrap();
+        assert!(report.incremental_wins());
+        // n³-class vs n²k-class: at n = 256 the gap is large.
+        assert!(report.predicted_speedup() > 10.0);
+        // But it costs more memory (every power materialized).
+        assert!(report.memory_overhead() > 1.4);
+    }
+
+    #[test]
+    fn static_statements_do_not_count_toward_reeval() {
+        let mut cat = Catalog::new();
+        cat.declare("A", 64, 64);
+        cat.declare("M", 64, 64);
+        let mut p = Program::new();
+        p.assign("N", Expr::var("M") * Expr::var("M")); // static
+        p.assign("B", Expr::var("A") * Expr::var("A")); // dynamic
+        let report = analyze(
+            &p,
+            &["A"],
+            &cat,
+            &CostModel::cubic(),
+            &CompileOptions::default(),
+        )
+        .unwrap();
+        // Only B's product + the input update are re-evaluated.
+        let model = CostModel::cubic();
+        let expected = model.mul_cost(64, 64, 64) + 2.0 * 64.0 * 64.0;
+        assert!((report.reeval_flops - expected).abs() < 1.0);
+    }
+
+    #[test]
+    fn gamma_controls_the_gap() {
+        // With a smaller γ, re-evaluation gets relatively cheaper and the
+        // predicted speedup shrinks — §3's framing of when IVM pays off.
+        let (p, cat) = powers(256, 2);
+        let opts = CompileOptions::default();
+        let cubic = analyze(&p, &["A"], &cat, &CostModel::cubic(), &opts).unwrap();
+        let strassen = analyze(&p, &["A"], &cat, &CostModel::with_gamma(2.807), &opts).unwrap();
+        assert!(strassen.predicted_speedup() < cubic.predicted_speedup());
+        assert!(strassen.incremental_wins());
+    }
+
+    #[test]
+    fn report_renders() {
+        let (p, cat) = powers(32, 2);
+        let report = analyze(
+            &p,
+            &["A"],
+            &cat,
+            &CostModel::cubic(),
+            &CompileOptions::default(),
+        )
+        .unwrap();
+        let text = report.to_string();
+        assert!(text.contains("predicted speedup"));
+        assert!(text.contains("REEVAL:"));
+    }
+}

@@ -1,0 +1,13 @@
+//! Code generation backends.
+//!
+//! The paper's system emits Octave programs (single-node) and Spark programs
+//! (cluster). Here the [`octave`] backend emits runnable GNU Octave source
+//! for each trigger, and [`plan`] emits a cost-annotated textual execution
+//! plan (the form consumed by humans and by golden tests). The executable
+//! in-process backend is `linview-runtime`, and the simulated cluster
+//! backend is `linview-dist`.
+
+pub mod numpy;
+pub mod octave;
+pub mod plan;
+pub mod spark;

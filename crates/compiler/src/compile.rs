@@ -1,0 +1,469 @@
+//! Algorithm 1: `Compile(P, I) → T`.
+//!
+//! For each dynamic input `X`, walk the program's statements in order,
+//! deriving the factored delta of every right-hand side under the current
+//! delta map `D` (initially `{X ↦ (dU_X, dV_X)}`), appending each statement's
+//! delta to `D` so later statements see it (delta *propagation*, §4.3), and
+//! finally emit the update statements `Aᵢ += Uᵢ Vᵢᵀ` in program order.
+//!
+//! Statements whose right-hand side is a (dynamic) matrix inverse are
+//! maintained with the Sherman–Morrison trigger primitive instead of a
+//! static delta expression; run [`Program::hoist_inverses`] first so every
+//! such inverse is a top-level statement.
+
+use linview_expr::delta::{self, Delta, DeltaMap};
+use linview_expr::{simplify, Catalog, DeltaOptions, Expr};
+
+use crate::{Program, Result, Trigger, TriggerProgram, TriggerStmt};
+
+/// Options for incremental compilation.
+#[derive(Debug, Clone, Copy)]
+pub struct CompileOptions {
+    /// Rank of the incoming updates (`ΔX = dU_X dV_Xᵀ` with this many
+    /// columns). Rank 1 is the paper's canonical single-row update.
+    pub update_rank: usize,
+    /// Delta derivation options (common-factor extraction toggle).
+    pub delta: DeltaOptions,
+}
+
+impl Default for CompileOptions {
+    fn default() -> Self {
+        CompileOptions {
+            update_rank: 1,
+            delta: DeltaOptions::default(),
+        }
+    }
+}
+
+/// Compiles `program` into one trigger per input in `inputs`.
+///
+/// `cat` must declare the shape of every base matrix; view shapes are
+/// inferred. The returned [`TriggerProgram`] carries the extended catalog
+/// (views + all delta block variables).
+pub fn compile(
+    program: &Program,
+    inputs: &[&str],
+    cat: &Catalog,
+    opts: &CompileOptions,
+) -> Result<TriggerProgram> {
+    let mut catalog = cat.clone();
+    program.infer_dims(&mut catalog)?;
+
+    let mut triggers = Vec::with_capacity(inputs.len());
+    for input in inputs {
+        triggers.push(compile_trigger(program, input, &mut catalog, opts)?);
+    }
+    Ok(TriggerProgram { triggers, catalog })
+}
+
+/// Compiles `program` into a **single** trigger handling *simultaneous*
+/// updates to all of `inputs` (§4.4 / Example 4.5: the multi-matrix delta
+/// rule `Δ_D(E) = Δ_A(E) + Δ_{D∖{A}}(E + Δ_A(E))` falls out of the product
+/// rule, which is exact for simultaneous updates).
+///
+/// This differs from [`compile`] — which emits one trigger per input, to be
+/// fired one update at a time — in that one firing folds a whole
+/// multi-input change (e.g. the gradient-descent pattern where `ΔX`
+/// perturbs both `A = I − XᵀX` and `B = XᵀY`) into every view at once.
+pub fn compile_joint(
+    program: &Program,
+    inputs: &[&str],
+    cat: &Catalog,
+    opts: &CompileOptions,
+) -> Result<JointTrigger> {
+    let mut catalog = cat.clone();
+    program.infer_dims(&mut catalog)?;
+
+    let mut deltas = DeltaMap::new();
+    let mut updates = Vec::new();
+    for input in inputs {
+        let (du, dv) = delta::declare_input_delta(&mut catalog, input, opts.update_rank)?;
+        deltas.insert(input.to_string(), (du.clone(), dv.clone()));
+        updates.push(TriggerStmt::ApplyDelta {
+            target: input.to_string(),
+            u: du,
+            v: dv,
+        });
+    }
+
+    let mut compute = Vec::new();
+    for stmt in program.statements() {
+        let target = &stmt.target;
+        let (u_name, v_name) = (format!("U_{target}"), format!("V_{target}"));
+        let produced = if let Expr::Inverse(inner) = &stmt.expr {
+            compile_inverse_stmt(
+                target, inner, &mut catalog, &deltas, opts, &mut compute, &u_name, &v_name,
+            )?
+        } else {
+            compile_plain_stmt(
+                target,
+                &stmt.expr,
+                &mut catalog,
+                &deltas,
+                opts,
+                &mut compute,
+                &u_name,
+                &v_name,
+            )?
+        };
+        if produced {
+            deltas.insert(target.clone(), (Expr::var(&u_name), Expr::var(&v_name)));
+            updates.push(TriggerStmt::ApplyDelta {
+                target: target.clone(),
+                u: Expr::var(&u_name),
+                v: Expr::var(&v_name),
+            });
+        }
+    }
+
+    let mut stmts = compute;
+    stmts.extend(updates);
+    Ok(JointTrigger {
+        inputs: inputs.iter().map(|s| s.to_string()).collect(),
+        update_rank: opts.update_rank,
+        trigger: Trigger {
+            input: inputs.join("+"),
+            update_rank: opts.update_rank,
+            stmts,
+        },
+        catalog,
+    })
+}
+
+/// A single trigger maintaining all views under *simultaneous* factored
+/// updates to several inputs (the §4.4 multi-update extension).
+#[derive(Debug, Clone)]
+pub struct JointTrigger {
+    /// The dynamic inputs, in declaration order; one `(dU_X, dV_X)` pair is
+    /// bound per input at firing time.
+    pub inputs: Vec<String>,
+    /// Rank of each incoming update.
+    pub update_rank: usize,
+    /// The trigger body (compute phase, then all `+=` updates).
+    pub trigger: Trigger,
+    /// Catalog covering bases, views, and delta blocks.
+    pub catalog: Catalog,
+}
+
+impl std::fmt::Display for JointTrigger {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let pairs: Vec<String> = self
+            .inputs
+            .iter()
+            .map(|i| format!("(dU_{i}, dV_{i})"))
+            .collect();
+        writeln!(
+            f,
+            "ON UPDATE {} BY {}:",
+            self.inputs.join(", "),
+            pairs.join(", ")
+        )?;
+        for s in &self.trigger.stmts {
+            writeln!(f, "  {s}")?;
+        }
+        Ok(())
+    }
+}
+
+fn compile_trigger(
+    program: &Program,
+    input: &str,
+    catalog: &mut Catalog,
+    opts: &CompileOptions,
+) -> Result<Trigger> {
+    // D ← list(⟨X, u, v⟩)
+    let (du, dv) = delta::declare_input_delta(catalog, input, opts.update_rank)?;
+    let mut deltas = DeltaMap::new();
+    deltas.insert(input.to_string(), (du.clone(), dv.clone()));
+
+    let mut compute = Vec::new();
+    // Update statements: the input first (paper's Example 4.6 order), then
+    // each affected view in program order.
+    let mut updates = vec![TriggerStmt::ApplyDelta {
+        target: input.to_string(),
+        u: du,
+        v: dv,
+    }];
+
+    for stmt in program.statements() {
+        let target = &stmt.target;
+        // ⟨Pi, Qi⟩ ← ComputeDelta(Ei, D)
+        let (u_name, v_name) = (format!("U_{target}"), format!("V_{target}"));
+        let produced = if let Expr::Inverse(inner) = &stmt.expr {
+            compile_inverse_stmt(
+                target,
+                inner,
+                catalog,
+                &deltas,
+                opts,
+                &mut compute,
+                &u_name,
+                &v_name,
+            )?
+        } else {
+            compile_plain_stmt(
+                target,
+                &stmt.expr,
+                catalog,
+                &deltas,
+                opts,
+                &mut compute,
+                &u_name,
+                &v_name,
+            )?
+        };
+        if produced {
+            // D ← D.append(⟨Ai, Pi, Qi⟩)
+            deltas.insert(target.clone(), (Expr::var(&u_name), Expr::var(&v_name)));
+            updates.push(TriggerStmt::ApplyDelta {
+                target: target.clone(),
+                u: Expr::var(&u_name),
+                v: Expr::var(&v_name),
+            });
+        }
+    }
+
+    let mut stmts = compute;
+    stmts.extend(updates);
+    Ok(Trigger {
+        input: input.to_string(),
+        update_rank: opts.update_rank,
+        stmts,
+    })
+}
+
+/// Handles `target := expr` for non-inverse right-hand sides. Returns true
+/// when the statement is affected by the update (a delta was emitted).
+#[allow(clippy::too_many_arguments)]
+fn compile_plain_stmt(
+    _target: &str,
+    expr: &Expr,
+    catalog: &mut Catalog,
+    deltas: &DeltaMap,
+    opts: &CompileOptions,
+    compute: &mut Vec<TriggerStmt>,
+    u_name: &str,
+    v_name: &str,
+) -> Result<bool> {
+    match delta::derive(expr, catalog, deltas, &opts.delta)? {
+        Delta::Zero => Ok(false),
+        Delta::Factored { u, v } => {
+            let u = simplify::simplify(&u, catalog)?;
+            let v = simplify::simplify(&v, catalog)?;
+            let du = u.dim(catalog)?;
+            let dv = v.dim(catalog)?;
+            catalog.declare(u_name, du.rows, du.cols);
+            catalog.declare(v_name, dv.rows, dv.cols);
+            compute.push(TriggerStmt::Assign {
+                var: u_name.to_string(),
+                expr: u,
+            });
+            compute.push(TriggerStmt::Assign {
+                var: v_name.to_string(),
+                expr: v,
+            });
+            Ok(true)
+        }
+    }
+}
+
+/// Handles `target := inner⁻¹` via the Sherman–Morrison primitive.
+#[allow(clippy::too_many_arguments)]
+fn compile_inverse_stmt(
+    target: &str,
+    inner: &Expr,
+    catalog: &mut Catalog,
+    deltas: &DeltaMap,
+    opts: &CompileOptions,
+    compute: &mut Vec<TriggerStmt>,
+    u_name: &str,
+    v_name: &str,
+) -> Result<bool> {
+    match delta::derive(inner, catalog, deltas, &opts.delta)? {
+        Delta::Zero => Ok(false),
+        Delta::Factored { u: p, v: q } => {
+            let p = simplify::simplify(&p, catalog)?;
+            let q = simplify::simplify(&q, catalog)?;
+            // Materialize P/Q once so the S-M loop reads plain variables.
+            let (p_name, q_name) = (format!("P_{target}"), format!("Q_{target}"));
+            let dp = p.dim(catalog)?;
+            let dq = q.dim(catalog)?;
+            catalog.declare(&p_name, dp.rows, dp.cols);
+            catalog.declare(&q_name, dq.rows, dq.cols);
+            compute.push(TriggerStmt::Assign {
+                var: p_name.clone(),
+                expr: p,
+            });
+            compute.push(TriggerStmt::Assign {
+                var: q_name.clone(),
+                expr: q,
+            });
+            // ΔW has the same rank as the inner delta: one rank-1 output
+            // pair per S-M application (§4.1: "Note that Δ(E⁻¹) is also a
+            // rank-1 matrix" per step).
+            let n = catalog.get(target)?.rows;
+            catalog.declare(u_name, n, dp.cols);
+            catalog.declare(v_name, n, dp.cols);
+            compute.push(TriggerStmt::ShermanMorrison {
+                inv_var: target.to_string(),
+                p: Expr::var(p_name),
+                q: Expr::var(q_name),
+                out_u: u_name.to_string(),
+                out_v: v_name.to_string(),
+            });
+            Ok(true)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn powers_program() -> (Program, Catalog) {
+        let mut cat = Catalog::new();
+        cat.declare("A", 8, 8);
+        let mut p = Program::new();
+        p.assign("B", Expr::var("A") * Expr::var("A"));
+        p.assign("C", Expr::var("B") * Expr::var("B"));
+        (p, cat)
+    }
+
+    #[test]
+    fn compiles_example_4_6_structure() {
+        let (p, cat) = powers_program();
+        let tp = compile(&p, &["A"], &cat, &CompileOptions::default()).unwrap();
+        assert_eq!(tp.triggers.len(), 1);
+        let t = &tp.triggers[0];
+        // Compute phase: U_B, V_B, U_C, V_C.
+        let assigns: Vec<_> = t.compute_phase().collect();
+        assert_eq!(assigns.len(), 4);
+        // Update phase: A, B, C in order.
+        assert_eq!(t.maintained_views(), vec!["A", "B", "C"]);
+        // Rank growth 1 -> 2 -> 4 (§4.3).
+        assert_eq!(tp.catalog.get("U_B").unwrap().cols, 2);
+        assert_eq!(tp.catalog.get("U_C").unwrap().cols, 4);
+    }
+
+    #[test]
+    fn generated_trigger_text_matches_paper_shape() {
+        let (p, cat) = powers_program();
+        let tp = compile(&p, &["A"], &cat, &CompileOptions::default()).unwrap();
+        let text = tp.to_string();
+        assert!(text.contains("ON UPDATE A BY (dU_A, dV_A):"));
+        assert!(text.contains("U_B := [ dU_A | A dU_A + dU_A (dV_A' dU_A) ];"));
+        assert!(text.contains("V_B := [ A' dV_A | dV_A ];"));
+        assert!(text.contains("A += dU_A dV_A';"));
+        assert!(text.contains("C += U_C V_C';"));
+    }
+
+    #[test]
+    fn statements_untouched_by_update_are_skipped() {
+        let mut cat = Catalog::new();
+        cat.declare("A", 4, 4);
+        cat.declare("M", 4, 4);
+        let mut p = Program::new();
+        p.assign("B", Expr::var("A") * Expr::var("A"));
+        p.assign("N", Expr::var("M") * Expr::var("M")); // static
+        let tp = compile(&p, &["A"], &cat, &CompileOptions::default()).unwrap();
+        let t = &tp.triggers[0];
+        assert_eq!(t.maintained_views(), vec!["A", "B"]);
+    }
+
+    #[test]
+    fn one_trigger_per_input() {
+        let mut cat = Catalog::new();
+        cat.declare("A", 4, 4);
+        cat.declare("B", 4, 4);
+        let mut p = Program::new();
+        p.assign("C", Expr::var("A") * Expr::var("B"));
+        let tp = compile(&p, &["A", "B"], &cat, &CompileOptions::default()).unwrap();
+        assert_eq!(tp.triggers.len(), 2);
+        assert!(tp.trigger_for("A").is_some());
+        assert!(tp.trigger_for("B").is_some());
+        assert!(tp.trigger_for("C").is_none());
+    }
+
+    #[test]
+    fn joint_compilation_covers_example_4_5() {
+        // Δ_{A,B}(A·B) = (ΔA)B + A(ΔB) + (ΔA)(ΔB) — a single trigger with
+        // both input deltas bound, block rank 2 (factored).
+        let mut cat = Catalog::new();
+        cat.declare("A", 8, 8);
+        cat.declare("B", 8, 8);
+        let mut p = Program::new();
+        p.assign("C", Expr::var("A") * Expr::var("B"));
+        let joint = compile_joint(&p, &["A", "B"], &cat, &CompileOptions::default()).unwrap();
+        assert_eq!(joint.inputs, vec!["A", "B"]);
+        let text = joint.to_string();
+        assert!(text.starts_with("ON UPDATE A, B BY (dU_A, dV_A), (dU_B, dV_B):"));
+        // Both input views and C are updated.
+        assert_eq!(joint.trigger.maintained_views(), vec!["A", "B", "C"]);
+        // The §4.3-factored multi-update delta has rank 2: the dU_A block
+        // absorbs both the (ΔA)B and (ΔA)(ΔB) monomials.
+        assert_eq!(joint.catalog.get("U_C").unwrap().cols, 2);
+        assert!(text.contains("dU_A"));
+        assert!(text.contains("dU_B"));
+    }
+
+    #[test]
+    fn joint_compilation_skips_unaffected_statements() {
+        let mut cat = Catalog::new();
+        cat.declare("A", 4, 4);
+        cat.declare("B", 4, 4);
+        cat.declare("M", 4, 4);
+        let mut p = Program::new();
+        p.assign("C", Expr::var("A") * Expr::var("B"));
+        p.assign("N", Expr::var("M") * Expr::var("M")); // static
+        let joint = compile_joint(&p, &["A", "B"], &cat, &CompileOptions::default()).unwrap();
+        assert!(!joint.trigger.maintained_views().contains(&"N"));
+    }
+
+    #[test]
+    fn inverse_statement_uses_sherman_morrison() {
+        let mut cat = Catalog::new();
+        cat.declare("X", 8, 4);
+        let mut p = Program::new();
+        p.assign("Z", Expr::var("X").t() * Expr::var("X"));
+        p.assign("W", Expr::var("Z").inv());
+        let tp = compile(&p, &["X"], &cat, &CompileOptions::default()).unwrap();
+        let t = &tp.triggers[0];
+        let sm: Vec<_> = t
+            .stmts
+            .iter()
+            .filter(|s| matches!(s, TriggerStmt::ShermanMorrison { .. }))
+            .collect();
+        assert_eq!(sm.len(), 1);
+        // W is still updated via ApplyDelta from the S-M output blocks.
+        assert!(t.maintained_views().contains(&"W"));
+        // ΔZ for rank-1 ΔX has rank 2, so the S-M output blocks are n×2.
+        assert_eq!(tp.catalog.get("U_W").unwrap().cols, 2);
+    }
+
+    #[test]
+    fn rank_k_updates_scale_block_widths() {
+        let (p, cat) = powers_program();
+        let opts = CompileOptions {
+            update_rank: 3,
+            ..Default::default()
+        };
+        let tp = compile(&p, &["A"], &cat, &opts).unwrap();
+        assert_eq!(tp.catalog.get("dU_A").unwrap().cols, 3);
+        assert_eq!(tp.catalog.get("U_B").unwrap().cols, 6);
+        assert_eq!(tp.catalog.get("U_C").unwrap().cols, 12);
+    }
+
+    #[test]
+    fn unfactored_compilation_triples_ranks() {
+        let (p, cat) = powers_program();
+        let opts = CompileOptions {
+            update_rank: 1,
+            delta: DeltaOptions {
+                factor_common: false,
+            },
+        };
+        let tp = compile(&p, &["A"], &cat, &opts).unwrap();
+        assert_eq!(tp.catalog.get("U_B").unwrap().cols, 3);
+        assert_eq!(tp.catalog.get("U_C").unwrap().cols, 9);
+    }
+}

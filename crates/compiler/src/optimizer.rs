@@ -1,0 +1,357 @@
+//! Trigger optimizer: copy propagation, common subexpression elimination,
+//! and dead-code elimination (§6: "The optimizer analyzes intra- and
+//! inter-statement dependencies … and performs transformations, like common
+//! subexpression elimination and copy propagation, to reduce the overall
+//! maintenance cost").
+
+use linview_expr::{Catalog, Expr};
+use std::collections::{HashMap, HashSet};
+
+use crate::{Result, Trigger, TriggerProgram, TriggerStmt};
+
+/// Which optimizer passes to run.
+#[derive(Debug, Clone, Copy)]
+pub struct OptimizerOptions {
+    /// Replace `x := y; … x …` with direct uses of `y`.
+    pub copy_propagation: bool,
+    /// Hoist repeated non-trivial subexpressions into shared temporaries.
+    pub cse: bool,
+    /// Drop assignments whose result is never read.
+    pub dead_code_elimination: bool,
+}
+
+impl Default for OptimizerOptions {
+    fn default() -> Self {
+        OptimizerOptions {
+            copy_propagation: true,
+            cse: true,
+            dead_code_elimination: true,
+        }
+    }
+}
+
+/// Optimizes every trigger of the program in place.
+pub fn optimize(tp: &mut TriggerProgram, opts: &OptimizerOptions) -> Result<()> {
+    let mut counter = 0usize;
+    for t in &mut tp.triggers {
+        if opts.copy_propagation {
+            copy_propagation(t);
+        }
+        if opts.cse {
+            cse(t, &mut tp.catalog, &mut counter)?;
+        }
+        if opts.dead_code_elimination {
+            dead_code_elimination(t);
+        }
+    }
+    Ok(())
+}
+
+/// Substitutes variable copies (`x := y`) into later statements and removes
+/// the copy assignment.
+fn copy_propagation(t: &mut Trigger) {
+    loop {
+        let mut found: Option<(usize, String, Expr)> = None;
+        for (i, s) in t.stmts.iter().enumerate() {
+            if let TriggerStmt::Assign { var, expr } = s {
+                if matches!(expr, Expr::Var(_)) {
+                    found = Some((i, var.clone(), expr.clone()));
+                    break;
+                }
+            }
+        }
+        let Some((idx, var, replacement)) = found else {
+            return;
+        };
+        t.stmts.remove(idx);
+        for s in t.stmts.iter_mut().skip(idx) {
+            substitute_in_stmt(s, &var, &replacement);
+        }
+    }
+}
+
+fn substitute_in_stmt(s: &mut TriggerStmt, name: &str, replacement: &Expr) {
+    match s {
+        TriggerStmt::Assign { expr, .. } => *expr = expr.substitute(name, replacement),
+        TriggerStmt::ShermanMorrison { p, q, .. } => {
+            *p = p.substitute(name, replacement);
+            *q = q.substitute(name, replacement);
+        }
+        TriggerStmt::ApplyDelta { u, v, .. } => {
+            *u = u.substitute(name, replacement);
+            *v = v.substitute(name, replacement);
+        }
+    }
+}
+
+/// Expressions smaller than this many nodes are never hoisted.
+const CSE_MIN_NODES: usize = 3;
+
+/// Hoists repeated subexpressions into `_t{i}` temporaries, largest first.
+fn cse(t: &mut Trigger, cat: &mut Catalog, counter: &mut usize) -> Result<()> {
+    loop {
+        // Count all subexpressions across read positions.
+        let mut counts: HashMap<Expr, usize> = HashMap::new();
+        for s in &t.stmts {
+            for e in stmt_read_exprs(s) {
+                e.visit(&mut |sub| {
+                    if sub.node_count() >= CSE_MIN_NODES && worth_hoisting(sub) {
+                        *counts.entry(sub.clone()).or_insert(0) += 1;
+                    }
+                });
+            }
+        }
+        // Pick the largest expression that occurs at least twice.
+        let Some(best) = counts
+            .into_iter()
+            .filter(|(_, c)| *c >= 2)
+            .map(|(e, _)| e)
+            .max_by_key(Expr::node_count)
+        else {
+            return Ok(());
+        };
+        let name = format!("_t{counter}");
+        *counter += 1;
+        let d = best.dim(cat)?;
+        cat.declare(&name, d.rows, d.cols);
+        // Replace everywhere, then insert the temporary before the first
+        // statement that uses it.
+        let mut first_use = t.stmts.len();
+        for (i, s) in t.stmts.iter_mut().enumerate() {
+            let before = format!("{s}");
+            replace_in_stmt(s, &best, &Expr::var(&name));
+            if format!("{s}") != before && i < first_use {
+                first_use = i;
+            }
+        }
+        t.stmts.insert(
+            first_use,
+            TriggerStmt::Assign {
+                var: name,
+                expr: best,
+            },
+        );
+    }
+}
+
+/// Only hoist expressions that actually cost something to recompute.
+fn worth_hoisting(e: &Expr) -> bool {
+    matches!(e, Expr::Mul(_, _) | Expr::Add(_, _) | Expr::Sub(_, _))
+}
+
+fn stmt_read_exprs(s: &TriggerStmt) -> Vec<&Expr> {
+    match s {
+        TriggerStmt::Assign { expr, .. } => vec![expr],
+        TriggerStmt::ShermanMorrison { p, q, .. } => vec![p, q],
+        TriggerStmt::ApplyDelta { u, v, .. } => vec![u, v],
+    }
+}
+
+fn replace_in_stmt(s: &mut TriggerStmt, pat: &Expr, rep: &Expr) {
+    match s {
+        TriggerStmt::Assign { expr, .. } => *expr = replace_subexpr(expr, pat, rep),
+        TriggerStmt::ShermanMorrison { p, q, .. } => {
+            *p = replace_subexpr(p, pat, rep);
+            *q = replace_subexpr(q, pat, rep);
+        }
+        TriggerStmt::ApplyDelta { u, v, .. } => {
+            *u = replace_subexpr(u, pat, rep);
+            *v = replace_subexpr(v, pat, rep);
+        }
+    }
+}
+
+/// Structural replacement of every occurrence of `pat` inside `e`.
+fn replace_subexpr(e: &Expr, pat: &Expr, rep: &Expr) -> Expr {
+    if e == pat {
+        return rep.clone();
+    }
+    match e {
+        Expr::Var(_) | Expr::Identity(_) | Expr::Zero(_, _) => e.clone(),
+        Expr::Add(a, b) => Expr::Add(
+            Box::new(replace_subexpr(a, pat, rep)),
+            Box::new(replace_subexpr(b, pat, rep)),
+        ),
+        Expr::Sub(a, b) => Expr::Sub(
+            Box::new(replace_subexpr(a, pat, rep)),
+            Box::new(replace_subexpr(b, pat, rep)),
+        ),
+        Expr::Mul(a, b) => Expr::Mul(
+            Box::new(replace_subexpr(a, pat, rep)),
+            Box::new(replace_subexpr(b, pat, rep)),
+        ),
+        Expr::Scale(s, inner) => Expr::Scale(*s, Box::new(replace_subexpr(inner, pat, rep))),
+        Expr::Transpose(inner) => Expr::Transpose(Box::new(replace_subexpr(inner, pat, rep))),
+        Expr::Inverse(inner) => Expr::Inverse(Box::new(replace_subexpr(inner, pat, rep))),
+        Expr::HStack(parts) => {
+            Expr::HStack(parts.iter().map(|p| replace_subexpr(p, pat, rep)).collect())
+        }
+    }
+}
+
+/// Removes assignments whose variable is never read afterwards.
+fn dead_code_elimination(t: &mut Trigger) {
+    loop {
+        let mut used: HashSet<String> = HashSet::new();
+        for s in &t.stmts {
+            for e in stmt_read_exprs(s) {
+                for v in e.variables() {
+                    used.insert(v);
+                }
+            }
+            if let TriggerStmt::ShermanMorrison { inv_var, .. } = s {
+                used.insert(inv_var.clone());
+            }
+        }
+        let before = t.stmts.len();
+        t.stmts.retain(|s| match s {
+            TriggerStmt::Assign { var, .. } => used.contains(var),
+            _ => true,
+        });
+        if t.stmts.len() == before {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{compile, CompileOptions, Program};
+    use linview_expr::cost::CostModel;
+
+    fn trigger(stmts: Vec<TriggerStmt>) -> Trigger {
+        Trigger {
+            input: "A".into(),
+            update_rank: 1,
+            stmts,
+        }
+    }
+
+    #[test]
+    fn copy_propagation_removes_aliases() {
+        let mut t = trigger(vec![
+            TriggerStmt::Assign {
+                var: "x".into(),
+                expr: Expr::var("dU_A"),
+            },
+            TriggerStmt::Assign {
+                var: "y".into(),
+                expr: Expr::var("x") * Expr::var("B"),
+            },
+            TriggerStmt::ApplyDelta {
+                target: "B".into(),
+                u: Expr::var("y"),
+                v: Expr::var("x"),
+            },
+        ]);
+        copy_propagation(&mut t);
+        assert_eq!(t.stmts.len(), 2);
+        assert_eq!(
+            t.stmts[0],
+            TriggerStmt::Assign {
+                var: "y".into(),
+                expr: Expr::var("dU_A") * Expr::var("B"),
+            }
+        );
+    }
+
+    #[test]
+    fn cse_hoists_repeated_products() {
+        let mut cat = Catalog::new();
+        cat.declare("A", 8, 8);
+        cat.declare("u", 8, 1);
+        let shared = Expr::var("A") * Expr::var("u"); // node_count 3
+        let mut t = trigger(vec![
+            TriggerStmt::Assign {
+                var: "x".into(),
+                expr: shared.clone() + Expr::var("u"),
+            },
+            TriggerStmt::Assign {
+                var: "y".into(),
+                expr: shared.clone(),
+            },
+        ]);
+        let mut counter = 0;
+        cse(&mut t, &mut cat, &mut counter).unwrap();
+        assert_eq!(t.stmts.len(), 3);
+        let TriggerStmt::Assign { var, expr } = &t.stmts[0] else {
+            panic!()
+        };
+        assert_eq!(var, "_t0");
+        assert_eq!(expr, &shared);
+        assert!(cat.contains("_t0"));
+        assert_eq!(cat.get("_t0").unwrap().as_pair(), (8, 1));
+    }
+
+    #[test]
+    fn dce_drops_unused_assignments() {
+        let mut t = trigger(vec![
+            TriggerStmt::Assign {
+                var: "unused".into(),
+                expr: Expr::var("A") * Expr::var("A"),
+            },
+            TriggerStmt::Assign {
+                var: "used".into(),
+                expr: Expr::var("A"),
+            },
+            TriggerStmt::ApplyDelta {
+                target: "B".into(),
+                u: Expr::var("used"),
+                v: Expr::var("used"),
+            },
+        ]);
+        dead_code_elimination(&mut t);
+        assert_eq!(t.stmts.len(), 2);
+    }
+
+    #[test]
+    fn dce_cascades_through_chains() {
+        // a feeds b, b feeds nothing: both must go.
+        let mut t = trigger(vec![
+            TriggerStmt::Assign {
+                var: "a".into(),
+                expr: Expr::var("X"),
+            },
+            TriggerStmt::Assign {
+                var: "b".into(),
+                expr: Expr::var("a") * Expr::var("a"),
+            },
+            TriggerStmt::ApplyDelta {
+                target: "V".into(),
+                u: Expr::var("dU_A"),
+                v: Expr::var("dV_A"),
+            },
+        ]);
+        dead_code_elimination(&mut t);
+        assert_eq!(t.stmts.len(), 1);
+    }
+
+    #[test]
+    fn optimize_never_increases_model_cost() {
+        let mut cat = Catalog::new();
+        cat.declare("A", 16, 16);
+        let mut p = Program::new();
+        p.assign("B", Expr::var("A") * Expr::var("A"));
+        p.assign("C", Expr::var("B") * Expr::var("B"));
+        p.assign("D", Expr::var("C") * Expr::var("C"));
+        let tp0 = compile(&p, &["A"], &cat, &CompileOptions::default()).unwrap();
+        let mut tp1 = tp0.clone();
+        optimize(&mut tp1, &OptimizerOptions::default()).unwrap();
+        let model = CostModel::cubic();
+        let c0 = tp0.cost(&model).unwrap();
+        let c1 = tp1.cost(&model).unwrap();
+        assert!(c1 <= c0 * 1.001, "optimized {c1} > original {c0}");
+    }
+
+    #[test]
+    fn optimize_preserves_update_phase() {
+        let mut cat = Catalog::new();
+        cat.declare("A", 8, 8);
+        let mut p = Program::new();
+        p.assign("B", Expr::var("A") * Expr::var("A"));
+        let mut tp = compile(&p, &["A"], &cat, &CompileOptions::default()).unwrap();
+        optimize(&mut tp, &OptimizerOptions::default()).unwrap();
+        assert_eq!(tp.triggers[0].maintained_views(), vec!["A", "B"]);
+    }
+}

@@ -1,0 +1,449 @@
+//! APL-style textual frontend (§6: "We have built an APL-style frontend
+//! where users can provide their programs and annotate dynamic matrices").
+//!
+//! Grammar (statements end with `;`):
+//!
+//! ```text
+//! program := stmt*
+//! stmt    := IDENT ":=" expr ";"
+//! expr    := term (("+" | "-") term)*
+//! term    := factor ("*" factor)*
+//! factor  := primary ("'")*              -- postfix transpose
+//! primary := IDENT | NUMBER | "inv" "(" expr ")" | "I" "(" INT ")"
+//!          | "zeros" "(" INT "," INT ")" | "(" expr ")"
+//! ```
+//!
+//! Numbers act as scalar multipliers: `0.5 * A * B` parses to
+//! `Scale(0.5, A·B)`.
+//!
+//! ```
+//! use linview_compiler::parse::parse_program;
+//! let p = parse_program("B := A * A; C := B * B;").unwrap();
+//! assert_eq!(p.len(), 2);
+//! ```
+
+use linview_expr::Expr;
+use std::fmt;
+
+use crate::Program;
+
+/// A parse failure with byte offset into the source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte position of the offending token.
+    pub position: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Number(f64),
+    Assign, // :=
+    Plus,
+    Minus,
+    Star,
+    Tick,    // '
+    InvMark, // ^-1 (postfix inverse, as printed by the pretty printer)
+    LParen,
+    RParen,
+    Comma,
+    Semi,
+}
+
+fn tokenize(src: &str) -> Result<Vec<(usize, Tok)>, ParseError> {
+    let bytes = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '%' | '#' => {
+                // Comment to end of line.
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '+' => {
+                toks.push((i, Tok::Plus));
+                i += 1;
+            }
+            '-' => {
+                toks.push((i, Tok::Minus));
+                i += 1;
+            }
+            '*' => {
+                toks.push((i, Tok::Star));
+                i += 1;
+            }
+            '\'' => {
+                toks.push((i, Tok::Tick));
+                i += 1;
+            }
+            '^' => {
+                if src[i..].starts_with("^-1") {
+                    toks.push((i, Tok::InvMark));
+                    i += 3;
+                } else {
+                    return Err(ParseError {
+                        position: i,
+                        message: "expected '^-1'".into(),
+                    });
+                }
+            }
+            '(' => {
+                toks.push((i, Tok::LParen));
+                i += 1;
+            }
+            ')' => {
+                toks.push((i, Tok::RParen));
+                i += 1;
+            }
+            ',' => {
+                toks.push((i, Tok::Comma));
+                i += 1;
+            }
+            ';' => {
+                toks.push((i, Tok::Semi));
+                i += 1;
+            }
+            ':' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    toks.push((i, Tok::Assign));
+                    i += 2;
+                } else {
+                    return Err(ParseError {
+                        position: i,
+                        message: "expected ':='".into(),
+                    });
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                toks.push((start, Tok::Ident(src[start..i].to_string())));
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_digit()
+                        || bytes[i] == b'.'
+                        || bytes[i] == b'e'
+                        || bytes[i] == b'E'
+                        || (bytes[i] == b'-'
+                            && i > start
+                            && (bytes[i - 1] == b'e' || bytes[i - 1] == b'E')))
+                {
+                    i += 1;
+                }
+                let text = &src[start..i];
+                let value = text.parse::<f64>().map_err(|_| ParseError {
+                    position: start,
+                    message: format!("bad number literal '{text}'"),
+                })?;
+                toks.push((start, Tok::Number(value)));
+            }
+            other => {
+                return Err(ParseError {
+                    position: i,
+                    message: format!("unexpected character '{other}'"),
+                })
+            }
+        }
+    }
+    Ok(toks)
+}
+
+struct Parser {
+    toks: Vec<(usize, Tok)>,
+    pos: usize,
+}
+
+/// A parsed multiplicative factor: either a scalar literal or a matrix.
+enum Factor {
+    Scalar(f64),
+    Mat(Expr),
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|(_, t)| t)
+    }
+
+    fn here(&self) -> usize {
+        self.toks
+            .get(self.pos)
+            .map(|(p, _)| *p)
+            .unwrap_or_else(|| self.toks.last().map(|(p, _)| p + 1).unwrap_or(0))
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|(_, t)| t.clone());
+        self.pos += 1;
+        t
+    }
+
+    fn expect(&mut self, want: &Tok, what: &str) -> Result<(), ParseError> {
+        if self.peek() == Some(want) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(ParseError {
+                position: self.here(),
+                message: format!("expected {what}"),
+            })
+        }
+    }
+
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError {
+            position: self.here(),
+            message: message.into(),
+        })
+    }
+
+    fn program(&mut self) -> Result<Program, ParseError> {
+        let mut prog = Program::new();
+        while self.peek().is_some() {
+            let Some(Tok::Ident(name)) = self.bump() else {
+                return self.err("expected statement target identifier");
+            };
+            self.expect(&Tok::Assign, "':='")?;
+            let e = self.expr()?;
+            self.expect(&Tok::Semi, "';'")?;
+            prog.assign(name, e);
+        }
+        Ok(prog)
+    }
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.term()?;
+        loop {
+            match self.peek() {
+                Some(Tok::Plus) => {
+                    self.pos += 1;
+                    lhs = lhs + self.term()?;
+                }
+                Some(Tok::Minus) => {
+                    self.pos += 1;
+                    lhs = lhs - self.term()?;
+                }
+                _ => return Ok(lhs),
+            }
+        }
+    }
+
+    fn term(&mut self) -> Result<Expr, ParseError> {
+        let mut scalar = 1.0f64;
+        let mut mat: Option<Expr> = None;
+        loop {
+            match self.factor()? {
+                Factor::Scalar(s) => scalar *= s,
+                Factor::Mat(m) => {
+                    mat = Some(match mat {
+                        None => m,
+                        Some(acc) => acc * m,
+                    })
+                }
+            }
+            // `*` is optional: juxtaposition (`A B`, the paper's trigger
+            // listing syntax) also denotes a product, so the pretty
+            // printer's output parses back.
+            match self.peek() {
+                Some(Tok::Star) => self.pos += 1,
+                Some(Tok::Ident(_)) | Some(Tok::Number(_)) | Some(Tok::LParen) => {}
+                _ => break,
+            }
+        }
+        match mat {
+            Some(m) if scalar == 1.0 => Ok(m),
+            Some(m) => Ok(m.scale(scalar)),
+            None => self.err("term with no matrix factor (pure scalar expression)"),
+        }
+    }
+
+    fn factor(&mut self) -> Result<Factor, ParseError> {
+        let mut f = self.primary()?;
+        loop {
+            match self.peek() {
+                Some(Tok::Tick) => {
+                    self.pos += 1;
+                    f = match f {
+                        Factor::Mat(m) => Factor::Mat(m.t()),
+                        Factor::Scalar(_) => return self.err("transpose of a scalar"),
+                    };
+                }
+                Some(Tok::InvMark) => {
+                    self.pos += 1;
+                    f = match f {
+                        Factor::Mat(m) => Factor::Mat(m.inv()),
+                        Factor::Scalar(_) => return self.err("inverse of a scalar literal"),
+                    };
+                }
+                _ => return Ok(f),
+            }
+        }
+    }
+
+    fn primary(&mut self) -> Result<Factor, ParseError> {
+        match self.bump() {
+            Some(Tok::Number(v)) => Ok(Factor::Scalar(v)),
+            Some(Tok::LParen) => {
+                let e = self.expr()?;
+                self.expect(&Tok::RParen, "')'")?;
+                Ok(Factor::Mat(e))
+            }
+            Some(Tok::Ident(name)) => match name.as_str() {
+                "inv" => {
+                    self.expect(&Tok::LParen, "'(' after inv")?;
+                    let e = self.expr()?;
+                    self.expect(&Tok::RParen, "')'")?;
+                    Ok(Factor::Mat(e.inv()))
+                }
+                "I" if self.peek() == Some(&Tok::LParen) => {
+                    self.pos += 1;
+                    let n = self.int_literal()?;
+                    self.expect(&Tok::RParen, "')'")?;
+                    Ok(Factor::Mat(Expr::identity(n)))
+                }
+                "zeros" if self.peek() == Some(&Tok::LParen) => {
+                    self.pos += 1;
+                    let r = self.int_literal()?;
+                    self.expect(&Tok::Comma, "','")?;
+                    let c = self.int_literal()?;
+                    self.expect(&Tok::RParen, "')'")?;
+                    Ok(Factor::Mat(Expr::zero(r, c)))
+                }
+                _ => Ok(Factor::Mat(Expr::var(name))),
+            },
+            _ => self.err("expected a primary expression"),
+        }
+    }
+
+    fn int_literal(&mut self) -> Result<usize, ParseError> {
+        match self.bump() {
+            Some(Tok::Number(v)) if v.fract() == 0.0 && v >= 0.0 => Ok(v as usize),
+            _ => self.err("expected a non-negative integer literal"),
+        }
+    }
+}
+
+/// Parses a textual program into a [`Program`].
+pub fn parse_program(src: &str) -> Result<Program, ParseError> {
+    let toks = tokenize(src)?;
+    let mut p = Parser { toks, pos: 0 };
+    p.program()
+}
+
+/// Parses a single expression (convenience for tests and the REPL-style
+/// examples).
+pub fn parse_expr(src: &str) -> Result<Expr, ParseError> {
+    let toks = tokenize(src)?;
+    let mut p = Parser { toks, pos: 0 };
+    let e = p.expr()?;
+    if p.peek().is_some() {
+        return p.err("trailing input after expression");
+    }
+    Ok(e)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_example_1_1() {
+        let p = parse_program("B := A * A;\nC := B * B;").unwrap();
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.statements()[0].to_string(), "B := A A;");
+        assert_eq!(p.statements()[1].target, "C");
+    }
+
+    #[test]
+    fn parses_ols() {
+        let e = parse_expr("inv(X' * X) * X' * Y").unwrap();
+        assert_eq!(e.to_string(), "(X' X)^-1 X' Y");
+    }
+
+    #[test]
+    fn parses_scalars_and_precedence() {
+        let e = parse_expr("0.5 * A * B + C").unwrap();
+        assert_eq!(e.to_string(), "0.5 (A B) + C");
+        let e2 = parse_expr("A - B - C").unwrap();
+        // Left associative subtraction.
+        assert_eq!(e2.to_string(), "A - B - C");
+    }
+
+    #[test]
+    fn parses_identity_and_zero_literals() {
+        let e = parse_expr("I(4) + zeros(4, 4)").unwrap();
+        assert_eq!(e.to_string(), "I(4) + 0(4x4)");
+    }
+
+    #[test]
+    fn parses_parens_and_double_transpose() {
+        let e = parse_expr("(A + B)' * C''").unwrap();
+        assert_eq!(e.to_string(), "(A + B)' C''");
+    }
+
+    #[test]
+    fn comments_are_ignored() {
+        let p = parse_program("% gradient step\nT := A * T0 + B; # trailing\n").unwrap();
+        assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    fn error_reports_position() {
+        let err = parse_program("B := A ** A;").unwrap_err();
+        assert!(err.position > 0);
+        assert!(err.to_string().contains("parse error"));
+        assert!(parse_program("B = A;").is_err());
+        assert!(parse_expr("2.5 * 3").is_err());
+        assert!(parse_expr("A'").is_ok());
+        assert!(parse_expr("3'").is_err());
+    }
+
+    #[test]
+    fn juxtaposition_denotes_product() {
+        let e = parse_expr("A B C").unwrap();
+        assert_eq!(e, parse_expr("A * B * C").unwrap());
+        let p = parse_program("B := A A;").unwrap();
+        assert_eq!(p.statements()[0].to_string(), "B := A A;");
+        // Scalar juxtaposition too: "2 A" = 2·A.
+        assert_eq!(parse_expr("2 A").unwrap(), Expr::var("A").scale(2.0));
+    }
+
+    #[test]
+    fn display_output_parses_back() {
+        for src in [
+            "A * B + C'",
+            "inv(X' * X) * X' * Y",
+            "0.5 * A * (B - C)",
+            "I(4) + A * A",
+        ] {
+            let e = parse_expr(src).unwrap();
+            let round = parse_expr(&e.to_string()).unwrap();
+            assert_eq!(e, round, "round-trip failed for {src}: printed {e}");
+        }
+    }
+
+    #[test]
+    fn scientific_notation_numbers() {
+        let e = parse_expr("1e-2 * A").unwrap();
+        assert_eq!(e, Expr::var("A").scale(0.01));
+    }
+}

@@ -1,0 +1,281 @@
+//! Linear-algebra programs: ordered lists of assignment statements.
+
+use linview_expr::{Catalog, Expr, ExprError};
+
+use crate::Result;
+
+/// One program statement `target := expr` (§3: "each consisting of an
+/// expression and a variable (matrix) storing its result").
+#[derive(Debug, Clone, PartialEq)]
+pub struct Statement {
+    /// The view (matrix variable) the result is stored into.
+    pub target: String,
+    /// The defining expression.
+    pub expr: Expr,
+}
+
+impl Statement {
+    /// Creates a statement.
+    pub fn new(target: impl Into<String>, expr: Expr) -> Self {
+        Statement {
+            target: target.into(),
+            expr,
+        }
+    }
+}
+
+impl std::fmt::Display for Statement {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} := {};", self.target, self.expr)
+    }
+}
+
+/// A straight-line linear-algebra program.
+///
+/// ```
+/// use linview_compiler::Program;
+/// use linview_expr::{Catalog, Expr};
+/// let mut cat = Catalog::new();
+/// cat.declare("A", 4, 4);
+/// let mut p = Program::new();
+/// p.assign("B", Expr::var("A") * Expr::var("A"));
+/// p.assign("C", Expr::var("B") * Expr::var("B"));
+/// p.infer_dims(&mut cat).unwrap();
+/// assert_eq!(cat.get("C").unwrap().as_pair(), (4, 4));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Program {
+    statements: Vec<Statement>,
+}
+
+impl Program {
+    /// An empty program.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends `target := expr` and returns `&mut self` for chaining.
+    pub fn assign(&mut self, target: impl Into<String>, expr: Expr) -> &mut Self {
+        self.statements.push(Statement::new(target, expr));
+        self
+    }
+
+    /// The statements in program order.
+    pub fn statements(&self) -> &[Statement] {
+        &self.statements
+    }
+
+    /// Number of statements.
+    pub fn len(&self) -> usize {
+        self.statements.len()
+    }
+
+    /// True for the empty program.
+    pub fn is_empty(&self) -> bool {
+        self.statements.is_empty()
+    }
+
+    /// Type-checks the program top to bottom, declaring each statement's
+    /// target shape in the catalog as it goes.
+    ///
+    /// Reassigning a view to a different shape is rejected.
+    pub fn infer_dims(&self, cat: &mut Catalog) -> Result<()> {
+        for stmt in &self.statements {
+            let d = stmt.expr.dim(cat)?;
+            if cat.contains(&stmt.target) {
+                let existing = cat.get(&stmt.target)?;
+                if existing != d {
+                    return Err(ExprError::DimMismatch {
+                        op: "reassign",
+                        lhs: existing.as_pair(),
+                        rhs: d.as_pair(),
+                    });
+                }
+            }
+            cat.declare(&stmt.target, d.rows, d.cols);
+        }
+        Ok(())
+    }
+
+    /// Hoists every `Inverse` subexpression that depends on a dynamic matrix
+    /// into its own statement, so Algorithm 1 can maintain it with the
+    /// Sherman–Morrison primitive (§4.1, §5.1).
+    ///
+    /// `dynamic` is the set of input matrices that receive updates. A view
+    /// is *transitively dynamic* if its defining expression references a
+    /// dynamic input or another dynamic view.
+    ///
+    /// Returns the normalized program; auxiliary views are named
+    /// `_inv0, _inv1, …` ("the optimizer might define a number of auxiliary
+    /// materialized views", §6).
+    pub fn hoist_inverses(&self, dynamic: &[&str]) -> Program {
+        let mut dyn_vars: Vec<String> = dynamic.iter().map(|s| s.to_string()).collect();
+        let mut out = Program::new();
+        let mut counter = 0usize;
+        for stmt in &self.statements {
+            let mut hoisted = Vec::new();
+            let new_expr = hoist_expr(&stmt.expr, &dyn_vars, &mut hoisted, &mut counter);
+            for (name, inner) in hoisted {
+                // The hoisted inverse is dynamic by construction.
+                dyn_vars.push(name.clone());
+                out.assign(name, Expr::Inverse(Box::new(inner)));
+            }
+            if new_expr.references_any(dyn_vars.iter().map(String::as_str)) {
+                dyn_vars.push(stmt.target.clone());
+            }
+            out.assign(stmt.target.clone(), new_expr);
+        }
+        out
+    }
+}
+
+/// Recursively replaces dynamic `Inverse` subexpressions with fresh view
+/// variables, except when the inverse is already the whole right-hand side
+/// (those are handled natively by the compiler).
+fn hoist_expr(
+    e: &Expr,
+    dynamic: &[String],
+    hoisted: &mut Vec<(String, Expr)>,
+    counter: &mut usize,
+) -> Expr {
+    // Top-level inverse: keep in place, but still normalize inside it.
+    if let Expr::Inverse(inner) = e {
+        return Expr::Inverse(Box::new(hoist_inner(inner, dynamic, hoisted, counter)));
+    }
+    hoist_inner(e, dynamic, hoisted, counter)
+}
+
+fn hoist_inner(
+    e: &Expr,
+    dynamic: &[String],
+    hoisted: &mut Vec<(String, Expr)>,
+    counter: &mut usize,
+) -> Expr {
+    match e {
+        Expr::Inverse(inner) => {
+            let inner = hoist_inner(inner, dynamic, hoisted, counter);
+            if inner.references_any(dynamic.iter().map(String::as_str)) {
+                let name = format!("_inv{counter}");
+                *counter += 1;
+                hoisted.push((name.clone(), inner));
+                Expr::Var(name)
+            } else {
+                Expr::Inverse(Box::new(inner))
+            }
+        }
+        Expr::Var(_) | Expr::Identity(_) | Expr::Zero(_, _) => e.clone(),
+        Expr::Add(a, b) => Expr::Add(
+            Box::new(hoist_inner(a, dynamic, hoisted, counter)),
+            Box::new(hoist_inner(b, dynamic, hoisted, counter)),
+        ),
+        Expr::Sub(a, b) => Expr::Sub(
+            Box::new(hoist_inner(a, dynamic, hoisted, counter)),
+            Box::new(hoist_inner(b, dynamic, hoisted, counter)),
+        ),
+        Expr::Mul(a, b) => Expr::Mul(
+            Box::new(hoist_inner(a, dynamic, hoisted, counter)),
+            Box::new(hoist_inner(b, dynamic, hoisted, counter)),
+        ),
+        Expr::Scale(s, inner) => {
+            Expr::Scale(*s, Box::new(hoist_inner(inner, dynamic, hoisted, counter)))
+        }
+        Expr::Transpose(inner) => {
+            Expr::Transpose(Box::new(hoist_inner(inner, dynamic, hoisted, counter)))
+        }
+        Expr::HStack(parts) => Expr::HStack(
+            parts
+                .iter()
+                .map(|p| hoist_inner(p, dynamic, hoisted, counter))
+                .collect(),
+        ),
+    }
+}
+
+impl std::fmt::Display for Program {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for s in &self.statements {
+            writeln!(f, "{s}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn infer_dims_declares_targets() {
+        let mut cat = Catalog::new();
+        cat.declare("A", 4, 4);
+        let mut p = Program::new();
+        p.assign("B", Expr::var("A") * Expr::var("A"));
+        p.assign("C", Expr::var("B") * Expr::var("B"));
+        p.infer_dims(&mut cat).unwrap();
+        assert_eq!(cat.get("B").unwrap().as_pair(), (4, 4));
+        assert_eq!(cat.get("C").unwrap().as_pair(), (4, 4));
+    }
+
+    #[test]
+    fn infer_dims_rejects_shape_change() {
+        let mut cat = Catalog::new();
+        cat.declare("A", 4, 4);
+        cat.declare("X", 4, 2);
+        let mut p = Program::new();
+        p.assign("B", Expr::var("A"));
+        p.assign("B", Expr::var("X"));
+        assert!(p.infer_dims(&mut cat).is_err());
+    }
+
+    #[test]
+    fn display_round_trips_statements() {
+        let mut p = Program::new();
+        p.assign("B", Expr::var("A") * Expr::var("A"));
+        assert_eq!(p.to_string(), "B := A A;\n");
+    }
+
+    #[test]
+    fn hoist_inverses_extracts_dynamic_inverse() {
+        // OLS: beta := inv(X' X) * (X' Y) with dynamic X.
+        let mut p = Program::new();
+        p.assign(
+            "beta",
+            (Expr::var("X").t() * Expr::var("X")).inv() * (Expr::var("X").t() * Expr::var("Y")),
+        );
+        let h = p.hoist_inverses(&["X"]);
+        assert_eq!(h.len(), 2);
+        assert_eq!(h.statements()[0].target, "_inv0");
+        assert!(matches!(h.statements()[0].expr, Expr::Inverse(_)));
+        assert!(h.statements()[1].expr.references("_inv0"));
+        assert!(!format!("{}", h.statements()[1].expr).contains("^-1"));
+    }
+
+    #[test]
+    fn hoist_keeps_static_inverse_in_place() {
+        let mut p = Program::new();
+        p.assign("Z", Expr::var("M").inv() * Expr::var("X"));
+        let h = p.hoist_inverses(&["X"]);
+        assert_eq!(h.len(), 1);
+        assert!(format!("{}", h.statements()[0].expr).contains("M^-1"));
+    }
+
+    #[test]
+    fn hoist_keeps_top_level_inverse() {
+        let mut p = Program::new();
+        p.assign("W", Expr::var("Z").inv());
+        let h = p.hoist_inverses(&["Z"]);
+        assert_eq!(h.len(), 1);
+        assert!(matches!(h.statements()[0].expr, Expr::Inverse(_)));
+    }
+
+    #[test]
+    fn hoist_tracks_transitively_dynamic_views() {
+        // Z := X' X (dynamic); W := inv(Z) nested in a bigger expr.
+        let mut p = Program::new();
+        p.assign("Z", Expr::var("X").t() * Expr::var("X"));
+        p.assign("B", Expr::var("Z").inv() * Expr::var("Y"));
+        let h = p.hoist_inverses(&["X"]);
+        assert_eq!(h.len(), 3);
+        assert_eq!(h.statements()[1].target, "_inv0");
+    }
+}

@@ -1,0 +1,382 @@
+//! The matrix expression AST.
+//!
+//! The language matches §3 of the paper: matrix addition, subtraction,
+//! multiplication, scalar multiplication, transpose, and inverse, plus two
+//! structural forms the framework itself introduces — `Identity`/`Zero`
+//! literals (for the sums-of-powers recurrences of Table 1) and `HStack`
+//! (horizontal block stacking, the compact factored-delta representation of
+//! §4.2: "stacking the corresponding vectors together").
+
+use std::fmt;
+use std::ops::{Add, Mul, Sub};
+
+/// An `f64` wrapper with total equality/hashing (bit-pattern based) so that
+/// expressions containing scalars can be used as hash-map keys during common
+/// subexpression elimination.
+#[derive(Debug, Clone, Copy)]
+pub struct Scalar(pub f64);
+
+impl PartialEq for Scalar {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.to_bits() == other.0.to_bits()
+    }
+}
+impl Eq for Scalar {}
+impl std::hash::Hash for Scalar {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.0.to_bits().hash(state);
+    }
+}
+impl From<f64> for Scalar {
+    fn from(v: f64) -> Self {
+        Scalar(v)
+    }
+}
+
+/// A symbolic matrix expression.
+///
+/// Build with the constructor helpers ([`Expr::var`], [`Expr::inv`], …) or
+/// the overloaded `+`, `-`, `*` operators:
+///
+/// ```
+/// use linview_expr::Expr;
+/// let e = (Expr::var("A") * Expr::var("B")).t() + Expr::var("C");
+/// assert_eq!(e.to_string(), "(A B)' + C");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Expr {
+    /// A named matrix variable.
+    Var(String),
+    /// Entrywise sum.
+    Add(Box<Expr>, Box<Expr>),
+    /// Entrywise difference.
+    Sub(Box<Expr>, Box<Expr>),
+    /// Matrix product.
+    Mul(Box<Expr>, Box<Expr>),
+    /// Scalar multiple `λ·E`.
+    Scale(Scalar, Box<Expr>),
+    /// Transpose `Eᵀ`.
+    Transpose(Box<Expr>),
+    /// Matrix inverse `E⁻¹`.
+    Inverse(Box<Expr>),
+    /// The `n×n` identity literal.
+    Identity(usize),
+    /// The `r×c` zero literal.
+    Zero(usize, usize),
+    /// Horizontal stack of blocks `[E₁ E₂ … E_k]` (all same row count).
+    HStack(Vec<Expr>),
+}
+
+impl Expr {
+    /// A variable reference.
+    pub fn var(name: impl Into<String>) -> Expr {
+        Expr::Var(name.into())
+    }
+
+    /// The identity literal `I_n`.
+    pub fn identity(n: usize) -> Expr {
+        Expr::Identity(n)
+    }
+
+    /// The zero literal `0_{r×c}`.
+    pub fn zero(rows: usize, cols: usize) -> Expr {
+        Expr::Zero(rows, cols)
+    }
+
+    /// Transpose (postfix-style builder).
+    pub fn t(self) -> Expr {
+        Expr::Transpose(Box::new(self))
+    }
+
+    /// Matrix inverse.
+    pub fn inv(self) -> Expr {
+        Expr::Inverse(Box::new(self))
+    }
+
+    /// Scalar multiple `λ·self`.
+    pub fn scale(self, lambda: f64) -> Expr {
+        Expr::Scale(Scalar(lambda), Box::new(self))
+    }
+
+    /// Horizontal block stack; panics on an empty list (checked at dim
+    /// inference otherwise).
+    pub fn hstack(blocks: Vec<Expr>) -> Expr {
+        assert!(!blocks.is_empty(), "hstack of zero blocks");
+        if blocks.len() == 1 {
+            blocks.into_iter().next().expect("len checked")
+        } else {
+            Expr::HStack(blocks)
+        }
+    }
+
+    /// True when the expression mentions `name`.
+    pub fn references(&self, name: &str) -> bool {
+        match self {
+            Expr::Var(v) => v == name,
+            Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) => {
+                a.references(name) || b.references(name)
+            }
+            Expr::Scale(_, e) | Expr::Transpose(e) | Expr::Inverse(e) => e.references(name),
+            Expr::Identity(_) | Expr::Zero(_, _) => false,
+            Expr::HStack(parts) => parts.iter().any(|p| p.references(name)),
+        }
+    }
+
+    /// True when the expression mentions any variable in `names`.
+    pub fn references_any<'a>(&self, names: impl IntoIterator<Item = &'a str>) -> bool {
+        names.into_iter().any(|n| self.references(n))
+    }
+
+    /// Collects the set of referenced variable names (sorted, deduplicated).
+    pub fn variables(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.collect_vars(&mut out);
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    fn collect_vars(&self, out: &mut Vec<String>) {
+        match self {
+            Expr::Var(v) => out.push(v.clone()),
+            Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) => {
+                a.collect_vars(out);
+                b.collect_vars(out);
+            }
+            Expr::Scale(_, e) | Expr::Transpose(e) | Expr::Inverse(e) => e.collect_vars(out),
+            Expr::Identity(_) | Expr::Zero(_, _) => {}
+            Expr::HStack(parts) => parts.iter().for_each(|p| p.collect_vars(out)),
+        }
+    }
+
+    /// Replaces every occurrence of variable `name` with `replacement`.
+    pub fn substitute(&self, name: &str, replacement: &Expr) -> Expr {
+        match self {
+            Expr::Var(v) if v == name => replacement.clone(),
+            Expr::Var(_) | Expr::Identity(_) | Expr::Zero(_, _) => self.clone(),
+            Expr::Add(a, b) => Expr::Add(
+                Box::new(a.substitute(name, replacement)),
+                Box::new(b.substitute(name, replacement)),
+            ),
+            Expr::Sub(a, b) => Expr::Sub(
+                Box::new(a.substitute(name, replacement)),
+                Box::new(b.substitute(name, replacement)),
+            ),
+            Expr::Mul(a, b) => Expr::Mul(
+                Box::new(a.substitute(name, replacement)),
+                Box::new(b.substitute(name, replacement)),
+            ),
+            Expr::Scale(s, e) => Expr::Scale(*s, Box::new(e.substitute(name, replacement))),
+            Expr::Transpose(e) => Expr::Transpose(Box::new(e.substitute(name, replacement))),
+            Expr::Inverse(e) => Expr::Inverse(Box::new(e.substitute(name, replacement))),
+            Expr::HStack(parts) => Expr::HStack(
+                parts
+                    .iter()
+                    .map(|p| p.substitute(name, replacement))
+                    .collect(),
+            ),
+        }
+    }
+
+    /// Number of AST nodes (used by tests and the optimizer's size budget).
+    pub fn node_count(&self) -> usize {
+        1 + match self {
+            Expr::Var(_) | Expr::Identity(_) | Expr::Zero(_, _) => 0,
+            Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) => a.node_count() + b.node_count(),
+            Expr::Scale(_, e) | Expr::Transpose(e) | Expr::Inverse(e) => e.node_count(),
+            Expr::HStack(parts) => parts.iter().map(Expr::node_count).sum(),
+        }
+    }
+
+    /// Iterates over all subexpressions (pre-order), calling `f` on each.
+    pub fn visit(&self, f: &mut impl FnMut(&Expr)) {
+        f(self);
+        match self {
+            Expr::Var(_) | Expr::Identity(_) | Expr::Zero(_, _) => {}
+            Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) => {
+                a.visit(f);
+                b.visit(f);
+            }
+            Expr::Scale(_, e) | Expr::Transpose(e) | Expr::Inverse(e) => e.visit(f),
+            Expr::HStack(parts) => parts.iter().for_each(|p| p.visit(f)),
+        }
+    }
+}
+
+impl Add for Expr {
+    type Output = Expr;
+    fn add(self, rhs: Expr) -> Expr {
+        Expr::Add(Box::new(self), Box::new(rhs))
+    }
+}
+
+impl Sub for Expr {
+    type Output = Expr;
+    fn sub(self, rhs: Expr) -> Expr {
+        Expr::Sub(Box::new(self), Box::new(rhs))
+    }
+}
+
+impl Mul for Expr {
+    type Output = Expr;
+    fn mul(self, rhs: Expr) -> Expr {
+        Expr::Mul(Box::new(self), Box::new(rhs))
+    }
+}
+
+impl Mul<Expr> for f64 {
+    type Output = Expr;
+    fn mul(self, rhs: Expr) -> Expr {
+        rhs.scale(self)
+    }
+}
+
+/// Operator precedence for pretty printing.
+fn prec(e: &Expr) -> u8 {
+    match e {
+        Expr::Add(..) | Expr::Sub(..) => 1,
+        Expr::Mul(..) | Expr::Scale(..) => 2,
+        _ => 3,
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn child(f: &mut fmt::Formatter<'_>, parent: u8, e: &Expr) -> fmt::Result {
+            if prec(e) < parent {
+                write!(f, "({e})")
+            } else {
+                write!(f, "{e}")
+            }
+        }
+        match self {
+            Expr::Var(v) => write!(f, "{v}"),
+            Expr::Add(a, b) => {
+                child(f, 1, a)?;
+                write!(f, " + ")?;
+                child(f, 1, b)
+            }
+            Expr::Sub(a, b) => {
+                child(f, 1, a)?;
+                write!(f, " - ")?;
+                // Right operand of '-' needs parens at equal precedence.
+                if prec(b) <= 1 {
+                    write!(f, "({b})")
+                } else {
+                    write!(f, "{b}")
+                }
+            }
+            Expr::Mul(a, b) => {
+                child(f, 2, a)?;
+                write!(f, " ")?;
+                // Right operand of a product: parenthesize anything that is
+                // itself a product/sum so the association (and therefore the
+                // intended evaluation order) stays visible, as in the
+                // paper's trigger listings.
+                if prec(b) <= 2 {
+                    write!(f, "({b})")
+                } else {
+                    write!(f, "{b}")
+                }
+            }
+            Expr::Scale(s, e) => {
+                write!(f, "{} ", s.0)?;
+                child(f, 3, e)
+            }
+            Expr::Transpose(e) => {
+                if prec(e) < 3 {
+                    write!(f, "({e})'")
+                } else {
+                    write!(f, "{e}'")
+                }
+            }
+            Expr::Inverse(e) => {
+                if prec(e) < 3 {
+                    write!(f, "({e})^-1")
+                } else {
+                    write!(f, "{e}^-1")
+                }
+            }
+            Expr::Identity(n) => write!(f, "I({n})"),
+            Expr::Zero(r, c) => write!(f, "0({r}x{c})"),
+            Expr::HStack(parts) => {
+                write!(f, "[ ")?;
+                for (i, p) in parts.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " | ")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                write!(f, " ]")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_and_display() {
+        let e = (Expr::var("A") * Expr::var("B")).t() + Expr::var("C");
+        assert_eq!(e.to_string(), "(A B)' + C");
+        let e2 = Expr::var("A").inv() * Expr::var("Y");
+        assert_eq!(e2.to_string(), "A^-1 Y");
+        let e3 = 2.5 * Expr::var("A");
+        assert_eq!(e3.to_string(), "2.5 A");
+    }
+
+    #[test]
+    fn display_parenthesizes_sub_rhs() {
+        let e = Expr::var("A") - (Expr::var("B") - Expr::var("C"));
+        assert_eq!(e.to_string(), "A - (B - C)");
+    }
+
+    #[test]
+    fn references_and_variables() {
+        let e = Expr::var("A") * (Expr::var("B") + Expr::var("A")).t();
+        assert!(e.references("A"));
+        assert!(e.references("B"));
+        assert!(!e.references("C"));
+        assert_eq!(e.variables(), vec!["A".to_string(), "B".to_string()]);
+        assert!(e.references_any(["C", "B"]));
+        assert!(!e.references_any(["C", "D"]));
+    }
+
+    #[test]
+    fn substitute_replaces_all_occurrences() {
+        let e = Expr::var("A") * Expr::var("A") + Expr::var("B");
+        let s = e.substitute("A", &Expr::var("X"));
+        assert_eq!(s.to_string(), "X X + B");
+        assert!(!s.references("A"));
+    }
+
+    #[test]
+    fn scalar_eq_is_bitwise() {
+        assert_eq!(Scalar(1.5), Scalar(1.5));
+        assert_ne!(Scalar(0.0), Scalar(-0.0));
+    }
+
+    #[test]
+    fn hstack_of_one_unwraps() {
+        let e = Expr::hstack(vec![Expr::var("u")]);
+        assert_eq!(e, Expr::var("u"));
+        let e2 = Expr::hstack(vec![Expr::var("u"), Expr::var("w")]);
+        assert_eq!(e2.to_string(), "[ u | w ]");
+    }
+
+    #[test]
+    fn node_count_counts_all() {
+        let e = Expr::var("A") * Expr::var("B") + Expr::identity(3);
+        assert_eq!(e.node_count(), 5);
+    }
+
+    #[test]
+    fn visit_preorder() {
+        let e = Expr::var("A") + Expr::var("B");
+        let mut seen = Vec::new();
+        e.visit(&mut |x| seen.push(x.to_string()));
+        assert_eq!(seen, vec!["A + B", "A", "B"]);
+    }
+}

@@ -1,0 +1,186 @@
+//! Matrix-chain ordering.
+//!
+//! The factored delta representation only pays off under the right
+//! association: `U (Vᵀ B)` costs `O(kn²)` while `(U Vᵀ) B` costs `O(nᵞ)` —
+//! the avalanche the paper's §4.2 warns about. The runtime therefore never
+//! evaluates a product tree as written; it flattens multiplicative chains
+//! and picks the association with the classic `O(L³)` dynamic program,
+//! using the same cost model as the analytical tables.
+
+use crate::cost::CostModel;
+use crate::{Catalog, Dim, Expr, Result};
+
+/// A parenthesization of a product chain over leaf indices `0..L`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChainTree {
+    /// A single chain element.
+    Leaf(usize),
+    /// A product of two sub-chains.
+    Node(Box<ChainTree>, Box<ChainTree>),
+}
+
+impl ChainTree {
+    /// Renders with explicit parentheses, e.g. `((0 1) 2)`.
+    pub fn render(&self) -> String {
+        match self {
+            ChainTree::Leaf(i) => i.to_string(),
+            ChainTree::Node(l, r) => format!("({} {})", l.render(), r.render()),
+        }
+    }
+}
+
+/// The result of chain optimization: the tree and its modeled FLOP cost
+/// (product steps only; leaf evaluation costs are not included).
+#[derive(Debug, Clone)]
+pub struct ChainPlan {
+    /// Optimal association.
+    pub tree: ChainTree,
+    /// Modeled cost of executing the products in that order.
+    pub cost: f64,
+}
+
+/// Flattens nested `Mul` nodes into the ordered list of chain factors.
+///
+/// Only bare products are flattened; any other node (including `Scale`,
+/// which the simplifier hoists out of products) terminates a leaf.
+pub fn flatten_product(e: &Expr) -> Vec<&Expr> {
+    let mut out = Vec::new();
+    fn go<'a>(e: &'a Expr, out: &mut Vec<&'a Expr>) {
+        if let Expr::Mul(a, b) = e {
+            go(a, out);
+            go(b, out);
+        } else {
+            out.push(e);
+        }
+    }
+    go(e, &mut out);
+    out
+}
+
+/// Finds the optimal parenthesization for a chain of factor shapes.
+///
+/// `dims[i]` is the shape of the i-th factor; consecutive shapes must
+/// conform (checked by the caller's dimension inference).
+pub fn optimal_order(dims: &[Dim], model: &CostModel) -> ChainPlan {
+    let l = dims.len();
+    assert!(l >= 1, "empty chain");
+    if l == 1 {
+        return ChainPlan {
+            tree: ChainTree::Leaf(0),
+            cost: 0.0,
+        };
+    }
+    // p[i] = rows of factor i; p[l] = cols of the last factor.
+    let mut p = Vec::with_capacity(l + 1);
+    p.push(dims[0].rows);
+    for d in dims {
+        p.push(d.cols);
+    }
+    // DP over chain segments.
+    let mut cost = vec![vec![0.0f64; l]; l];
+    let mut split = vec![vec![0usize; l]; l];
+    for span in 2..=l {
+        for i in 0..=(l - span) {
+            let j = i + span - 1;
+            let mut best = f64::INFINITY;
+            let mut best_k = i;
+            for k in i..j {
+                let c = cost[i][k] + cost[k + 1][j] + model.mul_cost(p[i], p[k + 1], p[j + 1]);
+                if c < best {
+                    best = c;
+                    best_k = k;
+                }
+            }
+            cost[i][j] = best;
+            split[i][j] = best_k;
+        }
+    }
+    fn build(split: &[Vec<usize>], i: usize, j: usize) -> ChainTree {
+        if i == j {
+            ChainTree::Leaf(i)
+        } else {
+            let k = split[i][j];
+            ChainTree::Node(
+                Box::new(build(split, i, k)),
+                Box::new(build(split, k + 1, j)),
+            )
+        }
+    }
+    ChainPlan {
+        tree: build(&split, 0, l - 1),
+        cost: cost[0][l - 1],
+    }
+}
+
+/// Convenience: plans the optimal evaluation order for a product expression
+/// against a catalog. Returns the chain factors together with the plan.
+pub fn plan_product<'a>(
+    e: &'a Expr,
+    cat: &Catalog,
+    model: &CostModel,
+) -> Result<(Vec<&'a Expr>, ChainPlan)> {
+    let factors = flatten_product(e);
+    let dims = factors
+        .iter()
+        .map(|f| f.dim(cat))
+        .collect::<Result<Vec<_>>>()?;
+    Ok((factors, optimal_order(&dims, model)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flatten_respects_structure() {
+        let e = (Expr::var("A") * Expr::var("B")) * (Expr::var("C") * Expr::var("D"));
+        let f = flatten_product(&e);
+        assert_eq!(f.len(), 4);
+        assert_eq!(f[2], &Expr::var("C"));
+        // Transpose terminates a leaf.
+        let e2 = Expr::var("A") * (Expr::var("B") * Expr::var("C")).t();
+        assert_eq!(flatten_product(&e2).len(), 2);
+    }
+
+    #[test]
+    fn textbook_chain_example() {
+        // Classic CLRS instance: dims 10x100, 100x5, 5x50 -> ((0 1) 2),
+        // 7500 scalar multiplications = 15000 FLOPs at 2 per mul-add.
+        let model = CostModel::cubic();
+        let dims = [Dim::new(10, 100), Dim::new(100, 5), Dim::new(5, 50)];
+        let plan = optimal_order(&dims, &model);
+        assert_eq!(plan.tree.render(), "((0 1) 2)");
+        assert_eq!(plan.cost, 15000.0);
+    }
+
+    #[test]
+    fn skinny_first_ordering_beats_avalanche() {
+        // U (n×k), Vᵀ (k×n), B (n×n): must evaluate (Vᵀ B) first.
+        let model = CostModel::cubic();
+        let n = 1000;
+        let k = 2;
+        let dims = [Dim::new(n, k), Dim::new(k, n), Dim::new(n, n)];
+        let plan = optimal_order(&dims, &model);
+        assert_eq!(plan.tree.render(), "(0 (1 2))");
+        // O(kn²), far below the O(n³) of the naive left-to-right order.
+        assert!(plan.cost <= 2.0 * 2.0 * (k * n * n) as f64);
+    }
+
+    #[test]
+    fn single_factor_chain_is_free() {
+        let plan = optimal_order(&[Dim::new(3, 3)], &CostModel::cubic());
+        assert_eq!(plan.tree, ChainTree::Leaf(0));
+        assert_eq!(plan.cost, 0.0);
+    }
+
+    #[test]
+    fn plan_product_checks_dims() {
+        let mut cat = Catalog::new();
+        cat.declare("A", 4, 4);
+        cat.declare("u", 4, 1);
+        let e = Expr::var("A") * Expr::var("u");
+        let (factors, plan) = plan_product(&e, &cat, &CostModel::cubic()).unwrap();
+        assert_eq!(factors.len(), 2);
+        assert_eq!(plan.cost, 2.0 * 4.0 * 4.0 * 1.0);
+    }
+}

@@ -1,0 +1,166 @@
+//! Analytical FLOP cost model (§3 "Computational complexity").
+//!
+//! The paper parameterizes matrix-multiplication cost as `O(nᵞ)` with
+//! `2 ≤ γ ≤ 3`. The model here mirrors that: square `n×n · n×n` products
+//! cost `2·nᵞ`, everything else costs the classical `2·m·k·n` multiply-add
+//! count (rectangular products in the incremental path are skinny, where γ
+//! is irrelevant). Inversion costs `2·nᵞ`; entrywise ops cost one FLOP per
+//! entry.
+//!
+//! Product subtrees are costed at their *optimal chain order* — the same
+//! order the runtime evaluator uses — so analytical predictions and measured
+//! FLOP counters (from `linview-matrix::flops`) are directly comparable.
+
+use crate::chain;
+use crate::{Catalog, Dim, Expr, Result};
+
+/// Cost model with a tunable matrix-multiplication exponent.
+#[derive(Debug, Clone, Copy)]
+pub struct CostModel {
+    /// Exponent γ for square matrix multiplication and inversion.
+    pub gamma: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel::cubic()
+    }
+}
+
+impl CostModel {
+    /// The classical `γ = 3` model that matches this crate's kernels.
+    pub fn cubic() -> Self {
+        CostModel { gamma: 3.0 }
+    }
+
+    /// A model with a custom exponent (e.g. 2.807 for Strassen-class
+    /// algorithms) for the analytical tables.
+    pub fn with_gamma(gamma: f64) -> Self {
+        assert!((2.0..=3.0).contains(&gamma), "γ must be in [2, 3]");
+        CostModel { gamma }
+    }
+
+    /// Cost of a single `(m×k)·(k×n)` product.
+    pub fn mul_cost(&self, m: usize, k: usize, n: usize) -> f64 {
+        if m == k && k == n {
+            2.0 * (m as f64).powf(self.gamma)
+        } else {
+            2.0 * (m as f64) * (k as f64) * (n as f64)
+        }
+    }
+
+    /// Cost of inverting an `n×n` matrix.
+    pub fn inverse_cost(&self, n: usize) -> f64 {
+        2.0 * (n as f64).powf(self.gamma)
+    }
+
+    /// Total modeled cost of evaluating `e` (with products at their optimal
+    /// chain order).
+    pub fn expr_cost(&self, e: &Expr, cat: &Catalog) -> Result<f64> {
+        Ok(match e {
+            Expr::Var(_) | Expr::Identity(_) | Expr::Zero(_, _) => 0.0,
+            Expr::Add(a, b) | Expr::Sub(a, b) => {
+                let d = e.dim(cat)?;
+                self.expr_cost(a, cat)? + self.expr_cost(b, cat)? + d.len() as f64
+            }
+            Expr::Scale(_, inner) => self.expr_cost(inner, cat)? + inner.dim(cat)?.len() as f64,
+            Expr::Transpose(inner) => self.expr_cost(inner, cat)? + inner.dim(cat)?.len() as f64,
+            Expr::Inverse(inner) => {
+                self.expr_cost(inner, cat)? + self.inverse_cost(inner.dim(cat)?.rows)
+            }
+            Expr::Mul(_, _) => {
+                let (factors, plan) = chain::plan_product(e, cat, self)?;
+                let leaves: f64 = factors
+                    .iter()
+                    .map(|f| self.expr_cost(f, cat))
+                    .collect::<Result<Vec<_>>>()?
+                    .into_iter()
+                    .sum();
+                leaves + plan.cost
+            }
+            Expr::HStack(parts) => {
+                let mut total = 0.0;
+                for p in parts {
+                    // Copying a block into the stacked matrix touches every entry.
+                    total += self.expr_cost(p, cat)? + p.dim(cat)?.len() as f64;
+                }
+                total
+            }
+        })
+    }
+
+    /// Asymptotic label for a square product at dimension `n` (diagnostics).
+    pub fn describe_square_mul(&self, n: usize) -> String {
+        format!(
+            "2·{n}^{} = {:.3e} FLOPs",
+            self.gamma,
+            self.mul_cost(n, n, n)
+        )
+    }
+}
+
+/// The cost of a rank-`k` factored delta applied to an `n×m` view
+/// (`X += U Vᵀ`): `2·k·n·m` multiply-adds.
+pub fn low_rank_update_cost(view: Dim, k: usize) -> f64 {
+    2.0 * (k as f64) * view.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn square_mul_uses_gamma() {
+        let m = CostModel::with_gamma(2.5);
+        assert_eq!(m.mul_cost(16, 16, 16), 2.0 * (16f64).powf(2.5));
+        // Rectangular products are counted classically.
+        assert_eq!(m.mul_cost(16, 2, 16), 2.0 * 16.0 * 2.0 * 16.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "γ must be in [2, 3]")]
+    fn gamma_out_of_range_rejected() {
+        let _ = CostModel::with_gamma(3.5);
+    }
+
+    #[test]
+    fn expr_cost_accumulates() {
+        let mut cat = Catalog::new();
+        cat.declare("A", 8, 8);
+        let model = CostModel::cubic();
+        // A·A: one square product.
+        let e = Expr::var("A") * Expr::var("A");
+        assert_eq!(model.expr_cost(&e, &cat).unwrap(), 2.0 * 512.0);
+        // A·A + A: product plus an addition over 64 entries.
+        let e2 = Expr::var("A") * Expr::var("A") + Expr::var("A");
+        assert_eq!(model.expr_cost(&e2, &cat).unwrap(), 2.0 * 512.0 + 64.0);
+    }
+
+    #[test]
+    fn chain_cost_uses_optimal_order() {
+        let mut cat = Catalog::new();
+        cat.declare("U", 100, 2);
+        cat.declare("Vt", 2, 100);
+        cat.declare("B", 100, 100);
+        let model = CostModel::cubic();
+        let e = Expr::var("U") * Expr::var("Vt") * Expr::var("B");
+        let cost = model.expr_cost(&e, &cat).unwrap();
+        // Optimal: U (Vᵀ B) = 2·(2·100·100)·2 = 80000, not 2·100³.
+        assert!(cost < 2_000_000.0 / 2.0);
+        assert_eq!(cost, 2.0 * 2.0 * 100.0 * 100.0 * 2.0);
+    }
+
+    #[test]
+    fn inverse_cost_is_gamma() {
+        let mut cat = Catalog::new();
+        cat.declare("A", 32, 32);
+        let model = CostModel::cubic();
+        let e = Expr::var("A").inv();
+        assert_eq!(model.expr_cost(&e, &cat).unwrap(), 2.0 * 32768.0);
+    }
+
+    #[test]
+    fn low_rank_update_cost_is_2knm() {
+        assert_eq!(low_rank_update_cost(Dim::new(10, 20), 3), 1200.0);
+    }
+}

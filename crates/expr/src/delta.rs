@@ -1,0 +1,445 @@
+//! Delta derivation — the heart of LINVIEW (§4.1–§4.3).
+//!
+//! Given an expression `E` and a set of updated matrices with *factored*
+//! deltas `ΔX = U_X V_Xᵀ`, [`derive()`] produces the factored delta of `E`
+//! itself, `Δ(E) = U Vᵀ`, as a pair of symbolic block expressions.
+//!
+//! The product rule is where the paper's key insight lives. Naïvely
+//!
+//! ```text
+//! Δ(E₁E₂) = (ΔE₁)E₂ + E₁(ΔE₂) + (ΔE₁)(ΔE₂)
+//! ```
+//!
+//! is a sum of three low-rank monomials, so ranks would triple per statement
+//! (Example 4.4: ΔD as a product of two `n×27` matrices). Extracting the
+//! common factor `U₁` from the first and third monomials (§4.3) yields
+//!
+//! ```text
+//! U = [ U₁ | E₁U₂ + U₁(V₁ᵀU₂) ]      V = [ E₂ᵀV₁ | V₂ ]
+//! ```
+//!
+//! so ranks only *add* (ΔD as two `n×8` matrices). Both forms are
+//! implemented; [`DeltaOptions::factor_common`] switches between them for
+//! the ablation study.
+//!
+//! The rule for `E⁻¹` cannot be expressed as a static factored expression —
+//! it needs the Sherman–Morrison runtime primitive — so `derive` reports
+//! [`ExprError::InverseDeltaNeedsRuntime`] and the compiler hoists the
+//! inverse into its own statement handled by a dedicated trigger op.
+
+use crate::{Catalog, Expr, ExprError, Result};
+use std::collections::BTreeMap;
+
+/// Options controlling delta derivation.
+#[derive(Debug, Clone, Copy)]
+pub struct DeltaOptions {
+    /// Extract common factors in the product rule (§4.3). Disable only for
+    /// the ablation that demonstrates multiplicative rank blow-up.
+    pub factor_common: bool,
+}
+
+impl Default for DeltaOptions {
+    fn default() -> Self {
+        DeltaOptions {
+            factor_common: true,
+        }
+    }
+}
+
+/// The factored delta of an expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Delta {
+    /// The expression does not depend on any updated matrix.
+    Zero,
+    /// `Δ = u · vᵀ` where `u : (rows×k)` and `v : (cols×k)` are block
+    /// expressions (possibly `HStack`s of several monomial factors).
+    Factored {
+        /// Left block matrix `U`.
+        u: Expr,
+        /// Right block matrix `V` (the delta is `U Vᵀ`).
+        v: Expr,
+    },
+}
+
+impl Delta {
+    /// Constructs a factored delta.
+    pub fn factored(u: Expr, v: Expr) -> Delta {
+        Delta::Factored { u, v }
+    }
+
+    /// True for the zero delta.
+    pub fn is_zero(&self) -> bool {
+        matches!(self, Delta::Zero)
+    }
+
+    /// The block rank `k` (number of stacked columns), or 0 for zero deltas.
+    pub fn rank(&self, cat: &Catalog) -> Result<usize> {
+        match self {
+            Delta::Zero => Ok(0),
+            Delta::Factored { u, .. } => Ok(u.dim(cat)?.cols),
+        }
+    }
+
+    /// The full delta as a plain (unfactored) expression `U Vᵀ`; used by
+    /// tests to validate algebra against brute-force re-evaluation.
+    pub fn as_expr(&self, dim_rows: usize, dim_cols: usize) -> Expr {
+        match self {
+            Delta::Zero => Expr::zero(dim_rows, dim_cols),
+            Delta::Factored { u, v } => u.clone() * v.clone().t(),
+        }
+    }
+}
+
+/// Map from updated variable name to its factored delta `(U, V)`.
+pub type DeltaMap = BTreeMap<String, (Expr, Expr)>;
+
+/// Conventional names for the factored-update input variables of a dynamic
+/// matrix `X`: the trigger for `X` receives `ΔX = dU_X · dV_Xᵀ`.
+pub fn input_delta_names(var: &str) -> (String, String) {
+    (format!("dU_{var}"), format!("dV_{var}"))
+}
+
+/// Derives the factored delta of `expr` for simultaneous updates to every
+/// variable in `deltas` (the multi-matrix rule of §4.4 / Example 4.5 falls
+/// out of the recursion because the product rule is exact for simultaneous
+/// updates).
+///
+/// All matrix variables inside the produced blocks refer to their **old**
+/// values: trigger programs evaluate every block assignment before applying
+/// any `+=` update, exactly like Example 4.6.
+pub fn derive(expr: &Expr, cat: &Catalog, deltas: &DeltaMap, opts: &DeltaOptions) -> Result<Delta> {
+    // Fast path: expressions untouched by any updated matrix have zero delta.
+    if !expr.references_any(deltas.keys().map(String::as_str)) {
+        return Ok(Delta::Zero);
+    }
+    match expr {
+        Expr::Var(name) => Ok(match deltas.get(name) {
+            Some((u, v)) => Delta::factored(u.clone(), v.clone()),
+            None => Delta::Zero,
+        }),
+        Expr::Identity(_) | Expr::Zero(_, _) => Ok(Delta::Zero),
+        Expr::Add(a, b) => {
+            let da = derive(a, cat, deltas, opts)?;
+            let db = derive(b, cat, deltas, opts)?;
+            combine_sum(da, db, false)
+        }
+        Expr::Sub(a, b) => {
+            let da = derive(a, cat, deltas, opts)?;
+            let db = derive(b, cat, deltas, opts)?;
+            combine_sum(da, db, true)
+        }
+        Expr::Scale(s, e) => Ok(match derive(e, cat, deltas, opts)? {
+            Delta::Zero => Delta::Zero,
+            Delta::Factored { u, v } => Delta::factored(u.scale(s.0), v),
+        }),
+        Expr::Transpose(e) => Ok(match derive(e, cat, deltas, opts)? {
+            Delta::Zero => Delta::Zero,
+            // Δ(Eᵀ) = (U Vᵀ)ᵀ = V Uᵀ — just swap the factors.
+            Delta::Factored { u, v } => Delta::factored(v, u),
+        }),
+        Expr::Mul(a, b) => {
+            let da = derive(a, cat, deltas, opts)?;
+            let db = derive(b, cat, deltas, opts)?;
+            combine_product(a, b, da, db, opts)
+        }
+        Expr::Inverse(e) => {
+            // Reaching here means the inner expression *does* change.
+            debug_assert!(!derive(e, cat, deltas, opts)
+                .map(|d| d.is_zero())
+                .unwrap_or(false));
+            Err(ExprError::InverseDeltaNeedsRuntime {
+                expr: e.to_string(),
+            })
+        }
+        Expr::HStack(parts) => derive_hstack(parts, cat, deltas, opts),
+    }
+}
+
+/// Δ(E₁ ± E₂): concatenate the factor blocks (negating `U₂` for `−`).
+fn combine_sum(da: Delta, db: Delta, negate_b: bool) -> Result<Delta> {
+    Ok(match (da, db) {
+        (Delta::Zero, Delta::Zero) => Delta::Zero,
+        (d, Delta::Zero) => d,
+        (Delta::Zero, Delta::Factored { u, v }) => {
+            if negate_b {
+                Delta::factored(u.scale(-1.0), v)
+            } else {
+                Delta::factored(u, v)
+            }
+        }
+        (Delta::Factored { u: ua, v: va }, Delta::Factored { u: ub, v: vb }) => {
+            let ub = if negate_b { ub.scale(-1.0) } else { ub };
+            Delta::factored(Expr::hstack(vec![ua, ub]), Expr::hstack(vec![va, vb]))
+        }
+    })
+}
+
+/// Δ(E₁E₂) with the three-monomial rule, factored or unfactored.
+fn combine_product(
+    e1: &Expr,
+    e2: &Expr,
+    da: Delta,
+    db: Delta,
+    opts: &DeltaOptions,
+) -> Result<Delta> {
+    Ok(match (da, db) {
+        (Delta::Zero, Delta::Zero) => Delta::Zero,
+        // Only E₁ changes: Δ = (U₁V₁ᵀ)E₂ = U₁ (E₂ᵀV₁)ᵀ.
+        (Delta::Factored { u, v }, Delta::Zero) => Delta::factored(u, e2.clone().t() * v),
+        // Only E₂ changes: Δ = E₁(U₂V₂ᵀ) = (E₁U₂) V₂ᵀ.
+        (Delta::Zero, Delta::Factored { u, v }) => Delta::factored(e1.clone() * u, v),
+        (Delta::Factored { u: u1, v: v1 }, Delta::Factored { u: u2, v: v2 }) => {
+            if opts.factor_common {
+                // §4.3: U = [U₁ | E₁U₂ + U₁(V₁ᵀU₂)],  V = [E₂ᵀV₁ | V₂].
+                let mid = e1.clone() * u2.clone() + u1.clone() * (v1.clone().t() * u2.clone());
+                Delta::factored(
+                    Expr::hstack(vec![u1, mid]),
+                    Expr::hstack(vec![e2.clone().t() * v1, v2]),
+                )
+            } else {
+                // Unfactored ablation: three independent monomials.
+                let m3_u = u1.clone() * (v1.clone().t() * u2.clone());
+                Delta::factored(
+                    Expr::hstack(vec![u1, e1.clone() * u2, m3_u]),
+                    Expr::hstack(vec![e2.clone().t() * v1, v2.clone(), v2]),
+                )
+            }
+        }
+    })
+}
+
+/// Δ[E₁ | E₂ | …]: pad each block's `V` with zero rows so the stacked delta
+/// is again a single factored product. Rarely needed (deltas of delta
+/// blocks) but keeps the algebra closed.
+fn derive_hstack(
+    parts: &[Expr],
+    cat: &Catalog,
+    deltas: &DeltaMap,
+    opts: &DeltaOptions,
+) -> Result<Delta> {
+    let dims: Vec<_> = parts
+        .iter()
+        .map(|p| p.dim(cat))
+        .collect::<Result<Vec<_>>>()?;
+    let total_cols: usize = dims.iter().map(|d| d.cols).sum();
+    let mut us = Vec::new();
+    let mut vs = Vec::new();
+    let mut offset = 0usize;
+    for (part, d) in parts.iter().zip(&dims) {
+        let dp = derive(part, cat, deltas, opts)?;
+        if let Delta::Factored { u, v } = dp {
+            let k = u.dim(cat)?.cols;
+            // Padded V: (total_cols × k) with v occupying rows [offset, offset+cols).
+            let mut stack = Vec::new();
+            if offset > 0 {
+                stack.push(Expr::zero(k, offset));
+            }
+            stack.push(v.t());
+            if total_cols - offset - d.cols > 0 {
+                stack.push(Expr::zero(k, total_cols - offset - d.cols));
+            }
+            us.push(u);
+            vs.push(Expr::hstack(stack).t());
+        }
+        offset += d.cols;
+    }
+    if us.is_empty() {
+        return Ok(Delta::Zero);
+    }
+    Ok(Delta::factored(Expr::hstack(us), Expr::hstack(vs)))
+}
+
+/// Registers the input-update variables `dU_X`, `dV_X` of a rank-`k` update
+/// to `X` in the catalog and returns the corresponding [`DeltaMap`] entry.
+pub fn declare_input_delta(cat: &mut Catalog, var: &str, rank: usize) -> Result<(Expr, Expr)> {
+    let d = cat.get(var)?;
+    let (un, vn) = input_delta_names(var);
+    cat.declare(&un, d.rows, rank);
+    cat.declare(&vn, d.cols, rank);
+    Ok((Expr::var(un), Expr::var(vn)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DeltaOptions;
+
+    fn setup() -> (Catalog, DeltaMap) {
+        let mut cat = Catalog::new();
+        cat.declare("A", 8, 8);
+        cat.declare("B", 8, 8);
+        let mut deltas = DeltaMap::new();
+        let (u, v) = declare_input_delta(&mut cat, "A", 1).unwrap();
+        deltas.insert("A".to_string(), (u, v));
+        (cat, deltas)
+    }
+
+    #[test]
+    fn delta_of_unrelated_var_is_zero() {
+        let (cat, deltas) = setup();
+        let d = derive(&Expr::var("B"), &cat, &deltas, &DeltaOptions::default()).unwrap();
+        assert!(d.is_zero());
+    }
+
+    #[test]
+    fn delta_of_updated_var_is_input_delta() {
+        let (cat, deltas) = setup();
+        let d = derive(&Expr::var("A"), &cat, &deltas, &DeltaOptions::default()).unwrap();
+        assert_eq!(d.rank(&cat).unwrap(), 1);
+    }
+
+    #[test]
+    fn product_rule_example_4_4() {
+        // ΔB for B := A·A with rank-1 ΔA must have rank 2 when factored.
+        let (cat, deltas) = setup();
+        let b = Expr::var("A") * Expr::var("A");
+        let d = derive(&b, &cat, &deltas, &DeltaOptions::default()).unwrap();
+        assert_eq!(d.rank(&cat).unwrap(), 2);
+        // Unfactored: rank 3 (three monomials).
+        let d3 = derive(
+            &b,
+            &cat,
+            &deltas,
+            &DeltaOptions {
+                factor_common: false,
+            },
+        )
+        .unwrap();
+        assert_eq!(d3.rank(&cat).unwrap(), 3);
+    }
+
+    #[test]
+    fn rank_growth_matches_paper_a8() {
+        // A⁴ = (A·A)·(A·A) propagated twice: ΔC rank 4 factored / 9 unfactored
+        // (§4.3's "product of two (n×4) matrices" vs "(n×9)").
+        let mut cat = Catalog::new();
+        cat.declare("A", 8, 8);
+        cat.declare("B", 8, 8);
+        cat.declare("C", 8, 8);
+        let mut deltas = DeltaMap::new();
+        let (u, v) = declare_input_delta(&mut cat, "A", 1).unwrap();
+        deltas.insert("A".to_string(), (u, v));
+
+        for factor in [true, false] {
+            let opts = DeltaOptions {
+                factor_common: factor,
+            };
+            let db = derive(&(Expr::var("A") * Expr::var("A")), &cat, &deltas, &opts).unwrap();
+            let mut d2 = deltas.clone();
+            let Delta::Factored { u: ub, v: _vb } = db else {
+                panic!("expected factored")
+            };
+            // Register ΔB's blocks as named vars to mimic the compiler.
+            let k = ub.dim(&cat).unwrap().cols;
+            let mut cat2 = cat.clone();
+            cat2.declare("U_B", 8, k);
+            cat2.declare("V_B", 8, k);
+            d2.insert("B".into(), (Expr::var("U_B"), Expr::var("V_B")));
+            let dc = derive(&(Expr::var("B") * Expr::var("B")), &cat2, &d2, &opts).unwrap();
+            let rank_c = dc.rank(&cat2).unwrap();
+            if factor {
+                assert_eq!((k, rank_c), (2, 4));
+            } else {
+                assert_eq!((k, rank_c), (3, 9));
+            }
+        }
+    }
+
+    #[test]
+    fn sum_rule_concatenates_blocks() {
+        let (mut cat, mut deltas) = setup();
+        let (u, v) = declare_input_delta(&mut cat, "B", 1).unwrap();
+        deltas.insert("B".to_string(), (u, v));
+        let e = Expr::var("A") + Expr::var("B");
+        let d = derive(&e, &cat, &deltas, &DeltaOptions::default()).unwrap();
+        assert_eq!(d.rank(&cat).unwrap(), 2);
+    }
+
+    #[test]
+    fn sub_rule_negates_right_block() {
+        let (cat, deltas) = setup();
+        let e = Expr::var("B") - Expr::var("A");
+        let d = derive(&e, &cat, &deltas, &DeltaOptions::default()).unwrap();
+        let Delta::Factored { u, .. } = d else {
+            panic!()
+        };
+        assert_eq!(u.to_string(), "-1 dU_A");
+    }
+
+    #[test]
+    fn transpose_swaps_factors() {
+        let (cat, deltas) = setup();
+        let d = derive(&Expr::var("A").t(), &cat, &deltas, &DeltaOptions::default()).unwrap();
+        let Delta::Factored { u, v } = d else {
+            panic!()
+        };
+        assert_eq!(u.to_string(), "dV_A");
+        assert_eq!(v.to_string(), "dU_A");
+    }
+
+    #[test]
+    fn scale_rule_scales_left_factor() {
+        let (cat, deltas) = setup();
+        let d = derive(
+            &Expr::var("A").scale(3.0),
+            &cat,
+            &deltas,
+            &DeltaOptions::default(),
+        )
+        .unwrap();
+        let Delta::Factored { u, .. } = d else {
+            panic!()
+        };
+        assert_eq!(u.to_string(), "3 dU_A");
+    }
+
+    #[test]
+    fn multi_update_product_rule_example_4_5() {
+        // E = A·B with both A and B updated: delta has the three-monomial
+        // structure, rank 2 after factoring.
+        let (mut cat, mut deltas) = setup();
+        let (u, v) = declare_input_delta(&mut cat, "B", 1).unwrap();
+        deltas.insert("B".to_string(), (u, v));
+        let e = Expr::var("A") * Expr::var("B");
+        let d = derive(&e, &cat, &deltas, &DeltaOptions::default()).unwrap();
+        assert_eq!(d.rank(&cat).unwrap(), 2);
+    }
+
+    #[test]
+    fn inverse_delta_is_reported_for_runtime_handling() {
+        let (cat, deltas) = setup();
+        let e = Expr::var("A").inv();
+        let err = derive(&e, &cat, &deltas, &DeltaOptions::default()).unwrap_err();
+        assert!(matches!(err, ExprError::InverseDeltaNeedsRuntime { .. }));
+    }
+
+    #[test]
+    fn inverse_of_static_expression_has_zero_delta() {
+        let (cat, deltas) = setup();
+        let e = Expr::var("B").inv() * Expr::var("A");
+        // B doesn't change, so only the A-side contributes.
+        let d = derive(&e, &cat, &deltas, &DeltaOptions::default()).unwrap();
+        assert_eq!(d.rank(&cat).unwrap(), 1);
+    }
+
+    #[test]
+    fn hstack_delta_pads_blocks() {
+        let (cat, deltas) = setup();
+        let e = Expr::HStack(vec![Expr::var("A"), Expr::var("B")]);
+        let d = derive(&e, &cat, &deltas, &DeltaOptions::default()).unwrap();
+        let Delta::Factored { u, v } = d else {
+            panic!()
+        };
+        assert_eq!(u.dim(&cat).unwrap().cols, 1);
+        // V covers all 16 stacked columns.
+        assert_eq!(v.dim(&cat).unwrap().rows, 16);
+    }
+
+    #[test]
+    fn input_delta_names_are_stable() {
+        assert_eq!(
+            input_delta_names("A"),
+            ("dU_A".to_string(), "dV_A".to_string())
+        );
+    }
+}

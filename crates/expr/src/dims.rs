@@ -1,0 +1,251 @@
+//! Dimension inference against a variable catalog.
+
+use crate::{Expr, ExprError, Result};
+use std::collections::BTreeMap;
+
+/// A `(rows, cols)` shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Dim {
+    /// Row count.
+    pub rows: usize,
+    /// Column count.
+    pub cols: usize,
+}
+
+impl Dim {
+    /// Creates a shape.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        Dim { rows, cols }
+    }
+
+    /// True for square shapes.
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Shape of the transpose.
+    pub fn transposed(&self) -> Dim {
+        Dim::new(self.cols, self.rows)
+    }
+
+    /// Entry count.
+    pub fn len(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// True when either dimension is zero.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Pair form.
+    pub fn as_pair(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+}
+
+impl From<(usize, usize)> for Dim {
+    fn from((rows, cols): (usize, usize)) -> Self {
+        Dim::new(rows, cols)
+    }
+}
+
+impl std::fmt::Display for Dim {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "({}x{})", self.rows, self.cols)
+    }
+}
+
+/// Declares the shape of every matrix variable a program may reference.
+///
+/// The compiler extends the catalog as it introduces auxiliary views and
+/// delta-block variables, so shapes stay checkable end to end.
+#[derive(Debug, Clone, Default)]
+pub struct Catalog {
+    vars: BTreeMap<String, Dim>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares (or redeclares) a variable's shape.
+    pub fn declare(&mut self, name: impl Into<String>, rows: usize, cols: usize) {
+        self.vars.insert(name.into(), Dim::new(rows, cols));
+    }
+
+    /// Looks up a variable's shape.
+    pub fn get(&self, name: &str) -> Result<Dim> {
+        self.vars
+            .get(name)
+            .copied()
+            .ok_or_else(|| ExprError::UnknownVar(name.to_string()))
+    }
+
+    /// True when `name` is declared.
+    pub fn contains(&self, name: &str) -> bool {
+        self.vars.contains_key(name)
+    }
+
+    /// Iterates over `(name, dim)` pairs in sorted order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, Dim)> {
+        self.vars.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Number of declared variables.
+    pub fn len(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// True when no variables are declared.
+    pub fn is_empty(&self) -> bool {
+        self.vars.is_empty()
+    }
+}
+
+impl Expr {
+    /// Infers the shape of this expression, checking conformability of every
+    /// operation along the way.
+    pub fn dim(&self, cat: &Catalog) -> Result<Dim> {
+        match self {
+            Expr::Var(v) => cat.get(v),
+            Expr::Add(a, b) | Expr::Sub(a, b) => {
+                let da = a.dim(cat)?;
+                let db = b.dim(cat)?;
+                if da != db {
+                    return Err(ExprError::DimMismatch {
+                        op: "add/sub",
+                        lhs: da.as_pair(),
+                        rhs: db.as_pair(),
+                    });
+                }
+                Ok(da)
+            }
+            Expr::Mul(a, b) => {
+                let da = a.dim(cat)?;
+                let db = b.dim(cat)?;
+                if da.cols != db.rows {
+                    return Err(ExprError::DimMismatch {
+                        op: "mul",
+                        lhs: da.as_pair(),
+                        rhs: db.as_pair(),
+                    });
+                }
+                Ok(Dim::new(da.rows, db.cols))
+            }
+            Expr::Scale(_, e) => e.dim(cat),
+            Expr::Transpose(e) => Ok(e.dim(cat)?.transposed()),
+            Expr::Inverse(e) => {
+                let d = e.dim(cat)?;
+                if !d.is_square() {
+                    return Err(ExprError::NotSquare { shape: d.as_pair() });
+                }
+                Ok(d)
+            }
+            Expr::Identity(n) => Ok(Dim::new(*n, *n)),
+            Expr::Zero(r, c) => Ok(Dim::new(*r, *c)),
+            Expr::HStack(parts) => {
+                if parts.is_empty() {
+                    return Err(ExprError::EmptyStack);
+                }
+                let first = parts[0].dim(cat)?;
+                let mut cols = first.cols;
+                for p in &parts[1..] {
+                    let d = p.dim(cat)?;
+                    if d.rows != first.rows {
+                        return Err(ExprError::DimMismatch {
+                            op: "hstack",
+                            lhs: first.as_pair(),
+                            rhs: d.as_pair(),
+                        });
+                    }
+                    cols += d.cols;
+                }
+                Ok(Dim::new(first.rows, cols))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cat() -> Catalog {
+        let mut c = Catalog::new();
+        c.declare("A", 4, 4);
+        c.declare("X", 6, 4);
+        c.declare("Y", 6, 2);
+        c.declare("u", 4, 1);
+        c
+    }
+
+    #[test]
+    fn var_lookup() {
+        assert_eq!(cat().get("A").unwrap(), Dim::new(4, 4));
+        assert!(matches!(
+            cat().get("missing"),
+            Err(ExprError::UnknownVar(_))
+        ));
+    }
+
+    #[test]
+    fn mul_chains_shapes() {
+        let c = cat();
+        // X' X : (4x6)(6x4) = 4x4
+        let e = Expr::var("X").t() * Expr::var("X");
+        assert_eq!(e.dim(&c).unwrap(), Dim::new(4, 4));
+        // (X'X)^-1 X' Y : 4x2
+        let ols =
+            (Expr::var("X").t() * Expr::var("X")).inv() * (Expr::var("X").t() * Expr::var("Y"));
+        assert_eq!(ols.dim(&c).unwrap(), Dim::new(4, 2));
+    }
+
+    #[test]
+    fn mul_rejects_nonconforming() {
+        let c = cat();
+        let e = Expr::var("X") * Expr::var("Y");
+        assert!(matches!(
+            e.dim(&c),
+            Err(ExprError::DimMismatch { op: "mul", .. })
+        ));
+    }
+
+    #[test]
+    fn add_requires_equal_shapes() {
+        let c = cat();
+        assert!((Expr::var("A") + Expr::var("A")).dim(&c).is_ok());
+        assert!((Expr::var("A") + Expr::var("X")).dim(&c).is_err());
+    }
+
+    #[test]
+    fn inverse_requires_square() {
+        let c = cat();
+        assert!(Expr::var("X").inv().dim(&c).is_err());
+        assert!(Expr::var("A").inv().dim(&c).is_ok());
+    }
+
+    #[test]
+    fn hstack_sums_columns() {
+        let c = cat();
+        let e = Expr::HStack(vec![Expr::var("u"), Expr::var("A")]);
+        assert_eq!(e.dim(&c).unwrap(), Dim::new(4, 5));
+        let bad = Expr::HStack(vec![Expr::var("u"), Expr::var("X")]);
+        assert!(bad.dim(&c).is_err());
+    }
+
+    #[test]
+    fn literals_have_fixed_dims() {
+        let c = cat();
+        assert_eq!(Expr::identity(7).dim(&c).unwrap(), Dim::new(7, 7));
+        assert_eq!(Expr::zero(2, 3).dim(&c).unwrap(), Dim::new(2, 3));
+    }
+
+    #[test]
+    fn transpose_swaps() {
+        let c = cat();
+        assert_eq!(Expr::var("X").t().dim(&c).unwrap(), Dim::new(4, 6));
+    }
+}

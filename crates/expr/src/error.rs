@@ -1,0 +1,59 @@
+use std::fmt;
+
+/// Errors produced by symbolic analysis (dimension inference, delta
+/// derivation, cost estimation).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExprError {
+    /// A variable was referenced that is not declared in the catalog.
+    UnknownVar(String),
+    /// Two subexpressions had incompatible shapes.
+    DimMismatch {
+        /// Operation being checked.
+        op: &'static str,
+        /// Left operand shape.
+        lhs: (usize, usize),
+        /// Right operand shape.
+        rhs: (usize, usize),
+    },
+    /// `Inverse` applied to a non-square expression.
+    NotSquare {
+        /// The offending shape.
+        shape: (usize, usize),
+    },
+    /// Delta of a matrix inverse cannot be expressed as a static factored
+    /// expression; the compiler must emit a Sherman–Morrison runtime
+    /// statement instead (§4.1, §5.1).
+    InverseDeltaNeedsRuntime {
+        /// Rendering of the inverse subexpression.
+        expr: String,
+    },
+    /// An empty horizontal stack.
+    EmptyStack,
+}
+
+impl fmt::Display for ExprError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExprError::UnknownVar(v) => write!(f, "unknown matrix variable '{v}'"),
+            ExprError::DimMismatch { op, lhs, rhs } => write!(
+                f,
+                "dimension mismatch in {op}: ({}x{}) vs ({}x{})",
+                lhs.0, lhs.1, rhs.0, rhs.1
+            ),
+            ExprError::NotSquare { shape } => {
+                write!(
+                    f,
+                    "inverse of non-square ({}x{}) expression",
+                    shape.0, shape.1
+                )
+            }
+            ExprError::InverseDeltaNeedsRuntime { expr } => write!(
+                f,
+                "delta of inverse '{expr}' requires a Sherman-Morrison runtime statement"
+            ),
+            ExprError::EmptyStack => write!(f, "empty block stack"),
+        }
+    }
+}
+
+impl std::error::Error for ExprError {}

@@ -1,0 +1,40 @@
+//! # linview-expr
+//!
+//! The symbolic layer of the LINVIEW reproduction (Nikolic, ElSeidy, Koch —
+//! SIGMOD 2014): matrix expressions, dimension inference, the delta rules of
+//! §4.1, the factored delta representation of §4.2–4.3, an algebraic
+//! simplifier, a FLOP cost model with tunable multiplication exponent γ, and
+//! the matrix-chain ordering DP that makes factored deltas cheap to evaluate.
+//!
+//! The central type is [`Expr`], an immutable AST over named matrix
+//! variables. Deltas are derived by [`delta::derive`]: given an expression
+//! and a map from updated variables to their factored deltas `ΔX = U Vᵀ`,
+//! it produces the factored delta of the whole expression, extracting common
+//! factors so block ranks grow additively instead of multiplicatively
+//! (Example 4.4 → §4.3).
+//!
+//! ```
+//! use linview_expr::{Catalog, Expr};
+//! let mut cat = Catalog::new();
+//! cat.declare("A", 4, 4);
+//! let b = Expr::var("A") * Expr::var("A");
+//! assert_eq!(b.dim(&cat).unwrap(), (4, 4).into());
+//! ```
+
+#![warn(missing_docs)]
+
+mod ast;
+pub mod chain;
+pub mod cost;
+pub mod delta;
+mod dims;
+mod error;
+pub mod simplify;
+
+pub use ast::{Expr, Scalar};
+pub use delta::{Delta, DeltaOptions};
+pub use dims::{Catalog, Dim};
+pub use error::ExprError;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, ExprError>;

@@ -1,0 +1,306 @@
+//! Cholesky factorization with rank-1 updates/downdates.
+//!
+//! §4.2 of the paper: "Other work [13, 30] investigates rank-1 updates in
+//! different matrix factorizations, like SVD and Cholesky decomposition.
+//! We can further use these new primitives to enrich our language" — this
+//! module implements that extension. [`Cholesky::update`] maintains the
+//! factor of `A + σ·v vᵀ` in `O(n²)` (the hyperbolic-rotation algorithm of
+//! Seeger's technical report), versus `O(nᵞ)` refactorization.
+
+use crate::{flops, Matrix, MatrixError, Result};
+
+/// Diagonal entries below this are treated as a loss of positive
+/// definiteness.
+const PD_TOL: f64 = 1e-12;
+
+/// A lower-triangular Cholesky factor `A = L·Lᵀ` of a symmetric positive
+/// definite matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cholesky {
+    l: Matrix,
+}
+
+impl Cholesky {
+    /// Factorizes a symmetric positive definite matrix. `O(n³/3)`.
+    ///
+    /// Returns [`MatrixError::Singular`] when a pivot collapses (the input
+    /// is not positive definite); symmetry is the caller's contract and is
+    /// checked in debug builds only.
+    pub fn factorize(a: &Matrix) -> Result<Cholesky> {
+        if !a.is_square() {
+            return Err(MatrixError::NotSquare { shape: a.shape() });
+        }
+        let n = a.rows();
+        debug_assert!(
+            {
+                let mut sym = true;
+                'outer: for i in 0..n {
+                    for j in 0..i {
+                        if (a.get(i, j) - a.get(j, i)).abs() > 1e-9 * a.max_abs().max(1.0) {
+                            sym = false;
+                            break 'outer;
+                        }
+                    }
+                }
+                sym
+            },
+            "Cholesky input must be symmetric"
+        );
+        flops::add((n * n * n / 3) as u64);
+        let mut l = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = a.get(i, j);
+                for k in 0..j {
+                    sum -= l.get(i, k) * l.get(j, k);
+                }
+                if i == j {
+                    if sum <= PD_TOL {
+                        return Err(MatrixError::Singular { pivot: i });
+                    }
+                    l.set(i, j, sum.sqrt());
+                } else {
+                    l.set(i, j, sum / l.get(j, j));
+                }
+            }
+        }
+        Ok(Cholesky { l })
+    }
+
+    /// The lower-triangular factor `L`.
+    pub fn factor(&self) -> &Matrix {
+        &self.l
+    }
+
+    /// Matrix order.
+    pub fn order(&self) -> usize {
+        self.l.rows()
+    }
+
+    /// Reconstructs `A = L·Lᵀ` (tests/diagnostics).
+    pub fn reconstruct(&self) -> Matrix {
+        self.l
+            .try_matmul(&self.l.transpose())
+            .expect("square factor")
+    }
+
+    /// Rank-1 **update**: replaces the factored matrix by `A + v·vᵀ`.
+    /// `O(n²)` via Givens-style rotations; always succeeds for finite `v`
+    /// (an SPD matrix plus a positive semidefinite rank-1 term stays SPD).
+    pub fn update(&mut self, v: &Matrix) -> Result<()> {
+        self.rank_one(v, 1.0)
+    }
+
+    /// Rank-1 **downdate**: replaces the factored matrix by `A − v·vᵀ`.
+    /// Fails with [`MatrixError::Singular`] if the result would lose
+    /// positive definiteness.
+    pub fn downdate(&mut self, v: &Matrix) -> Result<()> {
+        self.rank_one(v, -1.0)
+    }
+
+    fn rank_one(&mut self, v: &Matrix, sigma: f64) -> Result<()> {
+        let n = self.order();
+        if v.cols() != 1 || v.rows() != n {
+            return Err(MatrixError::DimMismatch {
+                op: "cholesky_rank_one",
+                lhs: (n, n),
+                rhs: v.shape(),
+            });
+        }
+        flops::add((6 * n * n) as u64);
+        let mut w = v.col(0);
+        // On failure the factor must be left untouched: work on a copy.
+        let mut l = self.l.clone();
+        for k in 0..n {
+            let lkk = l.get(k, k);
+            let r2 = lkk * lkk + sigma * w[k] * w[k];
+            if r2 <= PD_TOL {
+                return Err(MatrixError::Singular { pivot: k });
+            }
+            let r = r2.sqrt();
+            let c = r / lkk;
+            let s = w[k] / lkk;
+            l.set(k, k, r);
+            // Indexed on purpose: each step reads/writes both `l` and `w`
+            // at row `i`; an iterator form would need split borrows.
+            #[allow(clippy::needless_range_loop)]
+            for i in (k + 1)..n {
+                let lik = (l.get(i, k) + sigma * s * w[i]) / c;
+                l.set(i, k, lik);
+                w[i] = c * w[i] - s * lik;
+            }
+        }
+        self.l = l;
+        Ok(())
+    }
+
+    /// Solves `A·x = b` using the factor (forward then backward
+    /// substitution), `O(n²·ncols)`.
+    pub fn solve(&self, b: &Matrix) -> Result<Matrix> {
+        let n = self.order();
+        if b.rows() != n {
+            return Err(MatrixError::DimMismatch {
+                op: "cholesky_solve",
+                lhs: (n, n),
+                rhs: b.shape(),
+            });
+        }
+        flops::add((2 * n * n * b.cols()) as u64);
+        let mut x = b.clone();
+        // L·y = b.
+        for i in 0..n {
+            for k in 0..i {
+                let f = self.l.get(i, k);
+                for c in 0..x.cols() {
+                    let v = x.get(i, c) - f * x.get(k, c);
+                    x.set(i, c, v);
+                }
+            }
+            let d = self.l.get(i, i);
+            for c in 0..x.cols() {
+                x.set(i, c, x.get(i, c) / d);
+            }
+        }
+        // Lᵀ·x = y.
+        for i in (0..n).rev() {
+            for k in (i + 1)..n {
+                let f = self.l.get(k, i);
+                for c in 0..x.cols() {
+                    let v = x.get(i, c) - f * x.get(k, c);
+                    x.set(i, c, v);
+                }
+            }
+            let d = self.l.get(i, i);
+            for c in 0..x.cols() {
+                x.set(i, c, x.get(i, c) / d);
+            }
+        }
+        Ok(x)
+    }
+
+    /// Log-determinant of the factored matrix: `2·Σ log L_ii`.
+    pub fn log_det(&self) -> f64 {
+        (0..self.order())
+            .map(|i| self.l.get(i, i).ln())
+            .sum::<f64>()
+            * 2.0
+    }
+}
+
+/// Builds a random symmetric positive definite matrix (for tests/benches):
+/// `M Mᵀ + n·I`.
+pub fn random_spd(n: usize, seed: u64) -> Matrix {
+    let m = Matrix::random_uniform(n, n, seed);
+    let mut a = m.try_matmul(&m.transpose()).expect("square product");
+    for i in 0..n {
+        a.set(i, i, a.get(i, i) + n as f64);
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ApproxEq;
+
+    #[test]
+    fn factorize_reconstructs() {
+        let a = random_spd(12, 1);
+        let ch = Cholesky::factorize(&a).unwrap();
+        assert!(ch.reconstruct().approx_eq(&a, 1e-9));
+        // Factor is lower triangular.
+        for i in 0..12 {
+            for j in (i + 1)..12 {
+                assert_eq!(ch.factor().get(i, j), 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_non_spd_and_rectangular() {
+        let mut a = random_spd(4, 2);
+        a.set(0, 0, -5.0);
+        a.set(1, 1, -5.0);
+        assert!(Cholesky::factorize(&a).is_err());
+        assert!(Cholesky::factorize(&Matrix::zeros(2, 3)).is_err());
+    }
+
+    #[test]
+    fn update_matches_refactorization() {
+        let a = random_spd(10, 3);
+        let mut ch = Cholesky::factorize(&a).unwrap();
+        let v = Matrix::random_col(10, 4);
+        ch.update(&v).unwrap();
+        let mut a_new = a;
+        a_new
+            .add_assign_from(&Matrix::outer(&v, &v).unwrap())
+            .unwrap();
+        let direct = Cholesky::factorize(&a_new).unwrap();
+        assert!(ch.reconstruct().approx_eq(&direct.reconstruct(), 1e-9));
+        assert!(ch.factor().approx_eq(direct.factor(), 1e-8));
+    }
+
+    #[test]
+    fn downdate_reverses_update() {
+        let a = random_spd(8, 5);
+        let mut ch = Cholesky::factorize(&a).unwrap();
+        let original = ch.factor().clone();
+        let v = Matrix::random_col(8, 6);
+        ch.update(&v).unwrap();
+        ch.downdate(&v).unwrap();
+        assert!(ch.factor().approx_eq(&original, 1e-8));
+    }
+
+    #[test]
+    fn downdate_that_breaks_pd_fails_and_preserves_factor() {
+        let a = Matrix::identity(4);
+        let mut ch = Cholesky::factorize(&a).unwrap();
+        let before = ch.factor().clone();
+        let big = Matrix::col_vector(&[2.0, 0.0, 0.0, 0.0]); // I - 4 e1 e1' is indefinite
+        assert!(ch.downdate(&big).is_err());
+        assert_eq!(ch.factor(), &before);
+    }
+
+    #[test]
+    fn solve_matches_lu() {
+        let a = random_spd(10, 7);
+        let b = Matrix::random_uniform(10, 3, 8);
+        let ch = Cholesky::factorize(&a).unwrap();
+        let x1 = ch.solve(&b).unwrap();
+        let x2 = a.solve(&b).unwrap();
+        assert!(x1.approx_eq(&x2, 1e-8));
+        assert!(ch.solve(&Matrix::zeros(4, 1)).is_err());
+    }
+
+    #[test]
+    fn log_det_matches_lu_det() {
+        let a = random_spd(8, 9);
+        let ch = Cholesky::factorize(&a).unwrap();
+        let det = a.det().unwrap();
+        assert!((ch.log_det() - det.ln()).abs() < 1e-8);
+    }
+
+    #[test]
+    fn update_rejects_bad_shapes() {
+        let a = random_spd(6, 10);
+        let mut ch = Cholesky::factorize(&a).unwrap();
+        assert!(ch.update(&Matrix::zeros(5, 1)).is_err());
+        assert!(ch.update(&Matrix::zeros(6, 2)).is_err());
+    }
+
+    #[test]
+    fn sequence_of_updates_tracks_refactorization() {
+        let a = random_spd(8, 11);
+        let mut ch = Cholesky::factorize(&a).unwrap();
+        let mut a_ref = a;
+        for seed in 0..10u64 {
+            let v = Matrix::random_col(8, 100 + seed).scale(0.5);
+            ch.update(&v).unwrap();
+            a_ref
+                .add_assign_from(&Matrix::outer(&v, &v).unwrap())
+                .unwrap();
+        }
+        let direct = Cholesky::factorize(&a_ref).unwrap();
+        assert!(ch.factor().approx_eq(direct.factor(), 1e-7));
+    }
+}

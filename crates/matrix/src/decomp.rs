@@ -1,0 +1,253 @@
+//! LU decomposition with partial pivoting: the `O(n^γ)` inversion/solve
+//! substrate that OLS re-evaluation pays for on every update (§5.1), and the
+//! baseline the Sherman–Morrison incremental path is compared against.
+
+use crate::{flops, Matrix, MatrixError, Result};
+
+/// Pivot magnitudes below this are treated as singular.
+const PIVOT_TOL: f64 = 1e-12;
+
+/// A packed LU factorization `P·A = L·U` with partial (row) pivoting.
+///
+/// `L` has an implicit unit diagonal and is stored in the strict lower
+/// triangle of the packed factor ([`Lu::packed`]); `U` occupies the upper triangle.
+#[derive(Debug, Clone)]
+pub struct Lu {
+    lu: Matrix,
+    /// Row permutation: output row `i` of `P·A` is input row `perm[i]`.
+    perm: Vec<usize>,
+    /// Sign of the permutation (`+1.0` or `-1.0`), used by `det`.
+    perm_sign: f64,
+}
+
+impl Lu {
+    /// Factorizes a square matrix. `O(n³/3)` multiply-adds.
+    pub fn factorize(a: &Matrix) -> Result<Lu> {
+        if !a.is_square() {
+            return Err(MatrixError::NotSquare { shape: a.shape() });
+        }
+        let n = a.rows();
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut sign = 1.0;
+        flops::add((2 * n * n * n / 3) as u64);
+        for k in 0..n {
+            // Partial pivoting: pick the row with the largest |entry| in col k.
+            let mut pivot_row = k;
+            let mut pivot_val = lu.get(k, k).abs();
+            for r in (k + 1)..n {
+                let v = lu.get(r, k).abs();
+                if v > pivot_val {
+                    pivot_val = v;
+                    pivot_row = r;
+                }
+            }
+            if pivot_val < PIVOT_TOL {
+                return Err(MatrixError::Singular { pivot: k });
+            }
+            if pivot_row != k {
+                swap_rows(&mut lu, k, pivot_row);
+                perm.swap(k, pivot_row);
+                sign = -sign;
+            }
+            let pivot = lu.get(k, k);
+            for r in (k + 1)..n {
+                let factor = lu.get(r, k) / pivot;
+                lu.set(r, k, factor);
+                if factor == 0.0 {
+                    continue;
+                }
+                for c in (k + 1)..n {
+                    let v = lu.get(r, c) - factor * lu.get(k, c);
+                    lu.set(r, c, v);
+                }
+            }
+        }
+        Ok(Lu {
+            lu,
+            perm,
+            perm_sign: sign,
+        })
+    }
+
+    /// Matrix order.
+    pub fn order(&self) -> usize {
+        self.lu.rows()
+    }
+
+    /// Packed `L\U` storage (mainly for tests and diagnostics).
+    pub fn packed(&self) -> &Matrix {
+        &self.lu
+    }
+
+    /// Solves `A·X = B` for (possibly multi-column) `B`. `O(n²·ncols)`.
+    pub fn solve(&self, b: &Matrix) -> Result<Matrix> {
+        let n = self.order();
+        if b.rows() != n {
+            return Err(MatrixError::DimMismatch {
+                op: "lu_solve",
+                lhs: (n, n),
+                rhs: b.shape(),
+            });
+        }
+        let ncols = b.cols();
+        flops::add((2 * n * n * ncols) as u64);
+        // Apply permutation.
+        let mut x = Matrix::zeros(n, ncols);
+        for i in 0..n {
+            let src = self.perm[i];
+            x.row_mut(i).copy_from_slice(b.row(src));
+        }
+        // Forward substitution: L·y = P·b (unit diagonal).
+        for i in 1..n {
+            for k in 0..i {
+                let f = self.lu.get(i, k);
+                if f == 0.0 {
+                    continue;
+                }
+                for c in 0..ncols {
+                    let v = x.get(i, c) - f * x.get(k, c);
+                    x.set(i, c, v);
+                }
+            }
+        }
+        // Back substitution: U·x = y.
+        for i in (0..n).rev() {
+            for k in (i + 1)..n {
+                let f = self.lu.get(i, k);
+                if f == 0.0 {
+                    continue;
+                }
+                for c in 0..ncols {
+                    let v = x.get(i, c) - f * x.get(k, c);
+                    x.set(i, c, v);
+                }
+            }
+            let d = self.lu.get(i, i);
+            for c in 0..ncols {
+                x.set(i, c, x.get(i, c) / d);
+            }
+        }
+        Ok(x)
+    }
+
+    /// Computes `A⁻¹` by solving against the identity. `O(n³)`.
+    pub fn inverse(&self) -> Result<Matrix> {
+        self.solve(&Matrix::identity(self.order()))
+    }
+
+    /// Determinant from the product of pivots.
+    pub fn det(&self) -> f64 {
+        let mut d = self.perm_sign;
+        for i in 0..self.order() {
+            d *= self.lu.get(i, i);
+        }
+        d
+    }
+}
+
+fn swap_rows(m: &mut Matrix, a: usize, b: usize) {
+    if a == b {
+        return;
+    }
+    let cols = m.cols();
+    for c in 0..cols {
+        let t = m.get(a, c);
+        m.set(a, c, m.get(b, c));
+        m.set(b, c, t);
+    }
+}
+
+impl Matrix {
+    /// Convenience: `A⁻¹` via LU with partial pivoting.
+    pub fn inverse(&self) -> Result<Matrix> {
+        Lu::factorize(self)?.inverse()
+    }
+
+    /// Convenience: solves `A·X = B` via LU.
+    pub fn solve(&self, b: &Matrix) -> Result<Matrix> {
+        Lu::factorize(self)?.solve(b)
+    }
+
+    /// Convenience: determinant via LU (0.0 for singular matrices).
+    pub fn det(&self) -> Result<f64> {
+        match Lu::factorize(self) {
+            Ok(lu) => Ok(lu.det()),
+            Err(MatrixError::Singular { .. }) => Ok(0.0),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ApproxEq;
+
+    #[test]
+    fn rejects_rectangular() {
+        assert!(Lu::factorize(&Matrix::zeros(2, 3)).is_err());
+    }
+
+    #[test]
+    fn detects_singular() {
+        let s = Matrix::from_rows(vec![vec![1.0, 2.0], vec![2.0, 4.0]]).unwrap();
+        assert!(matches!(
+            Lu::factorize(&s).unwrap_err(),
+            MatrixError::Singular { .. }
+        ));
+        assert_eq!(s.det().unwrap(), 0.0);
+    }
+
+    #[test]
+    fn solve_known_system() {
+        // 2x + y = 5; x + 3y = 10 -> x = 1, y = 3
+        let a = Matrix::from_rows(vec![vec![2.0, 1.0], vec![1.0, 3.0]]).unwrap();
+        let b = Matrix::col_vector(&[5.0, 10.0]);
+        let x = a.solve(&b).unwrap();
+        assert!((x.get(0, 0) - 1.0).abs() < 1e-12);
+        assert!((x.get(1, 0) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverse_times_self_is_identity() {
+        let a = Matrix::random_diag_dominant(24, 42);
+        let inv = a.inverse().unwrap();
+        let prod = a.try_matmul(&inv).unwrap();
+        assert!(prod.approx_eq(&Matrix::identity(24), 1e-8));
+    }
+
+    #[test]
+    fn inverse_requires_pivoting() {
+        // Leading zero forces a row swap.
+        let a = Matrix::from_rows(vec![vec![0.0, 1.0], vec![1.0, 0.0]]).unwrap();
+        let inv = a.inverse().unwrap();
+        assert!(inv.approx_eq(&a, 1e-12));
+    }
+
+    #[test]
+    fn det_of_triangular_is_product_of_diagonal() {
+        let a = Matrix::from_rows(vec![
+            vec![2.0, 5.0, 1.0],
+            vec![0.0, 3.0, 7.0],
+            vec![0.0, 0.0, 4.0],
+        ])
+        .unwrap();
+        assert!((a.det().unwrap() - 24.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn det_sign_flips_with_row_swap() {
+        let a = Matrix::from_rows(vec![vec![0.0, 1.0], vec![1.0, 0.0]]).unwrap();
+        assert!((a.det().unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multi_rhs_solve_matches_inverse_product() {
+        let a = Matrix::random_diag_dominant(12, 7);
+        let b = Matrix::random_uniform(12, 4, 8);
+        let x = a.solve(&b).unwrap();
+        let x2 = a.inverse().unwrap().try_matmul(&b).unwrap();
+        assert!(x.approx_eq(&x2, 1e-8));
+    }
+}

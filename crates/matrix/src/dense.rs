@@ -1,0 +1,459 @@
+use crate::{MatrixError, Result};
+
+/// A dense, row-major, heap-allocated `f64` matrix.
+///
+/// This is the single concrete matrix type used throughout the LINVIEW
+/// reproduction: base relations, materialized views, factored delta blocks
+/// (`U`, `V`), and vectors (as `n×1` / `1×n` matrices) are all `Matrix`.
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a matrix of the given shape filled with `value`.
+    pub fn filled(rows: usize, cols: usize, value: f64) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
+    }
+
+    /// Creates an all-zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self::filled(rows, cols, 0.0)
+    }
+
+    /// Creates an all-ones matrix.
+    pub fn ones(rows: usize, cols: usize) -> Self {
+        Self::filled(rows, cols, 1.0)
+    }
+
+    /// Creates the `n×n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m.set(i, i, 1.0);
+        }
+        m
+    }
+
+    /// Builds a matrix from nested row vectors.
+    ///
+    /// Returns [`MatrixError::RaggedRows`] if the rows have different lengths
+    /// and [`MatrixError::Empty`] for an empty input.
+    pub fn from_rows(rows: Vec<Vec<f64>>) -> Result<Self> {
+        if rows.is_empty() || rows[0].is_empty() {
+            return Err(MatrixError::Empty);
+        }
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for (i, r) in rows.iter().enumerate() {
+            if r.len() != cols {
+                return Err(MatrixError::RaggedRows {
+                    row: i,
+                    expected: cols,
+                    got: r.len(),
+                });
+            }
+            data.extend_from_slice(r);
+        }
+        Ok(Matrix {
+            rows: rows.len(),
+            cols,
+            data,
+        })
+    }
+
+    /// Builds a matrix from a flat row-major buffer.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self> {
+        if data.len() != rows * cols {
+            return Err(MatrixError::RaggedRows {
+                row: 0,
+                expected: rows * cols,
+                got: data.len(),
+            });
+        }
+        Ok(Matrix { rows, cols, data })
+    }
+
+    /// Builds an `n×1` column vector from a slice.
+    pub fn col_vector(values: &[f64]) -> Self {
+        Matrix {
+            rows: values.len(),
+            cols: 1,
+            data: values.to_vec(),
+        }
+    }
+
+    /// Builds a `1×n` row vector from a slice.
+    pub fn row_vector(values: &[f64]) -> Self {
+        Matrix {
+            rows: 1,
+            cols: values.len(),
+            data: values.to_vec(),
+        }
+    }
+
+    /// Builds a diagonal matrix from the given diagonal entries.
+    pub fn diagonal(diag: &[f64]) -> Self {
+        let n = diag.len();
+        let mut m = Self::zeros(n, n);
+        for (i, &d) in diag.iter().enumerate() {
+            m.set(i, i, d);
+        }
+        m
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Total number of entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the matrix has zero entries.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// True for square matrices.
+    #[inline]
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// True for `n×1` or `1×n` shapes.
+    #[inline]
+    pub fn is_vector(&self) -> bool {
+        self.rows == 1 || self.cols == 1
+    }
+
+    /// Reads the entry at `(r, c)`. Panics if out of bounds.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Checked read of the entry at `(r, c)`.
+    pub fn try_get(&self, r: usize, c: usize) -> Result<f64> {
+        if r >= self.rows || c >= self.cols {
+            return Err(MatrixError::OutOfBounds {
+                index: (r, c),
+                shape: self.shape(),
+            });
+        }
+        Ok(self.data[r * self.cols + c])
+    }
+
+    /// Writes the entry at `(r, c)`. Panics if out of bounds.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Checked write of the entry at `(r, c)`.
+    pub fn try_set(&mut self, r: usize, c: usize, v: f64) -> Result<()> {
+        if r >= self.rows || c >= self.cols {
+            return Err(MatrixError::OutOfBounds {
+                index: (r, c),
+                shape: self.shape(),
+            });
+        }
+        self.data[r * self.cols + c] = v;
+        Ok(())
+    }
+
+    /// Borrow of row `r` as a slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable borrow of row `r` as a slice.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Copies column `c` into a fresh `Vec`.
+    pub fn col(&self, c: usize) -> Vec<f64> {
+        (0..self.rows).map(|r| self.get(r, c)).collect()
+    }
+
+    /// Extracts column `c` as an `n×1` matrix.
+    pub fn col_matrix(&self, c: usize) -> Matrix {
+        Matrix::col_vector(&self.col(c))
+    }
+
+    /// Extracts row `r` as a `1×n` matrix.
+    pub fn row_matrix(&self, r: usize) -> Matrix {
+        Matrix::row_vector(self.row(r))
+    }
+
+    /// The underlying row-major buffer.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable access to the underlying row-major buffer.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Consumes the matrix and returns the row-major buffer.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Applies `f` to every entry, producing a new matrix.
+    pub fn map(&self, mut f: impl FnMut(f64) -> f64) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// Applies `f` to every entry in place.
+    pub fn map_inplace(&mut self, mut f: impl FnMut(f64) -> f64) {
+        for x in &mut self.data {
+            *x = f(*x);
+        }
+    }
+
+    /// Entrywise combination of two equally shaped matrices.
+    pub fn zip_with(&self, other: &Matrix, mut f: impl FnMut(f64, f64) -> f64) -> Result<Matrix> {
+        if self.shape() != other.shape() {
+            return Err(MatrixError::DimMismatch {
+                op: "zip_with",
+                lhs: self.shape(),
+                rhs: other.shape(),
+            });
+        }
+        Ok(Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+        })
+    }
+
+    /// Iterator over `(row, col, value)` triples in row-major order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        let cols = self.cols;
+        self.data
+            .iter()
+            .enumerate()
+            .map(move |(i, &v)| (i / cols, i % cols, v))
+    }
+
+    /// Extracts the contiguous submatrix `[r0, r0+h) × [c0, c0+w)`.
+    pub fn submatrix(&self, r0: usize, c0: usize, h: usize, w: usize) -> Result<Matrix> {
+        if r0 + h > self.rows || c0 + w > self.cols {
+            return Err(MatrixError::OutOfBounds {
+                index: (r0 + h, c0 + w),
+                shape: self.shape(),
+            });
+        }
+        let mut out = Matrix::zeros(h, w);
+        for r in 0..h {
+            out.row_mut(r)
+                .copy_from_slice(&self.row(r0 + r)[c0..c0 + w]);
+        }
+        Ok(out)
+    }
+
+    /// Overwrites the block starting at `(r0, c0)` with `block`.
+    pub fn set_submatrix(&mut self, r0: usize, c0: usize, block: &Matrix) -> Result<()> {
+        if r0 + block.rows > self.rows || c0 + block.cols > self.cols {
+            return Err(MatrixError::OutOfBounds {
+                index: (r0 + block.rows, c0 + block.cols),
+                shape: self.shape(),
+            });
+        }
+        for r in 0..block.rows {
+            self.row_mut(r0 + r)[c0..c0 + block.cols].copy_from_slice(block.row(r));
+        }
+        Ok(())
+    }
+
+    /// Number of entries whose absolute value exceeds `tol`.
+    pub fn nnz(&self, tol: f64) -> usize {
+        self.data.iter().filter(|x| x.abs() > tol).count()
+    }
+
+    /// Sum of all entries.
+    pub fn sum(&self) -> f64 {
+        self.data.iter().sum()
+    }
+
+    /// Trace (sum of diagonal entries) of a square matrix.
+    pub fn trace(&self) -> Result<f64> {
+        if !self.is_square() {
+            return Err(MatrixError::NotSquare {
+                shape: self.shape(),
+            });
+        }
+        Ok((0..self.rows).map(|i| self.get(i, i)).sum())
+    }
+
+    /// Approximate heap footprint in bytes (used by the Table 3 memory study).
+    pub fn memory_bytes(&self) -> usize {
+        self.data.len() * std::mem::size_of::<f64>()
+    }
+}
+
+impl std::fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        let max_show = 8;
+        for r in 0..self.rows.min(max_show) {
+            write!(f, "  ")?;
+            for c in 0..self.cols.min(max_show) {
+                write!(f, "{:>10.4} ", self.get(r, c))?;
+            }
+            if self.cols > max_show {
+                write!(f, "...")?;
+            }
+            writeln!(f)?;
+        }
+        if self.rows > max_show {
+            writeln!(f, "  ...")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_identity() {
+        let z = Matrix::zeros(2, 3);
+        assert_eq!(z.shape(), (2, 3));
+        assert!(z.as_slice().iter().all(|&x| x == 0.0));
+        let i = Matrix::identity(3);
+        assert_eq!(i.get(0, 0), 1.0);
+        assert_eq!(i.get(0, 1), 0.0);
+        assert_eq!(i.trace().unwrap(), 3.0);
+    }
+
+    #[test]
+    fn from_rows_rejects_ragged() {
+        let err = Matrix::from_rows(vec![vec![1.0, 2.0], vec![3.0]]).unwrap_err();
+        assert!(matches!(err, MatrixError::RaggedRows { row: 1, .. }));
+    }
+
+    #[test]
+    fn from_rows_rejects_empty() {
+        assert_eq!(Matrix::from_rows(vec![]).unwrap_err(), MatrixError::Empty);
+    }
+
+    #[test]
+    fn from_vec_checks_length() {
+        assert!(Matrix::from_vec(2, 2, vec![1.0; 3]).is_err());
+        let m = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(m.get(1, 0), 3.0);
+    }
+
+    #[test]
+    fn get_set_roundtrip() {
+        let mut m = Matrix::zeros(4, 4);
+        m.set(2, 3, 7.5);
+        assert_eq!(m.get(2, 3), 7.5);
+        assert!(m.try_get(4, 0).is_err());
+        assert!(m.try_set(0, 4, 1.0).is_err());
+    }
+
+    #[test]
+    fn row_and_col_access() {
+        let m = Matrix::from_rows(vec![vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        assert_eq!(m.row(1), &[3.0, 4.0]);
+        assert_eq!(m.col(0), vec![1.0, 3.0]);
+        assert_eq!(m.col_matrix(1).shape(), (2, 1));
+        assert_eq!(m.row_matrix(0).shape(), (1, 2));
+    }
+
+    #[test]
+    fn submatrix_roundtrip() {
+        let m = Matrix::from_rows(vec![
+            vec![1.0, 2.0, 3.0],
+            vec![4.0, 5.0, 6.0],
+            vec![7.0, 8.0, 9.0],
+        ])
+        .unwrap();
+        let s = m.submatrix(1, 1, 2, 2).unwrap();
+        assert_eq!(s.as_slice(), &[5.0, 6.0, 8.0, 9.0]);
+        let mut t = Matrix::zeros(3, 3);
+        t.set_submatrix(1, 1, &s).unwrap();
+        assert_eq!(t.get(2, 2), 9.0);
+        assert!(m.submatrix(2, 2, 2, 2).is_err());
+    }
+
+    #[test]
+    fn map_and_zip() {
+        let m = Matrix::ones(2, 2);
+        let d = m.map(|x| x * 3.0);
+        assert_eq!(d.sum(), 12.0);
+        let z = m.zip_with(&d, |a, b| a + b).unwrap();
+        assert_eq!(z.sum(), 16.0);
+        assert!(m.zip_with(&Matrix::ones(3, 2), |a, _| a).is_err());
+    }
+
+    #[test]
+    fn nnz_counts_above_tolerance() {
+        let m = Matrix::from_rows(vec![vec![0.0, 1e-12], vec![0.5, -2.0]]).unwrap();
+        assert_eq!(m.nnz(1e-9), 2);
+    }
+
+    #[test]
+    fn diagonal_builder() {
+        let d = Matrix::diagonal(&[1.0, 2.0, 3.0]);
+        assert_eq!(d.trace().unwrap(), 6.0);
+        assert_eq!(d.get(0, 1), 0.0);
+    }
+
+    #[test]
+    fn iter_yields_row_major() {
+        let m = Matrix::from_rows(vec![vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        let triples: Vec<_> = m.iter().collect();
+        assert_eq!(triples[1], (0, 1, 2.0));
+        assert_eq!(triples[2], (1, 0, 3.0));
+    }
+
+    #[test]
+    fn memory_bytes_scales_with_size() {
+        assert_eq!(Matrix::zeros(10, 10).memory_bytes(), 800);
+    }
+}

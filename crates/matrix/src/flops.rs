@@ -1,0 +1,119 @@
+//! Global floating-point-operation accounting.
+//!
+//! The complexity claims of the paper (Table 2) are about *operation counts*,
+//! not wall-clock time. Every kernel in this crate reports the number of
+//! multiply-add operations it performs to a process-wide counter, so the
+//! benchmark harness can fit measured counts against the claimed exponents
+//! (`n²k²`, `n²k`, `nᵞk`, …) deterministically.
+//!
+//! Counters are cheap relaxed atomics; a labeled-counter registry (backed by
+//! `parking_lot`) lets experiments attribute cost to phases (e.g. "delta
+//! blocks" vs "view update").
+
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+static FLOPS: AtomicU64 = AtomicU64::new(0);
+
+fn registry() -> &'static Mutex<BTreeMap<String, u64>> {
+    static REGISTRY: OnceLock<Mutex<BTreeMap<String, u64>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+/// Adds `n` floating-point operations to the global counter.
+#[inline]
+pub fn add(n: u64) {
+    FLOPS.fetch_add(n, Ordering::Relaxed);
+}
+
+/// Current value of the global counter.
+#[inline]
+pub fn read() -> u64 {
+    FLOPS.load(Ordering::Relaxed)
+}
+
+/// Resets the global counter to zero and returns the previous value.
+pub fn reset() -> u64 {
+    FLOPS.swap(0, Ordering::Relaxed)
+}
+
+/// Adds `n` operations to the labeled counter `label` (and the global one).
+pub fn add_labeled(label: &str, n: u64) {
+    add(n);
+    *registry().lock().entry(label.to_string()).or_insert(0) += n;
+}
+
+/// Snapshot of all labeled counters.
+pub fn labeled_snapshot() -> BTreeMap<String, u64> {
+    registry().lock().clone()
+}
+
+/// Clears all labeled counters.
+pub fn clear_labels() {
+    registry().lock().clear();
+}
+
+/// RAII scope measuring the FLOPs executed between construction and
+/// [`FlopScope::finish`] (or drop).
+///
+/// ```
+/// use linview_matrix::flops::FlopScope;
+/// use linview_matrix::Matrix;
+/// let scope = FlopScope::start();
+/// let a = Matrix::identity(8);
+/// let _ = (&a * &a).unwrap();
+/// assert!(scope.finish() >= 2 * 8 * 8 * 8);
+/// ```
+#[derive(Debug)]
+pub struct FlopScope {
+    start: u64,
+}
+
+impl FlopScope {
+    /// Begins measuring from the current global counter value.
+    pub fn start() -> Self {
+        FlopScope { start: read() }
+    }
+
+    /// FLOPs observed so far without ending the scope.
+    pub fn elapsed(&self) -> u64 {
+        read().saturating_sub(self.start)
+    }
+
+    /// Ends the scope and returns the observed FLOP count.
+    pub fn finish(self) -> u64 {
+        self.elapsed()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_read_are_monotonic() {
+        let before = read();
+        add(42);
+        assert!(read() >= before + 42);
+    }
+
+    #[test]
+    fn scope_measures_delta() {
+        let s = FlopScope::start();
+        add(1000);
+        assert!(s.elapsed() >= 1000);
+        assert!(s.finish() >= 1000);
+    }
+
+    #[test]
+    fn labeled_counters_accumulate() {
+        clear_labels();
+        add_labeled("test-phase", 5);
+        add_labeled("test-phase", 7);
+        assert_eq!(labeled_snapshot().get("test-phase"), Some(&12));
+        clear_labels();
+        assert!(!labeled_snapshot().contains_key("test-phase"));
+    }
+}

@@ -1,0 +1,328 @@
+//! Matrix multiplication kernels.
+//!
+//! Three tiers, all `O(m·k·n)` multiply-adds but with very different
+//! constants:
+//!
+//! * [`Matrix::try_matmul`] — the public entry point. Dispatches to the
+//!   parallel blocked kernel above a size threshold, otherwise runs the
+//!   serial blocked kernel.
+//! * [`Matrix::matmul_serial`] — cache-blocked `i-k-j` kernel.
+//! * [`Matrix::matmul_parallel`] — row-band parallelism over crossbeam scoped
+//!   threads, mirroring how the paper's Octave backend exploits
+//!   multi-threaded BLAS for the `O(nᵞ)` re-evaluation cost.
+//!
+//! Skinny products (`matvec`, `outer`) are the `O(n²)`-class primitives that
+//! incremental maintenance is built from.
+
+use crate::{flops, Matrix, MatrixError, Result};
+
+/// Products with at least this many multiply-adds use the threaded kernel.
+const PARALLEL_THRESHOLD: usize = 96 * 96 * 96;
+
+/// Cache block edge for the serial kernel.
+const BLOCK: usize = 64;
+
+impl Matrix {
+    /// General matrix product `self · rhs`.
+    pub fn try_matmul(&self, rhs: &Matrix) -> Result<Matrix> {
+        if self.cols() != rhs.rows() {
+            return Err(MatrixError::DimMismatch {
+                op: "matmul",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        let work = self.rows() * self.cols() * rhs.cols();
+        flops::add((2 * work) as u64);
+        if work >= PARALLEL_THRESHOLD {
+            Ok(self.matmul_parallel_impl(rhs))
+        } else {
+            Ok(self.matmul_serial_impl(rhs))
+        }
+    }
+
+    /// Serial cache-blocked product (for benchmarking the kernels in
+    /// isolation; [`Matrix::try_matmul`] picks automatically).
+    pub fn matmul_serial(&self, rhs: &Matrix) -> Result<Matrix> {
+        if self.cols() != rhs.rows() {
+            return Err(MatrixError::DimMismatch {
+                op: "matmul",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        flops::add((2 * self.rows() * self.cols() * rhs.cols()) as u64);
+        Ok(self.matmul_serial_impl(rhs))
+    }
+
+    /// Threaded product (row bands across all available cores).
+    pub fn matmul_parallel(&self, rhs: &Matrix) -> Result<Matrix> {
+        if self.cols() != rhs.rows() {
+            return Err(MatrixError::DimMismatch {
+                op: "matmul",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        flops::add((2 * self.rows() * self.cols() * rhs.cols()) as u64);
+        Ok(self.matmul_parallel_impl(rhs))
+    }
+
+    fn matmul_serial_impl(&self, rhs: &Matrix) -> Matrix {
+        let (m, k) = self.shape();
+        let n = rhs.cols();
+        let mut out = Matrix::zeros(m, n);
+        mul_into(self, rhs, out.as_mut_slice(), 0, m, k, n);
+        out
+    }
+
+    fn matmul_parallel_impl(&self, rhs: &Matrix) -> Matrix {
+        let (m, k) = self.shape();
+        let n = rhs.cols();
+        let threads = std::thread::available_parallelism()
+            .map(|t| t.get())
+            .unwrap_or(1)
+            .min(m.max(1));
+        if threads <= 1 {
+            return self.matmul_serial_impl(rhs);
+        }
+        let mut out = Matrix::zeros(m, n);
+        let band = m.div_ceil(threads);
+        {
+            let out_slice = out.as_mut_slice();
+            let bands: Vec<(usize, &mut [f64])> = {
+                let mut v = Vec::new();
+                let mut rest = out_slice;
+                let mut r0 = 0;
+                while r0 < m {
+                    let h = band.min(m - r0);
+                    let (head, tail) = rest.split_at_mut(h * n);
+                    v.push((r0, head));
+                    rest = tail;
+                    r0 += h;
+                }
+                v
+            };
+            crossbeam::thread::scope(|s| {
+                for (r0, chunk) in bands {
+                    let h = chunk.len() / n;
+                    s.spawn(move |_| {
+                        mul_band(self, rhs, chunk, r0, h, k, n);
+                    });
+                }
+            })
+            .expect("matmul worker panicked");
+        }
+        out
+    }
+
+    /// Matrix–vector product `self · v` where `v` is `k×1`; `O(mk)`.
+    pub fn matvec(&self, v: &Matrix) -> Result<Matrix> {
+        if v.cols() != 1 || self.cols() != v.rows() {
+            return Err(MatrixError::DimMismatch {
+                op: "matvec",
+                lhs: self.shape(),
+                rhs: v.shape(),
+            });
+        }
+        flops::add((2 * self.rows() * self.cols()) as u64);
+        let mut out = Matrix::zeros(self.rows(), 1);
+        for r in 0..self.rows() {
+            let row = self.row(r);
+            let mut acc = 0.0;
+            for (c, &x) in row.iter().enumerate() {
+                acc += x * v.get(c, 0);
+            }
+            out.set(r, 0, acc);
+        }
+        Ok(out)
+    }
+
+    /// Vector–matrix product `vᵀ · self` where `v` is `m×1`; returns `1×n`.
+    pub fn vecmat(&self, v: &Matrix) -> Result<Matrix> {
+        if v.cols() != 1 || self.rows() != v.rows() {
+            return Err(MatrixError::DimMismatch {
+                op: "vecmat",
+                lhs: v.shape(),
+                rhs: self.shape(),
+            });
+        }
+        flops::add((2 * self.rows() * self.cols()) as u64);
+        let mut out = Matrix::zeros(1, self.cols());
+        for r in 0..self.rows() {
+            let coeff = v.get(r, 0);
+            if coeff == 0.0 {
+                continue;
+            }
+            let row = self.row(r);
+            let o = out.row_mut(0);
+            for (c, &x) in row.iter().enumerate() {
+                o[c] += coeff * x;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Outer product `u vᵀ` of two column vectors.
+    pub fn outer(u: &Matrix, v: &Matrix) -> Result<Matrix> {
+        if u.cols() != 1 || v.cols() != 1 {
+            return Err(MatrixError::DimMismatch {
+                op: "outer",
+                lhs: u.shape(),
+                rhs: v.shape(),
+            });
+        }
+        flops::add((u.rows() * v.rows()) as u64);
+        let mut out = Matrix::zeros(u.rows(), v.rows());
+        for r in 0..u.rows() {
+            let ur = u.get(r, 0);
+            for (o, &vc) in out.row_mut(r).iter_mut().zip(v.as_slice()) {
+                *o = ur * vc;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Dot product of two column vectors.
+    pub fn dot(u: &Matrix, v: &Matrix) -> Result<f64> {
+        if u.cols() != 1 || v.cols() != 1 || u.rows() != v.rows() {
+            return Err(MatrixError::DimMismatch {
+                op: "dot",
+                lhs: u.shape(),
+                rhs: v.shape(),
+            });
+        }
+        flops::add((2 * u.rows()) as u64);
+        Ok(u.as_slice()
+            .iter()
+            .zip(v.as_slice())
+            .map(|(&a, &b)| a * b)
+            .sum())
+    }
+}
+
+/// Multiplies rows `[r0, r0+h)` of `a` by `b` into `out` (an `h×n` buffer).
+fn mul_band(a: &Matrix, b: &Matrix, out: &mut [f64], r0: usize, h: usize, k: usize, n: usize) {
+    mul_into(a, b, out, r0, h, k, n);
+}
+
+/// Cache-blocked i-k-j kernel writing `a[r0..r0+h] · b` into `out`.
+fn mul_into(a: &Matrix, b: &Matrix, out: &mut [f64], r0: usize, h: usize, k: usize, n: usize) {
+    for kb in (0..k).step_by(BLOCK) {
+        let kend = (kb + BLOCK).min(k);
+        for i in 0..h {
+            let arow = a.row(r0 + i);
+            let orow = &mut out[i * n..(i + 1) * n];
+            // Indexed on purpose: `kk` addresses both `arow` and `b`'s rows.
+            #[allow(clippy::needless_range_loop)]
+            for kk in kb..kend {
+                let aval = arow[kk];
+                if aval == 0.0 {
+                    continue;
+                }
+                let brow = b.row(kk);
+                for (o, &bv) in orow.iter_mut().zip(brow) {
+                    *o += aval * bv;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ApproxEq;
+
+    fn naive(a: &Matrix, b: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(a.rows(), b.cols());
+        for i in 0..a.rows() {
+            for j in 0..b.cols() {
+                let mut acc = 0.0;
+                for p in 0..a.cols() {
+                    acc += a.get(i, p) * b.get(p, j);
+                }
+                out.set(i, j, acc);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn small_product_matches_hand_computed() {
+        let a = Matrix::from_rows(vec![vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        let b = Matrix::from_rows(vec![vec![5.0, 6.0], vec![7.0, 8.0]]).unwrap();
+        let c = a.try_matmul(&b).unwrap();
+        assert_eq!(c.as_slice(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn rejects_inner_dim_mismatch() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        assert!(a.try_matmul(&b).is_err());
+    }
+
+    #[test]
+    fn serial_matches_naive_rectangular() {
+        let a = Matrix::random_uniform(17, 33, 1);
+        let b = Matrix::random_uniform(33, 9, 2);
+        let fast = a.matmul_serial(&b).unwrap();
+        assert!(fast.approx_eq(&naive(&a, &b), 1e-10));
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let a = Matrix::random_uniform(130, 70, 3);
+        let b = Matrix::random_uniform(70, 110, 4);
+        let p = a.matmul_parallel(&b).unwrap();
+        let s = a.matmul_serial(&b).unwrap();
+        assert!(p.approx_eq(&s, 1e-10));
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let a = Matrix::random_uniform(20, 20, 5);
+        let i = Matrix::identity(20);
+        assert!(a.try_matmul(&i).unwrap().approx_eq(&a, 1e-12));
+        assert!(i.try_matmul(&a).unwrap().approx_eq(&a, 1e-12));
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let a = Matrix::random_uniform(12, 8, 6);
+        let v = Matrix::random_uniform(8, 1, 7);
+        let fast = a.matvec(&v).unwrap();
+        let slow = a.try_matmul(&v).unwrap();
+        assert!(fast.approx_eq(&slow, 1e-12));
+    }
+
+    #[test]
+    fn vecmat_matches_transpose_matmul() {
+        let a = Matrix::random_uniform(8, 12, 8);
+        let v = Matrix::random_uniform(8, 1, 9);
+        let fast = a.vecmat(&v).unwrap();
+        let slow = v.transpose().try_matmul(&a).unwrap();
+        assert!(fast.approx_eq(&slow, 1e-12));
+    }
+
+    #[test]
+    fn outer_and_dot() {
+        let u = Matrix::col_vector(&[1.0, 2.0]);
+        let v = Matrix::col_vector(&[3.0, 4.0, 5.0]);
+        let o = Matrix::outer(&u, &v).unwrap();
+        assert_eq!(o.shape(), (2, 3));
+        assert_eq!(o.get(1, 2), 10.0);
+        let w = Matrix::col_vector(&[1.0, 1.0, 2.0]);
+        assert_eq!(Matrix::dot(&v, &w).unwrap(), 17.0);
+        assert!(Matrix::dot(&u, &v).is_err());
+    }
+
+    #[test]
+    fn matmul_counts_flops() {
+        let a = Matrix::identity(10);
+        let before = flops::read();
+        let _ = a.try_matmul(&a).unwrap();
+        assert!(flops::read() - before >= 2000);
+    }
+}

@@ -1,0 +1,118 @@
+//! Norms and approximate comparison.
+//!
+//! Correctness of incremental maintenance is always checked against full
+//! re-evaluation with a relative tolerance (`‖INCR − REEVAL‖ / ‖REEVAL‖`);
+//! these helpers centralize that comparison.
+
+use crate::Matrix;
+
+impl Matrix {
+    /// Frobenius norm `sqrt(Σ aᵢⱼ²)`.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.as_slice().iter().map(|&x| x * x).sum::<f64>().sqrt()
+    }
+
+    /// Maximum absolute entry (`‖A‖_max`).
+    pub fn max_abs(&self) -> f64 {
+        self.as_slice().iter().fold(0.0, |m, &x| m.max(x.abs()))
+    }
+
+    /// One-norm (maximum absolute column sum).
+    pub fn norm_one(&self) -> f64 {
+        let mut best = 0.0f64;
+        for c in 0..self.cols() {
+            let s: f64 = (0..self.rows()).map(|r| self.get(r, c).abs()).sum();
+            best = best.max(s);
+        }
+        best
+    }
+
+    /// Infinity-norm (maximum absolute row sum).
+    pub fn norm_inf(&self) -> f64 {
+        let mut best = 0.0f64;
+        for r in 0..self.rows() {
+            let s: f64 = self.row(r).iter().map(|x| x.abs()).sum();
+            best = best.max(s);
+        }
+        best
+    }
+
+    /// Largest absolute entrywise difference between two matrices.
+    ///
+    /// Returns `f64::INFINITY` on shape mismatch so callers comparing views
+    /// never silently pass.
+    pub fn max_abs_diff(&self, other: &Matrix) -> f64 {
+        if self.shape() != other.shape() {
+            return f64::INFINITY;
+        }
+        self.as_slice()
+            .iter()
+            .zip(other.as_slice())
+            .fold(0.0f64, |m, (&a, &b)| m.max((a - b).abs()))
+    }
+
+    /// Relative difference: `max_abs_diff / max(1, ‖other‖_max)`.
+    pub fn rel_diff(&self, other: &Matrix) -> f64 {
+        self.max_abs_diff(other) / other.max_abs().max(1.0)
+    }
+}
+
+/// Tolerance-based comparison used pervasively in tests.
+pub trait ApproxEq {
+    /// True when `self` and `other` differ by at most `tol` relative to the
+    /// magnitude of `other`.
+    fn approx_eq(&self, other: &Self, tol: f64) -> bool;
+}
+
+impl ApproxEq for Matrix {
+    fn approx_eq(&self, other: &Self, tol: f64) -> bool {
+        self.rel_diff(other) <= tol
+    }
+}
+
+impl ApproxEq for f64 {
+    fn approx_eq(&self, other: &Self, tol: f64) -> bool {
+        (self - other).abs() <= tol * other.abs().max(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frobenius_of_identity() {
+        assert!((Matrix::identity(4).frobenius_norm() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn norms_on_known_matrix() {
+        let m = Matrix::from_rows(vec![vec![1.0, -2.0], vec![3.0, 4.0]]).unwrap();
+        assert_eq!(m.max_abs(), 4.0);
+        assert_eq!(m.norm_one(), 6.0); // col 1: |−2|+4 = 6
+        assert_eq!(m.norm_inf(), 7.0); // row 1: 3+4 = 7
+    }
+
+    #[test]
+    fn diff_is_infinite_on_shape_mismatch() {
+        let a = Matrix::zeros(2, 2);
+        let b = Matrix::zeros(3, 2);
+        assert!(a.max_abs_diff(&b).is_infinite());
+        assert!(!a.approx_eq(&b, 1e9));
+    }
+
+    #[test]
+    fn approx_eq_respects_tolerance() {
+        let a = Matrix::filled(2, 2, 1.0);
+        let mut b = a.clone();
+        b.set(0, 0, 1.0 + 1e-9);
+        assert!(a.approx_eq(&b, 1e-8));
+        assert!(!a.approx_eq(&b, 1e-11));
+    }
+
+    #[test]
+    fn scalar_approx_eq() {
+        assert!(1.0f64.approx_eq(&(1.0 + 1e-12), 1e-9));
+        assert!(!1.0f64.approx_eq(&1.1, 1e-9));
+    }
+}

@@ -1,0 +1,212 @@
+//! Householder QR decomposition.
+//!
+//! The OLS application (§5.1) solves the normal equations through
+//! `(XᵀX)⁻¹`; the numerically preferred route is QR on `X` itself. This
+//! module provides that substrate — both as an independent cross-check for
+//! the maintained OLS estimator and as the foundation the paper's §4.2
+//! points to for factorization-based extensions ("rank-1 updates in
+//! different matrix factorizations").
+
+use crate::{flops, Matrix, MatrixError, Result};
+
+/// Columns with norm below this are rank deficient.
+const RANK_TOL: f64 = 1e-12;
+
+/// A thin QR factorization `A = Q·R` of an `m×n` matrix with `m ≥ n`:
+/// `Q : (m×n)` has orthonormal columns, `R : (n×n)` is upper triangular.
+#[derive(Debug, Clone)]
+pub struct Qr {
+    q: Matrix,
+    r: Matrix,
+}
+
+impl Qr {
+    /// Factorizes via Householder reflections; `O(mn²)`.
+    ///
+    /// Requires `m ≥ n`; returns [`MatrixError::Singular`] on (numerical)
+    /// column-rank deficiency.
+    pub fn factorize(a: &Matrix) -> Result<Qr> {
+        let (m, n) = a.shape();
+        if m < n {
+            return Err(MatrixError::DimMismatch {
+                op: "qr",
+                lhs: (m, n),
+                rhs: (n, n),
+            });
+        }
+        flops::add((2 * m * n * n) as u64);
+        let mut r_full = a.clone();
+        // Accumulate Q implicitly: start from identity, apply reflectors.
+        let mut q_full = Matrix::identity(m);
+        for k in 0..n {
+            // Householder vector for column k below the diagonal.
+            let mut norm2 = 0.0;
+            for i in k..m {
+                let x = r_full.get(i, k);
+                norm2 += x * x;
+            }
+            let norm = norm2.sqrt();
+            if norm < RANK_TOL {
+                return Err(MatrixError::Singular { pivot: k });
+            }
+            let alpha = if r_full.get(k, k) >= 0.0 { -norm } else { norm };
+            let mut v: Vec<f64> = (0..m)
+                .map(|i| if i < k { 0.0 } else { r_full.get(i, k) })
+                .collect();
+            v[k] -= alpha;
+            let vnorm2: f64 = v.iter().map(|x| x * x).sum();
+            if vnorm2 < RANK_TOL {
+                continue; // column already reduced
+            }
+            // Apply H = I − 2 v vᵀ / (vᵀv) to R (left) and Q (right).
+            // Indexed on purpose: `i` addresses `v` and a matrix column
+            // simultaneously.
+            #[allow(clippy::needless_range_loop)]
+            for c in k..n {
+                let dot: f64 = (k..m).map(|i| v[i] * r_full.get(i, c)).sum();
+                let f = 2.0 * dot / vnorm2;
+                for i in k..m {
+                    let val = r_full.get(i, c) - f * v[i];
+                    r_full.set(i, c, val);
+                }
+            }
+            for row in 0..m {
+                let dot: f64 = (k..m).map(|i| q_full.get(row, i) * v[i]).sum();
+                let f = 2.0 * dot / vnorm2;
+                #[allow(clippy::needless_range_loop)]
+                for i in k..m {
+                    let val = q_full.get(row, i) - f * v[i];
+                    q_full.set(row, i, val);
+                }
+            }
+        }
+        // Thin factors.
+        let q = q_full.submatrix(0, 0, m, n)?;
+        let mut r = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in i..n {
+                r.set(i, j, r_full.get(i, j));
+            }
+        }
+        Ok(Qr { q, r })
+    }
+
+    /// The orthonormal factor `Q` (`m×n`).
+    pub fn q(&self) -> &Matrix {
+        &self.q
+    }
+
+    /// The upper-triangular factor `R` (`n×n`).
+    pub fn r(&self) -> &Matrix {
+        &self.r
+    }
+
+    /// Reconstructs `Q·R` (tests/diagnostics).
+    pub fn reconstruct(&self) -> Matrix {
+        self.q.try_matmul(&self.r).expect("conforming factors")
+    }
+
+    /// Least-squares solve: `argmin_x ‖A·x − b‖₂` via `R·x = Qᵀ·b`;
+    /// `O(mn·ncols + n²·ncols)`.
+    pub fn solve_least_squares(&self, b: &Matrix) -> Result<Matrix> {
+        let (m, n) = self.q.shape();
+        if b.rows() != m {
+            return Err(MatrixError::DimMismatch {
+                op: "qr_solve",
+                lhs: (m, n),
+                rhs: b.shape(),
+            });
+        }
+        let qtb = self.q.transpose().try_matmul(b)?;
+        // Back substitution with R.
+        let mut x = qtb;
+        flops::add((n * n * x.cols()) as u64);
+        for i in (0..n).rev() {
+            for k in (i + 1)..n {
+                let f = self.r.get(i, k);
+                for c in 0..x.cols() {
+                    let v = x.get(i, c) - f * x.get(k, c);
+                    x.set(i, c, v);
+                }
+            }
+            let d = self.r.get(i, i);
+            if d.abs() < RANK_TOL {
+                return Err(MatrixError::Singular { pivot: i });
+            }
+            for c in 0..x.cols() {
+                x.set(i, c, x.get(i, c) / d);
+            }
+        }
+        Ok(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ApproxEq;
+
+    #[test]
+    fn factorize_reconstructs_square_and_tall() {
+        for (m, n, seed) in [(8usize, 8usize, 1u64), (12, 5, 2), (20, 3, 3)] {
+            let a = Matrix::random_uniform(m, n, seed);
+            let qr = Qr::factorize(&a).unwrap();
+            assert!(qr.reconstruct().approx_eq(&a, 1e-9), "({m},{n}) failed");
+        }
+    }
+
+    #[test]
+    fn q_has_orthonormal_columns() {
+        let a = Matrix::random_uniform(10, 4, 4);
+        let qr = Qr::factorize(&a).unwrap();
+        let qtq = qr.q().transpose().try_matmul(qr.q()).unwrap();
+        assert!(qtq.approx_eq(&Matrix::identity(4), 1e-9));
+    }
+
+    #[test]
+    fn r_is_upper_triangular() {
+        let a = Matrix::random_uniform(9, 5, 5);
+        let qr = Qr::factorize(&a).unwrap();
+        for i in 0..5 {
+            for j in 0..i {
+                assert!(qr.r().get(i, j).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_wide_and_rank_deficient() {
+        assert!(Qr::factorize(&Matrix::zeros(3, 5)).is_err());
+        // Duplicate columns -> rank deficient.
+        let col = Matrix::random_col(6, 6);
+        let a = Matrix::hstack(&[&col, &col]).unwrap();
+        assert!(Qr::factorize(&a).is_err());
+    }
+
+    #[test]
+    fn least_squares_matches_normal_equations() {
+        let x = Matrix::random_uniform(16, 6, 7);
+        let y = Matrix::random_uniform(16, 2, 8);
+        let qr = Qr::factorize(&x).unwrap();
+        let beta_qr = qr.solve_least_squares(&y).unwrap();
+        // Normal equations: (XᵀX)⁻¹XᵀY.
+        let xtx = x.transpose().try_matmul(&x).unwrap();
+        let beta_ne = xtx
+            .inverse()
+            .unwrap()
+            .try_matmul(&x.transpose().try_matmul(&y).unwrap())
+            .unwrap();
+        assert!(beta_qr.approx_eq(&beta_ne, 1e-7));
+        assert!(qr.solve_least_squares(&Matrix::zeros(4, 1)).is_err());
+    }
+
+    #[test]
+    fn exact_solve_on_square_systems() {
+        let a = Matrix::random_diag_dominant(8, 9);
+        let b = Matrix::random_col(8, 10);
+        let qr = Qr::factorize(&a).unwrap();
+        let x = qr.solve_least_squares(&b).unwrap();
+        let residual = a.try_matmul(&x).unwrap().try_sub(&b).unwrap();
+        assert!(residual.max_abs() < 1e-9);
+    }
+}

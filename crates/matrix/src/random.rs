@@ -1,0 +1,110 @@
+//! Seeded random matrix generation.
+//!
+//! The paper's workload uses "dense random matrices … preconditioned
+//! appropriately for numerical stability" (§7). Iterating `Aᵏ` on an
+//! unconditioned random matrix overflows quickly, so the generators here
+//! offer spectral scaling: entries are drawn uniformly then the matrix is
+//! scaled so its infinity-norm hits a target (< 1 keeps powers bounded).
+
+use crate::Matrix;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+impl Matrix {
+    /// Uniform entries in `[-1, 1)` from a seeded PRNG (deterministic).
+    pub fn random_uniform(rows: usize, cols: usize, seed: u64) -> Matrix {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let data = (0..rows * cols)
+            .map(|_| rng.random::<f64>() * 2.0 - 1.0)
+            .collect();
+        Matrix::from_vec(rows, cols, data).expect("buffer length matches shape")
+    }
+
+    /// Random square matrix scaled so `‖A‖_∞ = target_norm`.
+    ///
+    /// With `target_norm < 1` every power `Aᵏ` stays bounded, matching the
+    /// paper's preconditioning for the matrix-powers workloads.
+    pub fn random_spectral(n: usize, seed: u64, target_norm: f64) -> Matrix {
+        let mut m = Matrix::random_uniform(n, n, seed);
+        let norm = m.norm_inf();
+        if norm > 0.0 {
+            m.scale_inplace(target_norm / norm);
+        }
+        m
+    }
+
+    /// Random diagonally dominant matrix (always invertible, well
+    /// conditioned); used to exercise the inverse/OLS paths.
+    pub fn random_diag_dominant(n: usize, seed: u64) -> Matrix {
+        let mut m = Matrix::random_uniform(n, n, seed);
+        for i in 0..n {
+            let row_sum: f64 = m.row(i).iter().map(|x| x.abs()).sum();
+            m.set(i, i, row_sum + 1.0);
+        }
+        m
+    }
+
+    /// Random column vector with entries in `[-1, 1)`.
+    pub fn random_col(n: usize, seed: u64) -> Matrix {
+        Matrix::random_uniform(n, 1, seed)
+    }
+
+    /// Random column-stochastic matrix (columns sum to 1); the transition
+    /// matrix shape used by the PageRank application.
+    pub fn random_stochastic(n: usize, seed: u64) -> Matrix {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut m = Matrix::zeros(n, n);
+        for c in 0..n {
+            let mut col: Vec<f64> = (0..n).map(|_| rng.random::<f64>() + 1e-6).collect();
+            let s: f64 = col.iter().sum();
+            for v in &mut col {
+                *v /= s;
+            }
+            for (r, v) in col.into_iter().enumerate() {
+                m.set(r, c, v);
+            }
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_generation_is_deterministic() {
+        let a = Matrix::random_uniform(5, 7, 99);
+        let b = Matrix::random_uniform(5, 7, 99);
+        assert_eq!(a, b);
+        let c = Matrix::random_uniform(5, 7, 100);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn uniform_entries_in_range() {
+        let m = Matrix::random_uniform(20, 20, 1);
+        assert!(m.as_slice().iter().all(|&x| (-1.0..1.0).contains(&x)));
+    }
+
+    #[test]
+    fn spectral_scaling_hits_target() {
+        let m = Matrix::random_spectral(32, 2, 0.9);
+        assert!((m.norm_inf() - 0.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn diag_dominant_is_invertible() {
+        let m = Matrix::random_diag_dominant(16, 3);
+        assert!(m.inverse().is_ok());
+    }
+
+    #[test]
+    fn stochastic_columns_sum_to_one() {
+        let m = Matrix::random_stochastic(10, 4);
+        for c in 0..10 {
+            let s: f64 = m.col(c).iter().sum();
+            assert!((s - 1.0).abs() < 1e-9);
+        }
+    }
+}

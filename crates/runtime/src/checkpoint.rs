@@ -1,0 +1,188 @@
+//! Environment checkpointing.
+//!
+//! Incremental maintenance is stateful: the materialized views *are* the
+//! computation. A production deployment needs to persist and restore that
+//! state across restarts (the paper's streams are "long-lived data",
+//! unlike window-bounded stream processors — §1). This module provides a
+//! compact, versioned binary snapshot of an [`Env`] built on the `bytes`
+//! crate, with integrity checks on restore.
+//!
+//! Format (little-endian):
+//!
+//! ```text
+//! magic "LNVW" | u32 version | u32 entry_count |
+//!   { u32 name_len | name utf8 | u64 rows | u64 cols | rows·cols f64 }*
+//! ```
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use linview_matrix::Matrix;
+
+use crate::{Env, Result, RuntimeError};
+
+const MAGIC: &[u8; 4] = b"LNVW";
+const VERSION: u32 = 1;
+
+/// Serializes every binding of `env` into a standalone byte buffer.
+pub fn save(env: &Env) -> Bytes {
+    let mut buf = BytesMut::new();
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(VERSION);
+    buf.put_u32_le(env.len() as u32);
+    for (name, m) in env.iter() {
+        buf.put_u32_le(name.len() as u32);
+        buf.put_slice(name.as_bytes());
+        buf.put_u64_le(m.rows() as u64);
+        buf.put_u64_le(m.cols() as u64);
+        for &x in m.as_slice() {
+            buf.put_f64_le(x);
+        }
+    }
+    buf.freeze()
+}
+
+/// Restores an environment from a snapshot produced by [`save`].
+pub fn restore(mut data: Bytes) -> Result<Env> {
+    let fail = |msg: &str| RuntimeError::Unbound(format!("corrupt checkpoint: {msg}"));
+    if data.remaining() < 12 {
+        return Err(fail("truncated header"));
+    }
+    let mut magic = [0u8; 4];
+    data.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(fail("bad magic"));
+    }
+    let version = data.get_u32_le();
+    if version != VERSION {
+        return Err(fail(&format!("unsupported version {version}")));
+    }
+    let count = data.get_u32_le() as usize;
+    let mut env = Env::new();
+    for _ in 0..count {
+        if data.remaining() < 4 {
+            return Err(fail("truncated entry header"));
+        }
+        let name_len = data.get_u32_le() as usize;
+        if data.remaining() < name_len + 16 {
+            return Err(fail("truncated entry"));
+        }
+        let name_bytes = data.copy_to_bytes(name_len);
+        let name = std::str::from_utf8(&name_bytes)
+            .map_err(|_| fail("non-utf8 name"))?
+            .to_string();
+        let rows = data.get_u64_le() as usize;
+        let cols = data.get_u64_le() as usize;
+        let entries = rows
+            .checked_mul(cols)
+            .ok_or_else(|| fail("shape overflow"))?;
+        if data.remaining() < entries * 8 {
+            return Err(fail("truncated matrix payload"));
+        }
+        let mut values = Vec::with_capacity(entries);
+        for _ in 0..entries {
+            values.push(data.get_f64_le());
+        }
+        let m = Matrix::from_vec(rows, cols, values).map_err(RuntimeError::Matrix)?;
+        env.bind(name, m);
+    }
+    if data.has_remaining() {
+        return Err(fail("trailing bytes"));
+    }
+    Ok(env)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_env() -> Env {
+        let mut env = Env::new();
+        env.bind("A", Matrix::random_uniform(6, 6, 1));
+        env.bind("beta", Matrix::random_uniform(6, 1, 2));
+        env.bind("P16", Matrix::random_uniform(6, 6, 3));
+        env
+    }
+
+    #[test]
+    fn save_restore_roundtrip() {
+        let env = sample_env();
+        let snapshot = save(&env);
+        let back = restore(snapshot).unwrap();
+        assert_eq!(back.len(), env.len());
+        for (name, m) in env.iter() {
+            assert_eq!(back.get(name).unwrap(), m, "binding {name} differs");
+        }
+    }
+
+    #[test]
+    fn empty_env_roundtrips() {
+        let env = Env::new();
+        let back = restore(save(&env)).unwrap();
+        assert!(back.is_empty());
+    }
+
+    #[test]
+    fn rejects_bad_magic_and_version() {
+        let mut raw = BytesMut::from(&save(&sample_env())[..]);
+        raw[0] = b'X';
+        assert!(restore(raw.freeze()).is_err());
+        let mut raw2 = BytesMut::from(&save(&sample_env())[..]);
+        raw2[4] = 99;
+        assert!(restore(raw2.freeze()).is_err());
+    }
+
+    #[test]
+    fn rejects_truncation_anywhere() {
+        let full = save(&sample_env());
+        for cut in [0usize, 3, 11, 20, full.len() - 1] {
+            let truncated = full.slice(0..cut);
+            assert!(restore(truncated).is_err(), "cut at {cut} accepted");
+        }
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        let mut raw = BytesMut::from(&save(&sample_env())[..]);
+        raw.put_u8(0);
+        assert!(restore(raw.freeze()).is_err());
+    }
+
+    #[test]
+    fn resumed_maintenance_continues_correctly() {
+        // The operational scenario: snapshot mid-stream, restart, continue.
+        use linview_compiler::parse::parse_program;
+        use linview_expr::Catalog;
+
+        let program = parse_program("B := A * A; C := B * B;").unwrap();
+        let n = 12;
+        let mut cat = Catalog::new();
+        cat.declare("A", n, n);
+        let a = Matrix::random_spectral(n, 9, 0.8);
+        let mut env = Env::new();
+        env.bind("A", a.clone());
+        let ev = crate::Evaluator::new();
+        for stmt in program.statements() {
+            let value = ev.eval(&stmt.expr, &env).unwrap();
+            env.bind(stmt.target.clone(), value);
+        }
+        let tp = linview_compiler::compile(
+            &program,
+            &["A"],
+            &cat,
+            &linview_compiler::CompileOptions::default(),
+        )
+        .unwrap();
+        let trigger = &tp.triggers[0];
+        let upd1 = crate::RankOneUpdate::row_update(n, n, 2, 0.01, 4);
+        let upd2 = crate::RankOneUpdate::row_update(n, n, 7, 0.01, 5);
+
+        // Apply upd1, snapshot, then continue with upd2 on the restored env.
+        crate::fire_trigger(&mut env, &ev, trigger, &upd1.u, &upd1.v).unwrap();
+        let snapshot = save(&env);
+        let mut restored = restore(snapshot).unwrap();
+        crate::fire_trigger(&mut restored, &ev, trigger, &upd2.u, &upd2.v).unwrap();
+
+        // Reference: both updates without the snapshot detour.
+        crate::fire_trigger(&mut env, &ev, trigger, &upd2.u, &upd2.v).unwrap();
+        assert_eq!(restored.get("C").unwrap(), env.get("C").unwrap());
+    }
+}

@@ -1,0 +1,123 @@
+//! The named-matrix environment backing program and trigger execution.
+
+use linview_matrix::Matrix;
+use std::collections::BTreeMap;
+
+use crate::{Result, RuntimeError};
+
+/// A mutable binding of matrix names to values — the "database" of base
+/// relations and materialized views.
+#[derive(Debug, Clone, Default)]
+pub struct Env {
+    bindings: BTreeMap<String, Matrix>,
+}
+
+impl Env {
+    /// An empty environment.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Binds (or rebinds) `name` to `value`.
+    pub fn bind(&mut self, name: impl Into<String>, value: Matrix) {
+        self.bindings.insert(name.into(), value);
+    }
+
+    /// Immutable lookup.
+    pub fn get(&self, name: &str) -> Result<&Matrix> {
+        self.bindings
+            .get(name)
+            .ok_or_else(|| RuntimeError::Unbound(name.to_string()))
+    }
+
+    /// Mutable lookup.
+    pub fn get_mut(&mut self, name: &str) -> Result<&mut Matrix> {
+        self.bindings
+            .get_mut(name)
+            .ok_or_else(|| RuntimeError::Unbound(name.to_string()))
+    }
+
+    /// Removes a binding, returning it if present.
+    pub fn unbind(&mut self, name: &str) -> Option<Matrix> {
+        self.bindings.remove(name)
+    }
+
+    /// True when `name` is bound.
+    pub fn contains(&self, name: &str) -> bool {
+        self.bindings.contains_key(name)
+    }
+
+    /// Iterates over bindings in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Matrix)> {
+        self.bindings.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Number of bound matrices.
+    pub fn len(&self) -> usize {
+        self.bindings.len()
+    }
+
+    /// True when nothing is bound.
+    pub fn is_empty(&self) -> bool {
+        self.bindings.is_empty()
+    }
+
+    /// Total heap footprint of all bound matrices, in bytes. This is the
+    /// quantity Table 3 reports ("the memory requirements … of ReevalExp
+    /// and IncrExp").
+    pub fn memory_bytes(&self) -> usize {
+        self.bindings.values().map(Matrix::memory_bytes).sum()
+    }
+
+    /// Names bound in this environment (sorted).
+    pub fn names(&self) -> Vec<&str> {
+        self.bindings.keys().map(String::as_str).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bind_get_roundtrip() {
+        let mut env = Env::new();
+        env.bind("A", Matrix::identity(3));
+        assert_eq!(env.get("A").unwrap().shape(), (3, 3));
+        assert!(matches!(env.get("B"), Err(RuntimeError::Unbound(_))));
+    }
+
+    #[test]
+    fn rebind_replaces() {
+        let mut env = Env::new();
+        env.bind("A", Matrix::identity(3));
+        env.bind("A", Matrix::zeros(2, 2));
+        assert_eq!(env.get("A").unwrap().shape(), (2, 2));
+        assert_eq!(env.len(), 1);
+    }
+
+    #[test]
+    fn unbind_removes() {
+        let mut env = Env::new();
+        env.bind("A", Matrix::identity(3));
+        assert!(env.unbind("A").is_some());
+        assert!(env.unbind("A").is_none());
+        assert!(env.is_empty());
+    }
+
+    #[test]
+    fn memory_accounting_sums_views() {
+        let mut env = Env::new();
+        env.bind("A", Matrix::zeros(10, 10)); // 800 B
+        env.bind("B", Matrix::zeros(5, 4)); // 160 B
+        assert_eq!(env.memory_bytes(), 960);
+    }
+
+    #[test]
+    fn get_mut_allows_in_place_update() {
+        let mut env = Env::new();
+        env.bind("A", Matrix::zeros(2, 2));
+        env.get_mut("A").unwrap().set(0, 0, 5.0);
+        assert_eq!(env.get("A").unwrap().get(0, 0), 5.0);
+    }
+}

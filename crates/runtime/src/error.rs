@@ -1,0 +1,77 @@
+use linview_expr::ExprError;
+use linview_matrix::MatrixError;
+use std::fmt;
+
+/// Errors produced while executing programs and triggers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RuntimeError {
+    /// A matrix kernel failed (shape mismatch, singular matrix, …).
+    Matrix(MatrixError),
+    /// Symbolic analysis failed (unknown variable, non-conforming dims, …).
+    Expr(ExprError),
+    /// A variable was read before being bound in the environment.
+    Unbound(String),
+    /// The Sherman–Morrison denominator `1 + vᵀ W u` vanished — the updated
+    /// matrix is (numerically) singular and the inverse view cannot be
+    /// maintained incrementally for this update.
+    ShermanMorrisonSingular {
+        /// Which rank-1 step failed.
+        step: usize,
+        /// The offending denominator value.
+        denominator: f64,
+    },
+    /// An update's shape does not match the target matrix.
+    UpdateShape {
+        /// Target matrix shape.
+        target: (usize, usize),
+        /// Update factor shapes `(u, v)`.
+        update: ((usize, usize), (usize, usize)),
+    },
+    /// A convergence-threshold iteration exhausted its iteration budget.
+    DidNotConverge {
+        /// Iterations performed.
+        iterations: usize,
+        /// Residual at the last iteration.
+        residual: f64,
+    },
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::Matrix(e) => write!(f, "matrix error: {e}"),
+            RuntimeError::Expr(e) => write!(f, "expression error: {e}"),
+            RuntimeError::Unbound(v) => write!(f, "unbound matrix variable '{v}'"),
+            RuntimeError::ShermanMorrisonSingular { step, denominator } => write!(
+                f,
+                "Sherman-Morrison step {step} hit a singular update (denominator {denominator:e})"
+            ),
+            RuntimeError::UpdateShape { target, update } => write!(
+                f,
+                "update factors {:?} do not conform to target ({}x{})",
+                update, target.0, target.1
+            ),
+            RuntimeError::DidNotConverge {
+                iterations,
+                residual,
+            } => write!(
+                f,
+                "iteration did not converge after {iterations} steps (residual {residual:.3e})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+impl From<MatrixError> for RuntimeError {
+    fn from(e: MatrixError) -> Self {
+        RuntimeError::Matrix(e)
+    }
+}
+
+impl From<ExprError> for RuntimeError {
+    fn from(e: ExprError) -> Self {
+        RuntimeError::Expr(e)
+    }
+}

@@ -1,0 +1,48 @@
+//! # linview-runtime
+//!
+//! The in-process execution backend for LINVIEW trigger programs: a named
+//! matrix environment, a chain-order-aware expression evaluator, a trigger
+//! executor (including the numeric Sherman–Morrison primitive), update
+//! stream generators matching the paper's workload (§7), and the
+//! re-evaluation / incremental view maintainers that every experiment
+//! compares.
+//!
+//! ```
+//! use linview_compiler::parse::parse_program;
+//! use linview_expr::Catalog;
+//! use linview_matrix::Matrix;
+//! use linview_runtime::{IncrementalView, RankOneUpdate};
+//!
+//! let program = parse_program("B := A * A; C := B * B;").unwrap();
+//! let mut cat = Catalog::new();
+//! cat.declare("A", 8, 8);
+//! let a = Matrix::random_spectral(8, 7, 0.5);
+//! let mut view = IncrementalView::build(&program, &[("A", a)], &cat).unwrap();
+//! let upd = RankOneUpdate::row_update(8, 8, 3, 0.01, 42);
+//! view.apply("A", &upd).unwrap();
+//! assert_eq!(view.get("C").unwrap().shape(), (8, 8));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod checkpoint;
+mod env;
+mod error;
+mod eval;
+mod exec;
+pub mod stats;
+pub mod updates;
+mod view;
+
+pub use env::Env;
+pub use error::RuntimeError;
+pub use eval::{eval, Evaluator};
+pub use exec::{
+    fire_joint_trigger, fire_trigger, fire_trigger_with_options, sherman_morrison, woodbury,
+    ExecOptions, InversePrimitive,
+};
+pub use updates::{BatchUpdate, RankOneUpdate, UpdateStream, Zipf};
+pub use view::{IncrementalView, ReevalView};
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, RuntimeError>;

@@ -1,0 +1,333 @@
+//! Update stream generation — the paper's workload (§7).
+//!
+//! "We generate a continuous random stream of rank-1 updates where each
+//! update affects one row of an input matrix." Batch updates (Table 4) draw
+//! the affected row from a Zipf distribution with configurable skew: high
+//! skew concentrates the batch on a few rows (cheap, low effective rank);
+//! zero skew spreads it uniformly (expensive — the regime where incremental
+//! evaluation loses its advantage).
+
+use linview_matrix::Matrix;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// A factored rank-1 update `ΔX = u · vᵀ`.
+#[derive(Debug, Clone)]
+pub struct RankOneUpdate {
+    /// Left factor (`rows×1`).
+    pub u: Matrix,
+    /// Right factor (`cols×1`).
+    pub v: Matrix,
+}
+
+impl RankOneUpdate {
+    /// A row update: adds `scale`-magnitude random values to row `row` of an
+    /// `rows×cols` matrix (`u = e_row`, `v` random).
+    pub fn row_update(rows: usize, cols: usize, row: usize, scale: f64, seed: u64) -> Self {
+        assert!(row < rows, "row {row} out of bounds for {rows} rows");
+        let mut u = Matrix::zeros(rows, 1);
+        u.set(row, 0, 1.0);
+        let v = Matrix::random_col(cols, seed).scale(scale);
+        RankOneUpdate { u, v }
+    }
+
+    /// A fully random (dense) rank-1 update.
+    pub fn dense(rows: usize, cols: usize, scale: f64, seed: u64) -> Self {
+        RankOneUpdate {
+            u: Matrix::random_col(rows, seed).scale(scale),
+            v: Matrix::random_col(cols, seed.wrapping_add(1)),
+        }
+    }
+
+    /// Materializes the dense `ΔX` (tests / re-evaluation baselines).
+    pub fn to_dense(&self) -> Matrix {
+        Matrix::outer(&self.u, &self.v).expect("factors are column vectors")
+    }
+
+    /// Applies this update to a matrix in place.
+    pub fn apply_to(&self, m: &mut Matrix) -> crate::Result<()> {
+        m.add_outer(&self.u, &self.v)?;
+        Ok(())
+    }
+}
+
+/// A batch of rank-1 updates compacted into a single factored rank-`k`
+/// update `ΔX = U Vᵀ` (§4.2: "rank-k changes of input matrices").
+#[derive(Debug, Clone)]
+pub struct BatchUpdate {
+    /// Left block `(rows×k)`.
+    pub u: Matrix,
+    /// Right block `(cols×k)`.
+    pub v: Matrix,
+}
+
+impl BatchUpdate {
+    /// Stacks individual rank-1 updates into block form.
+    pub fn from_rank_ones(updates: &[RankOneUpdate]) -> crate::Result<Self> {
+        let us: Vec<&Matrix> = updates.iter().map(|r| &r.u).collect();
+        let vs: Vec<&Matrix> = updates.iter().map(|r| &r.v).collect();
+        Ok(BatchUpdate {
+            u: Matrix::hstack(&us)?,
+            v: Matrix::hstack(&vs)?,
+        })
+    }
+
+    /// The batch rank `k`.
+    pub fn rank(&self) -> usize {
+        self.u.cols()
+    }
+
+    /// Number of *distinct* rows touched (row updates only): the effective
+    /// rank that determines incremental maintenance cost under skew.
+    pub fn distinct_rows(&self) -> usize {
+        let mut rows = std::collections::BTreeSet::new();
+        for c in 0..self.u.cols() {
+            for r in 0..self.u.rows() {
+                if self.u.get(r, c) != 0.0 {
+                    rows.insert(r);
+                }
+            }
+        }
+        rows.len()
+    }
+
+    /// Merges updates that hit the same row, reducing the batch rank to the
+    /// number of distinct rows (the compaction that makes skewed Zipf
+    /// batches cheap, Table 4). Only valid for row updates (`u` columns are
+    /// scaled basis vectors).
+    pub fn compact_rows(&self) -> crate::Result<BatchUpdate> {
+        use std::collections::BTreeMap;
+        let mut merged: BTreeMap<usize, Matrix> = BTreeMap::new();
+        for c in 0..self.u.cols() {
+            // Find the single nonzero row of this u column.
+            let mut row = None;
+            for r in 0..self.u.rows() {
+                let val = self.u.get(r, c);
+                if val != 0.0 {
+                    row = Some((r, val));
+                    break;
+                }
+            }
+            let Some((r, coeff)) = row else { continue };
+            let contrib = self.v.col_matrix(c).scale(coeff);
+            match merged.get_mut(&r) {
+                Some(acc) => acc.add_assign_from(&contrib)?,
+                None => {
+                    merged.insert(r, contrib);
+                }
+            }
+        }
+        let k = merged.len().max(1);
+        let mut u = Matrix::zeros(self.u.rows(), k);
+        let mut v = Matrix::zeros(self.v.rows(), k);
+        for (i, (row, vc)) in merged.into_iter().enumerate() {
+            u.set(row, i, 1.0);
+            for r in 0..vc.rows() {
+                v.set(r, i, vc.get(r, 0));
+            }
+        }
+        Ok(BatchUpdate { u, v })
+    }
+
+    /// Materializes the dense `ΔX`.
+    pub fn to_dense(&self) -> crate::Result<Matrix> {
+        Ok(self.u.try_matmul(&self.v.transpose())?)
+    }
+}
+
+/// A Zipf(`s`) sampler over `{0, 1, …, n−1}` via inverse-CDF lookup.
+///
+/// `s = 0` is the uniform distribution; larger `s` concentrates mass on the
+/// first ranks. Implemented here because the allowed dependency set has no
+/// distribution crate.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the sampler for `n` ranks with exponent `s ≥ 0`.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf over empty domain");
+        assert!(s >= 0.0, "Zipf exponent must be non-negative");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Draws one rank in `{0, …, n−1}`.
+    pub fn sample(&self, rng: &mut StdRng) -> usize {
+        let x: f64 = rng.random();
+        match self
+            .cdf
+            .binary_search_by(|p| p.partial_cmp(&x).expect("cdf is finite"))
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+}
+
+/// A deterministic, seeded stream of updates against an `rows×cols` matrix.
+#[derive(Debug)]
+pub struct UpdateStream {
+    rows: usize,
+    cols: usize,
+    scale: f64,
+    rng: StdRng,
+    counter: u64,
+}
+
+impl UpdateStream {
+    /// Creates a stream of `scale`-magnitude row updates.
+    pub fn new(rows: usize, cols: usize, scale: f64, seed: u64) -> Self {
+        UpdateStream {
+            rows,
+            cols,
+            scale,
+            rng: StdRng::seed_from_u64(seed),
+            counter: seed.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        }
+    }
+
+    /// Next single-row rank-1 update (uniformly random row).
+    pub fn next_rank_one(&mut self) -> RankOneUpdate {
+        let row = self.rng.random_range(0..self.rows);
+        self.counter = self.counter.wrapping_add(1);
+        RankOneUpdate::row_update(self.rows, self.cols, row, self.scale, self.counter)
+    }
+
+    /// Next batch of `batch` row updates with rows drawn Zipf(`zipf_s`)
+    /// (already compacted to distinct rows).
+    pub fn next_batch_zipf(&mut self, batch: usize, zipf_s: f64) -> crate::Result<BatchUpdate> {
+        let zipf = Zipf::new(self.rows, zipf_s);
+        let mut ones = Vec::with_capacity(batch);
+        for _ in 0..batch {
+            let row = zipf.sample(&mut self.rng);
+            self.counter = self.counter.wrapping_add(1);
+            ones.push(RankOneUpdate::row_update(
+                self.rows,
+                self.cols,
+                row,
+                self.scale,
+                self.counter,
+            ));
+        }
+        BatchUpdate::from_rank_ones(&ones)?.compact_rows()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use linview_matrix::ApproxEq;
+
+    #[test]
+    fn row_update_touches_one_row() {
+        let upd = RankOneUpdate::row_update(6, 4, 2, 0.1, 7);
+        let dense = upd.to_dense();
+        for r in 0..6 {
+            for c in 0..4 {
+                if r == 2 {
+                    continue;
+                }
+                assert_eq!(dense.get(r, c), 0.0);
+            }
+        }
+        assert!(dense.row(2).iter().any(|&x| x != 0.0));
+    }
+
+    #[test]
+    fn apply_to_matches_dense_add() {
+        let upd = RankOneUpdate::dense(5, 5, 0.1, 3);
+        let mut a = Matrix::random_uniform(5, 5, 4);
+        let mut b = a.clone();
+        upd.apply_to(&mut a).unwrap();
+        b.add_assign_from(&upd.to_dense()).unwrap();
+        assert!(a.approx_eq(&b, 1e-12));
+    }
+
+    #[test]
+    fn batch_stacks_and_materializes() {
+        let ones = vec![
+            RankOneUpdate::row_update(6, 4, 0, 0.1, 1),
+            RankOneUpdate::row_update(6, 4, 3, 0.1, 2),
+        ];
+        let batch = BatchUpdate::from_rank_ones(&ones).unwrap();
+        assert_eq!(batch.rank(), 2);
+        let dense = batch.to_dense().unwrap();
+        let expected = ones[0].to_dense().try_add(&ones[1].to_dense()).unwrap();
+        assert!(dense.approx_eq(&expected, 1e-12));
+    }
+
+    #[test]
+    fn compact_rows_merges_duplicates() {
+        let ones = vec![
+            RankOneUpdate::row_update(6, 4, 2, 0.1, 1),
+            RankOneUpdate::row_update(6, 4, 2, 0.1, 2),
+            RankOneUpdate::row_update(6, 4, 5, 0.1, 3),
+        ];
+        let batch = BatchUpdate::from_rank_ones(&ones).unwrap();
+        assert_eq!(batch.rank(), 3);
+        let compact = batch.compact_rows().unwrap();
+        assert_eq!(compact.rank(), 2);
+        assert_eq!(compact.distinct_rows(), 2);
+        assert!(compact
+            .to_dense()
+            .unwrap()
+            .approx_eq(&batch.to_dense().unwrap(), 1e-12));
+    }
+
+    #[test]
+    fn zipf_zero_is_roughly_uniform_and_high_s_is_skewed() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 50;
+        let uniform = Zipf::new(n, 0.0);
+        let skewed = Zipf::new(n, 3.0);
+        let mut first_uniform = 0;
+        let mut first_skewed = 0;
+        let trials = 2000;
+        for _ in 0..trials {
+            if uniform.sample(&mut rng) == 0 {
+                first_uniform += 1;
+            }
+            if skewed.sample(&mut rng) == 0 {
+                first_skewed += 1;
+            }
+        }
+        // Uniform: ~2% hit rank 0. Skewed s=3: ~83%.
+        assert!(first_uniform < trials / 10);
+        assert!(first_skewed > trials / 2);
+    }
+
+    #[test]
+    fn stream_is_deterministic_per_seed() {
+        let mut s1 = UpdateStream::new(10, 10, 0.1, 99);
+        let mut s2 = UpdateStream::new(10, 10, 0.1, 99);
+        let a = s1.next_rank_one();
+        let b = s2.next_rank_one();
+        assert_eq!(a.to_dense(), b.to_dense());
+    }
+
+    #[test]
+    fn skewed_batches_have_lower_rank_than_uniform() {
+        let mut s = UpdateStream::new(100, 100, 0.1, 7);
+        let skewed = s.next_batch_zipf(64, 4.0).unwrap();
+        let mut s2 = UpdateStream::new(100, 100, 0.1, 8);
+        let uniform = s2.next_batch_zipf(64, 0.0).unwrap();
+        assert!(
+            skewed.rank() < uniform.rank(),
+            "skewed {} !< uniform {}",
+            skewed.rank(),
+            uniform.rank()
+        );
+    }
+}

@@ -1,0 +1,348 @@
+//! Maintained-view drivers: the REEVAL and INCR strategies every experiment
+//! in §7 compares.
+//!
+//! * [`ReevalView`] — applies the update to the base matrix, then re-runs
+//!   the whole program ("The re-evaluation strategy first applies ΔA to A
+//!   and then … recomputes", §5.2.2).
+//! * [`IncrementalView`] — compiles the program once (Algorithm 1),
+//!   materializes every statement's result, and fires the matching trigger
+//!   per update.
+//!
+//! The hybrid strategy of §5.3 is specific to the general iterative form
+//! and lives in `linview-apps`.
+
+use linview_compiler::{compile, CompileOptions, Program, TriggerProgram};
+use linview_expr::Catalog;
+use linview_matrix::Matrix;
+
+use crate::updates::BatchUpdate;
+use crate::{
+    fire_trigger_with_options, Env, Evaluator, ExecOptions, RankOneUpdate, Result, RuntimeError,
+};
+
+/// Full re-evaluation baseline.
+#[derive(Debug, Clone)]
+pub struct ReevalView {
+    program: Program,
+    env: Env,
+    evaluator: Evaluator,
+}
+
+impl ReevalView {
+    /// Builds the view: binds the inputs and evaluates the program once.
+    pub fn build(program: &Program, inputs: &[(&str, Matrix)], _cat: &Catalog) -> Result<Self> {
+        let mut env = Env::new();
+        for (name, m) in inputs {
+            env.bind(*name, m.clone());
+        }
+        let mut v = ReevalView {
+            program: program.clone(),
+            env,
+            evaluator: Evaluator::new(),
+        };
+        v.reevaluate()?;
+        Ok(v)
+    }
+
+    fn reevaluate(&mut self) -> Result<()> {
+        for stmt in self.program.statements() {
+            let value = self.evaluator.eval(&stmt.expr, &self.env)?;
+            self.env.bind(stmt.target.clone(), value);
+        }
+        Ok(())
+    }
+
+    /// Applies a rank-1 update to `input` and recomputes everything.
+    pub fn apply(&mut self, input: &str, upd: &RankOneUpdate) -> Result<()> {
+        upd.apply_to(self.env.get_mut(input)?)?;
+        self.reevaluate()
+    }
+
+    /// Applies a batched rank-k update to `input` and recomputes everything.
+    pub fn apply_batch(&mut self, input: &str, upd: &BatchUpdate) -> Result<()> {
+        let delta = upd.to_dense()?;
+        self.env.get_mut(input)?.add_assign_from(&delta)?;
+        self.reevaluate()
+    }
+
+    /// Reads a maintained matrix.
+    pub fn get(&self, name: &str) -> Result<&Matrix> {
+        self.env.get(name)
+    }
+
+    /// Total bytes held by base matrices and views.
+    pub fn memory_bytes(&self) -> usize {
+        self.env.memory_bytes()
+    }
+}
+
+/// Incremental maintenance via compiled triggers.
+#[derive(Debug, Clone)]
+pub struct IncrementalView {
+    trigger_program: TriggerProgram,
+    env: Env,
+    evaluator: Evaluator,
+    exec: ExecOptions,
+}
+
+impl IncrementalView {
+    /// Compiles `program` for updates to every input, then materializes all
+    /// views ("we also precompute the initial values of all auxiliary views
+    /// and preload these values before the actual computation", §7).
+    pub fn build(program: &Program, inputs: &[(&str, Matrix)], cat: &Catalog) -> Result<Self> {
+        Self::build_with_options(program, inputs, cat, &CompileOptions::default())
+    }
+
+    /// As [`IncrementalView::build`] with explicit compiler options.
+    pub fn build_with_options(
+        program: &Program,
+        inputs: &[(&str, Matrix)],
+        cat: &Catalog,
+        opts: &CompileOptions,
+    ) -> Result<Self> {
+        let dynamic: Vec<&str> = inputs.iter().map(|(n, _)| *n).collect();
+        let normalized = program.hoist_inverses(&dynamic);
+        let tp = compile(&normalized, &dynamic, cat, opts)?;
+        let mut env = Env::new();
+        for (name, m) in inputs {
+            env.bind(*name, m.clone());
+        }
+        let evaluator = Evaluator::new();
+        // Materialize every statement's result (the views the triggers maintain).
+        for stmt in normalized.statements() {
+            let value = evaluator.eval(&stmt.expr, &env)?;
+            env.bind(stmt.target.clone(), value);
+        }
+        Ok(IncrementalView {
+            trigger_program: tp,
+            env,
+            evaluator,
+            exec: ExecOptions::default(),
+        })
+    }
+
+    /// Overrides trigger-execution options (inverse primitive, delta
+    /// recompression). Applies to all subsequent updates.
+    pub fn set_exec_options(&mut self, exec: ExecOptions) {
+        self.exec = exec;
+    }
+
+    /// Fires the trigger for a rank-1 update to `input`.
+    pub fn apply(&mut self, input: &str, upd: &RankOneUpdate) -> Result<()> {
+        self.apply_factored(input, &upd.u, &upd.v)
+    }
+
+    /// Fires the trigger for a batched rank-k update to `input`.
+    pub fn apply_batch(&mut self, input: &str, upd: &BatchUpdate) -> Result<()> {
+        self.apply_factored(input, &upd.u, &upd.v)
+    }
+
+    fn apply_factored(&mut self, input: &str, du: &Matrix, dv: &Matrix) -> Result<()> {
+        let trigger = self
+            .trigger_program
+            .trigger_for(input)
+            .ok_or_else(|| RuntimeError::Unbound(format!("trigger for '{input}'")))?;
+        fire_trigger_with_options(&mut self.env, &self.evaluator, trigger, du, dv, &self.exec)
+    }
+
+    /// Reads a maintained matrix.
+    pub fn get(&self, name: &str) -> Result<&Matrix> {
+        self.env.get(name)
+    }
+
+    /// The compiled trigger program (for inspection / codegen).
+    pub fn trigger_program(&self) -> &TriggerProgram {
+        &self.trigger_program
+    }
+
+    /// Total bytes held by base matrices and views (incremental maintenance
+    /// materializes *every* intermediate, which is exactly the memory
+    /// overhead Table 3 quantifies).
+    pub fn memory_bytes(&self) -> usize {
+        self.env.memory_bytes()
+    }
+
+    /// Snapshots all maintained state (inputs + views) into a standalone
+    /// buffer — the operational requirement of §1's "long-lived data":
+    /// incremental state must survive restarts, because rebuilding it means
+    /// paying the full re-evaluation it exists to avoid.
+    pub fn checkpoint(&self) -> bytes::Bytes {
+        crate::checkpoint::save(&self.env)
+    }
+
+    /// Restores maintained state from a [`IncrementalView::checkpoint`]
+    /// snapshot. The compiled trigger program is unchanged — only the
+    /// matrices are replaced. Fails (leaving the view untouched) on a
+    /// corrupt snapshot.
+    pub fn restore(&mut self, data: bytes::Bytes) -> Result<()> {
+        self.env = crate::checkpoint::restore(data)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::UpdateStream;
+    use linview_compiler::parse::parse_program;
+    use linview_expr::Expr;
+    use linview_matrix::ApproxEq;
+
+    fn powers_setup(n: usize) -> (Program, Catalog, Matrix) {
+        let program = parse_program("B := A * A; C := B * B;").unwrap();
+        let mut cat = Catalog::new();
+        cat.declare("A", n, n);
+        let a = Matrix::random_spectral(n, 5, 0.8);
+        (program, cat, a)
+    }
+
+    #[test]
+    fn incremental_tracks_reevaluation_over_stream() {
+        let n = 16;
+        let (program, cat, a) = powers_setup(n);
+        let mut reeval = ReevalView::build(&program, &[("A", a.clone())], &cat).unwrap();
+        let mut incr = IncrementalView::build(&program, &[("A", a)], &cat).unwrap();
+        let mut stream = UpdateStream::new(n, n, 0.01, 77);
+        for _ in 0..20 {
+            let upd = stream.next_rank_one();
+            reeval.apply("A", &upd).unwrap();
+            incr.apply("A", &upd).unwrap();
+        }
+        assert!(incr
+            .get("C")
+            .unwrap()
+            .approx_eq(reeval.get("C").unwrap(), 1e-7));
+    }
+
+    #[test]
+    fn batch_updates_agree_between_strategies() {
+        let n = 24;
+        let (program, cat, a) = powers_setup(n);
+        let mut reeval = ReevalView::build(&program, &[("A", a.clone())], &cat).unwrap();
+        let mut incr = IncrementalView::build(&program, &[("A", a)], &cat).unwrap();
+        let mut stream = UpdateStream::new(n, n, 0.01, 13);
+        for zipf in [0.0, 2.0] {
+            let batch = stream.next_batch_zipf(8, zipf).unwrap();
+            reeval.apply_batch("A", &batch).unwrap();
+            incr.apply_batch("A", &batch).unwrap();
+        }
+        assert!(incr
+            .get("C")
+            .unwrap()
+            .approx_eq(reeval.get("C").unwrap(), 1e-7));
+    }
+
+    #[test]
+    fn ols_with_inverse_is_maintained_incrementally() {
+        // beta := inv(X' X) * X' Y — exercises hoisting + Sherman-Morrison.
+        let n = 12;
+        let program = parse_program("beta := inv(X' * X) * X' * Y;").unwrap();
+        let mut cat = Catalog::new();
+        cat.declare("X", n, n);
+        cat.declare("Y", n, 1);
+        // Diagonally dominant X keeps X'X well conditioned.
+        let x = Matrix::random_diag_dominant(n, 3);
+        let y = Matrix::random_col(n, 4);
+        let mut reeval =
+            ReevalView::build(&program, &[("X", x.clone()), ("Y", y.clone())], &cat).unwrap();
+        let mut incr = IncrementalView::build(&program, &[("X", x), ("Y", y)], &cat).unwrap();
+        let mut stream = UpdateStream::new(n, n, 0.001, 9);
+        for _ in 0..10 {
+            let upd = stream.next_rank_one();
+            reeval.apply("X", &upd).unwrap();
+            incr.apply("X", &upd).unwrap();
+        }
+        assert!(incr
+            .get("beta")
+            .unwrap()
+            .approx_eq(reeval.get("beta").unwrap(), 1e-6));
+    }
+
+    #[test]
+    fn incremental_uses_more_memory_than_reeval() {
+        // The time/space trade-off of Table 2/3: INCR materializes every
+        // intermediate view.
+        let n = 16;
+        let program = parse_program("B := A * A; C := B * B; D := C * C;").unwrap();
+        let mut cat = Catalog::new();
+        cat.declare("A", n, n);
+        let a = Matrix::random_spectral(n, 1, 0.5);
+        let reeval = ReevalView::build(&program, &[("A", a.clone())], &cat).unwrap();
+        let incr = IncrementalView::build(&program, &[("A", a)], &cat).unwrap();
+        assert_eq!(reeval.memory_bytes(), incr.memory_bytes());
+        // Same set of views here (straight-line program materializes all);
+        // the interesting comparison is vs a reeval that discards B, C —
+        // covered in the apps crate where iterative models differ.
+    }
+
+    #[test]
+    fn updates_to_second_input_use_their_own_trigger() {
+        let n = 8;
+        let mut cat = Catalog::new();
+        cat.declare("A", n, n);
+        cat.declare("B", n, n);
+        let mut program = Program::new();
+        program.assign("C", Expr::var("A") * Expr::var("B"));
+        let a = Matrix::random_spectral(n, 1, 0.7);
+        let b = Matrix::random_spectral(n, 2, 0.7);
+        let mut reeval =
+            ReevalView::build(&program, &[("A", a.clone()), ("B", b.clone())], &cat).unwrap();
+        let mut incr = IncrementalView::build(&program, &[("A", a), ("B", b)], &cat).unwrap();
+        let mut stream = UpdateStream::new(n, n, 0.01, 31);
+        for i in 0..6 {
+            let upd = stream.next_rank_one();
+            let target = if i % 2 == 0 { "A" } else { "B" };
+            reeval.apply(target, &upd).unwrap();
+            incr.apply(target, &upd).unwrap();
+        }
+        assert!(incr
+            .get("C")
+            .unwrap()
+            .approx_eq(reeval.get("C").unwrap(), 1e-8));
+    }
+
+    #[test]
+    fn checkpoint_restore_resumes_maintenance_exactly() {
+        let n = 16;
+        let (program, cat, a) = powers_setup(n);
+        let mut view = IncrementalView::build(&program, &[("A", a)], &cat).unwrap();
+        let mut stream = UpdateStream::new(n, n, 0.01, 61);
+        for _ in 0..5 {
+            view.apply("A", &stream.next_rank_one()).unwrap();
+        }
+        let snapshot = view.checkpoint();
+        // Deterministic continuation: record the next updates, apply them,
+        // then restore and replay — end states must agree bit-for-bit.
+        let next: Vec<_> = (0..5).map(|_| stream.next_rank_one()).collect();
+        for u in &next {
+            view.apply("A", u).unwrap();
+        }
+        let after = view.get("C").unwrap().clone();
+        view.restore(snapshot).unwrap();
+        for u in &next {
+            view.apply("A", u).unwrap();
+        }
+        assert_eq!(view.get("C").unwrap(), &after);
+    }
+
+    #[test]
+    fn restore_rejects_corrupt_snapshot() {
+        let n = 8;
+        let (program, cat, a) = powers_setup(n);
+        let mut view = IncrementalView::build(&program, &[("A", a)], &cat).unwrap();
+        let mut raw = view.checkpoint().to_vec();
+        raw[0] ^= 0xFF; // break the magic
+        let before = view.get("C").unwrap().clone();
+        assert!(view.restore(bytes::Bytes::from(raw)).is_err());
+        assert_eq!(view.get("C").unwrap(), &before);
+    }
+
+    #[test]
+    fn missing_trigger_is_an_error() {
+        let n = 8;
+        let (program, cat, a) = powers_setup(n);
+        let mut incr = IncrementalView::build(&program, &[("A", a)], &cat).unwrap();
+        let upd = RankOneUpdate::row_update(n, n, 0, 0.01, 1);
+        assert!(incr.apply("Z", &upd).is_err());
+    }
+}

@@ -1,0 +1,146 @@
+//! Coordinate-format builder: the ingestion side of the sparse kernel.
+
+use crate::csr::CsrMatrix;
+use crate::{Result, SparseError};
+
+/// An append-only triplet accumulator that finalizes into CSR.
+///
+/// Duplicate coordinates are *summed* on [`CooBuilder::build`] — the natural
+/// semantics for accumulating deltas and edge weights.
+#[derive(Debug, Clone)]
+pub struct CooBuilder {
+    rows: usize,
+    cols: usize,
+    entries: Vec<(usize, usize, f64)>,
+}
+
+impl CooBuilder {
+    /// An empty builder for an `rows×cols` matrix.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        CooBuilder {
+            rows,
+            cols,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Queues a triplet; duplicates are summed at build time.
+    pub fn push(&mut self, r: usize, c: usize, v: f64) -> Result<()> {
+        if r >= self.rows || c >= self.cols {
+            return Err(SparseError::OutOfBounds {
+                index: (r, c),
+                shape: (self.rows, self.cols),
+            });
+        }
+        self.entries.push((r, c, v));
+        Ok(())
+    }
+
+    /// Number of queued triplets (before duplicate merging).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no triplets are queued.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Finalizes into CSR: sorts triplets, sums duplicates, drops explicit
+    /// zeros. `O(nnz · log nnz)`.
+    pub fn build(mut self) -> CsrMatrix {
+        self.entries
+            .sort_unstable_by_key(|&(r, c, _)| (r, c));
+        let mut row_ptr = Vec::with_capacity(self.rows + 1);
+        let mut col_idx = Vec::with_capacity(self.entries.len());
+        let mut vals = Vec::with_capacity(self.entries.len());
+        row_ptr.push(0);
+        let mut current_row = 0usize;
+        let mut i = 0usize;
+        while i < self.entries.len() {
+            let (r, c, _) = self.entries[i];
+            // Merge the run of duplicates at (r, c).
+            let mut sum = 0.0;
+            while i < self.entries.len() && self.entries[i].0 == r && self.entries[i].1 == c {
+                sum += self.entries[i].2;
+                i += 1;
+            }
+            if sum == 0.0 {
+                continue;
+            }
+            while current_row < r {
+                row_ptr.push(col_idx.len());
+                current_row += 1;
+            }
+            col_idx.push(c);
+            vals.push(sum);
+        }
+        while current_row < self.rows {
+            row_ptr.push(col_idx.len());
+            current_row += 1;
+        }
+        CsrMatrix::from_parts(self.rows, self.cols, row_ptr, col_idx, vals)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_sorted_csr() {
+        let mut b = CooBuilder::new(3, 3);
+        b.push(2, 0, 5.0).unwrap();
+        b.push(0, 1, 1.0).unwrap();
+        b.push(0, 0, 2.0).unwrap();
+        let m = b.build();
+        assert_eq!(m.nnz(), 3);
+        assert_eq!(m.get(0, 0), 2.0);
+        assert_eq!(m.get(0, 1), 1.0);
+        assert_eq!(m.get(2, 0), 5.0);
+        assert_eq!(m.get(1, 1), 0.0);
+    }
+
+    #[test]
+    fn duplicates_are_summed() {
+        let mut b = CooBuilder::new(2, 2);
+        b.push(1, 1, 1.5).unwrap();
+        b.push(1, 1, 2.5).unwrap();
+        let m = b.build();
+        assert_eq!(m.nnz(), 1);
+        assert_eq!(m.get(1, 1), 4.0);
+    }
+
+    #[test]
+    fn cancelling_duplicates_vanish() {
+        let mut b = CooBuilder::new(2, 2);
+        b.push(0, 1, 3.0).unwrap();
+        b.push(0, 1, -3.0).unwrap();
+        let m = b.build();
+        assert_eq!(m.nnz(), 0);
+    }
+
+    #[test]
+    fn rejects_out_of_bounds() {
+        let mut b = CooBuilder::new(2, 2);
+        assert!(b.push(2, 0, 1.0).is_err());
+        assert!(b.push(0, 2, 1.0).is_err());
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn empty_builder_gives_empty_matrix() {
+        let m = CooBuilder::new(4, 5).build();
+        assert_eq!(m.shape(), (4, 5));
+        assert_eq!(m.nnz(), 0);
+    }
+
+    #[test]
+    fn trailing_empty_rows_are_represented() {
+        let mut b = CooBuilder::new(5, 5);
+        b.push(1, 2, 1.0).unwrap();
+        let m = b.build();
+        assert_eq!(m.row_entries(4).count(), 0);
+        assert_eq!(m.row_entries(1).count(), 1);
+    }
+}

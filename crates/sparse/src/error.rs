@@ -1,0 +1,90 @@
+use std::fmt;
+
+/// Errors from sparse construction, arithmetic, and graph mutation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SparseError {
+    /// An index exceeded the declared shape.
+    OutOfBounds {
+        /// The offending `(row, col)` index.
+        index: (usize, usize),
+        /// Declared shape.
+        shape: (usize, usize),
+    },
+    /// Two operands had incompatible shapes.
+    DimMismatch {
+        /// Operation name.
+        op: &'static str,
+        /// Left shape.
+        lhs: (usize, usize),
+        /// Right shape.
+        rhs: (usize, usize),
+    },
+    /// An edge insertion that already exists / removal of a missing edge.
+    EdgeConflict {
+        /// Source vertex.
+        src: usize,
+        /// Target vertex.
+        dst: usize,
+        /// True if the edge was already present on insert.
+        existed: bool,
+    },
+    /// Self-loops are not representable in the PageRank transition model.
+    SelfLoop(usize),
+    /// An iterative solver exhausted its iteration budget.
+    DidNotConverge {
+        /// Iterations performed.
+        iterations: usize,
+        /// Residual at the final iteration.
+        residual: f64,
+    },
+    /// A dense-kernel error surfaced through the sparse layer.
+    Matrix(linview_matrix::MatrixError),
+}
+
+impl fmt::Display for SparseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SparseError::OutOfBounds { index, shape } => write!(
+                f,
+                "index ({}, {}) out of bounds for ({}x{})",
+                index.0, index.1, shape.0, shape.1
+            ),
+            SparseError::DimMismatch { op, lhs, rhs } => write!(
+                f,
+                "dimension mismatch in {op}: ({}x{}) vs ({}x{})",
+                lhs.0, lhs.1, rhs.0, rhs.1
+            ),
+            SparseError::EdgeConflict { src, dst, existed } => {
+                if *existed {
+                    write!(f, "edge {src} -> {dst} already exists")
+                } else {
+                    write!(f, "edge {src} -> {dst} does not exist")
+                }
+            }
+            SparseError::SelfLoop(v) => write!(f, "self-loop at vertex {v} is not allowed"),
+            SparseError::DidNotConverge {
+                iterations,
+                residual,
+            } => write!(
+                f,
+                "did not converge after {iterations} iterations (residual {residual:.3e})"
+            ),
+            SparseError::Matrix(e) => write!(f, "matrix error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SparseError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SparseError::Matrix(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<linview_matrix::MatrixError> for SparseError {
+    fn from(e: linview_matrix::MatrixError) -> Self {
+        SparseError::Matrix(e)
+    }
+}

@@ -1,0 +1,383 @@
+//! An evolving directed graph whose mutations become factored rank-1
+//! updates of its transition matrix.
+//!
+//! This is the bridge between the paper's update model and real graph
+//! streams: inserting or deleting the edge `s → t` changes only row `s` of
+//! the row-stochastic transition matrix `P`, so the change is exactly
+//! `ΔP = e_s · (row_new − row_old)ᵀ` — a rank-1 row update of the kind §7's
+//! workload generates ("each update affects one row of an input matrix").
+
+use linview_matrix::Matrix;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::collections::BTreeSet;
+
+use crate::csr::CsrMatrix;
+use crate::{CooBuilder, Result, SparseError};
+
+/// A factored rank-1 delta `ΔP = u · vᵀ` of the transition matrix produced
+/// by one edge mutation.
+#[derive(Debug, Clone)]
+pub struct EdgeDelta {
+    /// Left factor: the basis vector `e_s` (`n×1`).
+    pub u: Matrix,
+    /// Right factor: the row change (`n×1`).
+    pub v: Matrix,
+    /// The mutated source vertex.
+    pub src: usize,
+}
+
+impl EdgeDelta {
+    /// Materializes the dense `ΔP` (tests / re-evaluation baselines).
+    pub fn to_dense(&self) -> Matrix {
+        Matrix::outer(&self.u, &self.v).expect("factors are column vectors")
+    }
+}
+
+/// A mutable directed graph over vertices `0..n` with unweighted edges.
+#[derive(Debug, Clone)]
+pub struct Graph {
+    out: Vec<BTreeSet<usize>>,
+    edges: usize,
+}
+
+impl Graph {
+    /// An edgeless graph on `n` vertices.
+    pub fn new(n: usize) -> Self {
+        Graph {
+            out: vec![BTreeSet::new(); n],
+            edges: 0,
+        }
+    }
+
+    /// A random graph: each vertex receives `avg_out_degree` out-edges to
+    /// uniformly random distinct targets (self-loops excluded).
+    pub fn random(n: usize, avg_out_degree: usize, seed: u64) -> Self {
+        assert!(n >= 2, "random graph needs at least 2 vertices");
+        let mut g = Graph::new(n);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for s in 0..n {
+            let deg = avg_out_degree.min(n - 1);
+            while g.out[s].len() < deg {
+                let t = rng.random_range(0..n);
+                if t != s && g.out[s].insert(t) {
+                    g.edges += 1;
+                }
+            }
+        }
+        g
+    }
+
+    /// A preferential-attachment ("rich get richer") random graph: each new
+    /// vertex links to `m` earlier vertices chosen proportionally to their
+    /// current in-degree (plus one). In-degrees follow the power law typical
+    /// of web graphs — the workload PageRank and the paper's Zipf-skewed
+    /// update model (§7 Table 4) assume.
+    pub fn preferential_attachment(n: usize, m: usize, seed: u64) -> Self {
+        assert!(n >= 2 && m >= 1, "need n >= 2 vertices and m >= 1 links");
+        let mut g = Graph::new(n);
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Repeated-target list: vertex v appears once per in-link + once
+        // baseline, so sampling uniformly from it is degree-proportional.
+        let mut targets: Vec<usize> = vec![0];
+        for s in 1..n {
+            let links = m.min(s);
+            let mut chosen = BTreeSet::new();
+            while chosen.len() < links {
+                let t = targets[rng.random_range(0..targets.len())];
+                if t != s {
+                    chosen.insert(t);
+                }
+            }
+            for &t in &chosen {
+                g.out[s].insert(t);
+                g.edges += 1;
+                targets.push(t);
+            }
+            targets.push(s);
+        }
+        g
+    }
+
+    /// In-degree of `v` (O(E); diagnostics and tests).
+    pub fn in_degree(&self, v: usize) -> usize {
+        self.out.iter().filter(|o| o.contains(&v)).count()
+    }
+
+    /// Number of vertices.
+    pub fn vertices(&self) -> usize {
+        self.out.len()
+    }
+
+    /// Number of edges.
+    pub fn edges(&self) -> usize {
+        self.edges
+    }
+
+    /// Out-degree of `v`.
+    pub fn out_degree(&self, v: usize) -> usize {
+        self.out[v].len()
+    }
+
+    /// True when the edge `s → t` exists.
+    pub fn has_edge(&self, s: usize, t: usize) -> bool {
+        self.out.get(s).is_some_and(|o| o.contains(&t))
+    }
+
+    /// The row-stochastic transition matrix `P` (`P[s][t] = 1/outdeg(s)`),
+    /// with all-zero rows for dangling vertices.
+    pub fn transition(&self) -> CsrMatrix {
+        let n = self.vertices();
+        let mut b = CooBuilder::new(n, n);
+        for (s, targets) in self.out.iter().enumerate() {
+            if targets.is_empty() {
+                continue;
+            }
+            let w = 1.0 / targets.len() as f64;
+            for &t in targets {
+                b.push(s, t, w).expect("edge indices in bounds");
+            }
+        }
+        b.build()
+    }
+
+    /// The unweighted adjacency matrix.
+    pub fn adjacency(&self) -> CsrMatrix {
+        let n = self.vertices();
+        let mut b = CooBuilder::new(n, n);
+        for (s, targets) in self.out.iter().enumerate() {
+            for &t in targets {
+                b.push(s, t, 1.0).expect("edge indices in bounds");
+            }
+        }
+        b.build()
+    }
+
+    /// Inserts the edge `s → t`, returning the factored rank-1 delta of the
+    /// transition matrix. Errors on duplicates, self-loops, and
+    /// out-of-range vertices.
+    pub fn insert_edge(&mut self, s: usize, t: usize) -> Result<EdgeDelta> {
+        self.check(s, t)?;
+        if self.out[s].contains(&t) {
+            return Err(SparseError::EdgeConflict {
+                src: s,
+                dst: t,
+                existed: true,
+            });
+        }
+        let before = self.row_of(s);
+        self.out[s].insert(t);
+        self.edges += 1;
+        Ok(self.delta_for(s, before))
+    }
+
+    /// Removes the edge `s → t`, returning the factored rank-1 delta of the
+    /// transition matrix.
+    pub fn remove_edge(&mut self, s: usize, t: usize) -> Result<EdgeDelta> {
+        self.check(s, t)?;
+        if !self.out[s].remove(&t) {
+            return Err(SparseError::EdgeConflict {
+                src: s,
+                dst: t,
+                existed: false,
+            });
+        }
+        self.edges -= 1;
+        let mut before = self.row_of(s);
+        // `before` must be the *pre-removal* row: add the removed edge back
+        // at the old degree.
+        let old_deg = self.out[s].len() + 1;
+        for x in before.as_mut_slice() {
+            *x *= self.out[s].len() as f64 / old_deg as f64;
+        }
+        before.set(t, 0, 1.0 / old_deg as f64);
+        Ok(self.delta_for(s, before))
+    }
+
+    fn check(&self, s: usize, t: usize) -> Result<()> {
+        let n = self.vertices();
+        if s >= n || t >= n {
+            return Err(SparseError::OutOfBounds {
+                index: (s, t),
+                shape: (n, n),
+            });
+        }
+        if s == t {
+            return Err(SparseError::SelfLoop(s));
+        }
+        Ok(())
+    }
+
+    /// Current transition row of `s` as an `n×1` column.
+    fn row_of(&self, s: usize) -> Matrix {
+        let n = self.vertices();
+        let mut row = Matrix::zeros(n, 1);
+        let deg = self.out[s].len();
+        if deg > 0 {
+            let w = 1.0 / deg as f64;
+            for &t in &self.out[s] {
+                row.set(t, 0, w);
+            }
+        }
+        row
+    }
+
+    /// Packages `ΔP = e_s (row_new − row_old)ᵀ`.
+    fn delta_for(&self, s: usize, before: Matrix) -> EdgeDelta {
+        let n = self.vertices();
+        let mut u = Matrix::zeros(n, 1);
+        u.set(s, 0, 1.0);
+        let after = self.row_of(s);
+        let v = after.try_sub(&before).expect("same shape");
+        EdgeDelta { u, v, src: s }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use linview_matrix::ApproxEq;
+
+    #[test]
+    fn insert_updates_transition_by_delta() {
+        let mut g = Graph::new(5);
+        g.insert_edge(0, 1).unwrap();
+        g.insert_edge(0, 2).unwrap();
+        let p_before = g.transition().to_dense();
+        let delta = g.insert_edge(0, 4).unwrap();
+        let p_after = g.transition().to_dense();
+        let rebuilt = p_before.try_add(&delta.to_dense()).unwrap();
+        assert!(rebuilt.approx_eq(&p_after, 1e-12));
+        assert_eq!(delta.src, 0);
+    }
+
+    #[test]
+    fn remove_updates_transition_by_delta() {
+        let mut g = Graph::random(8, 3, 1);
+        let (s, t) = {
+            let s = 2;
+            let t = *g.out[s].iter().next().unwrap();
+            (s, t)
+        };
+        let p_before = g.transition().to_dense();
+        let delta = g.remove_edge(s, t).unwrap();
+        let p_after = g.transition().to_dense();
+        let rebuilt = p_before.try_add(&delta.to_dense()).unwrap();
+        assert!(rebuilt.approx_eq(&p_after, 1e-12));
+    }
+
+    #[test]
+    fn removing_last_edge_leaves_dangling_row() {
+        let mut g = Graph::new(3);
+        g.insert_edge(1, 0).unwrap();
+        let delta = g.remove_edge(1, 0).unwrap();
+        assert_eq!(g.out_degree(1), 0);
+        let p = g.transition();
+        assert_eq!(p.row_sum(1), 0.0);
+        // The delta is exactly minus the old row.
+        assert_eq!(delta.to_dense().get(1, 0), -1.0);
+    }
+
+    #[test]
+    fn first_edge_of_dangling_row_is_pure_insertion() {
+        let mut g = Graph::new(3);
+        let delta = g.insert_edge(2, 1).unwrap();
+        assert_eq!(delta.to_dense().get(2, 1), 1.0);
+        assert!((g.transition().row_sum(2) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_conflicts_self_loops_and_bounds() {
+        let mut g = Graph::new(3);
+        g.insert_edge(0, 1).unwrap();
+        assert!(matches!(
+            g.insert_edge(0, 1),
+            Err(SparseError::EdgeConflict { existed: true, .. })
+        ));
+        assert!(matches!(
+            g.remove_edge(1, 2),
+            Err(SparseError::EdgeConflict { existed: false, .. })
+        ));
+        assert!(matches!(g.insert_edge(1, 1), Err(SparseError::SelfLoop(1))));
+        assert!(g.insert_edge(0, 9).is_err());
+        assert_eq!(g.edges(), 1);
+    }
+
+    #[test]
+    fn random_graph_hits_requested_degree() {
+        let g = Graph::random(20, 4, 7);
+        for v in 0..20 {
+            assert_eq!(g.out_degree(v), 4);
+            assert!(!g.has_edge(v, v));
+        }
+        assert_eq!(g.edges(), 80);
+    }
+
+    #[test]
+    fn preferential_attachment_is_skewed() {
+        let n = 300;
+        let g = Graph::preferential_attachment(n, 3, 5);
+        // Every non-root vertex has out-degree min(3, index).
+        assert_eq!(g.out_degree(0), 0);
+        assert_eq!(g.out_degree(1), 1);
+        for v in 3..n {
+            assert_eq!(g.out_degree(v), 3);
+        }
+        // Skew: the max in-degree dwarfs the mean (power-law tail).
+        let max_in = (0..n).map(|v| g.in_degree(v)).max().unwrap();
+        let mean_in = g.edges() as f64 / n as f64;
+        assert!(
+            max_in as f64 > 5.0 * mean_in,
+            "max {max_in} vs mean {mean_in:.1} — not skewed"
+        );
+    }
+
+    #[test]
+    fn preferential_attachment_feeds_pagerank() {
+        let g = Graph::preferential_attachment(120, 2, 9);
+        let pr = crate::pagerank(&g.transition(), &crate::PageRankOptions::default()).unwrap();
+        // The top-ranked vertex is one of the early (high in-degree) ones.
+        assert!(pr.top_k(1)[0] < 20);
+    }
+
+    #[test]
+    fn transition_rows_sum_to_one_or_zero() {
+        let g = Graph::random(12, 3, 3);
+        let p = g.transition();
+        for r in 0..12 {
+            let s = p.row_sum(r);
+            assert!((s - 1.0).abs() < 1e-12 || s == 0.0);
+        }
+    }
+
+    #[test]
+    fn adjacency_counts_edges() {
+        let g = Graph::random(10, 2, 5);
+        assert_eq!(g.adjacency().nnz(), g.edges());
+    }
+
+    #[test]
+    fn long_mutation_stream_stays_consistent() {
+        // Deltas accumulated over a random insert/remove stream rebuild the
+        // final transition matrix exactly.
+        let mut g = Graph::random(10, 2, 11);
+        let mut p = g.transition().to_dense();
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut applied = 0;
+        while applied < 40 {
+            let s = rng.random_range(0..10);
+            let t = rng.random_range(0..10);
+            if s == t {
+                continue;
+            }
+            let delta = if g.has_edge(s, t) {
+                g.remove_edge(s, t).unwrap()
+            } else {
+                g.insert_edge(s, t).unwrap()
+            };
+            p.add_assign_from(&delta.to_dense()).unwrap();
+            applied += 1;
+        }
+        assert!(p.approx_eq(&g.transition().to_dense(), 1e-10));
+    }
+}

@@ -1,0 +1,47 @@
+//! # linview-sparse
+//!
+//! Sparse matrix and evolving-graph substrate for the LINVIEW reproduction.
+//!
+//! The paper's motivating workloads — PageRank, reachability, Markov
+//! chains — run over *link matrices* of graphs, and its update model ("the
+//! Internet activity of a single user … represents only a tiny portion of
+//! the collected data") is exactly the evolving-graph setting: an edge
+//! insertion changes one row of the transition matrix, i.e. a rank-1
+//! update. This crate provides:
+//!
+//! * [`CooBuilder`] / [`CsrMatrix`] — a compressed-sparse-row kernel with
+//!   the operations the PageRank baseline needs (`spmv`, transpose,
+//!   row-stochastic normalization);
+//! * [`Graph`] — an evolving directed graph whose mutations are exposed
+//!   **as factored rank-1 deltas of its transition matrix**, the bridge
+//!   between graph streams and the paper's `ΔA = u·vᵀ` update model;
+//! * [`pagerank`] — damped power iteration over the sparse transition
+//!   matrix, the exact re-evaluation baseline the incremental PageRank
+//!   views are validated against.
+//!
+//! ```
+//! use linview_sparse::{Graph, pagerank, PageRankOptions};
+//! let mut g = Graph::new(4);
+//! for &(s, t) in &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 0)] {
+//!     g.insert_edge(s, t).unwrap();
+//! }
+//! let pr = pagerank(&g.transition(), &PageRankOptions::default()).unwrap();
+//! assert!((pr.scores().iter().sum::<f64>() - 1.0).abs() < 1e-9);
+//! ```
+
+#![warn(missing_docs)]
+
+mod coo;
+mod csr;
+mod error;
+mod graph;
+mod rank;
+
+pub use coo::CooBuilder;
+pub use csr::CsrMatrix;
+pub use error::SparseError;
+pub use graph::{EdgeDelta, Graph};
+pub use rank::{pagerank, pagerank_warm, PageRank, PageRankOptions};
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, SparseError>;

@@ -1,0 +1,126 @@
+//! Property-based tests for the sparse kernel: CSR algebra laws checked
+//! against the dense substrate, and graph-delta consistency under random
+//! mutation streams.
+
+use linview_matrix::{ApproxEq, Matrix};
+use linview_sparse::{CooBuilder, CsrMatrix, Graph};
+use proptest::prelude::*;
+
+/// Strategy: a small random triplet list plus a shape.
+fn coo_entries() -> impl Strategy<Value = (usize, usize, Vec<(usize, usize, f64)>)> {
+    (2usize..8, 2usize..8).prop_flat_map(|(r, c)| {
+        let entry = (0..r, 0..c, -10.0f64..10.0);
+        (
+            Just(r),
+            Just(c),
+            proptest::collection::vec(entry, 0..30),
+        )
+    })
+}
+
+fn build(r: usize, c: usize, entries: &[(usize, usize, f64)]) -> CsrMatrix {
+    let mut b = CooBuilder::new(r, c);
+    for &(i, j, v) in entries {
+        b.push(i, j, v).unwrap();
+    }
+    b.build()
+}
+
+proptest! {
+    #[test]
+    fn csr_matches_dense_accumulation((r, c, entries) in coo_entries()) {
+        let sparse = build(r, c, &entries);
+        let mut dense = Matrix::zeros(r, c);
+        for &(i, j, v) in &entries {
+            dense.set(i, j, dense.get(i, j) + v);
+        }
+        prop_assert!(sparse.to_dense().approx_eq(&dense, 1e-9));
+    }
+
+    #[test]
+    fn spmm_agrees_with_dense_matmul((r, c, entries) in coo_entries(), seed in 0u64..1000) {
+        let sparse = build(r, c, &entries);
+        let x = Matrix::random_uniform(c, 3, seed);
+        let via_sparse = sparse.spmm(&x).unwrap();
+        let via_dense = sparse.to_dense().try_matmul(&x).unwrap();
+        prop_assert!(via_sparse.approx_eq(&via_dense, 1e-9));
+    }
+
+    #[test]
+    fn transpose_involution((r, c, entries) in coo_entries()) {
+        let m = build(r, c, &entries);
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn transpose_swaps_spmv((r, c, entries) in coo_entries(), seed in 0u64..1000) {
+        // (Mᵀx)ᵀ y == xᵀ (M y): adjointness against the dense kernel.
+        let m = build(r, c, &entries);
+        let x = Matrix::random_col(r, seed);
+        let y = Matrix::random_col(c, seed + 1);
+        let lhs = Matrix::dot(&m.transpose().spmv(&x).unwrap(), &y).unwrap();
+        let rhs = Matrix::dot(&x, &m.spmv(&y).unwrap()).unwrap();
+        prop_assert!((lhs - rhs).abs() < 1e-8 * (1.0 + lhs.abs()));
+    }
+
+    #[test]
+    fn spgemm_agrees_with_dense((r, c, entries) in coo_entries(), seed in 0u64..1000) {
+        let a = build(r, c, &entries);
+        let b = CsrMatrix::from_dense(&Matrix::random_uniform(c, 4, seed), 0.5);
+        let sparse = a.spgemm(&b).unwrap();
+        let dense = a.to_dense().try_matmul(&b.to_dense()).unwrap();
+        prop_assert!(sparse.to_dense().approx_eq(&dense, 1e-9));
+    }
+
+    #[test]
+    fn spgemm_is_associative((n, seed) in (2usize..7, 0u64..1000)) {
+        // (A·B)·C == A·(B·C) on small random sparse squares.
+        let a = CsrMatrix::from_dense(&Matrix::random_uniform(n, n, seed), 0.6);
+        let b = CsrMatrix::from_dense(&Matrix::random_uniform(n, n, seed + 1), 0.6);
+        let c = CsrMatrix::from_dense(&Matrix::random_uniform(n, n, seed + 2), 0.6);
+        let left = a.spgemm(&b).unwrap().spgemm(&c).unwrap();
+        let right = a.spgemm(&b.spgemm(&c).unwrap()).unwrap();
+        prop_assert!(left.to_dense().approx_eq(&right.to_dense(), 1e-9));
+    }
+
+    #[test]
+    fn from_dense_roundtrips((r, c, entries) in coo_entries()) {
+        let m = build(r, c, &entries);
+        let back = CsrMatrix::from_dense(&m.to_dense(), 0.0);
+        prop_assert!(back.to_dense().approx_eq(&m.to_dense(), 1e-12));
+    }
+
+    #[test]
+    fn row_normalization_preserves_support((r, c, entries) in coo_entries()) {
+        let m = build(r, c, &entries);
+        let norm = m.row_normalized();
+        prop_assert_eq!(norm.nnz(), m.nnz());
+        for row in 0..r {
+            let s = m.row_sum(row);
+            if s != 0.0 {
+                prop_assert!((norm.row_sum(row) - 1.0).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn graph_mutation_deltas_reconstruct_transition(
+        seed in 0u64..500,
+        ops in proptest::collection::vec((0usize..8, 0usize..8), 1..25)
+    ) {
+        let mut g = Graph::random(8, 2, seed);
+        let mut p = g.transition().to_dense();
+        for (s, t) in ops {
+            if s == t {
+                continue;
+            }
+            let delta = if g.has_edge(s, t) {
+                g.remove_edge(s, t).unwrap()
+            } else {
+                g.insert_edge(s, t).unwrap()
+            };
+            p.add_assign_from(&delta.to_dense()).unwrap();
+        }
+        prop_assert!(p.approx_eq(&g.transition().to_dense(), 1e-9));
+    }
+}

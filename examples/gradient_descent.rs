@@ -1,0 +1,73 @@
+//! Online linear regression via batch gradient descent (§7 Fig. 3h):
+//! `Θᵢ₊₁ = Θᵢ − λ·Xᵀ(XΘᵢ − Y)` maintained under observation updates, with
+//! all three strategies and the model lineup of the paper.
+//!
+//! Run with: `cargo run --release --example gradient_descent`
+
+use linview::apps::gd::GradientDescentLR;
+use linview::apps::general::Strategy;
+use linview::prelude::*;
+use std::time::Instant;
+
+fn main() {
+    let m = 256; // observations
+    let n = 128; // features
+    let p = 8; // response columns
+    let k = 16; // descent steps
+    let lambda = 0.05;
+    let updates = 6;
+
+    let x = Matrix::random_uniform(m, n, 1).scale(0.3);
+    let y = Matrix::random_uniform(m, p, 2);
+    let theta0 = Matrix::zeros(n, p);
+
+    println!("Gradient-descent LR: m = {m}, n = {n}, p = {p}, k = {k}, {updates} updates");
+    println!(
+        "{:<10} {:<12} {:>12} {:>12}",
+        "model", "strategy", "time/update", "final MSE"
+    );
+
+    let mut stream = UpdateStream::new(m, n, 0.01, 33);
+    let batch: Vec<RankOneUpdate> = (0..updates).map(|_| stream.next_rank_one()).collect();
+
+    let mut reference: Option<Matrix> = None;
+    for model in [
+        IterModel::Linear,
+        IterModel::Skip(4),
+        IterModel::Exponential,
+    ] {
+        for strategy in [Strategy::Reeval, Strategy::Incremental, Strategy::Hybrid] {
+            let mut gd = GradientDescentLR::new(
+                x.clone(),
+                y.clone(),
+                lambda,
+                theta0.clone(),
+                model,
+                k,
+                strategy,
+            )
+            .expect("maintainer builds");
+            let t0 = Instant::now();
+            for upd in &batch {
+                gd.apply(upd).expect("update applies");
+            }
+            let per_update = t0.elapsed() / updates as u32;
+            println!(
+                "{:<10} {:<12} {:>12.2?} {:>12.4}",
+                model.label(),
+                strategy.label(),
+                per_update,
+                gd.mse().expect("mse computes")
+            );
+            match &reference {
+                None => reference = Some(gd.theta().clone()),
+                Some(r) => assert!(
+                    gd.theta().rel_diff(r) < 1e-6,
+                    "{model}/{} diverged from reference",
+                    strategy.label()
+                ),
+            }
+        }
+    }
+    println!("all model/strategy combinations agree on Θ");
+}

@@ -1,0 +1,82 @@
+//! Streaming PageRank over an evolving link graph — the `p = 1` instance of
+//! the general iterative form where the paper's HYBRID strategy wins
+//! (§5.3, Fig. 3g).
+//!
+//! Run with: `cargo run --release --example pagerank_stream`
+
+use linview::apps::general::Strategy;
+use linview::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::time::Instant;
+
+fn main() {
+    let n = 200;
+    let k = 16;
+    let damping = 0.85;
+    let edge_events = 30;
+
+    // A random initial graph: ~8 out-links per node.
+    let mut rng = StdRng::seed_from_u64(2024);
+    let mut edges = Vec::new();
+    for src in 0..n {
+        for _ in 0..8 {
+            edges.push((src, rng.random_range(0..n)));
+        }
+    }
+
+    let mut maintainers: Vec<(Strategy, PageRank)> =
+        [Strategy::Reeval, Strategy::Incremental, Strategy::Hybrid]
+            .into_iter()
+            .map(|s| {
+                (
+                    s,
+                    PageRank::new(n, &edges, damping, k, IterModel::Linear, s)
+                        .expect("pagerank builds"),
+                )
+            })
+            .collect();
+
+    // A stream of edge insertions/removals, applied to all maintainers.
+    let events: Vec<(bool, usize, usize)> = (0..edge_events)
+        .map(|_| {
+            (
+                rng.random::<f64>() < 0.7,
+                rng.random_range(0..n),
+                rng.random_range(0..n),
+            )
+        })
+        .collect();
+
+    println!("PageRank over {n} nodes, k = {k} iterations, {edge_events} edge events:");
+    for (strategy, pr) in &mut maintainers {
+        let t0 = Instant::now();
+        for &(insert, src, dst) in &events {
+            if insert {
+                pr.add_edge(src, dst).expect("edge insert");
+            } else {
+                pr.remove_edge(src, dst).expect("edge remove");
+            }
+        }
+        println!("  {:<12} {:>10.2?}", strategy.label(), t0.elapsed());
+    }
+
+    // All strategies must agree on the final ranks.
+    let reference = maintainers[0].1.ranks().clone();
+    for (strategy, pr) in &maintainers[1..] {
+        let diff = pr.ranks().rel_diff(&reference);
+        println!("  {} vs REEVAL divergence: {:.2e}", strategy.label(), diff);
+        assert!(diff < 1e-7);
+    }
+
+    // Show the top-5 pages.
+    let ranks = maintainers[0].1.ranks();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| {
+        ranks
+            .get(b, 0)
+            .partial_cmp(&ranks.get(a, 0))
+            .expect("ranks are finite")
+    });
+    println!("  top pages: {:?}", &order[..5]);
+}

@@ -1,0 +1,232 @@
+//! The LINVIEW command-line compiler.
+//!
+//! Mirrors the paper's Fig. 2 workflow: APL-style program in, incremental
+//! trigger program out, with a choice of backends.
+//!
+//! ```text
+//! linview --dims A=64x64 --program "B := A * A; C := B * B;"
+//! linview --dims X=100x10,Y=100x1 --inputs X \
+//!         --program "Z := X' * X; W := inv(Z); beta := W * X' * Y;" \
+//!         --emit octave
+//! linview --dims A=64x64 --file prog.lv --emit plan --rank 4 --no-factor
+//! ```
+
+use linview::compiler::codegen::{numpy, octave, plan, spark};
+use linview::compiler::optimizer::{optimize, OptimizerOptions};
+use linview::compiler::parse::parse_program;
+use linview::compiler::{analyze, compile, compile_joint, CompileOptions};
+use linview::expr::cost::CostModel;
+use linview::expr::{Catalog, DeltaOptions};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+linview — incremental view maintenance compiler for linear algebra programs
+
+USAGE:
+  linview --dims NAME=RxC[,NAME=RxC...] [OPTIONS] (--program SRC | --file PATH)
+
+OPTIONS:
+  --dims LIST        base matrix shapes, e.g. A=64x64,Y=64x1   (required)
+  --program SRC      program text, e.g. \"B := A * A; C := B * B;\"
+  --file PATH        read the program from a file
+  --inputs LIST      dynamic inputs (default: every matrix in --dims)
+  --emit KIND        trigger | octave | spark | numpy | plan | all  (default: trigger)
+  --rank K           update rank of the incoming deltas (default: 1)
+  --analyze          print the predicted REEVAL-vs-INCR report (§5 as an API)
+  --joint            emit ONE trigger for simultaneous updates to all
+                     --inputs (§4.4 / Example 4.5) instead of one per input
+  --no-factor        disable §4.3 common-factor extraction (ablation)
+  --no-optimize      skip CSE / copy propagation / dead-code elimination
+  --gamma G          matmul exponent for the plan's cost model (default: 3.0)
+";
+
+struct Args {
+    dims: Vec<(String, usize, usize)>,
+    program: Option<String>,
+    file: Option<String>,
+    inputs: Option<Vec<String>>,
+    emit: String,
+    rank: usize,
+    analyze: bool,
+    joint: bool,
+    factor: bool,
+    optimize: bool,
+    gamma: f64,
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        dims: Vec::new(),
+        program: None,
+        file: None,
+        inputs: None,
+        emit: "trigger".into(),
+        rank: 1,
+        analyze: false,
+        joint: false,
+        factor: true,
+        optimize: true,
+        gamma: 3.0,
+    };
+    let mut i = 0;
+    let next = |i: &mut usize, what: &str| -> Result<String, String> {
+        *i += 1;
+        argv.get(*i)
+            .cloned()
+            .ok_or_else(|| format!("missing value for {what}"))
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--dims" => {
+                let v = next(&mut i, "--dims")?;
+                for spec in v.split(',') {
+                    let (name, shape) = spec
+                        .split_once('=')
+                        .ok_or_else(|| format!("bad dim spec '{spec}' (want NAME=RxC)"))?;
+                    let (r, c) = shape
+                        .split_once(['x', 'X'])
+                        .ok_or_else(|| format!("bad shape '{shape}' (want RxC)"))?;
+                    let rows = r.parse().map_err(|_| format!("bad row count '{r}'"))?;
+                    let cols = c.parse().map_err(|_| format!("bad col count '{c}'"))?;
+                    args.dims.push((name.to_string(), rows, cols));
+                }
+            }
+            "--program" => args.program = Some(next(&mut i, "--program")?),
+            "--file" => args.file = Some(next(&mut i, "--file")?),
+            "--inputs" => {
+                args.inputs = Some(
+                    next(&mut i, "--inputs")?
+                        .split(',')
+                        .map(str::to_string)
+                        .collect(),
+                )
+            }
+            "--emit" => args.emit = next(&mut i, "--emit")?,
+            "--rank" => {
+                args.rank = next(&mut i, "--rank")?
+                    .parse()
+                    .map_err(|_| "bad --rank value".to_string())?
+            }
+            "--analyze" => args.analyze = true,
+            "--joint" => args.joint = true,
+            "--no-factor" => args.factor = false,
+            "--no-optimize" => args.optimize = false,
+            "--gamma" => {
+                args.gamma = next(&mut i, "--gamma")?
+                    .parse()
+                    .map_err(|_| "bad --gamma value".to_string())?
+            }
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+        i += 1;
+    }
+    if args.dims.is_empty() {
+        return Err("--dims is required".into());
+    }
+    if args.program.is_none() && args.file.is_none() {
+        return Err("one of --program / --file is required".into());
+    }
+    Ok(args)
+}
+
+fn run(args: &Args) -> Result<String, String> {
+    let source = match (&args.program, &args.file) {
+        (Some(src), _) => src.clone(),
+        (None, Some(path)) => {
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?
+        }
+        _ => unreachable!("validated in parse_args"),
+    };
+    let program = parse_program(&source).map_err(|e| e.to_string())?;
+
+    let mut cat = Catalog::new();
+    for (name, r, c) in &args.dims {
+        cat.declare(name, *r, *c);
+    }
+    let inputs: Vec<String> = args
+        .inputs
+        .clone()
+        .unwrap_or_else(|| args.dims.iter().map(|(n, _, _)| n.clone()).collect());
+    let input_refs: Vec<&str> = inputs.iter().map(String::as_str).collect();
+
+    let normalized = program.hoist_inverses(&input_refs);
+    let opts = CompileOptions {
+        update_rank: args.rank,
+        delta: DeltaOptions {
+            factor_common: args.factor,
+        },
+    };
+    if args.analyze {
+        let model = CostModel::with_gamma(args.gamma);
+        let report = analyze(&program, &input_refs, &cat, &model, &opts)
+            .map_err(|e| e.to_string())?;
+        return Ok(report.to_string());
+    }
+    if args.joint {
+        if args.emit != "trigger" {
+            return Err("--joint currently supports --emit trigger only".into());
+        }
+        let joint = compile_joint(&normalized, &input_refs, &cat, &opts)
+            .map_err(|e| e.to_string())?;
+        return Ok(joint.to_string());
+    }
+    let mut tp = compile(&normalized, &input_refs, &cat, &opts).map_err(|e| e.to_string())?;
+    if args.optimize {
+        optimize(&mut tp, &OptimizerOptions::default()).map_err(|e| e.to_string())?;
+    }
+
+    let mut out = String::new();
+    let emit_trigger = matches!(args.emit.as_str(), "trigger" | "all");
+    let emit_octave = matches!(args.emit.as_str(), "octave" | "all");
+    let emit_spark = matches!(args.emit.as_str(), "spark" | "all");
+    let emit_numpy = matches!(args.emit.as_str(), "numpy" | "all");
+    let emit_plan = matches!(args.emit.as_str(), "plan" | "all");
+    if !(emit_trigger || emit_octave || emit_spark || emit_numpy || emit_plan) {
+        return Err(format!(
+            "unknown --emit '{}' (want trigger|octave|spark|numpy|plan|all)",
+            args.emit
+        ));
+    }
+    if emit_trigger {
+        out.push_str(&tp.to_string());
+    }
+    if emit_octave {
+        out.push_str(&octave::emit_program(&tp));
+    }
+    if emit_spark {
+        out.push_str(&spark::emit_program(&tp));
+    }
+    if emit_numpy {
+        out.push_str(&numpy::emit_program(&tp));
+    }
+    if emit_plan {
+        let model = CostModel::with_gamma(args.gamma);
+        out.push_str(&plan::render_program(&tp, &model).map_err(|e| e.to_string())?);
+    }
+    Ok(out)
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match parse_args(&argv) {
+        Err(msg) if msg.is_empty() => {
+            print!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("error: {msg}\n\n{USAGE}");
+            ExitCode::from(2)
+        }
+        Ok(args) => match run(&args) {
+            Ok(out) => {
+                print!("{out}");
+                ExitCode::SUCCESS
+            }
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                ExitCode::FAILURE
+            }
+        },
+    }
+}

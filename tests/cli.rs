@@ -1,0 +1,191 @@
+//! Integration tests for the `linview` command-line compiler.
+
+use std::process::Command;
+
+fn linview(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_linview"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn compiles_powers_program_to_trigger() {
+    let (ok, stdout, _) = linview(&[
+        "--dims",
+        "A=8x8",
+        "--program",
+        "B := A * A; C := B * B;",
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("ON UPDATE A BY (dU_A, dV_A):"));
+    assert!(stdout.contains("C += U_C V_C';"));
+}
+
+#[test]
+fn emits_all_backends() {
+    let (ok, stdout, _) = linview(&[
+        "--dims",
+        "A=8x8",
+        "--program",
+        "B := A * A;",
+        "--emit",
+        "all",
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("ON UPDATE A"));
+    assert!(stdout.contains("function [A, B] = on_update_A"));
+    assert!(stdout.contains("object LinviewTriggers {"));
+    assert!(stdout.contains("flops"));
+}
+
+#[test]
+fn ols_with_inverse_compiles_via_cli() {
+    let (ok, stdout, _) = linview(&[
+        "--dims",
+        "X=16x4,Y=16x1",
+        "--inputs",
+        "X",
+        "--program",
+        "beta := inv(X' * X) * X' * Y;",
+        "--emit",
+        "trigger",
+    ]);
+    assert!(ok, "stderr: {stdout}");
+    assert!(stdout.contains("sherman_morrison"));
+    assert!(stdout.contains("beta += U_beta V_beta';"));
+}
+
+#[test]
+fn rank_and_factor_flags_are_honored() {
+    // --no-factor triples the first statement's block rank: 3 columns.
+    let (ok, stdout, _) = linview(&[
+        "--dims",
+        "A=8x8",
+        "--program",
+        "B := A * A;",
+        "--no-factor",
+        "--no-optimize",
+    ]);
+    assert!(ok);
+    // Unfactored U_B has three stacked blocks.
+    let u_line = stdout
+        .lines()
+        .find(|l| l.trim_start().starts_with("U_B :="))
+        .expect("U_B assignment present");
+    assert_eq!(u_line.matches('|').count(), 2, "expected 3 blocks: {u_line}");
+}
+
+#[test]
+fn bad_usage_fails_with_diagnostics() {
+    let (ok, _, stderr) = linview(&["--program", "B := A;"]);
+    assert!(!ok);
+    assert!(stderr.contains("--dims is required"));
+
+    let (ok2, _, stderr2) = linview(&["--dims", "A=8x8"]);
+    assert!(!ok2);
+    assert!(stderr2.contains("--program / --file"));
+
+    let (ok3, _, stderr3) = linview(&["--dims", "A=notashape", "--program", "B := A;"]);
+    assert!(!ok3);
+    assert!(stderr3.contains("bad shape") || stderr3.contains("bad dim spec"));
+}
+
+#[test]
+fn parse_errors_are_reported() {
+    let (ok, _, stderr) = linview(&["--dims", "A=8x8", "--program", "B := A **;"]);
+    assert!(!ok);
+    assert!(stderr.contains("parse error"));
+}
+
+#[test]
+fn help_prints_usage() {
+    let (ok, stdout, _) = linview(&["--help"]);
+    assert!(ok);
+    assert!(stdout.contains("USAGE:"));
+}
+
+#[test]
+fn analyze_flag_prints_cost_report() {
+    let (ok, stdout, _) = linview(&[
+        "--dims",
+        "A=512x512",
+        "--program",
+        "B := A * A; C := B * B;",
+        "--analyze",
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("REEVAL:"));
+    assert!(stdout.contains("INCR:"));
+    assert!(stdout.contains("predicted speedup"));
+}
+
+#[test]
+fn joint_flag_emits_single_multi_input_trigger() {
+    let (ok, stdout, _) = linview(&[
+        "--dims",
+        "A=8x8,B=8x8",
+        "--program",
+        "C := A * B;",
+        "--joint",
+    ]);
+    assert!(ok);
+    // Example 4.5's delta, as one trigger over both inputs.
+    assert!(stdout.contains("ON UPDATE A, B BY (dU_A, dV_A), (dU_B, dV_B):"));
+    assert!(stdout.contains("U_C := [ dU_A | A dU_B + dU_A (dV_A' dU_B) ];"));
+    assert!(stdout.contains("C += U_C V_C';"));
+    // And it is ONE trigger, not two.
+    assert_eq!(stdout.matches("ON UPDATE").count(), 1);
+}
+
+#[test]
+fn joint_flag_rejects_codegen_backends() {
+    let (ok, _, stderr) = linview(&[
+        "--dims",
+        "A=8x8,B=8x8",
+        "--program",
+        "C := A * B;",
+        "--joint",
+        "--emit",
+        "octave",
+    ]);
+    assert!(!ok);
+    assert!(stderr.contains("--joint"));
+}
+
+#[test]
+fn emits_numpy_backend() {
+    let (ok, stdout, _) = linview(&[
+        "--dims",
+        "A=8x8",
+        "--program",
+        "B := A * A;",
+        "--emit",
+        "numpy",
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("import numpy as np"));
+    assert!(stdout.contains("def on_update_A(A, B, dU_A, dV_A):"));
+    assert!(stdout.contains("B += U_B @ V_B.T"));
+}
+
+#[test]
+fn file_input_works() {
+    let dir = std::env::temp_dir();
+    let path = dir.join("linview_cli_test_prog.lv");
+    std::fs::write(&path, "B := A * A;\n").unwrap();
+    let (ok, stdout, _) = linview(&[
+        "--dims",
+        "A=8x8",
+        "--file",
+        path.to_str().unwrap(),
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("ON UPDATE A"));
+    let _ = std::fs::remove_file(&path);
+}
