@@ -51,13 +51,7 @@ impl ConvergentIteration {
     ///
     /// Returns [`RuntimeError::DidNotConverge`] when `max_iterations` is
     /// exhausted first (e.g. spectral radius of `A` ≥ 1).
-    pub fn new(
-        a: Matrix,
-        b: Matrix,
-        t0: Matrix,
-        eps: f64,
-        max_iterations: usize,
-    ) -> Result<Self> {
+    pub fn new(a: Matrix, b: Matrix, t0: Matrix, eps: f64, max_iterations: usize) -> Result<Self> {
         assert!(eps > 0.0, "threshold must be positive");
         let mut it = ConvergentIteration {
             a,
@@ -143,10 +137,7 @@ impl ConvergentIteration {
                 .try_matmul(prev_u)?
                 .try_add(&upd.u.try_matmul(&upd.v.transpose().try_matmul(prev_u)?)?)?;
             let new_u = Matrix::hstack(&[&upd.u, &mid])?;
-            let new_v = Matrix::hstack(&[
-                &self.t[i - 1].transpose().try_matmul(&upd.v)?,
-                prev_v,
-            ])?;
+            let new_v = Matrix::hstack(&[&self.t[i - 1].transpose().try_matmul(&upd.v)?, prev_v])?;
             deltas.push((new_u, new_v));
         }
 
@@ -364,8 +355,8 @@ mod tests {
     #[test]
     fn memory_grows_with_materialized_horizon() {
         let (a, b, t0) = setup(10, 1, 23);
-        let tight = ConvergentIteration::new(a.clone(), b.clone(), t0.clone(), 1e-12, 5000)
-            .unwrap();
+        let tight =
+            ConvergentIteration::new(a.clone(), b.clone(), t0.clone(), 1e-12, 5000).unwrap();
         let loose = ConvergentIteration::new(a, b, t0, 1e-2, 5000).unwrap();
         assert!(tight.iterations() > loose.iterations());
         assert!(tight.memory_bytes() > loose.memory_bytes());

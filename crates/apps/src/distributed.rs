@@ -47,7 +47,7 @@ impl DistIncrView {
         cat: &Catalog,
         workers: usize,
     ) -> Result<Self> {
-        let cluster = Cluster::new(workers);
+        let cluster = Cluster::try_new(workers).map_err(RuntimeError::Matrix)?;
         let grid = cluster.grid();
         let dynamic: Vec<&str> = inputs.iter().map(|(n, _)| *n).collect();
         let normalized = program.hoist_inverses(&dynamic);
@@ -254,6 +254,12 @@ mod tests {
     fn build_rejects_indivisible_dimensions() {
         let (program, cat, a) = powers_setup(10); // 10 not divisible by 3
         assert!(DistIncrView::build(&program, &[("A", a)], &cat, 9).is_err());
+    }
+
+    #[test]
+    fn build_rejects_non_square_worker_counts() {
+        let (program, cat, a) = powers_setup(16);
+        assert!(DistIncrView::build(&program, &[("A", a)], &cat, 8).is_err());
     }
 
     #[test]

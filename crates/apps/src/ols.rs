@@ -159,8 +159,7 @@ impl CholOls {
         self.chol = chol;
         // Δ(XᵀY) = v·(uᵀY) — rank 1, O(mp + np).
         let uty = self.y.transpose().try_matmul(&upd.u)?; // p×1
-        self.xty
-            .add_assign_from(&Matrix::outer(&upd.v, &uty)?)?;
+        self.xty.add_assign_from(&Matrix::outer(&upd.v, &uty)?)?;
         upd.apply_to(&mut self.x)?;
         self.beta = self.chol.solve(&self.xty)?;
         Ok(())

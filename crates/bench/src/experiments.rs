@@ -661,7 +661,11 @@ fn ablation_recompress(cfg: &Config) -> Table {
         let time = avg_time(cfg.updates, || {
             v1.apply("A", &generic).expect("update");
         });
-        t.row(vec!["generic rank-1".into(), label.into(), fmt_duration(time)]);
+        t.row(vec![
+            "generic rank-1".into(),
+            label.into(),
+            fmt_duration(time),
+        ]);
         let mut v2 = base.clone();
         v2.set_exec_options(exec);
         let time = avg_time(cfg.updates, || {

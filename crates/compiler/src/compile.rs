@@ -92,7 +92,14 @@ pub fn compile_joint(
         let (u_name, v_name) = (format!("U_{target}"), format!("V_{target}"));
         let produced = if let Expr::Inverse(inner) = &stmt.expr {
             compile_inverse_stmt(
-                target, inner, &mut catalog, &deltas, opts, &mut compute, &u_name, &v_name,
+                target,
+                inner,
+                &mut catalog,
+                &deltas,
+                opts,
+                &mut compute,
+                &u_name,
+                &v_name,
             )?
         } else {
             compile_plain_stmt(

@@ -1,0 +1,82 @@
+//! Communication metering.
+//!
+//! Two traffic classes, mirroring the §6 cost analysis:
+//!
+//! * **shuffle** — worker-to-worker block movement (what distributed
+//!   re-evaluation pays on every matrix product);
+//! * **broadcast** — coordinator-to-worker factor distribution (the only
+//!   traffic the incremental path generates).
+//!
+//! Counters are relaxed atomics so kernels can meter through a shared
+//! `&Cluster` without locking.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Cumulative communication counters for one [`crate::Cluster`].
+#[derive(Debug, Default)]
+pub struct CommStats {
+    broadcast_bytes: AtomicU64,
+    broadcast_msgs: AtomicU64,
+    shuffle_bytes: AtomicU64,
+    shuffle_msgs: AtomicU64,
+}
+
+impl CommStats {
+    /// Records one broadcast message of `bytes` payload.
+    pub fn record_broadcast(&self, bytes: u64) {
+        self.broadcast_bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.broadcast_msgs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one shuffled (worker-to-worker) message of `bytes` payload.
+    pub fn record_shuffle(&self, bytes: u64) {
+        self.shuffle_bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.shuffle_msgs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the counters.
+    pub fn snapshot(&self) -> CommSnapshot {
+        CommSnapshot {
+            broadcast_bytes: self.broadcast_bytes.load(Ordering::Relaxed),
+            broadcast_msgs: self.broadcast_msgs.load(Ordering::Relaxed),
+            shuffle_bytes: self.shuffle_bytes.load(Ordering::Relaxed),
+            shuffle_msgs: self.shuffle_msgs.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Zeroes the counters, returning their values from just before the
+    /// reset.
+    pub fn reset(&self) -> CommSnapshot {
+        CommSnapshot {
+            broadcast_bytes: self.broadcast_bytes.swap(0, Ordering::Relaxed),
+            broadcast_msgs: self.broadcast_msgs.swap(0, Ordering::Relaxed),
+            shuffle_bytes: self.shuffle_bytes.swap(0, Ordering::Relaxed),
+            shuffle_msgs: self.shuffle_msgs.swap(0, Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of a [`CommStats`] meter.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CommSnapshot {
+    /// Bytes delivered by coordinator-to-worker broadcasts.
+    pub broadcast_bytes: u64,
+    /// Number of broadcast deliveries (one per receiving worker).
+    pub broadcast_msgs: u64,
+    /// Bytes moved between workers in shuffles.
+    pub shuffle_bytes: u64,
+    /// Number of shuffled block transfers.
+    pub shuffle_msgs: u64,
+}
+
+impl CommSnapshot {
+    /// Total traffic in bytes, both classes combined.
+    pub fn total_bytes(&self) -> u64 {
+        self.broadcast_bytes + self.shuffle_bytes
+    }
+
+    /// Total message count, both classes combined.
+    pub fn total_msgs(&self) -> u64 {
+        self.broadcast_msgs + self.shuffle_msgs
+    }
+}

@@ -88,11 +88,7 @@ pub fn recompress(u: &Matrix, v: &Matrix, rel_tol: f64) -> Result<Recompressed> 
     // report rank 0, not rank 1.
     let scale = su.spectral_norm() * sv.spectral_norm();
     let cutoff = rel_tol * scale;
-    let numeric_rank = sc
-        .singular_values()
-        .iter()
-        .filter(|&&s| s > cutoff)
-        .count();
+    let numeric_rank = sc.singular_values().iter().filter(|&&s| s > cutoff).count();
 
     if numeric_rank == 0 {
         return Ok(Recompressed {
@@ -197,7 +193,8 @@ mod tests {
             &Matrix::random_col(12, 10).scale(1e-8),
         ])
         .unwrap();
-        let v = Matrix::hstack(&[&Matrix::random_col(12, 11), &Matrix::random_col(12, 12)]).unwrap();
+        let v =
+            Matrix::hstack(&[&Matrix::random_col(12, 11), &Matrix::random_col(12, 12)]).unwrap();
         let r = recompress(&u, &v, 1e-6).unwrap();
         assert_eq!(r.rank_after, 1);
         // The dropped energy is bounded by the tolerance.

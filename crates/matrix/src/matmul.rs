@@ -7,8 +7,8 @@
 //!   parallel blocked kernel above a size threshold, otherwise runs the
 //!   serial blocked kernel.
 //! * [`Matrix::matmul_serial`] — cache-blocked `i-k-j` kernel.
-//! * [`Matrix::matmul_parallel`] — row-band parallelism over crossbeam scoped
-//!   threads, mirroring how the paper's Octave backend exploits
+//! * [`Matrix::matmul_parallel`] — row-band parallelism over
+//!   `std::thread::scope`, mirroring how the paper's Octave backend exploits
 //!   multi-threaded BLAS for the `O(nᵞ)` re-evaluation cost.
 //!
 //! Skinny products (`matvec`, `outer`) are the `O(n²)`-class primitives that
@@ -90,28 +90,26 @@ impl Matrix {
         let band = m.div_ceil(threads);
         {
             let out_slice = out.as_mut_slice();
-            let bands: Vec<(usize, &mut [f64])> = {
+            let bands: Vec<(usize, usize, &mut [f64])> = {
                 let mut v = Vec::new();
                 let mut rest = out_slice;
                 let mut r0 = 0;
                 while r0 < m {
                     let h = band.min(m - r0);
                     let (head, tail) = rest.split_at_mut(h * n);
-                    v.push((r0, head));
+                    v.push((r0, h, head));
                     rest = tail;
                     r0 += h;
                 }
                 v
             };
-            crossbeam::thread::scope(|s| {
-                for (r0, chunk) in bands {
-                    let h = chunk.len() / n;
-                    s.spawn(move |_| {
+            std::thread::scope(|s| {
+                for (r0, h, chunk) in bands {
+                    s.spawn(move || {
                         mul_band(self, rhs, chunk, r0, h, k, n);
                     });
                 }
-            })
-            .expect("matmul worker panicked");
+            });
         }
         out
     }

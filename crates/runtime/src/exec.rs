@@ -630,22 +630,8 @@ mod tests {
         .unwrap();
 
         let mut env_seq = build_env();
-        fire_trigger(
-            &mut env_seq,
-            &ev,
-            tp.trigger_for("A").unwrap(),
-            &dau,
-            &dav,
-        )
-        .unwrap();
-        fire_trigger(
-            &mut env_seq,
-            &ev,
-            tp.trigger_for("B").unwrap(),
-            &dbu,
-            &dbv,
-        )
-        .unwrap();
+        fire_trigger(&mut env_seq, &ev, tp.trigger_for("A").unwrap(), &dau, &dav).unwrap();
+        fire_trigger(&mut env_seq, &ev, tp.trigger_for("B").unwrap(), &dbu, &dbv).unwrap();
         assert!(env_joint
             .get("C")
             .unwrap()

@@ -49,8 +49,7 @@ impl CooBuilder {
     /// Finalizes into CSR: sorts triplets, sums duplicates, drops explicit
     /// zeros. `O(nnz · log nnz)`.
     pub fn build(mut self) -> CsrMatrix {
-        self.entries
-            .sort_unstable_by_key(|&(r, c, _)| (r, c));
+        self.entries.sort_unstable_by_key(|&(r, c, _)| (r, c));
         let mut row_ptr = Vec::with_capacity(self.rows + 1);
         let mut col_idx = Vec::with_capacity(self.entries.len());
         let mut vals = Vec::with_capacity(self.entries.len());

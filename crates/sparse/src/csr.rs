@@ -347,10 +347,7 @@ mod tests {
         let m = sample();
         let t = m.transpose();
         let prod = m.spgemm(&t).unwrap();
-        let expected = m
-            .to_dense()
-            .try_matmul(&t.to_dense())
-            .unwrap();
+        let expected = m.to_dense().try_matmul(&t.to_dense()).unwrap();
         assert!(prod.to_dense().approx_eq(&expected, 1e-12));
         assert!(m.spgemm(&CsrMatrix::zeros(4, 4)).is_err());
     }

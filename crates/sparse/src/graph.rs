@@ -365,8 +365,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(13);
         let mut applied = 0;
         while applied < 40 {
-            let s = rng.random_range(0..10);
-            let t = rng.random_range(0..10);
+            let s = rng.random_range(0..10usize);
+            let t = rng.random_range(0..10usize);
             if s == t {
                 continue;
             }

@@ -155,12 +155,9 @@ fn pagerank_from(p: &CsrMatrix, opts: &PageRankOptions, start: Option<&[f64]>) -
             .filter(|(_, &d)| d)
             .map(|(i, _)| x.get(i, 0))
             .sum();
-        let teleport = (1.0 - opts.damping) / n as f64
-            + opts.damping * dangling_mass / n as f64;
+        let teleport = (1.0 - opts.damping) / n as f64 + opts.damping * dangling_mass / n as f64;
         next.map_inplace(|v| opts.damping * v + teleport);
-        residual = (0..n)
-            .map(|i| (next.get(i, 0) - x.get(i, 0)).abs())
-            .sum();
+        residual = (0..n).map(|i| (next.get(i, 0) - x.get(i, 0)).abs()).sum();
         x = next;
         iterations += 1;
         if !opts.fixed_iterations && residual < opts.tol {

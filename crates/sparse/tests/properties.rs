@@ -10,11 +10,7 @@ use proptest::prelude::*;
 fn coo_entries() -> impl Strategy<Value = (usize, usize, Vec<(usize, usize, f64)>)> {
     (2usize..8, 2usize..8).prop_flat_map(|(r, c)| {
         let entry = (0..r, 0..c, -10.0f64..10.0);
-        (
-            Just(r),
-            Just(c),
-            proptest::collection::vec(entry, 0..30),
-        )
+        (Just(r), Just(c), proptest::collection::vec(entry, 0..30))
     })
 }
 

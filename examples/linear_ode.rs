@@ -25,9 +25,7 @@ fn main() {
 
     let mut incr = IncrExpm::new(a.clone(), terms).expect("series converges");
     let mut reeval = ReevalExpm::new(a, terms).expect("series converges");
-    println!(
-        "linear ODE x' = Ax, n = {n}, {terms}-term Taylor solution operator"
-    );
+    println!("linear ODE x' = Ax, n = {n}, {terms}-term Taylor solution operator");
     println!("  initial state norm ‖x₀‖ = {:.4}", x0.frobenius_norm());
     println!(
         "  initial solution  ‖x(1)‖ = {:.4}",

@@ -159,16 +159,16 @@ fn run(args: &Args) -> Result<String, String> {
     };
     if args.analyze {
         let model = CostModel::with_gamma(args.gamma);
-        let report = analyze(&program, &input_refs, &cat, &model, &opts)
-            .map_err(|e| e.to_string())?;
+        let report =
+            analyze(&program, &input_refs, &cat, &model, &opts).map_err(|e| e.to_string())?;
         return Ok(report.to_string());
     }
     if args.joint {
         if args.emit != "trigger" {
             return Err("--joint currently supports --emit trigger only".into());
         }
-        let joint = compile_joint(&normalized, &input_refs, &cat, &opts)
-            .map_err(|e| e.to_string())?;
+        let joint =
+            compile_joint(&normalized, &input_refs, &cat, &opts).map_err(|e| e.to_string())?;
         return Ok(joint.to_string());
     }
     let mut tp = compile(&normalized, &input_refs, &cat, &opts).map_err(|e| e.to_string())?;

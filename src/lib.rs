@@ -63,8 +63,8 @@ pub use linview_sparse as sparse;
 /// The most common imports, re-exported flat.
 pub mod prelude {
     pub use linview_apps::convergence::ConvergentIteration;
-    pub use linview_apps::expm::{IncrExpm, ReevalExpm};
     pub use linview_apps::distributed::DistIncrView;
+    pub use linview_apps::expm::{IncrExpm, ReevalExpm};
     pub use linview_apps::gd::GradientDescentLR;
     pub use linview_apps::general::{GeneralForm, Strategy};
     pub use linview_apps::ols::{IncrOls, ReevalOls};

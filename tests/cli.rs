@@ -16,12 +16,7 @@ fn linview(args: &[&str]) -> (bool, String, String) {
 
 #[test]
 fn compiles_powers_program_to_trigger() {
-    let (ok, stdout, _) = linview(&[
-        "--dims",
-        "A=8x8",
-        "--program",
-        "B := A * A; C := B * B;",
-    ]);
+    let (ok, stdout, _) = linview(&["--dims", "A=8x8", "--program", "B := A * A; C := B * B;"]);
     assert!(ok);
     assert!(stdout.contains("ON UPDATE A BY (dU_A, dV_A):"));
     assert!(stdout.contains("C += U_C V_C';"));
@@ -78,7 +73,11 @@ fn rank_and_factor_flags_are_honored() {
         .lines()
         .find(|l| l.trim_start().starts_with("U_B :="))
         .expect("U_B assignment present");
-    assert_eq!(u_line.matches('|').count(), 2, "expected 3 blocks: {u_line}");
+    assert_eq!(
+        u_line.matches('|').count(),
+        2,
+        "expected 3 blocks: {u_line}"
+    );
 }
 
 #[test]
@@ -179,12 +178,7 @@ fn file_input_works() {
     let dir = std::env::temp_dir();
     let path = dir.join("linview_cli_test_prog.lv");
     std::fs::write(&path, "B := A * A;\n").unwrap();
-    let (ok, stdout, _) = linview(&[
-        "--dims",
-        "A=8x8",
-        "--file",
-        path.to_str().unwrap(),
-    ]);
+    let (ok, stdout, _) = linview(&["--dims", "A=8x8", "--file", path.to_str().unwrap()]);
     assert!(ok);
     assert!(stdout.contains("ON UPDATE A"));
     let _ = std::fs::remove_file(&path);

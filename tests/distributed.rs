@@ -87,8 +87,7 @@ fn worker_count_does_not_change_results() {
     let upd = RankOneUpdate::row_update(n, n, 5, 0.02, 23);
     let mut results = Vec::new();
     for workers in [1usize, 4, 9, 36] {
-        let mut dist =
-            DistIncrView::build(&program, &[("A", a.clone())], &cat, workers).unwrap();
+        let mut dist = DistIncrView::build(&program, &[("A", a.clone())], &cat, workers).unwrap();
         dist.apply("A", &upd).unwrap();
         results.push(dist.view("C").unwrap());
     }

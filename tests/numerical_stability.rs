@@ -127,7 +127,10 @@ fn recompression_does_not_add_drift_over_long_streams() {
         plain.apply_batch("A", &batch).unwrap();
         compressed.apply_batch("A", &batch).unwrap();
     }
-    let drift = compressed.get("C").unwrap().rel_diff(plain.get("C").unwrap());
+    let drift = compressed
+        .get("C")
+        .unwrap()
+        .rel_diff(plain.get("C").unwrap());
     assert!(drift < 1e-7, "recompression drift {drift}");
 }
 

@@ -77,15 +77,8 @@ fn sparse_solver_agrees_with_dense_maintainer_on_static_graph() {
     // converged sparse solver and the k-step dense iteration agree tightly.
     let adj = g.adjacency();
     let edges: Vec<(usize, usize)> = adj.iter().map(|(s, t, _)| (s, t)).collect();
-    let dense = DensePageRank::new(
-        n,
-        &edges,
-        damping,
-        k,
-        IterModel::Linear,
-        Strategy::Reeval,
-    )
-    .unwrap();
+    let dense =
+        DensePageRank::new(n, &edges, damping, k, IterModel::Linear, Strategy::Reeval).unwrap();
     let pr = pagerank(
         &g.transition(),
         &PageRankOptions {

@@ -1,0 +1,238 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Compiles the workspace's `benches/*.rs` sources unchanged and runs each
+//! benchmark as a short timed loop, printing mean wall time per iteration.
+//! There is no statistical analysis, warm-up schedule, or HTML report —
+//! this exists so `cargo bench` produces comparable relative numbers and
+//! `cargo build --benches` keeps the bench sources compiling.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How expensive each batch's setup output is to hold in memory; accepted
+/// for source compatibility, ignored by the timing loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup call per measured iteration.
+    PerIteration,
+}
+
+/// A benchmark identifier: function name plus an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id labeled `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id from the parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Anything usable as a benchmark label.
+pub trait IntoBenchmarkId {
+    /// The rendered label.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over the configured iteration count.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `routine` on inputs produced (untimed) by `setup`.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut elapsed = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            elapsed += start.elapsed();
+        }
+        self.elapsed = elapsed;
+    }
+
+    /// Like [`Bencher::iter_batched`], passing the input by mutable reference.
+    pub fn iter_batched_ref<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(&mut I) -> O,
+    {
+        let mut elapsed = Duration::ZERO;
+        for _ in 0..self.iters {
+            let mut input = setup();
+            let start = Instant::now();
+            black_box(routine(&mut input));
+            elapsed += start.elapsed();
+        }
+        self.elapsed = elapsed;
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    iters: u64,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the iteration count used for every subsequent bench in the
+    /// group (criterion's statistical sample size, repurposed directly).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.iters = (n as u64).max(1);
+        self
+    }
+
+    /// Runs `f` as a benchmark labeled `id`.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(id.into_id(), &mut f);
+        self
+    }
+
+    /// Runs `f` with `input` as a benchmark labeled `id`.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(id.into_id(), &mut |b| f(b, input));
+        self
+    }
+
+    fn run(&mut self, id: String, f: &mut dyn FnMut(&mut Bencher)) {
+        let mut bencher = Bencher {
+            iters: self.iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bencher);
+        let per_iter = if bencher.iters > 0 {
+            bencher.elapsed / bencher.iters as u32
+        } else {
+            Duration::ZERO
+        };
+        println!(
+            "{}/{:<32} {:>12.3?}/iter ({} iters)",
+            self.name, id, per_iter, bencher.iters
+        );
+    }
+
+    /// Ends the group.
+    pub fn finish(&mut self) {}
+}
+
+/// Entry point mirroring criterion's `Criterion` manager.
+pub struct Criterion {
+    default_iters: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { default_iters: 10 }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let iters = self.default_iters;
+        BenchmarkGroup {
+            name: name.into(),
+            iters,
+            _criterion: self,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group("bench");
+        group.bench_function(id, f);
+        group.finish();
+        self
+    }
+}
+
+/// Declares a benchmark group function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

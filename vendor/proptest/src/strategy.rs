@@ -1,0 +1,332 @@
+//! Strategies: composable descriptions of how to sample random values.
+//!
+//! Unlike real proptest there is no shrinking and no size-driven recursion
+//! budget; `prop_recursive` bounds depth structurally by unioning the base
+//! strategy back in at every level.
+
+use crate::test_runner::TestRng;
+use rand::RngExt;
+use std::ops::Range;
+use std::rc::Rc;
+
+/// A recipe for sampling values of type `Self::Value`.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Type-erases this strategy behind a cheaply-cloneable handle.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+    {
+        BoxedStrategy {
+            sampler: Rc::new(move |rng| self.sample(rng)),
+        }
+    }
+
+    /// A strategy applying `f` to every sampled value.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// A strategy sampling an intermediate value, then sampling from the
+    /// strategy `f` builds from it.
+    fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S2: Strategy,
+        F: Fn(Self::Value) -> S2,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Recursive strategies: `f` receives the strategy for strictly
+    /// smaller values and returns the composite case. Depth is bounded by
+    /// `depth`; at every level the base (leaf) strategy stays reachable
+    /// with weight 1 against 2 for the composite, so samples mix shallow
+    /// and deep structures.
+    fn prop_recursive<S2, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        f: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        S2: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S2,
+    {
+        let base = self.boxed();
+        let mut current = base.clone();
+        for _ in 0..depth {
+            let composite = f(current).boxed();
+            current = Union::new(vec![(1, base.clone()), (2, composite)]).boxed();
+        }
+        current
+    }
+}
+
+/// A type-erased, cheaply-cloneable strategy handle.
+pub struct BoxedStrategy<T> {
+    sampler: Rc<dyn Fn(&mut TestRng) -> T>,
+}
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy {
+            sampler: Rc::clone(&self.sampler),
+        }
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        (self.sampler)(rng)
+    }
+
+    fn boxed(self) -> BoxedStrategy<T>
+    where
+        T: 'static,
+    {
+        self
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// A weighted choice among strategies of a common value type.
+pub struct Union<T> {
+    arms: Vec<(u32, BoxedStrategy<T>)>,
+    total_weight: u64,
+}
+
+impl<T> Union<T> {
+    /// A union of the given `(weight, strategy)` arms.
+    pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        let total_weight = arms.iter().map(|(w, _)| *w as u64).sum();
+        assert!(total_weight > 0, "prop_oneof! weights sum to zero");
+        Union { arms, total_weight }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let mut pick = rng.random_range(0..self.total_weight);
+        for (weight, arm) in &self.arms {
+            if pick < *weight as u64 {
+                return arm.sample(rng);
+            }
+            pick -= *weight as u64;
+        }
+        unreachable!("weighted pick within total weight")
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, S2, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+
+    fn sample(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.sample(rng)).sample(rng)
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+int_range_strategy!(usize, u64, u32, u16, u8, i64, i32, f64);
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident / $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy! {
+    (S0/0)
+    (S0/0, S1/1)
+    (S0/0, S1/1, S2/2)
+    (S0/0, S1/1, S2/2, S3/3)
+    (S0/0, S1/1, S2/2, S3/3, S4/4)
+    (S0/0, S1/1, S2/2, S3/3, S4/4, S5/5)
+}
+
+/// A vector-length range, as accepted by [`crate::collection::vec`].
+#[derive(Debug, Clone)]
+pub struct SizeRange {
+    min: usize,
+    max_exclusive: usize,
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            min: r.start,
+            max_exclusive: r.end,
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(len: usize) -> Self {
+        SizeRange {
+            min: len,
+            max_exclusive: len + 1,
+        }
+    }
+}
+
+/// See [`crate::collection::vec`].
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> VecStrategy<S> {
+    pub(crate) fn new(element: S, size: SizeRange) -> Self {
+        VecStrategy { element, size }
+    }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = rng.random_range(self.size.min..self.size.max_exclusive);
+        (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::rng_for_test;
+
+    #[test]
+    fn ranges_tuples_and_maps_sample_in_bounds() {
+        let mut rng = rng_for_test("strategy::basics");
+        let s = (2usize..8, -1.0f64..1.0).prop_map(|(n, x)| (n * 2, x.abs()));
+        for _ in 0..200 {
+            let (n, x) = s.sample(&mut rng);
+            assert!((4..16).contains(&n) && n % 2 == 0);
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn union_respects_zero_weight_arms_absence() {
+        let mut rng = rng_for_test("strategy::union");
+        let s = Union::new(vec![(1, Just(1u32).boxed()), (3, Just(2u32).boxed())]);
+        let mut seen = [0u32; 3];
+        for _ in 0..400 {
+            seen[s.sample(&mut rng) as usize] += 1;
+        }
+        assert_eq!(seen[0], 0);
+        assert!(seen[1] > 0 && seen[2] > seen[1]);
+    }
+
+    #[test]
+    fn recursive_strategies_terminate_and_vary_depth() {
+        #[derive(Debug, Clone)]
+        enum Tree {
+            Leaf,
+            Node(Box<Tree>, Box<Tree>),
+        }
+        fn depth(t: &Tree) -> usize {
+            match t {
+                Tree::Leaf => 0,
+                Tree::Node(a, b) => 1 + depth(a).max(depth(b)),
+            }
+        }
+        let s = Just(Tree::Leaf).prop_recursive(4, 16, 2, |inner| {
+            (inner.clone(), inner).prop_map(|(a, b)| Tree::Node(Box::new(a), Box::new(b)))
+        });
+        let mut rng = rng_for_test("strategy::recursive");
+        let mut max_depth = 0;
+        for _ in 0..300 {
+            let t = s.sample(&mut rng);
+            let d = depth(&t);
+            assert!(d <= 4);
+            max_depth = max_depth.max(d);
+        }
+        assert!(max_depth >= 2, "recursion never fired (max {max_depth})");
+    }
+
+    #[test]
+    fn vec_strategy_respects_size_range() {
+        let s = crate::collection::vec(0u32..5, 1..7);
+        let mut rng = rng_for_test("strategy::vec");
+        for _ in 0..100 {
+            let v = s.sample(&mut rng);
+            assert!((1..7).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 5));
+        }
+    }
+}
