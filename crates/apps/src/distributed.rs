@@ -1,39 +1,32 @@
 //! Distributed incremental view maintenance (§6): compiled triggers driving
 //! grid-partitioned views on the simulated cluster.
 //!
-//! The execution split mirrors the paper's Spark backend:
-//!
-//! * the **coordinator** evaluates the trigger's delta-block assignments —
-//!   these touch only `O(kn)`-sized factors and a local mirror of the
-//!   views' dense values;
-//! * each **worker** receives the broadcast factors and applies
-//!   `block += U[rows] · V[cols]ᵀ` to its own partition, with no shuffle.
-//!
-//! Every byte moved is metered by the cluster's [`CommStats`], which is how
-//! Fig. 3f's communication asymmetry is reproduced.
+//! Since the `ExecBackend` refactor this module contains **no** trigger
+//! execution logic of its own: [`DistIncrView`] is a thin wrapper over the
+//! generic [`IncrementalView`] running on a
+//! [`DistBackend`](linview_runtime::DistBackend), so the exact same
+//! statement interpreter fires triggers locally and on the cluster. The
+//! execution split still mirrors the paper's Spark backend — the
+//! coordinator evaluates the `O(kn)`-sized delta blocks against a dense
+//! mirror, workers receive broadcast factors and update their partitions
+//! with no shuffle — and every byte moved is metered by the cluster's
+//! [`CommStats`].
 //!
 //! [`CommStats`]: linview_dist::CommStats
 
-use linview_compiler::{compile, CompileOptions, TriggerProgram, TriggerStmt};
-use linview_dist::{dist_add_low_rank, Cluster, CommSnapshot, DistMatrix};
+use linview_dist::{Cluster, CommSnapshot, DistMatrix};
 use linview_expr::Catalog;
 use linview_matrix::Matrix;
-use linview_runtime::{sherman_morrison, Env, Evaluator, RankOneUpdate, RuntimeError};
-use std::collections::BTreeMap;
+use linview_runtime::{DistBackend, IncrementalView, RankOneUpdate};
 
 use crate::Result;
 
 /// An incrementally maintained set of views, partitioned across a simulated
-/// cluster.
+/// cluster — [`IncrementalView`] on a [`DistBackend`], plus
+/// construction-from-worker-count and gather conveniences.
 #[derive(Debug)]
 pub struct DistIncrView {
-    cluster: Cluster,
-    trigger_program: TriggerProgram,
-    evaluator: Evaluator,
-    /// Coordinator-side dense mirror (sources the factor evaluations).
-    env: Env,
-    /// Worker-side partitioned views.
-    views: BTreeMap<String, DistMatrix>,
+    inner: IncrementalView<DistBackend>,
 }
 
 impl DistIncrView {
@@ -47,128 +40,69 @@ impl DistIncrView {
         cat: &Catalog,
         workers: usize,
     ) -> Result<Self> {
-        let cluster = Cluster::try_new(workers).map_err(RuntimeError::Matrix)?;
-        let grid = cluster.grid();
-        let dynamic: Vec<&str> = inputs.iter().map(|(n, _)| *n).collect();
-        let normalized = program.hoist_inverses(&dynamic);
-        let tp = compile(&normalized, &dynamic, cat, &CompileOptions::default())?;
-
-        let evaluator = Evaluator::new();
-        let mut env = Env::new();
-        for (name, m) in inputs {
-            env.bind(*name, m.clone());
-        }
-        for stmt in normalized.statements() {
-            let value = evaluator.eval(&stmt.expr, &env)?;
-            env.bind(stmt.target.clone(), value);
-        }
-        // Partition every bound matrix (inputs and views alike).
-        let mut views = BTreeMap::new();
-        for (name, m) in env.iter() {
-            let dm = DistMatrix::from_dense(m, grid).map_err(RuntimeError::Matrix)?;
-            views.insert(name.to_string(), dm);
-        }
+        let backend = DistBackend::new(workers)?;
         Ok(DistIncrView {
-            cluster,
-            trigger_program: tp,
-            evaluator,
-            env,
-            views,
+            inner: IncrementalView::build_on(backend, program, inputs, cat)?,
         })
     }
 
     /// Fires the trigger for a rank-1 update to `input`: factors are
     /// evaluated centrally and broadcast; partitions update locally.
     pub fn apply(&mut self, input: &str, upd: &RankOneUpdate) -> Result<()> {
-        self.apply_factored(input, &upd.u, &upd.v)
+        self.inner.apply(input, upd)
     }
 
     /// Rank-k variant of [`DistIncrView::apply`].
     pub fn apply_factored(&mut self, input: &str, du: &Matrix, dv: &Matrix) -> Result<()> {
-        let trigger = self
-            .trigger_program
-            .trigger_for(input)
-            .ok_or_else(|| RuntimeError::Unbound(format!("trigger for '{input}'")))?
-            .clone();
-        let (du_name, dv_name) = linview_expr::delta::input_delta_names(input);
-        self.env.bind(du_name.clone(), du.clone());
-        self.env.bind(dv_name.clone(), dv.clone());
-        let mut temporaries = vec![du_name, dv_name];
-
-        let result = (|| -> Result<()> {
-            for stmt in &trigger.stmts {
-                match stmt {
-                    TriggerStmt::Assign { var, expr } => {
-                        let value = self.evaluator.eval(expr, &self.env)?;
-                        self.env.bind(var.clone(), value);
-                        temporaries.push(var.clone());
-                    }
-                    TriggerStmt::ShermanMorrison {
-                        inv_var,
-                        p,
-                        q,
-                        out_u,
-                        out_v,
-                    } => {
-                        let pm = self.evaluator.eval(p, &self.env)?;
-                        let qm = self.evaluator.eval(q, &self.env)?;
-                        let w = self.env.get(inv_var)?;
-                        let (u, v) = sherman_morrison(w, &pm, &qm)?;
-                        self.env.bind(out_u.clone(), u);
-                        self.env.bind(out_v.clone(), v);
-                        temporaries.push(out_u.clone());
-                        temporaries.push(out_v.clone());
-                    }
-                    TriggerStmt::ApplyDelta { target, u, v } => {
-                        let um = self.evaluator.eval(u, &self.env)?;
-                        let vm = self.evaluator.eval(v, &self.env)?;
-                        // Broadcast + block-local worker updates.
-                        let dm = self
-                            .views
-                            .get_mut(target)
-                            .ok_or_else(|| RuntimeError::Unbound(target.clone()))?;
-                        dist_add_low_rank(dm, &um, &vm, &self.cluster)
-                            .map_err(RuntimeError::Matrix)?;
-                        // Keep the coordinator mirror in sync.
-                        let delta = um.try_matmul(&vm.transpose())?;
-                        self.env.get_mut(target)?.add_assign_from(&delta)?;
-                    }
-                }
-            }
-            Ok(())
-        })();
-        for t in &temporaries {
-            self.env.unbind(t);
-        }
-        result
+        self.inner.apply_factored(input, du, dv)
     }
 
     /// Gathers a partitioned view back to a dense matrix.
     pub fn view(&self, name: &str) -> Result<Matrix> {
-        self.views
-            .get(name)
-            .map(DistMatrix::to_dense)
-            .ok_or_else(|| RuntimeError::Unbound(name.to_string()))
+        self.inner.backend().view(name)
+    }
+
+    /// The coordinator's dense mirror of a view (bit-identical to local
+    /// execution of the same stream).
+    pub fn mirror(&self, name: &str) -> Result<&Matrix> {
+        self.inner.get(name)
     }
 
     /// The partitioned form of a view.
     pub fn dist_view(&self, name: &str) -> Option<&DistMatrix> {
-        self.views.get(name)
+        self.inner.backend().dist_view(name)
     }
 
     /// Cumulative communication since construction (or the last reset).
     pub fn comm(&self) -> CommSnapshot {
-        self.cluster.comm().snapshot()
+        self.inner.comm()
     }
 
     /// Resets the communication counters.
     pub fn reset_comm(&self) -> CommSnapshot {
-        self.cluster.comm().reset()
+        self.inner.reset_comm()
     }
 
     /// The underlying cluster.
     pub fn cluster(&self) -> &Cluster {
-        &self.cluster
+        self.inner.backend().cluster()
+    }
+
+    /// The generic view this wrapper drives (trigger program, exec
+    /// options, checkpointing).
+    pub fn as_view(&self) -> &IncrementalView<DistBackend> {
+        &self.inner
+    }
+
+    /// Mutable access to the generic view.
+    pub fn as_view_mut(&mut self) -> &mut IncrementalView<DistBackend> {
+        &mut self.inner
+    }
+}
+
+impl From<DistIncrView> for IncrementalView<DistBackend> {
+    fn from(v: DistIncrView) -> Self {
+        v.inner
     }
 }
 
@@ -205,7 +139,7 @@ mod tests {
         assert!(dist
             .view("B")
             .unwrap()
-            .approx_eq(dist.env.get("B").unwrap(), 1e-12));
+            .approx_eq(dist.mirror("B").unwrap(), 1e-12));
     }
 
     #[test]
@@ -269,5 +203,25 @@ mod tests {
         let upd = RankOneUpdate::row_update(16, 16, 0, 0.01, 1);
         assert!(dist.apply("Z", &upd).is_err());
         assert!(dist.view("nope").is_err());
+    }
+
+    #[test]
+    fn shared_code_path_is_bit_identical_to_local_execution() {
+        // The refactor's core guarantee: the coordinator mirror of the
+        // distributed run equals the local run EXACTLY (same interpreter,
+        // same delta arithmetic) — not merely to within a tolerance.
+        let n = 24;
+        let (program, cat, a) = powers_setup(n);
+        let mut dist = DistIncrView::build(&program, &[("A", a.clone())], &cat, 4).unwrap();
+        let mut local = IncrementalView::build(&program, &[("A", a)], &cat).unwrap();
+        let mut s1 = UpdateStream::new(n, n, 0.01, 91);
+        let mut s2 = UpdateStream::new(n, n, 0.01, 91);
+        for _ in 0..6 {
+            dist.apply("A", &s1.next_rank_one()).unwrap();
+            local.apply("A", &s2.next_rank_one()).unwrap();
+        }
+        for view in ["A", "B", "C"] {
+            assert_eq!(dist.mirror(view).unwrap(), local.get(view).unwrap());
+        }
     }
 }

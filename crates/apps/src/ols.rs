@@ -14,7 +14,7 @@
 use linview_compiler::parse::parse_program;
 use linview_expr::Catalog;
 use linview_matrix::{Cholesky, Matrix};
-use linview_runtime::{IncrementalView, RankOneUpdate, RuntimeError};
+use linview_runtime::{ExecBackend, IncrementalView, LocalBackend, RankOneUpdate, RuntimeError};
 
 use crate::Result;
 
@@ -57,21 +57,29 @@ impl ReevalOls {
 }
 
 /// Incremental estimator: the compiled trigger program maintains `Z = XᵀX`,
-/// `W = Z⁻¹` (via Sherman–Morrison), and `β*` under updates to `X`.
+/// `W = Z⁻¹` (via Sherman–Morrison), and `β*` under updates to `X`, on any
+/// [`ExecBackend`].
 #[derive(Debug, Clone)]
-pub struct IncrOls {
-    view: IncrementalView,
+pub struct IncrOls<B: ExecBackend = LocalBackend> {
+    view: IncrementalView<B>,
 }
 
 impl IncrOls {
     /// Compiles the OLS program and materializes `Z`, `W`, `β*`.
     pub fn new(x: Matrix, y: Matrix) -> Result<Self> {
+        Self::new_on(LocalBackend, x, y)
+    }
+}
+
+impl<B: ExecBackend> IncrOls<B> {
+    /// As [`IncrOls::new`] on an explicit execution backend.
+    pub fn new_on(backend: B, x: Matrix, y: Matrix) -> Result<Self> {
         let mut cat = Catalog::new();
         cat.declare("X", x.rows(), x.cols());
         cat.declare("Y", y.rows(), y.cols());
         let program = parse_program(OLS_PROGRAM)
             .map_err(|e| RuntimeError::Unbound(format!("OLS program parse failure: {e}")))?;
-        let view = IncrementalView::build(&program, &[("X", x), ("Y", y)], &cat)?;
+        let view = IncrementalView::build_on(backend, &program, &[("X", x), ("Y", y)], &cat)?;
         Ok(IncrOls { view })
     }
 

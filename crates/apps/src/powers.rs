@@ -4,7 +4,7 @@
 use linview_compiler::Program;
 use linview_expr::{Catalog, Expr};
 use linview_matrix::Matrix;
-use linview_runtime::{BatchUpdate, IncrementalView, RankOneUpdate};
+use linview_runtime::{BatchUpdate, ExecBackend, IncrementalView, LocalBackend, RankOneUpdate};
 
 use crate::{IterModel, Result};
 
@@ -128,10 +128,11 @@ impl ReevalPowers {
 }
 
 /// Incremental maintainer for `Aᵏ`: Algorithm 1 applied to the generated
-/// program, executed by the runtime.
+/// program, executed by the runtime on any [`ExecBackend`] (defaulting to
+/// in-process dense views).
 #[derive(Debug, Clone)]
-pub struct IncrPowers {
-    view: IncrementalView,
+pub struct IncrPowers<B: ExecBackend = LocalBackend> {
+    view: IncrementalView<B>,
     final_view: String,
 }
 
@@ -149,11 +150,37 @@ impl IncrPowers {
         k: usize,
         opts: &linview_compiler::CompileOptions,
     ) -> Result<Self> {
+        Self::new_on_with_options(LocalBackend, a, model, k, opts)
+    }
+}
+
+impl<B: ExecBackend> IncrPowers<B> {
+    /// As [`IncrPowers::new`] on an explicit execution backend (e.g. a
+    /// [`DistBackend`](linview_runtime::DistBackend) cluster).
+    pub fn new_on(backend: B, a: Matrix, model: IterModel, k: usize) -> Result<Self> {
+        Self::new_on_with_options(
+            backend,
+            a,
+            model,
+            k,
+            &linview_compiler::CompileOptions::default(),
+        )
+    }
+
+    /// As [`IncrPowers::new_on`] with explicit compiler options.
+    pub fn new_on_with_options(
+        backend: B,
+        a: Matrix,
+        model: IterModel,
+        k: usize,
+        opts: &linview_compiler::CompileOptions,
+    ) -> Result<Self> {
         let n = a.rows();
         let (program, final_view) = powers_program(model, k);
         let mut cat = Catalog::new();
         cat.declare("A", n, n);
-        let view = IncrementalView::build_with_options(&program, &[("A", a)], &cat, opts)?;
+        let view =
+            IncrementalView::build_on_with_options(backend, &program, &[("A", a)], &cat, opts)?;
         Ok(IncrPowers { view, final_view })
     }
 

@@ -21,7 +21,7 @@
 use linview_compiler::Program;
 use linview_expr::{Catalog, Expr};
 use linview_matrix::Matrix;
-use linview_runtime::{IncrementalView, RankOneUpdate};
+use linview_runtime::{FlushPolicy, IncrementalView, MaintenanceEngine, RankOneUpdate};
 use std::collections::BTreeSet;
 
 use crate::sums::sums_program;
@@ -32,20 +32,43 @@ use crate::{IterModel, Result};
 const REACH_TOL: f64 = 1e-12;
 
 /// An incrementally maintained ≤ k-hop reachability index.
+///
+/// Edge mutations stream through a [`MaintenanceEngine`]: with the default
+/// immediate policy every insert/remove is one rank-1 trigger firing (the
+/// original behavior); [`Reachability::new_batched`] instead buffers
+/// mutations and fires one coalesced rank-`k` trigger per batch — bulk
+/// graph loads pay one firing per `batch` edges rather than one per edge.
 #[derive(Debug, Clone)]
 pub struct Reachability {
     n: usize,
     k: usize,
     damping: f64,
     adj: Vec<BTreeSet<usize>>,
-    view: IncrementalView,
+    engine: MaintenanceEngine,
 }
 
 impl Reachability {
     /// Builds the index for `n` nodes, an initial edge list, and hop bound
     /// `k` (maintained with the exponential model when `k` is a power of
-    /// two, linear otherwise).
+    /// two, linear otherwise). Mutations fire immediately.
     pub fn new(n: usize, edges: &[(usize, usize)], k: usize) -> Result<Self> {
+        Self::new_with_policy(n, edges, k, FlushPolicy::Immediate)
+    }
+
+    /// As [`Reachability::new`], buffering up to `batch` edge mutations per
+    /// trigger firing. Queries observe only flushed mutations — call
+    /// [`Reachability::flush`] before reading after a partial batch.
+    pub fn new_batched(n: usize, edges: &[(usize, usize)], k: usize, batch: usize) -> Result<Self> {
+        Self::new_with_policy(n, edges, k, FlushPolicy::Count(batch))
+    }
+
+    /// As [`Reachability::new`] with an explicit engine flush policy.
+    pub fn new_with_policy(
+        n: usize,
+        edges: &[(usize, usize)],
+        k: usize,
+        policy: FlushPolicy,
+    ) -> Result<Self> {
         assert!(n > 0 && k > 0, "empty graph or zero hop bound");
         let model = if k.is_power_of_two() {
             IterModel::Exponential
@@ -80,7 +103,7 @@ impl Reachability {
             k,
             damping,
             adj,
-            view,
+            engine: MaintenanceEngine::new(view, policy),
         })
     }
 
@@ -122,24 +145,41 @@ impl Reachability {
         u.set(src, 0, 1.0);
         let mut v = Matrix::zeros(self.n, 1);
         v.set(dst, 0, weight);
-        self.view.apply("A", &RankOneUpdate { u, v })
+        self.engine.ingest("A", RankOneUpdate { u, v })
+    }
+
+    /// Fires any buffered edge mutations (a no-op under the immediate
+    /// policy, where nothing ever buffers).
+    pub fn flush(&mut self) -> Result<()> {
+        self.engine.flush_all()
+    }
+
+    /// Buffered edge mutations not yet reflected in query results.
+    pub fn pending_mutations(&self) -> usize {
+        self.engine.pending_total()
+    }
+
+    /// Trigger firings performed so far (batching makes this less than the
+    /// number of mutations).
+    pub fn firings(&self) -> u64 {
+        self.engine.stats().firings
     }
 
     /// True when `dst` is reachable from `src` in at most `k` hops.
     pub fn reachable(&self, src: usize, dst: usize) -> Result<bool> {
-        let r = self.view.get("R")?;
+        let r = self.engine.get("R")?;
         Ok(r.get(src, dst) > REACH_TOL)
     }
 
     /// The damped path weight `Σ_{l=1..k} damping^l · #paths(src→dst, l)`.
     pub fn path_weight(&self, src: usize, dst: usize) -> Result<f64> {
-        Ok(self.view.get("R")?.get(src, dst))
+        Ok(self.engine.get("R")?.get(src, dst))
     }
 
     /// All nodes reachable from `src` within `k` hops (excluding trivial
     /// self-reachability unless a cycle exists).
     pub fn reachable_set(&self, src: usize) -> Result<Vec<usize>> {
-        let r = self.view.get("R")?;
+        let r = self.engine.get("R")?;
         Ok((0..self.n).filter(|&j| r.get(src, j) > REACH_TOL).collect())
     }
 }
@@ -246,6 +286,34 @@ mod tests {
         let edges = [(0, 1), (0, 2), (1, 3), (2, 3)];
         let r = Reachability::new(4, &edges, 2).unwrap();
         assert!((r.path_weight(0, 3).unwrap() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn batched_edge_churn_matches_immediate_with_fewer_firings() {
+        let n = 10;
+        let seed_edges = chain(n);
+        let churn: Vec<(usize, usize)> = vec![(1, 7), (0, 5), (2, 9), (4, 1), (7, 3), (5, 2)];
+        let mut immediate = Reachability::new(n, &seed_edges, 4).unwrap();
+        let mut batched = Reachability::new_batched(n, &seed_edges, 4, 3).unwrap();
+        for &(s, d) in &churn {
+            immediate.add_edge(s, d).unwrap();
+            batched.add_edge(s, d).unwrap();
+        }
+        batched.flush().unwrap();
+        assert_eq!(batched.pending_mutations(), 0);
+        for src in 0..n {
+            assert_eq!(
+                batched.reachable_set(src).unwrap(),
+                immediate.reachable_set(src).unwrap(),
+                "reachable set from {src} diverged under batching"
+            );
+        }
+        assert!(
+            batched.firings() < immediate.firings(),
+            "batch 3 must fire fewer triggers ({} !< {})",
+            batched.firings(),
+            immediate.firings()
+        );
     }
 
     #[test]

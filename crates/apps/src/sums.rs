@@ -5,7 +5,7 @@
 use linview_compiler::Program;
 use linview_expr::{Catalog, Expr};
 use linview_matrix::Matrix;
-use linview_runtime::{BatchUpdate, IncrementalView, RankOneUpdate};
+use linview_runtime::{BatchUpdate, ExecBackend, IncrementalView, LocalBackend, RankOneUpdate};
 
 use crate::powers::{compute_power, power_view};
 use crate::{IterModel, Result};
@@ -167,21 +167,29 @@ impl ReevalSums {
     }
 }
 
-/// Incremental maintainer for `S_k` via the compiled trigger program.
+/// Incremental maintainer for `S_k` via the compiled trigger program,
+/// executable on any [`ExecBackend`].
 #[derive(Debug, Clone)]
-pub struct IncrSums {
-    view: IncrementalView,
+pub struct IncrSums<B: ExecBackend = LocalBackend> {
+    view: IncrementalView<B>,
     final_view: String,
 }
 
 impl IncrSums {
     /// Compiles the model's program and materializes all views.
     pub fn new(a: Matrix, model: IterModel, k: usize) -> Result<Self> {
+        Self::new_on(LocalBackend, a, model, k)
+    }
+}
+
+impl<B: ExecBackend> IncrSums<B> {
+    /// As [`IncrSums::new`] on an explicit execution backend.
+    pub fn new_on(backend: B, a: Matrix, model: IterModel, k: usize) -> Result<Self> {
         let n = a.rows();
         let (program, final_view) = sums_program(model, k, n);
         let mut cat = Catalog::new();
         cat.declare("A", n, n);
-        let view = IncrementalView::build(&program, &[("A", a)], &cat)?;
+        let view = IncrementalView::build_on(backend, &program, &[("A", a)], &cat)?;
         Ok(IncrSums { view, final_view })
     }
 

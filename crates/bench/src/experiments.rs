@@ -13,11 +13,14 @@ use linview_apps::ols::{IncrOls, ReevalOls};
 use linview_apps::powers::{IncrPowers, ReevalPowers};
 use linview_apps::sums::{IncrSums, ReevalSums};
 use linview_apps::IterModel;
-use linview_compiler::{CompileOptions, TriggerStmt};
-use linview_dist::{dist_add_low_rank, dist_matmul, Cluster, DistMatrix};
+use linview_compiler::CompileOptions;
+use linview_dist::{dist_matmul, Cluster, DistMatrix};
 use linview_expr::DeltaOptions;
 use linview_matrix::{flops, Matrix};
-use linview_runtime::{Env, Evaluator, UpdateStream};
+use linview_runtime::{
+    DistBackend, Env, Evaluator, ExecBackend, FlushPolicy, IncrementalView, MaintenanceEngine,
+    UpdateStream,
+};
 use std::time::{Duration, Instant};
 
 use crate::report::{fmt_bytes, fmt_duration, fmt_speedup, Table};
@@ -217,9 +220,6 @@ pub fn fig3f(cfg: &Config) -> Table {
         linview_compiler::parse::parse_program("B := A * A; C := B * B;").expect("program parses");
     let mut cat = linview_expr::Catalog::new();
     cat.declare("A", n, n);
-    let tp = linview_compiler::compile(&program, &["A"], &cat, &CompileOptions::default())
-        .expect("compiles");
-    let trigger = tp.trigger_for("A").expect("trigger exists");
 
     for &workers in &[1usize, 4, 9, 16] {
         let grid = (workers as f64).sqrt() as usize;
@@ -236,56 +236,18 @@ pub fn fig3f(cfg: &Config) -> Table {
         });
         let re_comm = cluster.comm().reset();
 
-        // INCR: central trigger computes the delta blocks; workers receive
-        // broadcast factors and update their partitions locally.
-        let incr_cluster = Cluster::new(workers);
-        let evaluator = Evaluator::new();
-        let mut env = Env::new();
-        env.bind("A", a.clone());
-        let b0 = a.try_matmul(&a).expect("B");
-        env.bind("C", b0.try_matmul(&b0).expect("C"));
-        env.bind("B", b0);
-        let mut dist: std::collections::BTreeMap<String, DistMatrix> = ["A", "B", "C"]
-            .iter()
-            .map(|v| {
-                (
-                    v.to_string(),
-                    DistMatrix::from_dense(env.get(v).expect("bound"), grid).expect("parts"),
-                )
-            })
-            .collect();
+        // INCR: the same compiled triggers as the local path, executed on
+        // the DistBackend — central delta-block evaluation, broadcast
+        // factors, block-local partition updates.
+        let backend = DistBackend::new(workers).expect("square worker count");
+        let mut incr = IncrementalView::build_on(backend, &program, &[("A", a.clone())], &cat)
+            .expect("incr builds");
+        incr.reset_comm();
         let mut s2 = UpdateStream::new(n, n, 0.01, 47);
         let inc = avg_time(cfg.updates, || {
-            let upd = s2.next_rank_one();
-            env.bind("dU_A", upd.u.clone());
-            env.bind("dV_A", upd.v.clone());
-            for stmt in &trigger.stmts {
-                match stmt {
-                    TriggerStmt::Assign { var, expr } => {
-                        let value = evaluator.eval(expr, &env).expect("block evaluates");
-                        env.bind(var.clone(), value);
-                    }
-                    TriggerStmt::ApplyDelta { target, u, v } => {
-                        let um = evaluator.eval(u, &env).expect("U");
-                        let vm = evaluator.eval(v, &env).expect("V");
-                        dist_add_low_rank(
-                            dist.get_mut(target).expect("view partitioned"),
-                            &um,
-                            &vm,
-                            &incr_cluster,
-                        )
-                        .expect("low-rank update");
-                        let delta = um.try_matmul(&vm.transpose()).expect("delta");
-                        env.get_mut(target)
-                            .expect("bound")
-                            .add_assign_from(&delta)
-                            .expect("shapes match");
-                    }
-                    TriggerStmt::ShermanMorrison { .. } => unreachable!("no inverses"),
-                }
-            }
+            incr.apply("A", &s2.next_rank_one()).expect("incr update")
         });
-        let inc_comm = incr_cluster.comm().reset();
+        let inc_comm = incr.reset_comm();
         t.row(vec![
             workers.to_string(),
             fmt_duration(re),
@@ -540,6 +502,81 @@ pub fn table4(cfg: &Config) -> Table {
         ]);
     }
     t.note("paper: INCR loses its advantage as updates become uniform (rank -> batch size)");
+    t
+}
+
+/// MaintenanceEngine — batched multi-input ingestion across backends:
+/// a Zipf-skewed stream of rank-1 events over TWO inputs, coalesced under
+/// a count policy and fired through the unified `ExecBackend` path.
+pub fn engine_batching(cfg: &Config) -> Table {
+    let n = cfg.n;
+    let events = (cfg.updates * 16).max(16);
+    let zipf = 2.0;
+    let mut t = Table::new(
+        format!(
+            "MaintenanceEngine - batched multi-input ingestion (n = {n}, {events} events, zipf = {zipf})"
+        ),
+        &["backend", "batch", "firings", "fired rank", "refresh/event", "comm bytes"],
+    );
+    let program =
+        linview_compiler::parse::parse_program("C := A * B; D := C * C;").expect("program parses");
+    let mut cat = linview_expr::Catalog::new();
+    cat.declare("A", n, n);
+    cat.declare("B", n, n);
+    let a = Matrix::random_spectral(n, 33, 0.8);
+    let b = Matrix::random_spectral(n, 34, 0.8);
+    let inputs = [("A", a), ("B", b)];
+
+    fn run<B: ExecBackend>(
+        t: &mut Table,
+        view: IncrementalView<B>,
+        batch: usize,
+        events: usize,
+        zipf: f64,
+        n: usize,
+    ) {
+        view.reset_comm();
+        let mut engine = MaintenanceEngine::new(
+            view,
+            if batch <= 1 {
+                FlushPolicy::Immediate
+            } else {
+                FlushPolicy::Count(batch)
+            },
+        );
+        let mut stream = UpdateStream::new(n, n, 0.01, 35);
+        for i in 0..events {
+            let input = if i % 2 == 0 { "A" } else { "B" };
+            engine
+                .ingest(input, stream.next_rank_one_zipf(zipf))
+                .expect("event ingests");
+        }
+        engine.flush_all().expect("final flush");
+        let stats = engine.stats();
+        let per_event = stats.refresh.mean_wall() * stats.firings as u32 / events.max(1) as u32;
+        t.row(vec![
+            engine.view().backend().name().into(),
+            batch.to_string(),
+            stats.firings.to_string(),
+            stats.fired_rank.to_string(),
+            fmt_duration(per_event),
+            fmt_bytes(engine.comm().total_bytes()),
+        ]);
+    }
+
+    for &batch in &[1usize, 4, 16] {
+        let view = IncrementalView::build(&program, &inputs, &cat).expect("local builds");
+        run(&mut t, view, batch, events, zipf, n);
+    }
+    for &batch in &[1usize, 4, 16] {
+        let backend = DistBackend::new(4).expect("square worker count");
+        let view =
+            IncrementalView::build_on(backend, &program, &inputs, &cat).expect("dist builds");
+        run(&mut t, view, batch, events, zipf, n);
+    }
+    t.note(
+        "skewed batches compact below their event count; dist comm scales with firings, not events",
+    );
     t
 }
 
@@ -830,6 +867,7 @@ pub fn all(cfg: &Config) -> Vec<Table> {
         table2(cfg),
         table3(cfg),
         table4(cfg),
+        engine_batching(cfg),
     ]
 }
 
@@ -847,6 +885,7 @@ pub fn by_name(name: &str, cfg: &Config) -> Option<Vec<Table>> {
         "table2" => vec![table2(cfg)],
         "table3" => vec![table3(cfg)],
         "table4" => vec![table4(cfg)],
+        "engine" => vec![engine_batching(cfg)],
         "ablations" => ablations(cfg),
         "extensions" => extensions(cfg),
         "all" => {
@@ -868,7 +907,7 @@ mod tests {
     #[test]
     fn every_experiment_runs_at_quick_scale() {
         let cfg = Config::quick();
-        for name in ["fig3a", "fig3c", "fig3g", "table2", "table4"] {
+        for name in ["fig3a", "fig3c", "fig3g", "table2", "table4", "engine"] {
             let tables = by_name(name, &cfg).expect("known experiment");
             for t in tables {
                 assert!(!t.rows.is_empty(), "{name} produced no rows");

@@ -1,10 +1,19 @@
 //! Trigger execution, including the numeric Sherman–Morrison primitive.
+//!
+//! There is exactly **one** statement interpreter ([`run_statements`]) for
+//! every execution backend: the compute phase (block evaluation,
+//! Sherman–Morrison, optional recompression) is backend-independent, and
+//! the final delta application is dispatched through
+//! [`ExecBackend::apply_delta`](crate::ExecBackend::apply_delta). The free
+//! functions [`fire_trigger`] / [`fire_trigger_with_options`] /
+//! [`fire_joint_trigger`] are the historical in-process entry points and
+//! simply run on a [`LocalBackend`](crate::LocalBackend).
 
 use linview_compiler::{Trigger, TriggerStmt};
 use linview_expr::delta::input_delta_names;
 use linview_matrix::Matrix;
 
-use crate::{Env, Evaluator, Result, RuntimeError};
+use crate::{Env, Evaluator, ExecBackend, LocalBackend, Result, RuntimeError};
 
 /// Denominators smaller than this abort the Sherman–Morrison update.
 const SM_TOL: f64 = 1e-12;
@@ -149,6 +158,20 @@ pub fn fire_trigger_with_options(
     dv: &Matrix,
     opts: &ExecOptions,
 ) -> Result<()> {
+    fire_trigger_on(&mut LocalBackend, env, evaluator, trigger, du, dv, opts)
+}
+
+/// Fires `trigger` on an explicit backend — the shared execution path every
+/// [`ExecBackend::fire_trigger`] implementation routes through.
+pub(crate) fn fire_trigger_on<B: ExecBackend + ?Sized>(
+    backend: &mut B,
+    env: &mut Env,
+    evaluator: &Evaluator,
+    trigger: &Trigger,
+    du: &Matrix,
+    dv: &Matrix,
+    opts: &ExecOptions,
+) -> Result<()> {
     let (du_name, dv_name) = input_delta_names(&trigger.input);
     // Shape check against the target input.
     let target = env.get(&trigger.input)?;
@@ -170,7 +193,7 @@ pub fn fire_trigger_with_options(
     }
 
     let mut temporaries = vec![du_name, dv_name];
-    let result = run_statements(env, evaluator, trigger, &mut temporaries, opts);
+    let result = run_statements(backend, env, evaluator, trigger, &mut temporaries, opts);
     for t in &temporaries {
         env.unbind(t);
     }
@@ -207,6 +230,19 @@ pub fn fire_joint_trigger(
     updates: &[(&str, &Matrix, &Matrix)],
     opts: &ExecOptions,
 ) -> Result<()> {
+    fire_joint_trigger_on(&mut LocalBackend, env, evaluator, joint, updates, opts)
+}
+
+/// As [`fire_joint_trigger`] on an explicit backend (the shared path behind
+/// [`ExecBackend::fire_joint_trigger`]).
+pub(crate) fn fire_joint_trigger_on<B: ExecBackend + ?Sized>(
+    backend: &mut B,
+    env: &mut Env,
+    evaluator: &Evaluator,
+    joint: &linview_compiler::JointTrigger,
+    updates: &[(&str, &Matrix, &Matrix)],
+    opts: &ExecOptions,
+) -> Result<()> {
     if updates.len() != joint.inputs.len()
         || !joint
             .inputs
@@ -233,14 +269,22 @@ pub fn fire_joint_trigger(
         temporaries.push(du_name);
         temporaries.push(dv_name);
     }
-    let result = run_statements(env, evaluator, &joint.trigger, &mut temporaries, opts);
+    let result = run_statements(
+        backend,
+        env,
+        evaluator,
+        &joint.trigger,
+        &mut temporaries,
+        opts,
+    );
     for t in &temporaries {
         env.unbind(t);
     }
     result
 }
 
-fn run_statements(
+fn run_statements<B: ExecBackend + ?Sized>(
+    backend: &mut B,
     env: &mut Env,
     evaluator: &Evaluator,
     trigger: &Trigger,
@@ -294,9 +338,10 @@ fn run_statements(
             TriggerStmt::ApplyDelta { target, u, v } => {
                 let um = evaluator.eval(u, env)?;
                 let vm = evaluator.eval(v, env)?;
-                // X += U Vᵀ as a rank-k GEMM: O(k·|X|).
-                let delta = um.try_matmul(&vm.transpose())?;
-                env.get_mut(target)?.add_assign_from(&delta)?;
+                // The one backend-specific step: locally a rank-k GEMM
+                // (O(k·|X|)); distributed, a factor broadcast plus
+                // block-local worker updates.
+                backend.apply_delta(env, target, &um, &vm)?;
             }
         }
     }

@@ -25,7 +25,9 @@
 
 #![warn(missing_docs)]
 
+mod backend;
 pub mod checkpoint;
+pub mod engine;
 mod env;
 mod error;
 mod eval;
@@ -34,6 +36,8 @@ pub mod stats;
 pub mod updates;
 mod view;
 
+pub use backend::{DistBackend, ExecBackend, LocalBackend};
+pub use engine::{EngineStats, FlushPolicy, MaintenanceEngine};
 pub use env::Env;
 pub use error::RuntimeError;
 pub use eval::{eval, Evaluator};
@@ -41,6 +45,7 @@ pub use exec::{
     fire_joint_trigger, fire_trigger, fire_trigger_with_options, sherman_morrison, woodbury,
     ExecOptions, InversePrimitive,
 };
+pub use linview_dist::CommSnapshot;
 pub use updates::{BatchUpdate, RankOneUpdate, UpdateStream, Zipf};
 pub use view::{IncrementalView, ReevalView};
 

@@ -49,6 +49,30 @@ impl RankOneUpdate {
         m.add_outer(&self.u, &self.v)?;
         Ok(())
     }
+
+    /// The affected row when this is a row update (`u` a scaled basis
+    /// vector); `None` for dense updates. The same classification
+    /// [`BatchUpdate::compact_rows`] uses to decide mergeability.
+    pub fn basis_row(&self) -> Option<usize> {
+        basis_row_of_col(&self.u, 0).map(|(r, _)| r)
+    }
+}
+
+/// The single nonzero row of column `c` of `u`, with its coefficient, when
+/// that column is a scaled basis vector — the one shared definition of
+/// "row update" used by compaction and by the engine's rank accounting.
+fn basis_row_of_col(u: &Matrix, c: usize) -> Option<(usize, f64)> {
+    let mut row = None;
+    for r in 0..u.rows() {
+        let val = u.get(r, c);
+        if val != 0.0 {
+            if row.is_some() {
+                return None;
+            }
+            row = Some((r, val));
+        }
+    }
+    row
 }
 
 /// A batch of rank-1 updates compacted into a single factored rank-`k`
@@ -62,7 +86,17 @@ pub struct BatchUpdate {
 }
 
 impl BatchUpdate {
-    /// Stacks individual rank-1 updates into block form.
+    /// An empty (rank-0, no-op) batch against an `rows×cols` matrix.
+    pub fn empty(rows: usize, cols: usize) -> Self {
+        BatchUpdate {
+            u: Matrix::zeros(rows, 0),
+            v: Matrix::zeros(cols, 0),
+        }
+    }
+
+    /// Stacks individual rank-1 updates into block form. An empty slice has
+    /// no dimensions to stack and is rejected; build explicit empty batches
+    /// with [`BatchUpdate::empty`].
     pub fn from_rank_ones(updates: &[RankOneUpdate]) -> crate::Result<Self> {
         let us: Vec<&Matrix> = updates.iter().map(|r| &r.u).collect();
         let vs: Vec<&Matrix> = updates.iter().map(|r| &r.v).collect();
@@ -77,8 +111,14 @@ impl BatchUpdate {
         self.u.cols()
     }
 
+    /// True when the batch carries no update at all (rank 0).
+    pub fn is_empty(&self) -> bool {
+        self.u.cols() == 0
+    }
+
     /// Number of *distinct* rows touched (row updates only): the effective
     /// rank that determines incremental maintenance cost under skew.
+    /// Returns 0 for empty or all-zero batches.
     pub fn distinct_rows(&self) -> usize {
         let mut rows = std::collections::BTreeSet::new();
         for c in 0..self.u.cols() {
@@ -93,22 +133,28 @@ impl BatchUpdate {
 
     /// Merges updates that hit the same row, reducing the batch rank to the
     /// number of distinct rows (the compaction that makes skewed Zipf
-    /// batches cheap, Table 4). Only valid for row updates (`u` columns are
-    /// scaled basis vectors).
+    /// batches cheap, Table 4).
+    ///
+    /// Edge cases are handled rather than assumed away: columns whose `u`
+    /// is **not** a scaled basis vector (dense updates) are passed through
+    /// unmerged instead of being silently truncated to their first nonzero
+    /// row; all-zero columns and same-row updates that cancel exactly are
+    /// dropped (they carry no update); and an empty or fully-cancelled
+    /// batch compacts to the rank-0 [`BatchUpdate::empty`] form.
     pub fn compact_rows(&self) -> crate::Result<BatchUpdate> {
         use std::collections::BTreeMap;
         let mut merged: BTreeMap<usize, Matrix> = BTreeMap::new();
+        // Column indices of non-basis u columns, passed through verbatim.
+        let mut passthrough: Vec<usize> = Vec::new();
         for c in 0..self.u.cols() {
-            // Find the single nonzero row of this u column.
-            let mut row = None;
-            for r in 0..self.u.rows() {
-                let val = self.u.get(r, c);
-                if val != 0.0 {
-                    row = Some((r, val));
-                    break;
-                }
+            let zero_col = (0..self.u.rows()).all(|r| self.u.get(r, c) == 0.0);
+            if zero_col {
+                continue; // no-op column
             }
-            let Some((r, coeff)) = row else { continue };
+            let Some((r, coeff)) = basis_row_of_col(&self.u, c) else {
+                passthrough.push(c);
+                continue;
+            };
             let contrib = self.v.col_matrix(c).scale(coeff);
             match merged.get_mut(&r) {
                 Some(acc) => acc.add_assign_from(&contrib)?,
@@ -117,20 +163,39 @@ impl BatchUpdate {
                 }
             }
         }
-        let k = merged.len().max(1);
+        // Same-row updates that cancelled exactly carry no delta.
+        merged.retain(|_, vc| vc.as_slice().iter().any(|&x| x != 0.0));
+        let k = merged.len() + passthrough.len();
+        if k == 0 {
+            return Ok(BatchUpdate::empty(self.u.rows(), self.v.rows()));
+        }
         let mut u = Matrix::zeros(self.u.rows(), k);
         let mut v = Matrix::zeros(self.v.rows(), k);
-        for (i, (row, vc)) in merged.into_iter().enumerate() {
-            u.set(row, i, 1.0);
+        let mut col = 0;
+        for (row, vc) in merged {
+            u.set(row, col, 1.0);
             for r in 0..vc.rows() {
-                v.set(r, i, vc.get(r, 0));
+                v.set(r, col, vc.get(r, 0));
             }
+            col += 1;
+        }
+        for &c in &passthrough {
+            for r in 0..self.u.rows() {
+                u.set(r, col, self.u.get(r, c));
+            }
+            for r in 0..self.v.rows() {
+                v.set(r, col, self.v.get(r, c));
+            }
+            col += 1;
         }
         Ok(BatchUpdate { u, v })
     }
 
-    /// Materializes the dense `ΔX`.
+    /// Materializes the dense `ΔX` (all zeros for an empty batch).
     pub fn to_dense(&self) -> crate::Result<Matrix> {
+        if self.is_empty() {
+            return Ok(Matrix::zeros(self.u.rows(), self.v.rows()));
+        }
         Ok(self.u.try_matmul(&self.v.transpose())?)
     }
 }
@@ -201,6 +266,16 @@ impl UpdateStream {
     /// Next single-row rank-1 update (uniformly random row).
     pub fn next_rank_one(&mut self) -> RankOneUpdate {
         let row = self.rng.random_range(0..self.rows);
+        self.counter = self.counter.wrapping_add(1);
+        RankOneUpdate::row_update(self.rows, self.cols, row, self.scale, self.counter)
+    }
+
+    /// Next single-row rank-1 update with the row drawn Zipf(`zipf_s`) —
+    /// the per-event form of [`UpdateStream::next_batch_zipf`], for feeding
+    /// skewed streams into a batching engine one event at a time.
+    pub fn next_rank_one_zipf(&mut self, zipf_s: f64) -> RankOneUpdate {
+        let zipf = Zipf::new(self.rows, zipf_s);
+        let row = zipf.sample(&mut self.rng);
         self.counter = self.counter.wrapping_add(1);
         RankOneUpdate::row_update(self.rows, self.cols, row, self.scale, self.counter)
     }
@@ -280,6 +355,81 @@ mod tests {
         let compact = batch.compact_rows().unwrap();
         assert_eq!(compact.rank(), 2);
         assert_eq!(compact.distinct_rows(), 2);
+        assert!(compact
+            .to_dense()
+            .unwrap()
+            .approx_eq(&batch.to_dense().unwrap(), 1e-12));
+    }
+
+    #[test]
+    fn empty_batch_has_sane_rank_compaction_and_dense_form() {
+        let empty = BatchUpdate::empty(6, 4);
+        assert!(empty.is_empty());
+        assert_eq!(empty.rank(), 0);
+        assert_eq!(empty.distinct_rows(), 0);
+        let compact = empty.compact_rows().unwrap();
+        assert_eq!(compact.rank(), 0);
+        let dense = empty.to_dense().unwrap();
+        assert_eq!(dense.shape(), (6, 4));
+        assert!(dense.as_slice().iter().all(|&x| x == 0.0));
+        // No dimensions to infer from an empty slice: explicit error, not
+        // a bogus batch.
+        assert!(BatchUpdate::from_rank_ones(&[]).is_err());
+    }
+
+    #[test]
+    fn compact_rows_drops_zero_columns_to_rank_zero() {
+        let batch = BatchUpdate {
+            u: Matrix::zeros(5, 3),
+            v: Matrix::random_uniform(4, 3, 9),
+        };
+        let compact = batch.compact_rows().unwrap();
+        assert!(compact.is_empty());
+        assert!(compact
+            .to_dense()
+            .unwrap()
+            .approx_eq(&Matrix::zeros(5, 4), 0.0));
+    }
+
+    #[test]
+    fn compact_rows_drops_exactly_cancelling_same_row_updates() {
+        // +w and -w on the same row merge to a zero contribution: rank 0.
+        let up = RankOneUpdate::row_update(6, 4, 3, 0.1, 7);
+        let down = RankOneUpdate {
+            u: up.u.clone(),
+            v: up.v.scale(-1.0),
+        };
+        let batch = BatchUpdate::from_rank_ones(&[up, down]).unwrap();
+        let compact = batch.compact_rows().unwrap();
+        assert!(compact.is_empty());
+        assert!(compact
+            .to_dense()
+            .unwrap()
+            .approx_eq(&Matrix::zeros(6, 4), 0.0));
+    }
+
+    #[test]
+    fn basis_row_classifies_row_and_dense_updates() {
+        assert_eq!(
+            RankOneUpdate::row_update(6, 4, 2, 0.1, 1).basis_row(),
+            Some(2)
+        );
+        assert_eq!(RankOneUpdate::dense(6, 4, 0.1, 2).basis_row(), None);
+    }
+
+    #[test]
+    fn compact_rows_passes_dense_columns_through_unchanged() {
+        // One dense rank-1 update mixed into two same-row updates: the row
+        // updates merge, the dense column must survive verbatim (the old
+        // behavior silently truncated it to its first nonzero row).
+        let ones = vec![
+            RankOneUpdate::row_update(6, 4, 2, 0.1, 1),
+            RankOneUpdate::row_update(6, 4, 2, 0.1, 2),
+            RankOneUpdate::dense(6, 4, 0.1, 3),
+        ];
+        let batch = BatchUpdate::from_rank_ones(&ones).unwrap();
+        let compact = batch.compact_rows().unwrap();
+        assert_eq!(compact.rank(), 2);
         assert!(compact
             .to_dense()
             .unwrap()

@@ -11,13 +11,16 @@
 //! The hybrid strategy of §5.3 is specific to the general iterative form
 //! and lives in `linview-apps`.
 
-use linview_compiler::{compile, CompileOptions, Program, TriggerProgram};
+use linview_compiler::{
+    compile, compile_joint, CompileOptions, JointTrigger, Program, TriggerProgram,
+};
+use linview_dist::CommSnapshot;
 use linview_expr::Catalog;
 use linview_matrix::Matrix;
 
 use crate::updates::BatchUpdate;
 use crate::{
-    fire_trigger_with_options, Env, Evaluator, ExecOptions, RankOneUpdate, Result, RuntimeError,
+    Env, Evaluator, ExecBackend, ExecOptions, LocalBackend, RankOneUpdate, Result, RuntimeError,
 };
 
 /// Full re-evaluation baseline.
@@ -76,16 +79,26 @@ impl ReevalView {
     }
 }
 
-/// Incremental maintenance via compiled triggers.
+/// Incremental maintenance via compiled triggers, generic over *where* the
+/// triggers execute.
+///
+/// The default backend is [`LocalBackend`] (in-process dense views); pass a
+/// [`DistBackend`](crate::DistBackend) to [`IncrementalView::build_on`] and
+/// the same compiled triggers drive grid-partitioned views with metered
+/// communication instead — one code path, two deployments (§6).
 #[derive(Debug, Clone)]
-pub struct IncrementalView {
+pub struct IncrementalView<B: ExecBackend = LocalBackend> {
     trigger_program: TriggerProgram,
+    /// Joint trigger for simultaneous updates to all dynamic inputs
+    /// (§4.4); `None` when the program does not admit one.
+    joint: Option<JointTrigger>,
     env: Env,
     evaluator: Evaluator,
     exec: ExecOptions,
+    backend: B,
 }
 
-impl IncrementalView {
+impl IncrementalView<LocalBackend> {
     /// Compiles `program` for updates to every input, then materializes all
     /// views ("we also precompute the initial values of all auxiliary views
     /// and preload these values before the actual computation", §7).
@@ -100,9 +113,36 @@ impl IncrementalView {
         cat: &Catalog,
         opts: &CompileOptions,
     ) -> Result<Self> {
+        Self::build_on_with_options(LocalBackend, program, inputs, cat, opts)
+    }
+}
+
+impl<B: ExecBackend> IncrementalView<B> {
+    /// As [`IncrementalView::build`] on an explicit execution backend.
+    pub fn build_on(
+        backend: B,
+        program: &Program,
+        inputs: &[(&str, Matrix)],
+        cat: &Catalog,
+    ) -> Result<Self> {
+        Self::build_on_with_options(backend, program, inputs, cat, &CompileOptions::default())
+    }
+
+    /// As [`IncrementalView::build_on`] with explicit compiler options.
+    pub fn build_on_with_options(
+        mut backend: B,
+        program: &Program,
+        inputs: &[(&str, Matrix)],
+        cat: &Catalog,
+        opts: &CompileOptions,
+    ) -> Result<Self> {
         let dynamic: Vec<&str> = inputs.iter().map(|(n, _)| *n).collect();
         let normalized = program.hoist_inverses(&dynamic);
         let tp = compile(&normalized, &dynamic, cat, opts)?;
+        // The joint form is best-effort: every straight-line program the
+        // per-input compiler accepts should admit one, but its absence only
+        // disables `apply_joint`, never the per-input path.
+        let joint = compile_joint(&normalized, &dynamic, cat, opts).ok();
         let mut env = Env::new();
         for (name, m) in inputs {
             env.bind(*name, m.clone());
@@ -113,11 +153,14 @@ impl IncrementalView {
             let value = evaluator.eval(&stmt.expr, &env)?;
             env.bind(stmt.target.clone(), value);
         }
+        backend.materialize(&env)?;
         Ok(IncrementalView {
             trigger_program: tp,
+            joint,
             env,
             evaluator,
             exec: ExecOptions::default(),
+            backend,
         })
     }
 
@@ -137,12 +180,26 @@ impl IncrementalView {
         self.apply_factored(input, &upd.u, &upd.v)
     }
 
-    fn apply_factored(&mut self, input: &str, du: &Matrix, dv: &Matrix) -> Result<()> {
+    /// Fires the trigger for an arbitrary factored update `ΔX = dU · dVᵀ`.
+    pub fn apply_factored(&mut self, input: &str, du: &Matrix, dv: &Matrix) -> Result<()> {
         let trigger = self
             .trigger_program
             .trigger_for(input)
             .ok_or_else(|| RuntimeError::Unbound(format!("trigger for '{input}'")))?;
-        fire_trigger_with_options(&mut self.env, &self.evaluator, trigger, du, dv, &self.exec)
+        self.backend
+            .fire_trigger(&mut self.env, &self.evaluator, trigger, du, dv, &self.exec)
+    }
+
+    /// Fires ONE joint trigger for *simultaneous* factored updates to all
+    /// dynamic inputs (§4.4 / Example 4.5); `updates` must cover every
+    /// input exactly once.
+    pub fn apply_joint(&mut self, updates: &[(&str, &Matrix, &Matrix)]) -> Result<()> {
+        let joint = self
+            .joint
+            .as_ref()
+            .ok_or_else(|| RuntimeError::Unbound("joint trigger for this program".to_string()))?;
+        self.backend
+            .fire_joint_trigger(&mut self.env, &self.evaluator, joint, updates, &self.exec)
     }
 
     /// Reads a maintained matrix.
@@ -155,11 +212,33 @@ impl IncrementalView {
         &self.trigger_program
     }
 
+    /// The execution backend.
+    pub fn backend(&self) -> &B {
+        &self.backend
+    }
+
+    /// Mutable access to the execution backend.
+    pub fn backend_mut(&mut self) -> &mut B {
+        &mut self.backend
+    }
+
+    /// Cumulative communication since construction or the last reset
+    /// (always zero on [`LocalBackend`]).
+    pub fn comm(&self) -> CommSnapshot {
+        self.backend.comm()
+    }
+
+    /// Zeroes the communication counters, returning the prior snapshot.
+    pub fn reset_comm(&self) -> CommSnapshot {
+        self.backend.reset_comm()
+    }
+
     /// Total bytes held by base matrices and views (incremental maintenance
     /// materializes *every* intermediate, which is exactly the memory
-    /// overhead Table 3 quantifies).
+    /// overhead Table 3 quantifies), plus whatever the backend replicates
+    /// (e.g. the partitioned copies on a cluster).
     pub fn memory_bytes(&self) -> usize {
-        self.env.memory_bytes()
+        self.env.memory_bytes() + self.backend.extra_memory_bytes()
     }
 
     /// Snapshots all maintained state (inputs + views) into a standalone
@@ -172,10 +251,13 @@ impl IncrementalView {
 
     /// Restores maintained state from a [`IncrementalView::checkpoint`]
     /// snapshot. The compiled trigger program is unchanged — only the
-    /// matrices are replaced. Fails (leaving the view untouched) on a
-    /// corrupt snapshot.
+    /// matrices are replaced (and re-mirrored by the backend, e.g.
+    /// repartitioned across the cluster). Fails (leaving the view
+    /// untouched) on a corrupt snapshot.
     pub fn restore(&mut self, data: bytes::Bytes) -> Result<()> {
-        self.env = crate::checkpoint::restore(data)?;
+        let env = crate::checkpoint::restore(data)?;
+        self.backend.materialize(&env)?;
+        self.env = env;
         Ok(())
     }
 }

@@ -4,12 +4,14 @@
 //! maintenance runs the compiled trigger to obtain the factored delta
 //! `ΔC = U_C V_Cᵀ` and only *broadcasts* those skinny factors to the
 //! workers holding the partitioned view. This example makes the §6
-//! communication claim concrete by metering both.
+//! communication claim concrete by metering both. The incremental side is
+//! the generic `IncrementalView` on a `DistBackend` — the same triggers
+//! and interpreter that drive local maintenance.
 //!
 //! Run with: `cargo run --release --example distributed_powers`
 
-use linview::compiler::{compile, CompileOptions, TriggerStmt};
 use linview::prelude::*;
+use linview::runtime::DistBackend;
 use std::time::Instant;
 
 fn main() {
@@ -20,8 +22,6 @@ fn main() {
     let program = parse_program("B := A * A; C := B * B;").expect("program parses");
     let mut cat = Catalog::new();
     cat.declare("A", n, n);
-    let tp = compile(&program, &["A"], &cat, &CompileOptions::default()).expect("compiles");
-    let trigger = tp.trigger_for("A").expect("trigger exists").clone();
 
     let a = Matrix::random_spectral(n, 5, 0.9);
 
@@ -45,59 +45,27 @@ fn main() {
         let reeval_time = t0.elapsed();
         let reeval_comm = reeval_cluster.comm().reset();
 
-        // --- Distributed incremental: evaluate the trigger's delta blocks
-        //     centrally (they are O(kn), tiny), then broadcast them to the
-        //     partitioned views. ---
-        let incr_cluster = Cluster::new(workers);
-        let evaluator = Evaluator::new();
-        let mut env = Env::new();
-        env.bind("A", a.clone());
-        let b0 = a.try_matmul(&a).expect("B");
-        env.bind("C", b0.try_matmul(&b0).expect("C"));
-        env.bind("B", b0);
-        let mut dist_b = DistMatrix::from_dense(env.get("B").expect("B"), grid).expect("part B");
-        let mut dist_c = DistMatrix::from_dense(env.get("C").expect("C"), grid).expect("part C");
-        let mut dist_a = DistMatrix::from_dense(&a, grid).expect("part A");
-
+        // --- Distributed incremental: the compiled trigger fires through
+        //     the DistBackend — delta blocks evaluate centrally (they are
+        //     O(kn), tiny), factors broadcast, workers update their
+        //     partitions locally with no shuffle. ---
+        let backend = DistBackend::new(workers).expect("square worker count");
+        let mut incr = IncrementalView::build_on(backend, &program, &[("A", a.clone())], &cat)
+            .expect("incremental view builds");
+        incr.reset_comm();
         let mut stream = UpdateStream::new(n, n, 0.01, 55);
         let t0 = Instant::now();
         for _ in 0..updates {
-            let upd = stream.next_rank_one();
-            env.bind("dU_A", upd.u.clone());
-            env.bind("dV_A", upd.v.clone());
-            // Compute phase: evaluate every block assignment centrally.
-            for stmt in &trigger.stmts {
-                match stmt {
-                    TriggerStmt::Assign { var, expr } => {
-                        let value = evaluator.eval(expr, &env).expect("block evaluates");
-                        env.bind(var.clone(), value);
-                    }
-                    TriggerStmt::ApplyDelta { target, u, v } => {
-                        // Broadcast the factors; workers update their blocks.
-                        let um = evaluator.eval(u, &env).expect("U evaluates");
-                        let vm = evaluator.eval(v, &env).expect("V evaluates");
-                        let dist = match target.as_str() {
-                            "A" => &mut dist_a,
-                            "B" => &mut dist_b,
-                            _ => &mut dist_c,
-                        };
-                        dist_add_low_rank(dist, &um, &vm, &incr_cluster).expect("low-rank update");
-                        // Keep the central copy in sync for later blocks.
-                        let delta = um.try_matmul(&vm.transpose()).expect("delta materializes");
-                        env.get_mut(target)
-                            .expect("view bound")
-                            .add_assign_from(&delta)
-                            .expect("shapes match");
-                    }
-                    TriggerStmt::ShermanMorrison { .. } => unreachable!("no inverses here"),
-                }
-            }
+            incr.apply("A", &stream.next_rank_one())
+                .expect("trigger fires");
         }
         let incr_time = t0.elapsed();
-        let incr_comm = incr_cluster.comm().reset();
+        let incr_comm = incr.reset_comm();
 
-        let diff = dist_c
-            .to_dense()
+        let diff = incr
+            .backend()
+            .view("C")
+            .expect("C is partitioned")
             .rel_diff(&reeval_c.expect("ran").to_dense());
         println!("workers = {workers} (grid {grid}x{grid}), n = {n}, {updates} updates of A^4:");
         println!(

@@ -1,7 +1,9 @@
 //! The LINVIEW command-line compiler.
 //!
 //! Mirrors the paper's Fig. 2 workflow: APL-style program in, incremental
-//! trigger program out, with a choice of backends.
+//! trigger program out, with a choice of backends. The `engine` subcommand
+//! additionally *runs* a streaming maintenance workload through the
+//! pluggable execution backends.
 //!
 //! ```text
 //! linview --dims A=64x64 --program "B := A * A; C := B * B;"
@@ -9,6 +11,7 @@
 //!         --program "Z := X' * X; W := inv(Z); beta := W * X' * Y;" \
 //!         --emit octave
 //! linview --dims A=64x64 --file prog.lv --emit plan --rank 4 --no-factor
+//! linview engine --n 48 --events 64 --batch 8 --zipf 1.5 --backend both
 //! ```
 
 use linview::compiler::codegen::{numpy, octave, plan, spark};
@@ -17,6 +20,10 @@ use linview::compiler::parse::parse_program;
 use linview::compiler::{analyze, compile, compile_joint, CompileOptions};
 use linview::expr::cost::CostModel;
 use linview::expr::{Catalog, DeltaOptions};
+use linview::matrix::Matrix;
+use linview::runtime::{
+    DistBackend, ExecBackend, FlushPolicy, IncrementalView, MaintenanceEngine, UpdateStream,
+};
 use std::process::ExitCode;
 
 const USAGE: &str = "\
@@ -24,6 +31,7 @@ linview — incremental view maintenance compiler for linear algebra programs
 
 USAGE:
   linview --dims NAME=RxC[,NAME=RxC...] [OPTIONS] (--program SRC | --file PATH)
+  linview engine [ENGINE OPTIONS]
 
 OPTIONS:
   --dims LIST        base matrix shapes, e.g. A=64x64,Y=64x1   (required)
@@ -38,6 +46,15 @@ OPTIONS:
   --no-factor        disable §4.3 common-factor extraction (ablation)
   --no-optimize      skip CSE / copy propagation / dead-code elimination
   --gamma G          matmul exponent for the plan's cost model (default: 3.0)
+
+ENGINE OPTIONS (stream a Zipf-skewed multi-input workload):
+  --n N              square input dimension (default: 48)
+  --events E         rank-1 events to ingest across inputs A, B (default: 64)
+  --batch K          flush threshold (default: 8; 1 = fire per event)
+  --policy P         count | rank | immediate batching policy (default: count)
+  --zipf S           row-skew exponent of the event stream (default: 1.5)
+  --workers W        simulated cluster size for the dist backend (default: 4)
+  --backend B        local | dist | both (default: both)
 ";
 
 struct Args {
@@ -207,8 +224,186 @@ fn run(args: &Args) -> Result<String, String> {
     Ok(out)
 }
 
+/// Options of the `engine` subcommand.
+struct EngineArgs {
+    n: usize,
+    events: usize,
+    batch: usize,
+    policy: String,
+    zipf: f64,
+    workers: usize,
+    backend: String,
+}
+
+fn parse_engine_args(argv: &[String]) -> Result<EngineArgs, String> {
+    let mut args = EngineArgs {
+        n: 48,
+        events: 64,
+        batch: 8,
+        policy: "count".into(),
+        zipf: 1.5,
+        workers: 4,
+        backend: "both".into(),
+    };
+    let next = |i: &mut usize, what: &str| -> Result<String, String> {
+        *i += 1;
+        argv.get(*i)
+            .cloned()
+            .ok_or_else(|| format!("missing value for {what}"))
+    };
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--n" => {
+                args.n = next(&mut i, "--n")?
+                    .parse()
+                    .map_err(|_| "bad --n value".to_string())?
+            }
+            "--events" => {
+                args.events = next(&mut i, "--events")?
+                    .parse()
+                    .map_err(|_| "bad --events value".to_string())?
+            }
+            "--batch" => {
+                args.batch = next(&mut i, "--batch")?
+                    .parse()
+                    .map_err(|_| "bad --batch value".to_string())?
+            }
+            "--policy" => args.policy = next(&mut i, "--policy")?,
+            "--zipf" => {
+                args.zipf = next(&mut i, "--zipf")?
+                    .parse()
+                    .map_err(|_| "bad --zipf value".to_string())?
+            }
+            "--workers" => {
+                args.workers = next(&mut i, "--workers")?
+                    .parse()
+                    .map_err(|_| "bad --workers value".to_string())?
+            }
+            "--backend" => args.backend = next(&mut i, "--backend")?,
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown engine flag '{other}'")),
+        }
+        i += 1;
+    }
+    if !matches!(args.backend.as_str(), "local" | "dist" | "both") {
+        return Err(format!(
+            "unknown --backend '{}' (want local|dist|both)",
+            args.backend
+        ));
+    }
+    if !matches!(args.policy.as_str(), "count" | "rank" | "immediate") {
+        return Err(format!(
+            "unknown --policy '{}' (want count|rank|immediate)",
+            args.policy
+        ));
+    }
+    Ok(args)
+}
+
+/// Streams `events` Zipf-skewed rank-1 updates over the two dynamic inputs
+/// of `C := A * B; D := C * C;` through a [`MaintenanceEngine`] on
+/// `view`'s backend, returning the report lines and the final `D`.
+fn drive_engine<B: ExecBackend>(
+    view: IncrementalView<B>,
+    args: &EngineArgs,
+) -> Result<(String, Matrix), String> {
+    let policy = match args.policy.as_str() {
+        "immediate" => FlushPolicy::Immediate,
+        "rank" => FlushPolicy::Rank(args.batch),
+        _ => FlushPolicy::Count(args.batch),
+    };
+    view.reset_comm();
+    let mut engine = MaintenanceEngine::new(view, policy);
+    let mut stream = UpdateStream::new(args.n, args.n, 0.01, 42);
+    for i in 0..args.events {
+        let input = if i % 2 == 0 { "A" } else { "B" };
+        engine
+            .ingest(input, stream.next_rank_one_zipf(args.zipf))
+            .map_err(|e| e.to_string())?;
+    }
+    engine.flush_all().map_err(|e| e.to_string())?;
+    let stats = engine.stats();
+    let comm = engine.comm();
+    let mut out = String::new();
+    out.push_str(&format!(
+        "backend {:>5}: {} events -> {} firings (fired rank {}), mean refresh {:?}, \
+         {:.2e} flops/firing\n",
+        engine.view().backend().name(),
+        stats.events,
+        stats.firings,
+        stats.fired_rank,
+        stats.refresh.mean_wall(),
+        stats.refresh.mean_flops(),
+    ));
+    out.push_str(&format!(
+        "             comm: broadcast {} B / {} msgs, shuffle {} B\n",
+        comm.broadcast_bytes, comm.broadcast_msgs, comm.shuffle_bytes
+    ));
+    let d = engine.get("D").map_err(|e| e.to_string())?.clone();
+    Ok((out, d))
+}
+
+fn run_engine(args: &EngineArgs) -> Result<String, String> {
+    let program = parse_program("C := A * B; D := C * C;").map_err(|e| e.to_string())?;
+    let mut cat = Catalog::new();
+    cat.declare("A", args.n, args.n);
+    cat.declare("B", args.n, args.n);
+    let a = Matrix::random_spectral(args.n, 7, 0.8);
+    let b = Matrix::random_spectral(args.n, 8, 0.8);
+    let inputs = [("A", a), ("B", b)];
+
+    let mut out = format!(
+        "maintenance engine: C := A * B; D := C * C;  (n = {}, policy = {}({}), zipf = {})\n",
+        args.n, args.policy, args.batch, args.zipf
+    );
+    let mut results: Vec<(String, Matrix)> = Vec::new();
+    if matches!(args.backend.as_str(), "local" | "both") {
+        let view = IncrementalView::build(&program, &inputs, &cat).map_err(|e| e.to_string())?;
+        let (report, d) = drive_engine(view, args)?;
+        out.push_str(&report);
+        results.push(("local".into(), d));
+    }
+    if matches!(args.backend.as_str(), "dist" | "both") {
+        let backend = DistBackend::new(args.workers).map_err(|e| e.to_string())?;
+        let view = IncrementalView::build_on(backend, &program, &inputs, &cat)
+            .map_err(|e| e.to_string())?;
+        let (report, d) = drive_engine(view, args)?;
+        out.push_str(&report);
+        results.push(("dist".into(), d));
+    }
+    if let [(_, d1), (_, d2)] = &results[..] {
+        let diff = d1.max_abs_diff(d2);
+        out.push_str(&format!(
+            "backend divergence on D (local vs dist): {diff:.2e}\n"
+        ));
+        if diff != 0.0 {
+            return Err(format!(
+                "local and dist backends diverged by {diff:.2e} — shared path broken"
+            ));
+        }
+    }
+    Ok(out)
+}
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map(String::as_str) == Some("engine") {
+        return match parse_engine_args(&argv[1..]).and_then(|a| run_engine(&a)) {
+            Ok(output) => {
+                print!("{output}");
+                ExitCode::SUCCESS
+            }
+            Err(msg) if msg.is_empty() => {
+                print!("{USAGE}");
+                ExitCode::SUCCESS
+            }
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     match parse_args(&argv) {
         Err(msg) if msg.is_empty() => {
             print!("{USAGE}");

@@ -183,3 +183,36 @@ fn file_input_works() {
     assert!(stdout.contains("ON UPDATE A"));
     let _ = std::fs::remove_file(&path);
 }
+
+#[test]
+fn engine_subcommand_runs_both_backends() {
+    let (ok, stdout, stderr) = linview(&[
+        "engine",
+        "--n",
+        "24",
+        "--events",
+        "16",
+        "--batch",
+        "4",
+        "--backend",
+        "both",
+    ]);
+    assert!(ok, "engine subcommand failed: {stderr}");
+    assert!(stdout.contains("backend local"));
+    assert!(stdout.contains("backend  dist"));
+    assert!(stdout.contains("firings"));
+    // Batching 16 events by 4 must fire 4 triggers per backend.
+    assert!(stdout.contains("16 events -> 4 firings"));
+    // Shared execution path: the backends agree exactly.
+    assert!(stdout.contains("backend divergence on D (local vs dist): 0.00e0"));
+}
+
+#[test]
+fn engine_subcommand_rejects_bad_flags() {
+    let (ok, _, stderr) = linview(&["engine", "--backend", "quantum"]);
+    assert!(!ok);
+    assert!(stderr.contains("--backend"));
+    let (ok, _, stderr) = linview(&["engine", "--bogus"]);
+    assert!(!ok);
+    assert!(stderr.contains("bogus"));
+}

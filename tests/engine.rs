@@ -1,0 +1,146 @@
+//! Property-based tests (proptest) for the `ExecBackend` / streaming
+//! `MaintenanceEngine` layer:
+//!
+//! 1. **Engine exactness** — batched multi-input ingestion over the
+//!    `LocalBackend` matches full re-evaluation to 1e-9 across random
+//!    event streams, for every batching policy exercised.
+//! 2. **Backend equivalence** — the `DistBackend` maintains bit-for-bit
+//!    the same views as the `LocalBackend` on identical streams (one
+//!    shared execution path), while metering broadcast-only traffic.
+//! 3. **Compaction soundness** — row compaction of arbitrary mixed
+//!    batches (row + dense updates) preserves the dense delta.
+
+use linview::prelude::*;
+use linview::runtime::{DistBackend, FlushPolicy, MaintenanceEngine};
+use proptest::prelude::*;
+// Explicit: the facade prelude also globs in `apps::general::Strategy`.
+use proptest::strategy::Strategy;
+
+/// Divisible by the 2×2 grid of the 4-worker cluster used below.
+const N: usize = 12;
+
+/// One ingested event: which input it hits, the affected row, and the
+/// seed of its random right factor.
+type Event = (usize, usize, u64);
+
+fn event_strategy() -> impl Strategy<Value = Vec<Event>> {
+    proptest::collection::vec((0usize..2, 0usize..N, 0u64..100_000), 1..32)
+}
+
+fn build_setup() -> (Program, Catalog, Matrix, Matrix) {
+    let program = parse_program("C := A * B; D := C * C;").unwrap();
+    let mut cat = Catalog::new();
+    cat.declare("A", N, N);
+    cat.declare("B", N, N);
+    let a = Matrix::random_spectral(N, 21, 0.7);
+    let b = Matrix::random_spectral(N, 22, 0.7);
+    (program, cat, a, b)
+}
+
+fn to_update(&(_, row, seed): &Event) -> RankOneUpdate {
+    RankOneUpdate::row_update(N, N, row, 0.01, seed)
+}
+
+fn input_name(e: &Event) -> &'static str {
+    if e.0 == 0 {
+        "A"
+    } else {
+        "B"
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Property 1: engine over LocalBackend == ReevalView recomputation.
+    #[test]
+    fn engine_matches_full_reevaluation(events in event_strategy(), batch in 1usize..6) {
+        let (program, cat, a, b) = build_setup();
+        let mut reeval =
+            ReevalView::build(&program, &[("A", a.clone()), ("B", b.clone())], &cat).unwrap();
+        let view = IncrementalView::build(&program, &[("A", a), ("B", b)], &cat).unwrap();
+        let mut engine = MaintenanceEngine::new(view, FlushPolicy::Count(batch));
+        for e in &events {
+            let upd = to_update(e);
+            reeval.apply(input_name(e), &upd).unwrap();
+            engine.ingest(input_name(e), upd).unwrap();
+        }
+        engine.flush_all().unwrap();
+        for view in ["C", "D"] {
+            let got = engine.get(view).unwrap();
+            let want = reeval.get(view).unwrap();
+            prop_assert!(
+                got.approx_eq(want, 1e-9),
+                "{view} diverged from re-evaluation by {:.2e} (batch {batch})",
+                got.max_abs_diff(want)
+            );
+        }
+        prop_assert_eq!(engine.stats().events, events.len() as u64);
+    }
+
+    /// Property 2: DistBackend == LocalBackend bit-for-bit, broadcast-only.
+    #[test]
+    fn dist_backend_matches_local_bit_for_bit(events in event_strategy(), batch in 1usize..5) {
+        let (program, cat, a, b) = build_setup();
+        let inputs = [("A", a), ("B", b)];
+        let local = IncrementalView::build(&program, &inputs, &cat).unwrap();
+        let dist = IncrementalView::build_on(
+            DistBackend::new(4).unwrap(),
+            &program,
+            &inputs,
+            &cat,
+        )
+        .unwrap();
+        dist.reset_comm();
+        let mut local_engine = MaintenanceEngine::new(local, FlushPolicy::Count(batch));
+        let mut dist_engine = MaintenanceEngine::new(dist, FlushPolicy::Count(batch));
+        for e in &events {
+            local_engine.ingest(input_name(e), to_update(e)).unwrap();
+            dist_engine.ingest(input_name(e), to_update(e)).unwrap();
+        }
+        local_engine.flush_all().unwrap();
+        dist_engine.flush_all().unwrap();
+        for view in ["A", "B", "C", "D"] {
+            // Bit-for-bit: same interpreter, same delta arithmetic.
+            prop_assert_eq!(
+                dist_engine.get(view).unwrap(),
+                local_engine.get(view).unwrap(),
+                "{} is not bit-identical across backends",
+                view
+            );
+        }
+        let comm = dist_engine.comm();
+        prop_assert!(comm.broadcast_bytes > 0, "no broadcast traffic metered");
+        prop_assert_eq!(comm.shuffle_bytes, 0, "incremental path must never shuffle");
+        prop_assert_eq!(local_engine.comm().total_bytes(), 0);
+    }
+
+    /// Property 3: compact_rows preserves the dense delta for mixed
+    /// batches of row updates and dense (non-basis) updates.
+    #[test]
+    fn row_compaction_preserves_mixed_batches(
+        rows in proptest::collection::vec((0usize..N, 0u64..100_000), 1..12),
+        dense_seeds in proptest::collection::vec(0u64..100_000, 0..3),
+    ) {
+        let mut ones: Vec<RankOneUpdate> = rows
+            .iter()
+            .map(|&(r, s)| RankOneUpdate::row_update(N, N, r, 0.1, s))
+            .collect();
+        for &s in &dense_seeds {
+            ones.push(RankOneUpdate::dense(N, N, 0.1, s));
+        }
+        let batch = BatchUpdate::from_rank_ones(&ones).unwrap();
+        let compact = batch.compact_rows().unwrap();
+        prop_assert!(compact.rank() <= batch.rank());
+        prop_assert!(
+            compact
+                .to_dense()
+                .unwrap()
+                .approx_eq(&batch.to_dense().unwrap(), 1e-12),
+            "compaction changed the dense delta"
+        );
+        let distinct: std::collections::BTreeSet<usize> =
+            rows.iter().map(|&(r, _)| r).collect();
+        prop_assert_eq!(compact.rank(), distinct.len() + dense_seeds.len());
+    }
+}

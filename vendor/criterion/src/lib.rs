@@ -1,10 +1,12 @@
 //! Offline stand-in for the `criterion` crate.
 //!
 //! Compiles the workspace's `benches/*.rs` sources unchanged and runs each
-//! benchmark as a short timed loop, printing mean wall time per iteration.
-//! There is no statistical analysis, warm-up schedule, or HTML report —
-//! this exists so `cargo bench` produces comparable relative numbers and
-//! `cargo build --benches` keeps the bench sources compiling.
+//! benchmark as a warm-up phase followed by individually timed iterations,
+//! printing the mean wall time per iteration **± the sample standard
+//! deviation** so regressions can be told apart from noise. There is no
+//! outlier rejection or HTML report — this exists so `cargo bench`
+//! produces comparable relative numbers and `cargo build --benches` keeps
+//! the bench sources compiling.
 
 #![warn(missing_docs)]
 
@@ -77,17 +79,24 @@ impl IntoBenchmarkId for String {
 /// Timing loop handle passed to benchmark closures.
 pub struct Bencher {
     iters: u64,
-    elapsed: Duration,
+    warmup_iters: u64,
+    /// One wall-time sample per measured iteration.
+    samples: Vec<Duration>,
 }
 
 impl Bencher {
-    /// Times `routine` over the configured iteration count.
+    /// Times `routine` over the configured iteration count, after an
+    /// untimed warm-up (caches, branch predictors, lazy allocations).
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
-        let start = Instant::now();
-        for _ in 0..self.iters {
+        for _ in 0..self.warmup_iters {
             black_box(routine());
         }
-        self.elapsed = start.elapsed();
+        self.samples.clear();
+        for _ in 0..self.iters {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
     }
 
     /// Times `routine` on inputs produced (untimed) by `setup`.
@@ -96,14 +105,16 @@ impl Bencher {
         S: FnMut() -> I,
         R: FnMut(I) -> O,
     {
-        let mut elapsed = Duration::ZERO;
+        for _ in 0..self.warmup_iters {
+            black_box(routine(setup()));
+        }
+        self.samples.clear();
         for _ in 0..self.iters {
             let input = setup();
             let start = Instant::now();
             black_box(routine(input));
-            elapsed += start.elapsed();
+            self.samples.push(start.elapsed());
         }
-        self.elapsed = elapsed;
     }
 
     /// Like [`Bencher::iter_batched`], passing the input by mutable reference.
@@ -112,15 +123,37 @@ impl Bencher {
         S: FnMut() -> I,
         R: FnMut(&mut I) -> O,
     {
-        let mut elapsed = Duration::ZERO;
+        for _ in 0..self.warmup_iters {
+            let mut input = setup();
+            black_box(routine(&mut input));
+        }
+        self.samples.clear();
         for _ in 0..self.iters {
             let mut input = setup();
             let start = Instant::now();
             black_box(routine(&mut input));
-            elapsed += start.elapsed();
+            self.samples.push(start.elapsed());
         }
-        self.elapsed = elapsed;
     }
+}
+
+/// Mean and sample standard deviation of the collected iteration times.
+fn mean_and_stddev(samples: &[Duration]) -> (Duration, Duration) {
+    if samples.is_empty() {
+        return (Duration::ZERO, Duration::ZERO);
+    }
+    let n = samples.len() as f64;
+    let secs: Vec<f64> = samples.iter().map(Duration::as_secs_f64).collect();
+    let mean = secs.iter().sum::<f64>() / n;
+    let var = if samples.len() < 2 {
+        0.0
+    } else {
+        secs.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / (n - 1.0)
+    };
+    (
+        Duration::from_secs_f64(mean),
+        Duration::from_secs_f64(var.sqrt()),
+    )
 }
 
 /// A named group of related benchmarks.
@@ -162,19 +195,19 @@ impl BenchmarkGroup<'_> {
     }
 
     fn run(&mut self, id: String, f: &mut dyn FnMut(&mut Bencher)) {
+        // A fifth of the sample budget (at least one, at most three
+        // iterations) warms caches without inflating total runtime.
+        let warmup_iters = (self.iters / 5).clamp(1, 3);
         let mut bencher = Bencher {
             iters: self.iters,
-            elapsed: Duration::ZERO,
+            warmup_iters,
+            samples: Vec::with_capacity(self.iters as usize),
         };
         f(&mut bencher);
-        let per_iter = if bencher.iters > 0 {
-            bencher.elapsed / bencher.iters as u32
-        } else {
-            Duration::ZERO
-        };
+        let (mean, stddev) = mean_and_stddev(&bencher.samples);
         println!(
-            "{}/{:<32} {:>12.3?}/iter ({} iters)",
-            self.name, id, per_iter, bencher.iters
+            "{}/{:<32} {:>12.3?}/iter ± {:>9.3?} ({} iters + {} warmup)",
+            self.name, id, mean, stddev, bencher.iters, warmup_iters
         );
     }
 
@@ -235,4 +268,49 @@ macro_rules! criterion_main {
             $($group();)+
         }
     };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_stddev_handle_degenerate_inputs() {
+        assert_eq!(mean_and_stddev(&[]), (Duration::ZERO, Duration::ZERO));
+        let (m, s) = mean_and_stddev(&[Duration::from_millis(4)]);
+        assert_eq!(m, Duration::from_millis(4));
+        assert_eq!(s, Duration::ZERO);
+    }
+
+    #[test]
+    fn mean_and_stddev_match_hand_computation() {
+        let samples = [Duration::from_millis(10), Duration::from_millis(30)];
+        let (m, s) = mean_and_stddev(&samples);
+        assert_eq!(m, Duration::from_millis(20));
+        // Sample stddev of {10, 30} ms is sqrt(200) ≈ 14.142 ms.
+        assert!((s.as_secs_f64() - 0.0141421356).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bencher_collects_one_sample_per_iteration() {
+        let mut b = Bencher {
+            iters: 5,
+            warmup_iters: 2,
+            samples: Vec::new(),
+        };
+        let mut calls = 0u64;
+        b.iter(|| calls += 1);
+        assert_eq!(b.samples.len(), 5);
+        assert_eq!(calls, 7, "2 warmup + 5 measured");
+        let mut setup_calls = 0u64;
+        b.iter_batched(
+            || {
+                setup_calls += 1;
+            },
+            |()| (),
+            BatchSize::SmallInput,
+        );
+        assert_eq!(b.samples.len(), 5);
+        assert_eq!(setup_calls, 7);
+    }
 }
