@@ -21,7 +21,9 @@
 use linview_compiler::Program;
 use linview_expr::{Catalog, Expr};
 use linview_matrix::Matrix;
-use linview_runtime::{FlushPolicy, IncrementalView, MaintenanceEngine, RankOneUpdate};
+use linview_runtime::{
+    ExecBackend, FlushPolicy, IncrementalView, LocalBackend, MaintenanceEngine, RankOneUpdate,
+};
 use std::collections::BTreeSet;
 
 use crate::sums::sums_program;
@@ -31,20 +33,23 @@ use crate::{IterModel, Result};
 /// path weights are ≥ dampingᵏ, far larger for the sizes used here).
 const REACH_TOL: f64 = 1e-12;
 
-/// An incrementally maintained ≤ k-hop reachability index.
+/// An incrementally maintained ≤ k-hop reachability index, generic over
+/// *where* the triggers execute.
 ///
 /// Edge mutations stream through a [`MaintenanceEngine`]: with the default
 /// immediate policy every insert/remove is one rank-1 trigger firing (the
 /// original behavior); [`Reachability::new_batched`] instead buffers
 /// mutations and fires one coalesced rank-`k` trigger per batch — bulk
 /// graph loads pay one firing per `batch` edges rather than one per edge.
+/// [`Reachability::new_on_with_policy`] runs the same index on any
+/// [`ExecBackend`] (e.g. the threaded message-passing backend).
 #[derive(Debug, Clone)]
-pub struct Reachability {
+pub struct Reachability<B: ExecBackend = LocalBackend> {
     n: usize,
     k: usize,
     damping: f64,
     adj: Vec<BTreeSet<usize>>,
-    engine: MaintenanceEngine,
+    engine: MaintenanceEngine<B>,
 }
 
 impl Reachability {
@@ -64,6 +69,21 @@ impl Reachability {
 
     /// As [`Reachability::new`] with an explicit engine flush policy.
     pub fn new_with_policy(
+        n: usize,
+        edges: &[(usize, usize)],
+        k: usize,
+        policy: FlushPolicy,
+    ) -> Result<Self> {
+        Self::new_on_with_policy(LocalBackend, n, edges, k, policy)
+    }
+}
+
+impl<B: ExecBackend> Reachability<B> {
+    /// As [`Reachability::new_with_policy`] on an explicit execution
+    /// backend: the same compiled triggers maintain the index wherever the
+    /// backend puts the views.
+    pub fn new_on_with_policy(
+        backend: B,
         n: usize,
         edges: &[(usize, usize)],
         k: usize,
@@ -97,7 +117,7 @@ impl Reachability {
         program = extended;
         let mut cat = Catalog::new();
         cat.declare("A", n, n);
-        let view = IncrementalView::build(&program, &[("A", a)], &cat)?;
+        let view = IncrementalView::build_on(backend, &program, &[("A", a)], &cat)?;
         Ok(Reachability {
             n,
             k,

@@ -20,6 +20,12 @@
 //!   re-evaluation pays.
 //! * [`dist_add_low_rank`] — the `O(kn²)` distributed low-rank view update;
 //!   meters only factor broadcasts.
+//! * [`WorkerPool`] ([`transport`]) — the *non*-simulated layer: one
+//!   long-lived worker thread per grid cell, each owning its view blocks,
+//!   with every coordinator interaction serialized into byte frames over
+//!   real channels. The `ThreadedBackend` in `linview-runtime` builds on
+//!   this, so its metered byte counts are exact frame lengths rather than
+//!   analytical estimates.
 //!
 //! ```
 //! use linview_dist::{dist_add_low_rank, dist_matmul, Cluster, DistMatrix};
@@ -52,11 +58,13 @@ mod cluster;
 mod comm;
 mod matrix;
 mod ops;
+pub mod transport;
 
 pub use cluster::Cluster;
 pub use comm::{CommSnapshot, CommStats};
 pub use matrix::DistMatrix;
 pub use ops::{dist_add_low_rank, dist_matmul};
+pub use transport::{delta_frame, TransportError, WorkerPool};
 
 /// Crate-wide result type (all fallible paths surface dense-kernel errors).
 pub type Result<T> = std::result::Result<T, linview_matrix::MatrixError>;

@@ -67,6 +67,12 @@ pub fn dist_add_low_rank(
         });
     }
     check_geometry("dist_add_low_rank", m, cluster)?;
+    if u.cols() == 0 {
+        // A rank-0 delta carries no update: nothing is broadcast and no
+        // message is metered — the same contract as the threaded
+        // transport, so per-backend delivery counts stay comparable.
+        return Ok(());
+    }
     let factor_bytes = ((u.len() + v.len()) * std::mem::size_of::<f64>()) as u64;
     for _ in 0..cluster.workers() {
         cluster.comm().record_broadcast(factor_bytes);
@@ -222,6 +228,22 @@ mod tests {
             assert_eq!(snap.shuffle_bytes, 0);
             assert_eq!(snap.shuffle_msgs, 0);
         }
+    }
+
+    #[test]
+    fn rank_zero_update_moves_and_meters_nothing() {
+        let cluster = Cluster::new(4);
+        let m0 = Matrix::random_uniform(8, 8, 91);
+        let mut dm = DistMatrix::from_dense(&m0, 2).unwrap();
+        dist_add_low_rank(
+            &mut dm,
+            &Matrix::zeros(8, 0),
+            &Matrix::zeros(8, 0),
+            &cluster,
+        )
+        .unwrap();
+        assert_eq!(cluster.comm().snapshot(), crate::CommSnapshot::default());
+        assert!(dm.to_dense().approx_eq(&m0, 0.0));
     }
 
     #[test]

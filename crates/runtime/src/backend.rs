@@ -13,11 +13,18 @@
 //!   simulated cluster; a delta broadcasts its skinny factors to the
 //!   workers (metered) while a coordinator mirror stays in sync for the
 //!   trigger's subsequent block evaluations.
+//! * [`ThreadedBackend`] — the same grid partitioning with **real**
+//!   message passing: one long-lived worker thread per partition owns its
+//!   blocks, and every factor broadcast is serialized into a byte frame
+//!   and moved over a channel. `CommStats` counts the frames actually
+//!   sent, not analytical estimates.
 
 use std::collections::BTreeMap;
 
 use linview_compiler::{JointTrigger, Trigger};
-use linview_dist::{dist_add_low_rank, Cluster, CommSnapshot, DistMatrix};
+use linview_dist::{
+    dist_add_low_rank, transport::TransportError, Cluster, CommSnapshot, DistMatrix, WorkerPool,
+};
 use linview_matrix::Matrix;
 
 use crate::{Env, Evaluator, ExecOptions, Result, RuntimeError};
@@ -207,6 +214,158 @@ impl ExecBackend for DistBackend {
     }
 }
 
+/// Distributed execution over **real** worker threads (§6, without the
+/// simulation shortcut).
+///
+/// Like [`DistBackend`], every materialized view is grid-partitioned and
+/// the trigger's compute phase runs on the coordinator against a dense
+/// mirror. Unlike it, the partitions live on long-lived worker threads —
+/// one per grid cell, spawned at construction — and every delta
+/// application serializes the factored update into a byte frame and
+/// broadcasts it over per-worker channels. Workers decode, slice their own
+/// rows, and fold the update into the blocks they own; nothing is shared.
+/// `CommStats` therefore counts the exact length of every frame moved.
+///
+/// Reads of worker state ([`ThreadedBackend::view`]) gather the blocks
+/// back over the same channels and double as a barrier: channel order
+/// guarantees all previously broadcast deltas are applied first.
+#[derive(Debug)]
+pub struct ThreadedBackend {
+    cluster: Cluster,
+    pool: WorkerPool,
+    /// Coordinator-side shapes of the partitioned views, for validation
+    /// and gather-side assembly.
+    shapes: BTreeMap<String, (usize, usize)>,
+}
+
+fn transport_err(e: TransportError) -> RuntimeError {
+    RuntimeError::Transport(e.to_string())
+}
+
+impl ThreadedBackend {
+    /// A backend over a square grid of `workers` threads (must be a
+    /// perfect square; every partitioned dimension must divide the side).
+    pub fn new(workers: usize) -> Result<Self> {
+        Ok(Self::with_cluster(
+            Cluster::try_new(workers).map_err(RuntimeError::Matrix)?,
+        ))
+    }
+
+    /// A backend over an existing (possibly rectangular) cluster geometry;
+    /// spawns the worker threads immediately.
+    pub fn with_cluster(cluster: Cluster) -> Self {
+        let pool = WorkerPool::spawn(cluster.grid_rows(), cluster.grid_cols());
+        ThreadedBackend {
+            cluster,
+            pool,
+            shapes: BTreeMap::new(),
+        }
+    }
+
+    /// Gathers a partitioned view back from the worker threads into a
+    /// dense matrix. Acts as a barrier: all previously broadcast deltas
+    /// are folded in before the workers reply.
+    pub fn view(&self, name: &str) -> Result<Matrix> {
+        let &(rows, cols) = self
+            .shapes
+            .get(name)
+            .ok_or_else(|| RuntimeError::Unbound(format!("partitioned view '{name}'")))?;
+        let blocks = self.pool.gather(name).map_err(transport_err)?;
+        let (gr, gc) = (self.pool.grid_rows(), self.pool.grid_cols());
+        let (bh, bw) = (rows / gr, cols / gc);
+        let mut out = Matrix::zeros(rows, cols);
+        for (idx, block) in blocks.iter().enumerate() {
+            let (br, bc) = (idx / gc, idx % gc);
+            out.set_submatrix(br * bh, bc * bw, block)?;
+        }
+        Ok(out)
+    }
+
+    /// The cluster geometry (and communication meter).
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    /// Names of the views currently partitioned across the workers.
+    pub fn partitioned_views(&self) -> impl Iterator<Item = &str> {
+        self.shapes.keys().map(String::as_str)
+    }
+}
+
+impl ExecBackend for ThreadedBackend {
+    fn name(&self) -> &'static str {
+        "threaded"
+    }
+
+    fn materialize(&mut self, env: &Env) -> Result<()> {
+        // Partition everything *before* touching worker state, so a
+        // failure (an indivisible dimension) leaves the previous
+        // partitions — and the owning view — untouched.
+        let mut parts = Vec::new();
+        for (name, m) in env.iter() {
+            let dm =
+                DistMatrix::from_dense_grid(m, self.cluster.grid_rows(), self.cluster.grid_cols())
+                    .map_err(RuntimeError::Matrix)?;
+            parts.push((name.to_string(), dm));
+        }
+        self.pool.reset().map_err(transport_err)?;
+        let mut shapes = BTreeMap::new();
+        for (name, dm) in &parts {
+            let frame_len = self.pool.install(name, dm).map_err(transport_err)?;
+            // Initial placement moves real bytes too; meter every frame.
+            for _ in 0..self.pool.workers() {
+                self.cluster.comm().record_broadcast(frame_len);
+            }
+            shapes.insert(name.clone(), dm.shape());
+        }
+        self.shapes = shapes;
+        Ok(())
+    }
+
+    fn apply_delta(&mut self, env: &mut Env, target: &str, u: &Matrix, v: &Matrix) -> Result<()> {
+        let &(rows, cols) = self
+            .shapes
+            .get(target)
+            .ok_or_else(|| RuntimeError::Unbound(format!("partitioned view '{target}'")))?;
+        if u.rows() != rows || v.rows() != cols || u.cols() != v.cols() {
+            return Err(RuntimeError::UpdateShape {
+                target: (rows, cols),
+                update: (u.shape(), v.shape()),
+            });
+        }
+        if u.cols() == 0 {
+            return Ok(()); // rank-0 delta: nothing moves, nothing changes
+        }
+        // One serialized frame per worker; meter exactly what was sent.
+        let frame_len = self
+            .pool
+            .broadcast_delta(target, u, v)
+            .map_err(transport_err)?;
+        for _ in 0..self.pool.workers() {
+            self.cluster.comm().record_broadcast(frame_len);
+        }
+        // Keep the coordinator mirror in sync for subsequent statements.
+        let delta = u.try_matmul(&v.transpose())?;
+        env.get_mut(target)?.add_assign_from(&delta)?;
+        Ok(())
+    }
+
+    fn extra_memory_bytes(&self) -> usize {
+        self.shapes
+            .values()
+            .map(|&(r, c)| r * c * std::mem::size_of::<f64>())
+            .sum()
+    }
+
+    fn comm(&self) -> CommSnapshot {
+        self.cluster.comm().snapshot()
+    }
+
+    fn reset_comm(&self) -> CommSnapshot {
+        self.cluster.comm().reset()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -253,6 +412,64 @@ mod tests {
         // over the same entries.
         let gathered = backend.view("A").unwrap();
         assert_eq!(&gathered, env.get("A").unwrap());
+    }
+
+    #[test]
+    fn threaded_backend_moves_exact_frames_and_matches_the_mirror() {
+        let mut env = Env::new();
+        env.bind("A", Matrix::random_uniform(8, 8, 3));
+        env.bind("B", Matrix::random_uniform(8, 8, 4));
+        let mut backend = ThreadedBackend::new(4).unwrap();
+        backend.materialize(&env).unwrap();
+        assert_eq!(backend.extra_memory_bytes(), 2 * 8 * 8 * 8);
+        backend.reset_comm(); // drop the initial-placement traffic
+
+        let u = Matrix::random_col(8, 5);
+        let v = Matrix::random_col(8, 6);
+        backend.apply_delta(&mut env, "A", &u, &v).unwrap();
+        let comm = backend.comm();
+        // Byte counts recomputed from the same serialization the workers
+        // received — exact, not an estimate.
+        let frame = linview_dist::delta_frame("A", &u, &v);
+        assert_eq!(comm.broadcast_bytes, 4 * frame.len() as u64);
+        assert_eq!(comm.broadcast_msgs, 4);
+        assert_eq!(comm.shuffle_bytes, 0);
+        // Worker-owned state and the coordinator mirror agree exactly.
+        assert_eq!(&backend.view("A").unwrap(), env.get("A").unwrap());
+        assert_eq!(&backend.view("B").unwrap(), env.get("B").unwrap());
+    }
+
+    #[test]
+    fn threaded_backend_rejects_unknown_targets_bad_grids_and_bad_shapes() {
+        assert!(ThreadedBackend::new(8).is_err()); // not a perfect square
+        let mut backend = ThreadedBackend::new(4).unwrap();
+        let mut env = Env::new();
+        env.bind("A", Matrix::zeros(8, 8));
+        backend.materialize(&env).unwrap();
+        let u = Matrix::zeros(8, 1);
+        assert!(backend.apply_delta(&mut env, "Z", &u, &u).is_err());
+        assert!(matches!(
+            backend.apply_delta(&mut env, "A", &Matrix::zeros(6, 1), &u),
+            Err(RuntimeError::UpdateShape { .. })
+        ));
+        // Indivisible dimension fails materialize but leaves the previous
+        // partitions (and the worker threads) intact.
+        env.bind("Odd", Matrix::zeros(7, 7));
+        assert!(backend.materialize(&env).is_err());
+        assert!(backend.view("A").is_ok());
+        assert!(backend.view("Odd").is_err());
+    }
+
+    #[test]
+    fn threaded_backend_rematerialize_replaces_worker_state() {
+        let mut backend = ThreadedBackend::with_cluster(Cluster::with_grid(2, 1));
+        let mut env = Env::new();
+        env.bind("A", Matrix::random_uniform(6, 6, 7));
+        backend.materialize(&env).unwrap();
+        env.bind("A", Matrix::random_uniform(6, 6, 8));
+        backend.materialize(&env).unwrap();
+        assert_eq!(&backend.view("A").unwrap(), env.get("A").unwrap());
+        assert_eq!(backend.partitioned_views().count(), 1);
     }
 
     #[test]

@@ -16,6 +16,12 @@
 //! Batched ingestion is *exact*: triggers are rank-generic, so one rank-`k`
 //! firing folds the same delta as `k` sequential rank-1 firings (the
 //! property the engine's tests assert against full re-evaluation).
+//!
+//! When a flush round covers every dynamic input, the engine goes one step
+//! further and fires ONE *joint* trigger (§4.4) for all of them via
+//! [`IncrementalView::apply_joint`] — saving `inputs − 1` firings per
+//! round, with the savings reported in [`EngineStats::joint_rounds`] /
+//! [`EngineStats::triggers_saved`].
 
 use std::collections::BTreeMap;
 
@@ -95,11 +101,19 @@ impl PendingBuffer {
 pub struct EngineStats {
     /// Rank-1 events ingested (across all inputs).
     pub events: u64,
-    /// Trigger firings performed (one per flushed non-empty buffer).
+    /// Trigger firings performed (one per flushed non-empty buffer, and
+    /// one per joint flush round).
     pub firings: u64,
     /// Total coalesced rank fired; `fired_rank < events` measures how much
     /// work row compaction saved.
     pub fired_rank: u64,
+    /// Joint flush rounds performed: [`MaintenanceEngine::flush_all`]
+    /// rounds where every joint-trigger input had pending events and ONE
+    /// joint firing (§4.4) replaced the per-input sequence.
+    pub joint_rounds: u64,
+    /// Per-input trigger firings avoided by joint rounds (inputs covered
+    /// minus one, summed over rounds) — the flush loop's §4.4 savings.
+    pub triggers_saved: u64,
     /// Wall-time + FLOP samples, one per firing.
     pub refresh: StatsAccumulator,
 }
@@ -125,17 +139,37 @@ pub struct MaintenanceEngine<B: ExecBackend = LocalBackend> {
     policy: FlushPolicy,
     pending: BTreeMap<String, PendingBuffer>,
     stats: EngineStats,
+    /// When set (the default), [`MaintenanceEngine::flush_all`] fires ONE
+    /// joint trigger per flush round whenever every joint input has
+    /// pending events, instead of one trigger per input.
+    joint_flush: bool,
 }
 
 impl<B: ExecBackend> MaintenanceEngine<B> {
-    /// Wraps an already-built view.
+    /// Wraps an already-built view. Joint flush rounds are enabled; see
+    /// [`MaintenanceEngine::set_joint_flush`].
     pub fn new(view: IncrementalView<B>, policy: FlushPolicy) -> Self {
         MaintenanceEngine {
             view,
             policy,
             pending: BTreeMap::new(),
             stats: EngineStats::default(),
+            joint_flush: true,
         }
+    }
+
+    /// Enables or disables joint flush rounds in
+    /// [`MaintenanceEngine::flush_all`]. Joint and sequential flushing fold
+    /// the same deltas (§4.4's trigger is exact), so this only trades
+    /// trigger firings — it never changes maintained views beyond
+    /// floating-point round-off.
+    pub fn set_joint_flush(&mut self, on: bool) {
+        self.joint_flush = on;
+    }
+
+    /// Whether flush rounds use the joint trigger when possible.
+    pub fn joint_flush(&self) -> bool {
+        self.joint_flush
     }
 
     /// Buffers one rank-1 event against `input`, flushing that input's
@@ -186,12 +220,65 @@ impl<B: ExecBackend> MaintenanceEngine<B> {
         Ok(())
     }
 
-    /// Flushes every input's pending buffer (in input-name order).
+    /// Flushes every pending buffer as one *flush round*: when joint
+    /// flushing is enabled and every input of the compiled joint trigger
+    /// has pending events, all of them are coalesced and folded by ONE
+    /// joint firing (§4.4); whatever remains (inputs outside the joint
+    /// set, or a round that could not go joint) is flushed sequentially in
+    /// input-name order.
     pub fn flush_all(&mut self) -> Result<()> {
+        if self.joint_flush {
+            self.flush_joint_round()?;
+        }
         let inputs: Vec<String> = self.pending.keys().cloned().collect();
         for input in inputs {
             self.flush(&input)?;
         }
+        Ok(())
+    }
+
+    /// Attempts the joint firing of a flush round. Fires — and consumes the
+    /// covered buffers — only when *every* joint input has a pending batch
+    /// of rank ≥ 1 and the joint set spans at least two inputs (a lone
+    /// input gains nothing over its own trigger). On error every buffer is
+    /// retained, mirroring [`MaintenanceEngine::flush`].
+    fn flush_joint_round(&mut self) -> Result<()> {
+        let Some(joint_inputs) = self.view.joint_inputs().map(<[String]>::to_vec) else {
+            return Ok(());
+        };
+        if joint_inputs.len() < 2 {
+            return Ok(());
+        }
+        let mut batches: Vec<(String, BatchUpdate)> = Vec::with_capacity(joint_inputs.len());
+        for input in &joint_inputs {
+            let Some(buf) = self.pending.get(input) else {
+                return Ok(());
+            };
+            if buf.is_empty() {
+                return Ok(());
+            }
+            let batch = BatchUpdate::from_rank_ones(&buf.events)?.compact_rows()?;
+            if batch.rank() == 0 {
+                // Fully cancelled buffer: the sequential path drops it as a
+                // no-op, and the round no longer covers every input.
+                return Ok(());
+            }
+            batches.push((input.clone(), batch));
+        }
+        let updates: Vec<(&str, &Matrix, &Matrix)> = batches
+            .iter()
+            .map(|(name, b)| (name.as_str(), &b.u, &b.v))
+            .collect();
+        let (result, refresh) = measure(|| self.view.apply_joint(&updates));
+        result?;
+        for (input, _) in &batches {
+            self.pending.remove(input);
+        }
+        self.stats.firings += 1;
+        self.stats.joint_rounds += 1;
+        self.stats.triggers_saved += (batches.len() - 1) as u64;
+        self.stats.fired_rank += batches.iter().map(|(_, b)| b.rank() as u64).sum::<u64>();
+        self.stats.refresh.record(refresh);
         Ok(())
     }
 
@@ -355,6 +442,82 @@ mod tests {
         assert_eq!(engine.pending_events("A"), 0);
         assert_eq!(engine.stats().firings, 1);
         assert_eq!(engine.stats().fired_rank, 2);
+    }
+
+    #[test]
+    fn flush_all_fires_one_joint_trigger_when_all_inputs_are_pending() {
+        let n = 12;
+        let (program, cat, a, b) = two_input_setup(n);
+        let mut joint = MaintenanceEngine::new(
+            IncrementalView::build(&program, &[("A", a.clone()), ("B", b.clone())], &cat).unwrap(),
+            FlushPolicy::Count(100), // never flush at ingest
+        );
+        let mut seq = MaintenanceEngine::new(
+            IncrementalView::build(&program, &[("A", a), ("B", b)], &cat).unwrap(),
+            FlushPolicy::Count(100),
+        );
+        seq.set_joint_flush(false);
+        assert!(joint.joint_flush());
+        let mut s1 = UpdateStream::new(n, n, 0.01, 3);
+        let mut s2 = UpdateStream::new(n, n, 0.01, 3);
+        for i in 0..8 {
+            let input = if i % 2 == 0 { "A" } else { "B" };
+            joint.ingest(input, s1.next_rank_one()).unwrap();
+            seq.ingest(input, s2.next_rank_one()).unwrap();
+        }
+        joint.flush_all().unwrap();
+        seq.flush_all().unwrap();
+        // One joint firing vs one per input.
+        assert_eq!(joint.stats().firings, 1);
+        assert_eq!(joint.stats().joint_rounds, 1);
+        assert_eq!(joint.stats().triggers_saved, 1);
+        assert_eq!(seq.stats().firings, 2);
+        assert_eq!(seq.stats().joint_rounds, 0);
+        assert_eq!(joint.stats().fired_rank, seq.stats().fired_rank);
+        // §4.4's trigger is exact: same views up to round-off.
+        for view in ["A", "B", "C", "D"] {
+            assert!(
+                joint
+                    .get(view)
+                    .unwrap()
+                    .approx_eq(seq.get(view).unwrap(), 1e-9),
+                "{view} diverged between joint and sequential flushing"
+            );
+        }
+        assert_eq!(joint.pending_total(), 0);
+    }
+
+    #[test]
+    fn partial_rounds_and_single_inputs_fall_back_to_sequential_flushes() {
+        let n = 10;
+        let (program, cat, a, b) = two_input_setup(n);
+        let mut engine = MaintenanceEngine::new(
+            IncrementalView::build(&program, &[("A", a), ("B", b)], &cat).unwrap(),
+            FlushPolicy::Count(100),
+        );
+        // Only A pending: the joint round cannot cover B, so the flush is
+        // one ordinary per-input firing.
+        let mut stream = UpdateStream::new(n, n, 0.01, 5);
+        engine.ingest("A", stream.next_rank_one()).unwrap();
+        engine.flush_all().unwrap();
+        assert_eq!(engine.stats().firings, 1);
+        assert_eq!(engine.stats().joint_rounds, 0);
+        assert_eq!(engine.stats().triggers_saved, 0);
+
+        // A single-input program admits a joint form, but a joint firing
+        // over one input saves nothing — stay on the per-input trigger.
+        let program = parse_program("B := A * A;").unwrap();
+        let mut cat = Catalog::new();
+        cat.declare("A", n, n);
+        let a = Matrix::random_spectral(n, 7, 0.7);
+        let mut single = MaintenanceEngine::new(
+            IncrementalView::build(&program, &[("A", a)], &cat).unwrap(),
+            FlushPolicy::Count(100),
+        );
+        single.ingest("A", stream.next_rank_one()).unwrap();
+        single.flush_all().unwrap();
+        assert_eq!(single.stats().firings, 1);
+        assert_eq!(single.stats().joint_rounds, 0);
     }
 
     #[test]

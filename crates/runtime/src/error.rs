@@ -27,6 +27,9 @@ pub enum RuntimeError {
         /// Update factor shapes `(u, v)`.
         update: ((usize, usize), (usize, usize)),
     },
+    /// The threaded backend's message-passing transport failed (a worker
+    /// thread died, or a reply frame was malformed).
+    Transport(String),
     /// A convergence-threshold iteration exhausted its iteration budget.
     DidNotConverge {
         /// Iterations performed.
@@ -51,6 +54,7 @@ impl fmt::Display for RuntimeError {
                 "update factors {:?} do not conform to target ({}x{})",
                 update, target.0, target.1
             ),
+            RuntimeError::Transport(what) => write!(f, "transport error: {what}"),
             RuntimeError::DidNotConverge {
                 iterations,
                 residual,

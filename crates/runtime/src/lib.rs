@@ -36,7 +36,7 @@ pub mod stats;
 pub mod updates;
 mod view;
 
-pub use backend::{DistBackend, ExecBackend, LocalBackend};
+pub use backend::{DistBackend, ExecBackend, LocalBackend, ThreadedBackend};
 pub use engine::{EngineStats, FlushPolicy, MaintenanceEngine};
 pub use env::Env;
 pub use error::RuntimeError;

@@ -212,6 +212,14 @@ impl<B: ExecBackend> IncrementalView<B> {
         &self.trigger_program
     }
 
+    /// Inputs covered by the compiled joint trigger (§4.4), in declaration
+    /// order; `None` when the program does not admit a joint form. A
+    /// successful [`IncrementalView::apply_joint`] must supply exactly one
+    /// update per listed input.
+    pub fn joint_inputs(&self) -> Option<&[String]> {
+        self.joint.as_ref().map(|j| j.inputs.as_slice())
+    }
+
     /// The execution backend.
     pub fn backend(&self) -> &B {
         &self.backend

@@ -1,17 +1,21 @@
-//! Streaming maintenance with batched multi-input ingestion, on both
-//! execution backends.
+//! Streaming maintenance with batched multi-input ingestion, on every
+//! execution backend.
 //!
 //! A Zipf-skewed stream of rank-1 events over TWO dynamic inputs (`A` and
 //! `B` of `C := A * B; D := C * C;`) flows into a `MaintenanceEngine`,
 //! which coalesces per-input events into rank-k batches and fires the
 //! compiled triggers through the pluggable `ExecBackend` — the same code
-//! path whether views are in-process dense matrices (`LocalBackend`) or
-//! grid-partitioned over the simulated cluster (`DistBackend`, §6).
+//! path whether views are in-process dense matrices (`LocalBackend`),
+//! grid-partitioned over the simulated cluster (`DistBackend`, §6), or
+//! owned by real worker threads that receive every factor broadcast as a
+//! serialized byte frame (`ThreadedBackend`). Final flushes fire ONE joint
+//! trigger per round (§4.4) when both inputs are pending.
 //!
-//! Run with: `cargo run --release --example maintenance_engine -- [local|dist|both]`
+//! Run with:
+//! `cargo run --release --example maintenance_engine -- [local|dist|threaded|both|all]`
 
 use linview::prelude::*;
-use linview::runtime::{DistBackend, ExecBackend, FlushPolicy, MaintenanceEngine};
+use linview::runtime::{DistBackend, ExecBackend, FlushPolicy, MaintenanceEngine, ThreadedBackend};
 
 const N: usize = 48;
 const EVENTS: usize = 64;
@@ -38,12 +42,14 @@ fn stream<B: ExecBackend>(view: IncrementalView<B>, batch: usize) -> (u64, Matri
     let stats = engine.stats();
     let comm = engine.comm();
     println!(
-        "  {:>5} backend, batch {:>2}: {:>2} firings (fired rank {:>2}), \
-         mean refresh {:>10.2?}, broadcast {:>7} B, shuffle {} B",
+        "  {:>8} backend, batch {:>2}: {:>2} firings (fired rank {:>2}, {} joint rounds \
+         saving {} firings), mean refresh {:>10.2?}, broadcast {:>7} B, shuffle {} B",
         engine.view().backend().name(),
         batch,
         stats.firings,
         stats.fired_rank,
+        stats.joint_rounds,
+        stats.triggers_saved,
         stats.refresh.mean_wall(),
         comm.broadcast_bytes,
         comm.shuffle_bytes,
@@ -65,6 +71,15 @@ fn build_dist(
     IncrementalView::build_on(backend, program, inputs, cat).expect("dist view builds")
 }
 
+fn build_threaded(
+    program: &Program,
+    inputs: &[(&str, Matrix)],
+    cat: &Catalog,
+) -> IncrementalView<ThreadedBackend> {
+    let backend = ThreadedBackend::new(WORKERS).expect("square worker count");
+    IncrementalView::build_on(backend, program, inputs, cat).expect("threaded view builds")
+}
+
 fn main() {
     let which = std::env::args().nth(1).unwrap_or_else(|| "both".into());
     let program = parse_program("C := A * B; D := C * C;").expect("program parses");
@@ -82,13 +97,19 @@ fn main() {
     let mut reference: Option<Matrix> = None;
     for batch in [1usize, 8] {
         let mut per_batch: Vec<(u64, Matrix)> = Vec::new();
-        if matches!(which.as_str(), "local" | "both") {
+        if matches!(which.as_str(), "local" | "both" | "all") {
             per_batch.push(stream(build_local(&program, &inputs, &cat), batch));
         }
-        if matches!(which.as_str(), "dist" | "both") {
+        if matches!(which.as_str(), "dist" | "both" | "all") {
             per_batch.push(stream(build_dist(&program, &inputs, &cat), batch));
         }
-        assert!(!per_batch.is_empty(), "usage: -- [local|dist|both]");
+        if matches!(which.as_str(), "threaded" | "all") {
+            per_batch.push(stream(build_threaded(&program, &inputs, &cat), batch));
+        }
+        assert!(
+            !per_batch.is_empty(),
+            "usage: -- [local|dist|threaded|both|all]"
+        );
         // Every backend and every batch size must maintain the same D:
         // batching is exact, and the backends share one execution path.
         for (_, d) in &per_batch {

@@ -11,7 +11,7 @@
 //!         --program "Z := X' * X; W := inv(Z); beta := W * X' * Y;" \
 //!         --emit octave
 //! linview --dims A=64x64 --file prog.lv --emit plan --rank 4 --no-factor
-//! linview engine --n 48 --events 64 --batch 8 --zipf 1.5 --backend both
+//! linview engine --n 48 --events 64 --batch 8 --zipf 1.5 --backend all
 //! ```
 
 use linview::compiler::codegen::{numpy, octave, plan, spark};
@@ -22,7 +22,8 @@ use linview::expr::cost::CostModel;
 use linview::expr::{Catalog, DeltaOptions};
 use linview::matrix::Matrix;
 use linview::runtime::{
-    DistBackend, ExecBackend, FlushPolicy, IncrementalView, MaintenanceEngine, UpdateStream,
+    DistBackend, ExecBackend, FlushPolicy, IncrementalView, MaintenanceEngine, ThreadedBackend,
+    UpdateStream,
 };
 use std::process::ExitCode;
 
@@ -53,8 +54,12 @@ ENGINE OPTIONS (stream a Zipf-skewed multi-input workload):
   --batch K          flush threshold (default: 8; 1 = fire per event)
   --policy P         count | rank | immediate batching policy (default: count)
   --zipf S           row-skew exponent of the event stream (default: 1.5)
-  --workers W        simulated cluster size for the dist backend (default: 4)
-  --backend B        local | dist | both (default: both)
+  --workers W        cluster size for the dist/threaded backends (default: 4)
+  --backend B        local | dist | threaded | both | all (default: both;
+                     'threaded' runs real message-passing worker threads,
+                     'all' compares all three backends)
+  --no-joint         flush each input with its own trigger instead of ONE
+                     joint trigger per flush round (§4.4 ablation)
 ";
 
 struct Args {
@@ -233,6 +238,7 @@ struct EngineArgs {
     zipf: f64,
     workers: usize,
     backend: String,
+    joint: bool,
 }
 
 fn parse_engine_args(argv: &[String]) -> Result<EngineArgs, String> {
@@ -244,6 +250,7 @@ fn parse_engine_args(argv: &[String]) -> Result<EngineArgs, String> {
         zipf: 1.5,
         workers: 4,
         backend: "both".into(),
+        joint: true,
     };
     let next = |i: &mut usize, what: &str| -> Result<String, String> {
         *i += 1;
@@ -281,14 +288,18 @@ fn parse_engine_args(argv: &[String]) -> Result<EngineArgs, String> {
                     .map_err(|_| "bad --workers value".to_string())?
             }
             "--backend" => args.backend = next(&mut i, "--backend")?,
+            "--no-joint" => args.joint = false,
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown engine flag '{other}'")),
         }
         i += 1;
     }
-    if !matches!(args.backend.as_str(), "local" | "dist" | "both") {
+    if !matches!(
+        args.backend.as_str(),
+        "local" | "dist" | "threaded" | "both" | "all"
+    ) {
         return Err(format!(
-            "unknown --backend '{}' (want local|dist|both)",
+            "unknown --backend '{}' (want local|dist|threaded|both|all)",
             args.backend
         ));
     }
@@ -315,6 +326,7 @@ fn drive_engine<B: ExecBackend>(
     };
     view.reset_comm();
     let mut engine = MaintenanceEngine::new(view, policy);
+    engine.set_joint_flush(args.joint);
     let mut stream = UpdateStream::new(args.n, args.n, 0.01, 42);
     for i in 0..args.events {
         let input = if i % 2 == 0 { "A" } else { "B" };
@@ -340,6 +352,10 @@ fn drive_engine<B: ExecBackend>(
         "             comm: broadcast {} B / {} msgs, shuffle {} B\n",
         comm.broadcast_bytes, comm.broadcast_msgs, comm.shuffle_bytes
     ));
+    out.push_str(&format!(
+        "             joint: {} rounds, {} trigger firings saved\n",
+        stats.joint_rounds, stats.triggers_saved
+    ));
     let d = engine.get("D").map_err(|e| e.to_string())?.clone();
     Ok((out, d))
 }
@@ -358,13 +374,13 @@ fn run_engine(args: &EngineArgs) -> Result<String, String> {
         args.n, args.policy, args.batch, args.zipf
     );
     let mut results: Vec<(String, Matrix)> = Vec::new();
-    if matches!(args.backend.as_str(), "local" | "both") {
+    if matches!(args.backend.as_str(), "local" | "both" | "all") {
         let view = IncrementalView::build(&program, &inputs, &cat).map_err(|e| e.to_string())?;
         let (report, d) = drive_engine(view, args)?;
         out.push_str(&report);
         results.push(("local".into(), d));
     }
-    if matches!(args.backend.as_str(), "dist" | "both") {
+    if matches!(args.backend.as_str(), "dist" | "both" | "all") {
         let backend = DistBackend::new(args.workers).map_err(|e| e.to_string())?;
         let view = IncrementalView::build_on(backend, &program, &inputs, &cat)
             .map_err(|e| e.to_string())?;
@@ -372,15 +388,25 @@ fn run_engine(args: &EngineArgs) -> Result<String, String> {
         out.push_str(&report);
         results.push(("dist".into(), d));
     }
-    if let [(_, d1), (_, d2)] = &results[..] {
-        let diff = d1.max_abs_diff(d2);
-        out.push_str(&format!(
-            "backend divergence on D (local vs dist): {diff:.2e}\n"
-        ));
-        if diff != 0.0 {
-            return Err(format!(
-                "local and dist backends diverged by {diff:.2e} — shared path broken"
+    if matches!(args.backend.as_str(), "threaded" | "all") {
+        let backend = ThreadedBackend::new(args.workers).map_err(|e| e.to_string())?;
+        let view = IncrementalView::build_on(backend, &program, &inputs, &cat)
+            .map_err(|e| e.to_string())?;
+        let (report, d) = drive_engine(view, args)?;
+        out.push_str(&report);
+        results.push(("threaded".into(), d));
+    }
+    if let Some((first_name, first)) = results.first() {
+        for (name, d) in &results[1..] {
+            let diff = first.max_abs_diff(d);
+            out.push_str(&format!(
+                "backend divergence on D ({first_name} vs {name}): {diff:.2e}\n"
             ));
+            if diff != 0.0 {
+                return Err(format!(
+                    "{first_name} and {name} backends diverged by {diff:.2e} — shared path broken"
+                ));
+            }
         }
     }
     Ok(out)

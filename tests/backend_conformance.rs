@@ -1,0 +1,330 @@
+//! Cross-backend conformance suite.
+//!
+//! Every app workload (matrix powers, sums of powers, OLS, reachability,
+//! a PageRank power-iteration step) runs on the Local, Dist, and Threaded
+//! backends from the *same* `UpdateStream` seed, and the maintained views
+//! must be **bit-identical** across all three — the shared statement
+//! interpreter leaves no room for divergence, and this suite is the lock
+//! on that door. Per-backend communication invariants ride along:
+//!
+//! * Local never communicates at all.
+//! * Dist (the metered simulation) and Threaded (real message passing)
+//!   broadcast on every delta and never shuffle.
+//! * Dist and Threaded perform the *same number* of broadcast deliveries,
+//!   while Threaded's byte counts are strictly larger: they are exact
+//!   serialized frame lengths (tag + view name + matrix headers +
+//!   payload), not the simulation's `8·(|U|+|V|)` estimate.
+
+use linview::apps::powers::powers_program;
+use linview::apps::sums::sums_program;
+use linview::prelude::*;
+use linview::runtime::{DistBackend, ThreadedBackend};
+
+const SEED: u64 = 4242;
+
+/// One conformance case: a program, its inputs, which input the update
+/// stream hits, and the worker-grid geometry (rectangular where a program
+/// maintains `n×1` views that a square grid could not partition).
+struct Case {
+    name: &'static str,
+    program: Program,
+    inputs: Vec<(&'static str, Matrix)>,
+    target: &'static str,
+    grid: (usize, usize),
+    scale: f64,
+    updates: usize,
+}
+
+fn chain_adjacency(n: usize, damping: f64) -> Matrix {
+    let mut a = Matrix::zeros(n, n);
+    for i in 0..n - 1 {
+        a.set(i, i + 1, damping);
+    }
+    a.set(n - 1, 0, damping); // close the cycle so powers stay nonzero
+    a
+}
+
+fn cases() -> Vec<Case> {
+    let n = 12;
+    let mut out = Vec::new();
+
+    // Matrix powers A^4 under the exponential model (Fig. 3a-3c).
+    let (program, _) = powers_program(IterModel::Exponential, 4);
+    out.push(Case {
+        name: "powers",
+        program,
+        inputs: vec![("A", Matrix::random_spectral(n, 7, 0.8))],
+        target: "A",
+        grid: (2, 2),
+        scale: 0.01,
+        updates: 8,
+    });
+
+    // Sums of powers I + A + ... + A^(k-1) (Fig. 3d).
+    let (program, _) = sums_program(IterModel::Linear, 4, n);
+    out.push(Case {
+        name: "sums",
+        program,
+        inputs: vec![("A", Matrix::random_spectral(n, 8, 0.8))],
+        target: "A",
+        grid: (2, 2),
+        scale: 0.01,
+        updates: 8,
+    });
+
+    // OLS with a hoisted, Sherman-Morrison-maintained inverse (Fig. 3e).
+    // beta is n×1, so the grid must keep a single block column.
+    out.push(Case {
+        name: "ols",
+        program: parse_program("beta := inv(X' * X) * X' * Y;").unwrap(),
+        inputs: vec![
+            ("X", Matrix::random_diag_dominant(n, 9)),
+            ("Y", Matrix::random_col(n, 10)),
+        ],
+        target: "X",
+        grid: (4, 1),
+        scale: 0.001,
+        updates: 6,
+    });
+
+    // Bounded-hop reachability: sums of powers closed by R := A · S_k.
+    let (sums, final_sum) = sums_program(IterModel::Exponential, 4, n);
+    let mut program = Program::new();
+    for stmt in sums.statements() {
+        program.assign(stmt.target.clone(), stmt.expr.clone());
+    }
+    program.assign("R", Expr::var("A") * Expr::var(final_sum));
+    out.push(Case {
+        name: "reach",
+        program,
+        inputs: vec![("A", chain_adjacency(n, 0.5))],
+        target: "A",
+        grid: (2, 2),
+        scale: 0.1,
+        updates: 8,
+    });
+
+    // Three PageRank power-iteration steps over a damped transition
+    // matrix; the rank vectors are n×1, hence the single-column grid.
+    let m = Matrix::random_stochastic(n, 11).transpose().scale(0.85);
+    let r0 = Matrix::filled(n, 1, 1.0 / n as f64);
+    out.push(Case {
+        name: "pagerank-step",
+        program: parse_program("R1 := M * R0; R2 := M * R1; R3 := M * R2;").unwrap(),
+        inputs: vec![("M", m), ("R0", r0)],
+        target: "M",
+        grid: (3, 1),
+        scale: 0.005,
+        updates: 8,
+    });
+
+    out
+}
+
+fn run_case(case: &Case) {
+    let inputs: Vec<(&str, Matrix)> = case
+        .inputs
+        .iter()
+        .map(|(name, m)| (*name, m.clone()))
+        .collect();
+    let mut cat = Catalog::new();
+    for (name, m) in &inputs {
+        cat.declare(*name, m.rows(), m.cols());
+    }
+    let dynamic: Vec<&str> = inputs.iter().map(|(n, _)| *n).collect();
+    // The materialized view set is the *normalized* program's targets
+    // (inverse hoisting may introduce auxiliary views), plus the inputs.
+    let normalized = case.program.hoist_inverses(&dynamic);
+    let mut views: Vec<String> = dynamic.iter().map(|s| s.to_string()).collect();
+    views.extend(normalized.statements().iter().map(|s| s.target.clone()));
+
+    let mut local = IncrementalView::build(&case.program, &inputs, &cat)
+        .unwrap_or_else(|e| panic!("{}: local build failed: {e}", case.name));
+    let dist_backend = DistBackend::with_cluster(Cluster::with_grid(case.grid.0, case.grid.1));
+    let mut dist = IncrementalView::build_on(dist_backend, &case.program, &inputs, &cat)
+        .unwrap_or_else(|e| panic!("{}: dist build failed: {e}", case.name));
+    let thr_backend = ThreadedBackend::with_cluster(Cluster::with_grid(case.grid.0, case.grid.1));
+    let mut threaded = IncrementalView::build_on(thr_backend, &case.program, &inputs, &cat)
+        .unwrap_or_else(|e| panic!("{}: threaded build failed: {e}", case.name));
+    dist.reset_comm();
+    threaded.reset_comm();
+
+    let (rows, cols) = inputs
+        .iter()
+        .find(|(n, _)| *n == case.target)
+        .map(|(_, m)| m.shape())
+        .expect("target is an input");
+    let mut s_local = UpdateStream::new(rows, cols, case.scale, SEED);
+    let mut s_dist = UpdateStream::new(rows, cols, case.scale, SEED);
+    let mut s_thr = UpdateStream::new(rows, cols, case.scale, SEED);
+    for _ in 0..case.updates {
+        local.apply(case.target, &s_local.next_rank_one()).unwrap();
+        dist.apply(case.target, &s_dist.next_rank_one()).unwrap();
+        threaded.apply(case.target, &s_thr.next_rank_one()).unwrap();
+    }
+
+    for view in &views {
+        let reference = local.get(view).unwrap();
+        assert_eq!(
+            dist.get(view).unwrap(),
+            reference,
+            "{}: view {view} is not bit-identical on dist",
+            case.name
+        );
+        assert_eq!(
+            threaded.get(view).unwrap(),
+            reference,
+            "{}: view {view} is not bit-identical on threaded",
+            case.name
+        );
+        // The partitioned state itself — simulated blocks and
+        // worker-thread-owned blocks — must also equal the mirror exactly.
+        assert_eq!(
+            &dist.backend().view(view).unwrap(),
+            reference,
+            "{}: dist partitions of {view} diverged from the mirror",
+            case.name
+        );
+        assert_eq!(
+            &threaded.backend().view(view).unwrap(),
+            reference,
+            "{}: worker-owned blocks of {view} diverged from the mirror",
+            case.name
+        );
+    }
+
+    let workers = (case.grid.0 * case.grid.1) as u64;
+    assert_eq!(
+        local.comm().total_bytes(),
+        0,
+        "{}: local moved bytes",
+        case.name
+    );
+    let dc = dist.comm();
+    let tc = threaded.comm();
+    for (backend, comm) in [("dist", dc), ("threaded", tc)] {
+        assert!(
+            comm.broadcast_bytes > 0 && comm.broadcast_msgs > 0,
+            "{}: {backend} broadcast nothing",
+            case.name
+        );
+        assert_eq!(
+            comm.shuffle_bytes, 0,
+            "{}: {backend} shuffled on the incremental path",
+            case.name
+        );
+        assert_eq!(
+            comm.broadcast_msgs % workers,
+            0,
+            "{}: {backend} deliveries are not one-per-worker",
+            case.name
+        );
+    }
+    // Same trigger statements ⇒ same number of deliveries; real frames
+    // carry headers the analytical estimate does not.
+    assert_eq!(
+        tc.broadcast_msgs, dc.broadcast_msgs,
+        "{}: threaded and dist disagree on delivery count",
+        case.name
+    );
+    assert!(
+        tc.broadcast_bytes > dc.broadcast_bytes,
+        "{}: serialized frames ({} B) should exceed the estimate ({} B)",
+        case.name,
+        tc.broadcast_bytes,
+        dc.broadcast_bytes
+    );
+}
+
+#[test]
+fn every_app_is_bit_identical_across_all_backends() {
+    for case in cases() {
+        run_case(&case);
+    }
+}
+
+/// The app-level constructors too: `new_on` must give the same maintained
+/// results on the threaded backend as the default local path.
+#[test]
+fn app_constructors_run_on_the_threaded_backend() {
+    let n = 12;
+
+    let a = Matrix::random_spectral(n, 21, 0.8);
+    let mut local = IncrPowers::new(a.clone(), IterModel::Exponential, 4).unwrap();
+    let mut threaded = IncrPowers::new_on(
+        ThreadedBackend::new(4).unwrap(),
+        a,
+        IterModel::Exponential,
+        4,
+    )
+    .unwrap();
+    let mut s1 = UpdateStream::new(n, n, 0.01, 31);
+    let mut s2 = UpdateStream::new(n, n, 0.01, 31);
+    for _ in 0..5 {
+        local.apply(&s1.next_rank_one()).unwrap();
+        threaded.apply(&s2.next_rank_one()).unwrap();
+    }
+    assert_eq!(threaded.result(), local.result());
+
+    let a = Matrix::random_spectral(n, 22, 0.8);
+    let mut local = IncrSums::new(a.clone(), IterModel::Linear, 4).unwrap();
+    let mut threaded =
+        IncrSums::new_on(ThreadedBackend::new(4).unwrap(), a, IterModel::Linear, 4).unwrap();
+    let mut s1 = UpdateStream::new(n, n, 0.01, 32);
+    let mut s2 = UpdateStream::new(n, n, 0.01, 32);
+    for _ in 0..5 {
+        local.apply(&s1.next_rank_one()).unwrap();
+        threaded.apply(&s2.next_rank_one()).unwrap();
+    }
+    assert_eq!(threaded.result(), local.result());
+
+    let x = Matrix::random_diag_dominant(n, 23);
+    let y = Matrix::random_col(n, 24);
+    let mut local = IncrOls::new(x.clone(), y.clone()).unwrap();
+    let mut threaded = IncrOls::new_on(
+        ThreadedBackend::with_cluster(Cluster::with_grid(4, 1)),
+        x,
+        y,
+    )
+    .unwrap();
+    let mut s1 = UpdateStream::new(n, n, 0.001, 33);
+    let mut s2 = UpdateStream::new(n, n, 0.001, 33);
+    for _ in 0..5 {
+        local.apply(&s1.next_rank_one()).unwrap();
+        threaded.apply(&s2.next_rank_one()).unwrap();
+    }
+    assert_eq!(threaded.beta(), local.beta());
+}
+
+/// The reachability app (engine-backed, batched) on real worker threads:
+/// identical reachable sets and strictly fewer firings than mutations.
+#[test]
+fn reachability_index_runs_on_the_threaded_backend() {
+    use linview::runtime::FlushPolicy;
+    let n = 12;
+    let seed_edges: Vec<(usize, usize)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+    let mut local = Reachability::new_batched(n, &seed_edges, 4, 3).unwrap();
+    let mut threaded = Reachability::new_on_with_policy(
+        ThreadedBackend::new(4).unwrap(),
+        n,
+        &seed_edges,
+        4,
+        FlushPolicy::Count(3),
+    )
+    .unwrap();
+    let churn = [(1, 7), (0, 5), (2, 9), (4, 1), (7, 3), (5, 2), (3, 4)];
+    for &(s, d) in &churn {
+        local.add_edge(s, d).unwrap();
+        threaded.add_edge(s, d).unwrap();
+    }
+    local.flush().unwrap();
+    threaded.flush().unwrap();
+    for src in 0..n {
+        assert_eq!(
+            threaded.reachable_set(src).unwrap(),
+            local.reachable_set(src).unwrap(),
+            "reachable set from {src} diverged on the threaded backend"
+        );
+    }
+    assert!(threaded.firings() < churn.len() as u64);
+}

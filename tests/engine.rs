@@ -9,12 +9,24 @@
 //!    shared execution path), while metering broadcast-only traffic.
 //! 3. **Compaction soundness** — row compaction of arbitrary mixed
 //!    batches (row + dense updates) preserves the dense delta.
+//! 4. **Joint-flush exactness** — flush rounds that fire ONE joint trigger
+//!    (§4.4) match sequential per-input flushing *and* full re-evaluation
+//!    to 1e-9 across random policies and input mixes, while never firing
+//!    more triggers than the sequential path.
 
 use linview::prelude::*;
 use linview::runtime::{DistBackend, FlushPolicy, MaintenanceEngine};
 use proptest::prelude::*;
 // Explicit: the facade prelude also globs in `apps::general::Strategy`.
 use proptest::strategy::Strategy;
+
+fn policy_strategy() -> impl Strategy<Value = FlushPolicy> {
+    prop_oneof![
+        Just(FlushPolicy::Immediate),
+        (1usize..8).prop_map(FlushPolicy::Count),
+        (1usize..6).prop_map(FlushPolicy::Rank),
+    ]
+}
 
 /// Divisible by the 2×2 grid of the 4-worker cluster used below.
 const N: usize = 12;
@@ -113,6 +125,68 @@ proptest! {
         prop_assert!(comm.broadcast_bytes > 0, "no broadcast traffic metered");
         prop_assert_eq!(comm.shuffle_bytes, 0, "incremental path must never shuffle");
         prop_assert_eq!(local_engine.comm().total_bytes(), 0);
+    }
+
+    /// Property 4: a joint-flushing engine, a sequential-flushing engine,
+    /// and full re-evaluation agree to 1e-9 on every maintained view, for
+    /// random policies and event mixes — and joint flushing never fires
+    /// more triggers than sequential flushing.
+    #[test]
+    fn joint_flush_matches_sequential_and_reevaluation(
+        events in event_strategy(),
+        policy in policy_strategy(),
+    ) {
+        let (program, cat, a, b) = build_setup();
+        let mut reeval =
+            ReevalView::build(&program, &[("A", a.clone()), ("B", b.clone())], &cat).unwrap();
+        let mut joint = MaintenanceEngine::new(
+            IncrementalView::build(&program, &[("A", a.clone()), ("B", b.clone())], &cat)
+                .unwrap(),
+            policy,
+        );
+        let mut seq = MaintenanceEngine::new(
+            IncrementalView::build(&program, &[("A", a), ("B", b)], &cat).unwrap(),
+            policy,
+        );
+        seq.set_joint_flush(false);
+        for e in &events {
+            let upd = to_update(e);
+            reeval.apply(input_name(e), &upd).unwrap();
+            joint.ingest(input_name(e), upd.clone()).unwrap();
+            seq.ingest(input_name(e), upd).unwrap();
+        }
+        joint.flush_all().unwrap();
+        seq.flush_all().unwrap();
+        for view in ["A", "B", "C", "D"] {
+            let want = reeval.get(view).unwrap();
+            for (label, engine) in [("joint", &joint), ("sequential", &seq)] {
+                let got = engine.get(view).unwrap();
+                prop_assert!(
+                    got.approx_eq(want, 1e-9),
+                    "{view} diverged from re-evaluation by {:.2e} under {label} \
+                     flushing ({policy:?})",
+                    got.max_abs_diff(want)
+                );
+            }
+        }
+        prop_assert!(
+            joint.stats().firings <= seq.stats().firings,
+            "joint flushing fired more triggers ({}) than sequential ({})",
+            joint.stats().firings,
+            seq.stats().firings
+        );
+        prop_assert_eq!(
+            joint.stats().firings + joint.stats().triggers_saved,
+            seq.stats().firings,
+            "saved-firings accounting is inconsistent"
+        );
+        prop_assert_eq!(seq.stats().joint_rounds, 0);
+        prop_assert_eq!(
+            joint.stats().joint_rounds > 0,
+            joint.stats().triggers_saved > 0
+        );
+        prop_assert_eq!(joint.pending_total(), 0);
+        prop_assert_eq!(seq.pending_total(), 0);
     }
 
     /// Property 3: compact_rows preserves the dense delta for mixed

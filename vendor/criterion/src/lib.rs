@@ -3,14 +3,30 @@
 //! Compiles the workspace's `benches/*.rs` sources unchanged and runs each
 //! benchmark as a warm-up phase followed by individually timed iterations,
 //! printing the mean wall time per iteration **± the sample standard
-//! deviation** so regressions can be told apart from noise. There is no
-//! outlier rejection or HTML report — this exists so `cargo bench`
-//! produces comparable relative numbers and `cargo build --benches` keeps
-//! the bench sources compiling.
+//! deviation** so regressions can be told apart from noise.
+//!
+//! Two statistical niceties from real criterion are reproduced:
+//!
+//! * **Outlier rejection** — samples further than `3 · 1.4826 · MAD` from
+//!   the median (MAD = median absolute deviation; the scale factor makes
+//!   it a robust σ estimate) are dropped before the mean/stddev are
+//!   computed, so one scheduler hiccup cannot poison a 10-sample run.
+//! * **Baselines** — `cargo bench -- --save-baseline NAME` records each
+//!   benchmark's mean into `<workspace target>/criterion-baselines/NAME.tsv`
+//!   (override the directory with `CRITERION_BASELINE_DIR`), and
+//!   `cargo bench -- --baseline NAME` compares the current run against it,
+//!   printing the percent change and flagging `REGRESSION` when a bench
+//!   runs >10% slower — enough for CI to diff bench tables across commits.
+//!
+//! There is still no HTML report or bootstrap CI; this exists so
+//! `cargo bench` produces comparable, regression-flagging numbers and
+//! `cargo build --benches` keeps the bench sources compiling.
 
 #![warn(missing_docs)]
 
+use std::collections::BTreeMap;
 use std::fmt::Display;
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 /// Re-export of `std::hint::black_box` under criterion's name.
@@ -137,6 +153,50 @@ impl Bencher {
     }
 }
 
+/// Median of an already-sorted slice (0 for empty input).
+fn median_sorted(sorted: &[f64]) -> f64 {
+    let n = sorted.len();
+    if n == 0 {
+        0.0
+    } else if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+    }
+}
+
+/// Scale factor turning the median absolute deviation into a consistent
+/// estimate of σ for normally distributed samples.
+const MAD_TO_SIGMA: f64 = 1.4826;
+
+/// Drops samples further than `3 · 1.4826 · MAD` from the median — the
+/// robust analogue of a 3σ cut. Returns the surviving samples and the
+/// rejected count. Fewer than 4 samples (or a zero MAD, i.e. a majority of
+/// identical timings) disable rejection: there is no spread to judge
+/// against.
+fn reject_outliers(samples: &[Duration]) -> (Vec<Duration>, usize) {
+    if samples.len() < 4 {
+        return (samples.to_vec(), 0);
+    }
+    let mut secs: Vec<f64> = samples.iter().map(Duration::as_secs_f64).collect();
+    secs.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+    let med = median_sorted(&secs);
+    let mut devs: Vec<f64> = secs.iter().map(|s| (s - med).abs()).collect();
+    devs.sort_by(|a, b| a.partial_cmp(b).expect("deviations are finite"));
+    let mad = median_sorted(&devs);
+    if mad == 0.0 {
+        return (samples.to_vec(), 0);
+    }
+    let cutoff = 3.0 * MAD_TO_SIGMA * mad;
+    let kept: Vec<Duration> = samples
+        .iter()
+        .copied()
+        .filter(|s| (s.as_secs_f64() - med).abs() <= cutoff)
+        .collect();
+    let rejected = samples.len() - kept.len();
+    (kept, rejected)
+}
+
 /// Mean and sample standard deviation of the collected iteration times.
 fn mean_and_stddev(samples: &[Duration]) -> (Duration, Duration) {
     if samples.is_empty() {
@@ -156,11 +216,76 @@ fn mean_and_stddev(samples: &[Duration]) -> (Duration, Duration) {
     )
 }
 
+/// Serializes a baseline map as TSV lines (`bench-id <TAB> mean-seconds`).
+fn render_baseline(map: &BTreeMap<String, f64>) -> String {
+    let mut out = String::new();
+    for (id, secs) in map {
+        out.push_str(&format!("{id}\t{secs:e}\n"));
+    }
+    out
+}
+
+/// Parses the TSV produced by [`render_baseline`], ignoring malformed
+/// lines (a hand-edited or truncated file degrades to fewer comparisons,
+/// never to a crash).
+fn parse_baseline(text: &str) -> BTreeMap<String, f64> {
+    let mut map = BTreeMap::new();
+    for line in text.lines() {
+        if let Some((id, secs)) = line.split_once('\t') {
+            if let Ok(secs) = secs.trim().parse::<f64>() {
+                map.insert(id.to_string(), secs);
+            }
+        }
+    }
+    map
+}
+
+/// Directory holding saved baselines: `CRITERION_BASELINE_DIR` if set,
+/// else `criterion-baselines/` under the shared workspace target directory
+/// (`CARGO_TARGET_DIR`, or the in-tree default — *not* the bench binary's
+/// CWD, which cargo sets to the package root and would scatter `target/`
+/// dirs across the workspace).
+fn baseline_dir() -> PathBuf {
+    if let Some(dir) = std::env::var_os("CRITERION_BASELINE_DIR") {
+        return PathBuf::from(dir);
+    }
+    let target = std::env::var_os("CARGO_TARGET_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| {
+            // This stub is vendored at <workspace>/vendor/criterion.
+            PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+                .join("..")
+                .join("..")
+                .join("target")
+        });
+    target.join("criterion-baselines")
+}
+
+fn baseline_path(root: &std::path::Path, name: &str) -> PathBuf {
+    root.join(format!("{name}.tsv"))
+}
+
+/// A bench is flagged as a regression when it runs more than this much
+/// slower than its baseline.
+const REGRESSION_THRESHOLD_PCT: f64 = 10.0;
+
+/// Renders the comparison suffix against a saved baseline mean, flagging
+/// `REGRESSION` when the current mean is more than
+/// [`REGRESSION_THRESHOLD_PCT`] slower.
+fn baseline_note(mean_secs: f64, base_secs: f64, baseline_name: &str) -> String {
+    let change = (mean_secs - base_secs) / base_secs * 100.0;
+    let mut note = format!(", {change:+.1}% vs '{baseline_name}'");
+    if change > REGRESSION_THRESHOLD_PCT {
+        note.push_str(" REGRESSION");
+    }
+    note
+}
+
 /// A named group of related benchmarks.
 pub struct BenchmarkGroup<'a> {
     name: String,
     iters: u64,
-    _criterion: &'a mut Criterion,
+    criterion: &'a mut Criterion,
 }
 
 impl BenchmarkGroup<'_> {
@@ -204,10 +329,27 @@ impl BenchmarkGroup<'_> {
             samples: Vec::with_capacity(self.iters as usize),
         };
         f(&mut bencher);
-        let (mean, stddev) = mean_and_stddev(&bencher.samples);
+        let (kept, rejected) = reject_outliers(&bencher.samples);
+        let (mean, stddev) = mean_and_stddev(&kept);
+        let full_id = format!("{}/{}", self.name, id);
+        self.criterion
+            .recorded
+            .insert(full_id.clone(), mean.as_secs_f64());
+        let mut extra = String::new();
+        if rejected > 0 {
+            extra.push_str(&format!(", {rejected} outliers rejected"));
+        }
+        if let Some((name, base)) = self
+            .criterion
+            .baseline_name
+            .as_deref()
+            .and_then(|n| self.criterion.baseline.get(&full_id).map(|b| (n, *b)))
+        {
+            extra.push_str(&baseline_note(mean.as_secs_f64(), base, name));
+        }
         println!(
-            "{}/{:<32} {:>12.3?}/iter ± {:>9.3?} ({} iters + {} warmup)",
-            self.name, id, mean, stddev, bencher.iters, warmup_iters
+            "{}/{:<32} {:>12.3?}/iter ± {:>9.3?} ({} iters + {} warmup{})",
+            self.name, id, mean, stddev, bencher.iters, warmup_iters, extra
         );
     }
 
@@ -216,24 +358,93 @@ impl BenchmarkGroup<'_> {
 }
 
 /// Entry point mirroring criterion's `Criterion` manager.
+///
+/// `Criterion::default()` reads the bench binary's command line:
+/// `--save-baseline NAME` records this run's means on drop, and
+/// `--baseline NAME` compares against a previously saved run. Unknown
+/// flags (e.g. cargo's own `--bench`) are ignored.
 pub struct Criterion {
     default_iters: u64,
+    save_baseline: Option<String>,
+    baseline_name: Option<String>,
+    baseline: BTreeMap<String, f64>,
+    recorded: BTreeMap<String, f64>,
+    /// Where baseline TSVs live; injectable so tests never have to mutate
+    /// process-global environment variables.
+    baseline_root: PathBuf,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
-        Criterion { default_iters: 10 }
+        Criterion::from_args_with_root(std::env::args().skip(1), baseline_dir())
+    }
+}
+
+impl Drop for Criterion {
+    fn drop(&mut self) {
+        let Some(name) = self.save_baseline.clone() else {
+            return;
+        };
+        if self.recorded.is_empty() {
+            return;
+        }
+        // Merge with whatever is already on disk: each bench binary (and
+        // each group) contributes its own rows to the shared baseline.
+        let path = baseline_path(&self.baseline_root, &name);
+        let mut map = std::fs::read_to_string(&path)
+            .map(|text| parse_baseline(&text))
+            .unwrap_or_default();
+        map.extend(self.recorded.iter().map(|(k, v)| (k.clone(), *v)));
+        if std::fs::create_dir_all(&self.baseline_root).is_ok()
+            && std::fs::write(&path, render_baseline(&map)).is_ok()
+        {
+            println!(
+                "saved baseline '{name}' ({} benches) to {}",
+                map.len(),
+                path.display()
+            );
+        } else {
+            eprintln!("warning: could not write baseline '{name}'");
+        }
     }
 }
 
 impl Criterion {
+    /// Builds a manager from an explicit argument list and baseline
+    /// directory (testable core of [`Criterion::default`]).
+    fn from_args_with_root(args: impl Iterator<Item = String>, baseline_root: PathBuf) -> Self {
+        let mut save_baseline = None;
+        let mut baseline_name = None;
+        let mut args = args.peekable();
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--save-baseline" => save_baseline = args.next(),
+                "--baseline" => baseline_name = args.next(),
+                _ => {} // cargo's --bench, filters, etc.
+            }
+        }
+        let baseline = baseline_name
+            .as_deref()
+            .and_then(|name| std::fs::read_to_string(baseline_path(&baseline_root, name)).ok())
+            .map(|text| parse_baseline(&text))
+            .unwrap_or_default();
+        Criterion {
+            default_iters: 10,
+            save_baseline,
+            baseline_name,
+            baseline,
+            recorded: BTreeMap::new(),
+            baseline_root,
+        }
+    }
+
     /// Opens a named benchmark group.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
         let iters = self.default_iters;
         BenchmarkGroup {
             name: name.into(),
             iters,
-            _criterion: self,
+            criterion: self,
         }
     }
 
@@ -289,6 +500,109 @@ mod tests {
         assert_eq!(m, Duration::from_millis(20));
         // Sample stddev of {10, 30} ms is sqrt(200) ≈ 14.142 ms.
         assert!((s.as_secs_f64() - 0.0141421356).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mad_rejection_drops_scheduler_hiccups_only() {
+        let ms = Duration::from_millis;
+        // A tight cluster plus one 100x spike: the spike goes.
+        let samples = [ms(10), ms(11), ms(10), ms(12), ms(11), ms(1000)];
+        let (kept, rejected) = reject_outliers(&samples);
+        assert_eq!(rejected, 1);
+        assert_eq!(kept.len(), 5);
+        assert!(kept.iter().all(|s| *s < ms(100)));
+        // Uniform spread: nothing is an outlier.
+        let samples = [ms(10), ms(11), ms(12), ms(13), ms(14)];
+        let (kept, rejected) = reject_outliers(&samples);
+        assert_eq!((kept.len(), rejected), (5, 0));
+        // Majority-identical samples (MAD = 0) and tiny runs: untouched.
+        let samples = [ms(5), ms(5), ms(5), ms(900)];
+        assert_eq!(reject_outliers(&samples).1, 0);
+        assert_eq!(reject_outliers(&samples[..3]).1, 0);
+    }
+
+    #[test]
+    fn rejected_outliers_shrink_the_reported_stddev() {
+        let ms = Duration::from_millis;
+        let samples = [ms(10), ms(11), ms(10), ms(12), ms(11), ms(1000)];
+        let (_, raw_stddev) = mean_and_stddev(&samples);
+        let (kept, _) = reject_outliers(&samples);
+        let (mean, stddev) = mean_and_stddev(&kept);
+        assert!(stddev < raw_stddev / 10);
+        assert!(mean < ms(13));
+    }
+
+    #[test]
+    fn baseline_format_round_trips_and_tolerates_garbage() {
+        let mut map = BTreeMap::new();
+        map.insert("group/bench-a".to_string(), 1.25e-3);
+        map.insert("group/bench b/32".to_string(), 7.5e-9);
+        let text = render_baseline(&map);
+        assert_eq!(parse_baseline(&text), map);
+        let mangled = format!("not a line\n{text}trailing\tNaN-ish\tx\n");
+        assert_eq!(parse_baseline(&mangled), map);
+        assert!(parse_baseline("").is_empty());
+    }
+
+    /// A scratch baseline directory, injected directly (never via the
+    /// process environment — tests run in parallel in one process, and
+    /// mutating env vars races other threads' reads).
+    fn scratch_root(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!(
+            "linview-criterion-baseline-{tag}-{}",
+            std::process::id()
+        ))
+    }
+
+    fn criterion_with(args: &[&str], root: &std::path::Path) -> Criterion {
+        Criterion::from_args_with_root(args.iter().map(|s| s.to_string()), root.to_path_buf())
+    }
+
+    #[test]
+    fn args_select_save_and_compare_modes() {
+        let root = scratch_root("args");
+        let c = criterion_with(&["--bench", "--save-baseline", "main", "somefilter"], &root);
+        assert_eq!(c.save_baseline.as_deref(), Some("main"));
+        assert_eq!(c.baseline_name, None);
+        let c = criterion_with(&["--baseline", "main"], &root);
+        assert_eq!(c.baseline_name.as_deref(), Some("main"));
+        assert_eq!(c.save_baseline, None);
+        let c = criterion_with(&[], &root);
+        assert!(c.save_baseline.is_none() && c.baseline_name.is_none());
+    }
+
+    #[test]
+    fn baseline_note_flags_only_meaningful_slowdowns() {
+        assert_eq!(baseline_note(1.0, 1.0, "m"), ", +0.0% vs 'm'");
+        assert_eq!(baseline_note(1.05, 1.0, "m"), ", +5.0% vs 'm'");
+        assert_eq!(baseline_note(0.5, 1.0, "m"), ", -50.0% vs 'm'");
+        // Past the 10% threshold the regression marker appears.
+        assert_eq!(baseline_note(1.25, 1.0, "m"), ", +25.0% vs 'm' REGRESSION");
+        assert!(!baseline_note(1.09, 1.0, "m").contains("REGRESSION"));
+        assert!(baseline_note(1.11, 1.0, "m").ends_with("REGRESSION"));
+    }
+
+    #[test]
+    fn save_then_compare_round_trips_through_disk() {
+        let root = scratch_root("save");
+        {
+            let mut c = criterion_with(&["--save-baseline", "t"], &root);
+            c.recorded.insert("g/fast".into(), 1.0);
+            // Drop writes the file.
+        }
+        let loaded = parse_baseline(
+            &std::fs::read_to_string(baseline_path(&root, "t")).expect("baseline written"),
+        );
+        assert_eq!(loaded.get("g/fast"), Some(&1.0));
+        // A second save merges rather than clobbers.
+        {
+            let mut c = criterion_with(&["--save-baseline", "t"], &root);
+            c.recorded.insert("g/slow".into(), 2.0);
+        }
+        let c = criterion_with(&["--baseline", "t"], &root);
+        assert_eq!(c.baseline.len(), 2);
+        assert_eq!(c.baseline.get("g/slow"), Some(&2.0));
+        let _ = std::fs::remove_dir_all(&root);
     }
 
     #[test]
