@@ -4,7 +4,7 @@
 //! Since the `ExecBackend` refactor this module contains **no** trigger
 //! execution logic of its own: [`DistIncrView`] is a thin wrapper over the
 //! generic [`IncrementalView`] running on a
-//! [`DistBackend`](linview_runtime::DistBackend), so the exact same
+//! [`linview_runtime::DistBackend`], so the exact same
 //! statement interpreter fires triggers locally and on the cluster. The
 //! execution split still mirrors the paper's Spark backend — the
 //! coordinator evaluates the `O(kn)`-sized delta blocks against a dense

@@ -591,6 +591,101 @@ pub fn engine_batching(cfg: &Config) -> Table {
     t
 }
 
+/// Scheduler — DAG-staged trigger execution vs the sequential opt-out on
+/// all three backends: stage structure, overlapped broadcasts, and the
+/// wall-clock of one full update stream (`A⁸` powers, the widest shipped
+/// trigger). Staged and sequential views are asserted bit-identical, so
+/// the table measures pure scheduling effects.
+pub fn scheduler(cfg: &Config) -> Table {
+    use linview_runtime::ExecOptions;
+
+    // Past the runtime's parallel threshold, so stage evaluation actually
+    // fans out; divisible by the 2×2 grid of the 4-worker backends.
+    let n = 256;
+    let mut t = Table::new(
+        format!(
+            "Scheduler - DAG-staged vs sequential trigger execution (A^8, n = {n}, {} updates)",
+            cfg.updates
+        ),
+        &[
+            "backend",
+            "mode",
+            "stages/firing",
+            "stmts/firing",
+            "overlapped bcasts",
+            "refresh",
+        ],
+    );
+    let program = linview_compiler::parse::parse_program("B := A * A; C := B * B; D := C * C;")
+        .expect("program parses");
+    let mut cat = linview_expr::Catalog::new();
+    cat.declare("A", n, n);
+    let a = Matrix::random_spectral(n, 71, 0.8);
+    let inputs = [("A", a)];
+
+    fn run<B: ExecBackend>(
+        t: &mut Table,
+        mut view: IncrementalView<B>,
+        sequential: bool,
+        cfg: &Config,
+        n: usize,
+    ) -> Matrix {
+        view.set_exec_options(ExecOptions {
+            sequential,
+            ..ExecOptions::default()
+        });
+        let mut stream = UpdateStream::new(n, n, 0.01, 72);
+        // Untimed warmup so the first-measured mode does not absorb the
+        // process-wide cold start (page faults, frequency ramp).
+        for _ in 0..2 {
+            view.apply("A", &stream.next_rank_one()).expect("warmup");
+        }
+        view.reset_sched_stats();
+        view.backend_mut().reset_sched();
+        let time = avg_time(cfg.updates, || {
+            view.apply("A", &stream.next_rank_one()).expect("update")
+        });
+        let sched = view.sched_stats();
+        t.row(vec![
+            view.backend().name().into(),
+            if sequential { "sequential" } else { "staged" }.into(),
+            (sched.stages / sched.firings).to_string(),
+            (sched.stmts / sched.firings).to_string(),
+            view.backend().sched().overlapped.to_string(),
+            fmt_duration(time),
+        ]);
+        view.get("D").expect("D is maintained").clone()
+    }
+
+    for sequential in [false, true] {
+        let view = IncrementalView::build(&program, &inputs, &cat).expect("local builds");
+        let d_local = run(&mut t, view, sequential, cfg, n);
+        let backend = DistBackend::new(4).expect("square worker count");
+        let view =
+            IncrementalView::build_on(backend, &program, &inputs, &cat).expect("dist builds");
+        let d_dist = run(&mut t, view, sequential, cfg, n);
+        let backend = ThreadedBackend::new(4).expect("square worker count");
+        let view =
+            IncrementalView::build_on(backend, &program, &inputs, &cat).expect("threaded builds");
+        let d_threaded = run(&mut t, view, sequential, cfg, n);
+        assert_eq!(
+            d_local.max_abs_diff(&d_dist),
+            0.0,
+            "staged/sequential dist diverged from local"
+        );
+        assert_eq!(
+            d_local.max_abs_diff(&d_threaded),
+            0.0,
+            "staged/sequential threaded diverged from local"
+        );
+    }
+    t.note(
+        "stages < stmts is the scheduler's parallelism; overlapped bcasts count frames that \
+         left before the previous one was awaited — volume is identical in both modes",
+    );
+    t
+}
+
 /// Ablations — the design-choice studies DESIGN.md calls out, as printable
 /// tables (the Criterion versions live in `benches/ablation_*.rs`).
 pub fn ablations(cfg: &Config) -> Vec<Table> {
@@ -879,6 +974,7 @@ pub fn all(cfg: &Config) -> Vec<Table> {
         table3(cfg),
         table4(cfg),
         engine_batching(cfg),
+        scheduler(cfg),
     ]
 }
 
@@ -897,6 +993,7 @@ pub fn by_name(name: &str, cfg: &Config) -> Option<Vec<Table>> {
         "table3" => vec![table3(cfg)],
         "table4" => vec![table4(cfg)],
         "engine" => vec![engine_batching(cfg)],
+        "scheduler" => vec![scheduler(cfg)],
         "ablations" => ablations(cfg),
         "extensions" => extensions(cfg),
         "all" => {
@@ -918,7 +1015,15 @@ mod tests {
     #[test]
     fn every_experiment_runs_at_quick_scale() {
         let cfg = Config::quick();
-        for name in ["fig3a", "fig3c", "fig3g", "table2", "table4", "engine"] {
+        for name in [
+            "fig3a",
+            "fig3c",
+            "fig3g",
+            "table2",
+            "table4",
+            "engine",
+            "scheduler",
+        ] {
             let tables = by_name(name, &cfg).expect("known experiment");
             for t in tables {
                 assert!(!t.rows.is_empty(), "{name} produced no rows");

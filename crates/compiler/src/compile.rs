@@ -51,7 +51,11 @@ pub fn compile(
 
     let mut triggers = Vec::with_capacity(inputs.len());
     for input in inputs {
-        triggers.push(compile_trigger(program, input, &mut catalog, opts)?);
+        let trigger = compile_trigger(program, input, &mut catalog, opts)?;
+        // Validate the staged schedule at compile time: the runtime relies
+        // on every emitted trigger admitting a topological stage order.
+        trigger.dag()?;
+        triggers.push(trigger);
     }
     Ok(TriggerProgram { triggers, catalog })
 }
@@ -125,14 +129,16 @@ pub fn compile_joint(
 
     let mut stmts = compute;
     stmts.extend(updates);
+    let trigger = Trigger {
+        input: inputs.join("+"),
+        update_rank: opts.update_rank,
+        stmts,
+    };
+    trigger.dag()?; // compile-time schedule validation, as in `compile`
     Ok(JointTrigger {
         inputs: inputs.iter().map(|s| s.to_string()).collect(),
         update_rank: opts.update_rank,
-        trigger: Trigger {
-            input: inputs.join("+"),
-            update_rank: opts.update_rank,
-            stmts,
-        },
+        trigger,
         catalog,
     })
 }

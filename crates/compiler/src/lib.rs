@@ -23,6 +23,9 @@
 //! 3. **Incremental compilation** — [`compile::compile`] is Algorithm 1.
 //! 4. **Optimization** — [`optimizer`] runs copy propagation, common
 //!    subexpression elimination, and dead-code elimination over triggers.
+//!    [`schedule`] analyzes def-use dependencies between trigger
+//!    statements and exposes the topologically-staged parallel execution
+//!    plan ([`StmtDag`]) the runtime's staged interpreter consumes.
 //! 5. **Code generation** — [`codegen::octave`] emits executable Octave
 //!    source; [`codegen::plan`] emits an annotated textual plan. The
 //!    in-process backend lives in `linview-runtime`.
@@ -35,11 +38,13 @@ pub mod compile;
 pub mod optimizer;
 pub mod parse;
 mod program;
+pub mod schedule;
 mod trigger;
 
 pub use analysis::{analyze, AnalysisReport};
 pub use compile::{compile, compile_joint, CompileOptions, JointTrigger};
 pub use program::{Program, Statement};
+pub use schedule::{StmtDag, StmtEffects};
 pub use trigger::{Trigger, TriggerProgram, TriggerStmt};
 
 /// Crate-wide result alias (errors are symbolic-layer errors).

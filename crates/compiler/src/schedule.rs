@@ -1,0 +1,419 @@
+//! Statement dependency analysis and staged scheduling.
+//!
+//! A trigger body is a straight-line sequence of delta statements, but the
+//! program order is far stricter than the *data* order: per-view delta
+//! blocks read the same input factors and write disjoint variables, so most
+//! of a trigger is embarrassingly parallel. This module makes that latent
+//! parallelism explicit. [`StmtDag::analyze`] runs a def-use pass over the
+//! statements — reads and writes per [`TriggerStmt`], honoring the
+//! compute-phase-reads-pre-update-state contract and the in-place `+=`
+//! mutation of `ApplyDelta` — and emits a dependency DAG together with its
+//! topologically-sorted **parallel stages**: every statement in a stage is
+//! provably independent of every other statement in that stage, and a stage
+//! only starts once all of its predecessors' stages have finished.
+//!
+//! Three kinds of hazards induce edges (always from the earlier statement
+//! in program order to the later one):
+//!
+//! * **read-after-write** — a statement reads a block variable an earlier
+//!   statement defines (`U_C` reads `U_B`);
+//! * **write-after-read** — a statement mutates a view an earlier
+//!   statement reads pre-update (`A += dU_A dV_Aᵀ` must wait for every
+//!   `U_X := … A …`);
+//! * **write-after-write** — two statements write the same variable
+//!   (a trigger folding two deltas into one view keeps them ordered).
+//!
+//! Program order is therefore one valid linear extension of the DAG, which
+//! is what makes staged execution **bit-identical** to the sequential
+//! interpreter: every statement observes exactly the environment state it
+//! would have observed sequentially. The runtime consumes the stages in
+//! `linview_runtime::exec`; each backend decides how a stage's independent
+//! deltas are folded (threaded GEMMs, merged broadcast rounds, pipelined
+//! frames).
+
+use std::collections::BTreeSet;
+
+use linview_expr::ExprError;
+
+use crate::{Result, Trigger, TriggerStmt};
+
+/// The read and write sets of one trigger statement.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StmtEffects {
+    /// Variables the statement reads (pre-statement state).
+    pub reads: BTreeSet<String>,
+    /// Variables the statement defines or mutates.
+    pub writes: BTreeSet<String>,
+}
+
+impl StmtEffects {
+    /// The effect sets of `stmt`.
+    ///
+    /// `ApplyDelta` is a read-modify-write of its target (`X += U Vᵀ`), so
+    /// the target appears in both sets; `ShermanMorrison` reads the
+    /// materialized inverse it maintains but writes only its output
+    /// blocks (the inverse itself is updated by a later `ApplyDelta`).
+    pub fn of(stmt: &TriggerStmt) -> StmtEffects {
+        let mut fx = StmtEffects::default();
+        match stmt {
+            TriggerStmt::Assign { var, expr } => {
+                fx.reads.extend(expr.variables());
+                fx.writes.insert(var.clone());
+            }
+            TriggerStmt::ShermanMorrison {
+                inv_var,
+                p,
+                q,
+                out_u,
+                out_v,
+            } => {
+                fx.reads.extend(p.variables());
+                fx.reads.extend(q.variables());
+                fx.reads.insert(inv_var.clone());
+                fx.writes.insert(out_u.clone());
+                fx.writes.insert(out_v.clone());
+            }
+            TriggerStmt::ApplyDelta { target, u, v } => {
+                fx.reads.extend(u.variables());
+                fx.reads.extend(v.variables());
+                fx.reads.insert(target.clone());
+                fx.writes.insert(target.clone());
+            }
+        }
+        fx
+    }
+
+    fn conflicts_with(&self, later: &StmtEffects) -> bool {
+        // RAW: later reads what self writes.  WAR: later writes what self
+        // reads.  WAW: both write the same variable.
+        !self.writes.is_disjoint(&later.reads)
+            || !self.reads.is_disjoint(&later.writes)
+            || !self.writes.is_disjoint(&later.writes)
+    }
+}
+
+/// The dependency DAG of a trigger body, with its parallel stages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StmtDag {
+    effects: Vec<StmtEffects>,
+    /// `preds[i]` — statements that must complete before statement `i`.
+    preds: Vec<Vec<usize>>,
+    /// Topological levels: `stages[s]` holds the (program-ordered) indices
+    /// of the statements runnable in parallel once stage `s − 1` is done.
+    stages: Vec<Vec<usize>>,
+}
+
+impl StmtDag {
+    /// Builds the DAG for a statement sequence via def-use analysis.
+    ///
+    /// Hazard edges always point forward in program order, so analysis of a
+    /// well-formed trigger body cannot cycle; the error path exists because
+    /// the staging algorithm validates *any* predecessor relation (see
+    /// [`StmtDag::from_preds`]).
+    pub fn analyze(stmts: &[TriggerStmt]) -> Result<StmtDag> {
+        let effects: Vec<StmtEffects> = stmts.iter().map(StmtEffects::of).collect();
+        let mut preds: Vec<Vec<usize>> = vec![Vec::new(); stmts.len()];
+        for j in 0..effects.len() {
+            for i in 0..j {
+                if effects[i].conflicts_with(&effects[j]) {
+                    preds[j].push(i);
+                }
+            }
+        }
+        Self::from_preds(effects, preds)
+    }
+
+    /// Builds a DAG from explicit effect sets and predecessor lists,
+    /// computing the stage levels and rejecting cyclic inputs with
+    /// [`ExprError::ScheduleCycle`].
+    pub fn from_preds(effects: Vec<StmtEffects>, preds: Vec<Vec<usize>>) -> Result<StmtDag> {
+        assert_eq!(effects.len(), preds.len(), "one predecessor list per stmt");
+        let n = preds.len();
+        let mut level = vec![usize::MAX; n];
+        let mut placed = 0usize;
+        let mut stages: Vec<Vec<usize>> = Vec::new();
+        while placed < n {
+            let mut stage = Vec::new();
+            for (i, ps) in preds.iter().enumerate() {
+                if level[i] == usize::MAX && ps.iter().all(|&p| level[p] < stages.len()) {
+                    stage.push(i);
+                }
+            }
+            if stage.is_empty() {
+                let stuck: Vec<usize> = (0..n).filter(|&i| level[i] == usize::MAX).collect();
+                return Err(ExprError::ScheduleCycle { stmts: stuck });
+            }
+            for &i in &stage {
+                level[i] = stages.len();
+            }
+            placed += stage.len();
+            stages.push(stage);
+        }
+        Ok(StmtDag {
+            effects,
+            preds,
+            stages,
+        })
+    }
+
+    /// Number of statements in the scheduled body.
+    pub fn stmt_count(&self) -> usize {
+        self.effects.len()
+    }
+
+    /// The parallel stages, in execution order; every inner vector is
+    /// sorted by statement index (program order).
+    pub fn stages(&self) -> &[Vec<usize>] {
+        &self.stages
+    }
+
+    /// Number of stages (the critical-path length of the trigger body).
+    pub fn stage_count(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Widest stage — the peak number of provably independent statements.
+    pub fn max_stage_width(&self) -> usize {
+        self.stages.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Statements saved from the critical path: `stmt_count − stage_count`.
+    /// Zero exactly when the body is a pure dependency chain.
+    pub fn stmts_saved(&self) -> usize {
+        self.stmt_count() - self.stage_count()
+    }
+
+    /// True when every stage holds a single statement — the body is
+    /// chain-dependent and staged execution degenerates to sequential.
+    pub fn is_chain(&self) -> bool {
+        self.stage_count() == self.stmt_count()
+    }
+
+    /// The effect sets, one per statement.
+    pub fn effects(&self) -> &[StmtEffects] {
+        &self.effects
+    }
+
+    /// Direct predecessors of statement `i`.
+    pub fn preds(&self, i: usize) -> &[usize] {
+        &self.preds[i]
+    }
+
+    /// Renders the stage plan with the statements of `trigger`, e.g.
+    ///
+    /// ```text
+    /// -- 6 statements in 2 stages (max width 4) --
+    /// stage 1: [0] U_B := dU_A;  [1] V_B := ...
+    /// stage 2: [4] A += dU_A dV_A';  ...
+    /// ```
+    pub fn render(&self, trigger: &Trigger) -> String {
+        use std::fmt::Write as _;
+        let mut out = format!(
+            "-- {} statements in {} stages (max width {}) --\n",
+            self.stmt_count(),
+            self.stage_count(),
+            self.max_stage_width()
+        );
+        for (s, stage) in self.stages.iter().enumerate() {
+            let rendered: Vec<String> = stage
+                .iter()
+                .map(|&i| format!("[{i}] {}", trigger.stmts[i]))
+                .collect();
+            let _ = writeln!(out, "stage {}: {}", s + 1, rendered.join("  "));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{compile, CompileOptions, Program};
+    use linview_expr::{Catalog, Expr};
+
+    fn powers_trigger() -> Trigger {
+        let mut cat = Catalog::new();
+        cat.declare("A", 8, 8);
+        let mut p = Program::new();
+        p.assign("B", Expr::var("A") * Expr::var("A"));
+        p.assign("C", Expr::var("B") * Expr::var("B"));
+        compile(&p, &["A"], &cat, &CompileOptions::default())
+            .unwrap()
+            .triggers
+            .remove(0)
+    }
+
+    #[test]
+    fn effects_classify_reads_and_writes() {
+        let fx = StmtEffects::of(&TriggerStmt::Assign {
+            var: "U_B".into(),
+            expr: Expr::var("A") * Expr::var("dU_A"),
+        });
+        assert!(fx.reads.contains("A") && fx.reads.contains("dU_A"));
+        assert_eq!(fx.writes.len(), 1);
+
+        let fx = StmtEffects::of(&TriggerStmt::ApplyDelta {
+            target: "A".into(),
+            u: Expr::var("dU_A"),
+            v: Expr::var("dV_A"),
+        });
+        // += is a read-modify-write of the target.
+        assert!(fx.reads.contains("A") && fx.writes.contains("A"));
+
+        let fx = StmtEffects::of(&TriggerStmt::ShermanMorrison {
+            inv_var: "W".into(),
+            p: Expr::var("P_W"),
+            q: Expr::var("Q_W"),
+            out_u: "U_W".into(),
+            out_v: "V_W".into(),
+        });
+        assert!(fx.reads.contains("W") && fx.reads.contains("P_W"));
+        assert!(fx.writes.contains("U_W") && fx.writes.contains("V_W"));
+        assert!(!fx.writes.contains("W"), "S-M does not mutate the inverse");
+    }
+
+    #[test]
+    fn powers_trigger_stages_collapse_independent_blocks() {
+        // A^4: U_B, V_B are independent (stage 1); U_C, V_C read them
+        // (stage 2); A's += waits for every pre-update read of A, B's for
+        // U_C/V_C's reads of B, C's for its own blocks.
+        let t = powers_trigger();
+        let dag = t.dag().unwrap();
+        assert_eq!(dag.stmt_count(), t.stmts.len());
+        assert!(
+            dag.stage_count() < dag.stmt_count(),
+            "independent delta blocks must share stages: {}",
+            dag.render(&t)
+        );
+        assert!(dag.max_stage_width() >= 2);
+        assert_eq!(dag.stmts_saved(), dag.stmt_count() - dag.stage_count());
+        assert!(!dag.is_chain());
+        // Stage invariants: program order within a stage, every stage
+        // nonempty, every statement placed exactly once.
+        let mut seen = BTreeSet::new();
+        for stage in dag.stages() {
+            assert!(!stage.is_empty());
+            assert!(stage.windows(2).all(|w| w[0] < w[1]));
+            for &i in stage {
+                assert!(seen.insert(i), "statement {i} scheduled twice");
+            }
+        }
+        assert_eq!(seen.len(), dag.stmt_count());
+    }
+
+    #[test]
+    fn edges_respect_all_three_hazards() {
+        let t = powers_trigger();
+        let dag = t.dag().unwrap();
+        let stage_of = |i: usize| {
+            dag.stages()
+                .iter()
+                .position(|s| s.contains(&i))
+                .expect("scheduled")
+        };
+        for j in 0..dag.stmt_count() {
+            for &i in dag.preds(j) {
+                assert!(i < j, "hazard edges point forward");
+                assert!(
+                    stage_of(i) < stage_of(j),
+                    "edge {i}->{j} not honored by stages"
+                );
+            }
+        }
+        // The A += delta must come after every compute statement that
+        // reads A pre-update.
+        let a_update = t
+            .stmts
+            .iter()
+            .position(|s| matches!(s, TriggerStmt::ApplyDelta { target, .. } if target == "A"))
+            .unwrap();
+        for (i, s) in t.stmts.iter().enumerate() {
+            if let TriggerStmt::Assign { expr, .. } = s {
+                if expr.references("A") {
+                    assert!(stage_of(i) < stage_of(a_update), "WAR hazard on A violated");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chain_dependent_bodies_stage_one_per_statement() {
+        // x := dU_A; y := x A; z := y A — a pure RAW chain.
+        let t = Trigger {
+            input: "A".into(),
+            update_rank: 1,
+            stmts: vec![
+                TriggerStmt::Assign {
+                    var: "x".into(),
+                    expr: Expr::var("dU_A"),
+                },
+                TriggerStmt::Assign {
+                    var: "y".into(),
+                    expr: Expr::var("x") * Expr::var("A"),
+                },
+                TriggerStmt::Assign {
+                    var: "z".into(),
+                    expr: Expr::var("y") * Expr::var("A"),
+                },
+            ],
+        };
+        let dag = t.dag().unwrap();
+        assert!(dag.is_chain());
+        assert_eq!(dag.stage_count(), 3);
+        assert_eq!(dag.stmts_saved(), 0);
+    }
+
+    #[test]
+    fn waw_keeps_repeated_view_updates_ordered() {
+        // Two += into the same view must never share a stage.
+        let t = Trigger {
+            input: "A".into(),
+            update_rank: 1,
+            stmts: vec![
+                TriggerStmt::ApplyDelta {
+                    target: "V".into(),
+                    u: Expr::var("u1"),
+                    v: Expr::var("v1"),
+                },
+                TriggerStmt::ApplyDelta {
+                    target: "V".into(),
+                    u: Expr::var("u2"),
+                    v: Expr::var("v2"),
+                },
+            ],
+        };
+        let dag = t.dag().unwrap();
+        assert_eq!(dag.stage_count(), 2);
+        assert_eq!(dag.preds(1), &[0]);
+    }
+
+    #[test]
+    fn cyclic_predecessors_are_a_compile_error() {
+        let fx = vec![StmtEffects::default(), StmtEffects::default()];
+        let err = StmtDag::from_preds(fx, vec![vec![1], vec![0]]).unwrap_err();
+        assert!(matches!(
+            err,
+            ExprError::ScheduleCycle { ref stmts } if stmts == &[0, 1]
+        ));
+        assert!(err.to_string().contains("cyclic"));
+    }
+
+    #[test]
+    fn empty_body_schedules_to_zero_stages() {
+        let dag = StmtDag::analyze(&[]).unwrap();
+        assert_eq!(dag.stage_count(), 0);
+        assert_eq!(dag.max_stage_width(), 0);
+        assert!(dag.is_chain());
+    }
+
+    #[test]
+    fn render_lists_every_stage() {
+        let t = powers_trigger();
+        let dag = t.dag().unwrap();
+        let text = dag.render(&t);
+        assert!(text.contains("statements in"));
+        for s in 1..=dag.stage_count() {
+            assert!(text.contains(&format!("stage {s}:")), "{text}");
+        }
+    }
+}

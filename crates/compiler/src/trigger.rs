@@ -3,6 +3,7 @@
 use linview_expr::cost::CostModel;
 use linview_expr::{Catalog, Expr};
 
+use crate::schedule::StmtDag;
 use crate::Result;
 
 /// One statement of a trigger body.
@@ -95,35 +96,57 @@ impl Trigger {
             .filter(|s| matches!(s, TriggerStmt::ApplyDelta { .. }))
     }
 
-    /// The `(U, V)` block-variable pairs whose product forms a view delta.
+    /// The `(U, V)` block-variable pairs whose product forms a view delta,
+    /// deduplicated in first-occurrence order.
     ///
     /// Only pairs where both factors are plain variables qualify (those are
     /// the blocks the compute phase binds and later statements reference);
     /// this is what the runtime's optional numerical recompression pass
-    /// rewrites in place.
+    /// rewrites in place. A trigger folding the same block pair into a
+    /// view twice still names the pair once — the recompression pass and
+    /// DAG node identity both key on the pair, not on the update count.
     pub fn delta_pairs(&self) -> Vec<(&str, &str)> {
-        self.stmts
-            .iter()
-            .filter_map(|s| match s {
-                TriggerStmt::ApplyDelta {
-                    u: Expr::Var(u),
-                    v: Expr::Var(v),
-                    ..
-                } => Some((u.as_str(), v.as_str())),
-                _ => None,
-            })
-            .collect()
+        let mut out: Vec<(&str, &str)> = Vec::new();
+        for s in &self.stmts {
+            if let TriggerStmt::ApplyDelta {
+                u: Expr::Var(u),
+                v: Expr::Var(v),
+                ..
+            } = s
+            {
+                let pair = (u.as_str(), v.as_str());
+                if !out.contains(&pair) {
+                    out.push(pair);
+                }
+            }
+        }
+        out
     }
 
-    /// Names of all views this trigger maintains (targets of `ApplyDelta`).
+    /// Names of all views this trigger maintains (targets of `ApplyDelta`),
+    /// deduplicated in first-occurrence order — a trigger that updates one
+    /// view twice maintains it once, and everything keyed on view identity
+    /// (DAG nodes, engine statistics, partitioned-view install sets) relies
+    /// on the list being exact.
     pub fn maintained_views(&self) -> Vec<&str> {
-        self.stmts
-            .iter()
-            .filter_map(|s| match s {
-                TriggerStmt::ApplyDelta { target, .. } => Some(target.as_str()),
-                _ => None,
-            })
-            .collect()
+        let mut out: Vec<&str> = Vec::new();
+        for s in &self.stmts {
+            if let TriggerStmt::ApplyDelta { target, .. } = s {
+                if !out.contains(&target.as_str()) {
+                    out.push(target.as_str());
+                }
+            }
+        }
+        out
+    }
+
+    /// The statement dependency DAG of this trigger body, with its
+    /// topologically-sorted parallel stages (see [`crate::schedule`]).
+    /// Cyclic dependencies — impossible for Algorithm 1 output — are a
+    /// compile error, and [`compile()`](crate::compile()) validates every
+    /// trigger it emits through this same call.
+    pub fn dag(&self) -> Result<StmtDag> {
+        StmtDag::analyze(&self.stmts)
     }
 
     /// Modeled FLOP cost of one firing of this trigger.
@@ -192,6 +215,12 @@ impl TriggerProgram {
         }
         Ok(total)
     }
+
+    /// The staged schedule of every trigger, in declaration order — the
+    /// program-wide view of [`Trigger::dag`].
+    pub fn dags(&self) -> Result<Vec<StmtDag>> {
+        self.triggers.iter().map(Trigger::dag).collect()
+    }
 }
 
 impl std::fmt::Display for TriggerProgram {
@@ -245,6 +274,37 @@ mod tests {
         assert!(s.starts_with("ON UPDATE A BY (dU_A, dV_A):"));
         assert!(s.contains("U_B := dU_A;"));
         assert!(s.contains("B += U_B V_B';"));
+    }
+
+    #[test]
+    fn repeated_view_updates_are_reported_once() {
+        // A trigger folding two deltas into the same view maintains ONE
+        // view; the update count is a statement property, not a view set.
+        let t = Trigger {
+            input: "A".into(),
+            update_rank: 1,
+            stmts: vec![
+                TriggerStmt::ApplyDelta {
+                    target: "B".into(),
+                    u: Expr::var("U_B"),
+                    v: Expr::var("V_B"),
+                },
+                TriggerStmt::ApplyDelta {
+                    target: "A".into(),
+                    u: Expr::var("dU_A"),
+                    v: Expr::var("dV_A"),
+                },
+                TriggerStmt::ApplyDelta {
+                    target: "B".into(),
+                    u: Expr::var("U_B"),
+                    v: Expr::var("V_B"),
+                },
+            ],
+        };
+        assert_eq!(t.maintained_views(), vec!["B", "A"]);
+        assert_eq!(t.delta_pairs(), vec![("U_B", "V_B"), ("dU_A", "dV_A")]);
+        // The DAG still keeps both B updates as ordered nodes.
+        assert_eq!(t.dag().unwrap().stage_count(), 2);
     }
 
     #[test]

@@ -29,6 +29,15 @@ pub enum ExprError {
     },
     /// An empty horizontal stack.
     EmptyStack,
+    /// The statement dependency graph of a trigger body is cyclic, so no
+    /// staged execution order exists. Algorithm 1 only emits forward
+    /// def-use chains, so this can surface only for hand-built or
+    /// corrupted trigger bodies — it is a compile-time validation error,
+    /// never a runtime condition.
+    ScheduleCycle {
+        /// 0-based indices of the statements left unschedulable.
+        stmts: Vec<usize>,
+    },
 }
 
 impl fmt::Display for ExprError {
@@ -52,6 +61,10 @@ impl fmt::Display for ExprError {
                 "delta of inverse '{expr}' requires a Sherman-Morrison runtime statement"
             ),
             ExprError::EmptyStack => write!(f, "empty block stack"),
+            ExprError::ScheduleCycle { stmts } => write!(
+                f,
+                "cyclic statement dependencies: no stage order for statements {stmts:?}"
+            ),
         }
     }
 }

@@ -27,7 +27,25 @@ use linview_dist::{
 };
 use linview_matrix::Matrix;
 
+use crate::exec::{FiringReport, StageDelta};
 use crate::{Env, Evaluator, ExecOptions, Result, RuntimeError};
+
+/// Scheduling telemetry a backend accumulates while executing stages.
+///
+/// Only the *distribution* backends keep counters (the stage structure
+/// itself is reported per firing through
+/// [`FiringReport`](crate::FiringReport)); `overlapped` is the
+/// acceptance metric for coordinator-side pipelining — broadcasts that
+/// left the coordinator while an earlier broadcast of the same stage was
+/// still in flight.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SchedSnapshot {
+    /// `apply_stage` rounds that folded ≥ 2 independent deltas at once.
+    pub merged_rounds: u64,
+    /// Deltas whose broadcast (or GEMM) overlapped an earlier one in the
+    /// same stage: `Σ max(stage deltas − 1, 0)`.
+    pub overlapped: u64,
+}
 
 /// Where (and how) compiled triggers execute.
 ///
@@ -44,12 +62,26 @@ pub trait ExecBackend: std::fmt::Debug {
     /// state it needs (e.g. partition every view across the cluster).
     fn materialize(&mut self, env: &Env) -> Result<()>;
 
-    /// Folds the factored delta `ΔX = U Vᵀ` into view `target` — the only
-    /// backend-specific step of trigger execution.
+    /// Folds the factored delta `ΔX = U Vᵀ` into view `target` — the
+    /// single-delta backend-specific step of trigger execution.
     fn apply_delta(&mut self, env: &mut Env, target: &str, u: &Matrix, v: &Matrix) -> Result<()>;
 
+    /// Folds one **stage** of provably independent deltas (pairwise
+    /// distinct targets, guaranteed by the compile-time DAG). The default
+    /// applies them one at a time in statement order; backends override to
+    /// exploit the independence — threaded GEMMs into disjoint slots,
+    /// merged broadcast rounds, pipelined frames. Every override must stay
+    /// bit-identical to the sequential fold.
+    fn apply_stage(&mut self, env: &mut Env, deltas: &[StageDelta]) -> Result<()> {
+        for d in deltas {
+            self.apply_delta(env, &d.target, &d.u, &d.v)?;
+        }
+        Ok(())
+    }
+
     /// Fires `trigger` for the factored input update `ΔX = du · dvᵀ`
-    /// through the shared statement interpreter.
+    /// through the shared (staged) statement interpreter, reporting the
+    /// stage structure the firing executed.
     fn fire_trigger(
         &mut self,
         env: &mut Env,
@@ -58,7 +90,7 @@ pub trait ExecBackend: std::fmt::Debug {
         du: &Matrix,
         dv: &Matrix,
         opts: &ExecOptions,
-    ) -> Result<()> {
+    ) -> Result<FiringReport> {
         crate::exec::fire_trigger_on(self, env, evaluator, trigger, du, dv, opts)
     }
 
@@ -71,8 +103,19 @@ pub trait ExecBackend: std::fmt::Debug {
         joint: &JointTrigger,
         updates: &[(&str, &Matrix, &Matrix)],
         opts: &ExecOptions,
-    ) -> Result<()> {
+    ) -> Result<FiringReport> {
         crate::exec::fire_joint_trigger_on(self, env, evaluator, joint, updates, opts)
+    }
+
+    /// Cumulative stage-scheduling counters (merged rounds, overlapped
+    /// broadcasts). Zero for backends that keep none.
+    fn sched(&self) -> SchedSnapshot {
+        SchedSnapshot::default()
+    }
+
+    /// Zeroes the scheduling counters, returning the prior snapshot.
+    fn reset_sched(&mut self) -> SchedSnapshot {
+        SchedSnapshot::default()
     }
 
     /// Bytes the backend holds *beyond* the coordinator environment
@@ -112,6 +155,46 @@ impl ExecBackend for LocalBackend {
         env.get_mut(target)?.add_assign_from(&delta)?;
         Ok(())
     }
+
+    /// A multi-delta stage folds every rank-k GEMM concurrently: the
+    /// targets are pairwise distinct, so [`Env::get_many_mut`] hands one
+    /// worker thread exclusive access to each view. Disjoint memory means
+    /// the result is bit-identical to the sequential fold regardless of
+    /// scheduling. Small stages (every target under the parallel
+    /// threshold) fold inline — spawn overhead would dominate.
+    fn apply_stage(&mut self, env: &mut Env, deltas: &[StageDelta]) -> Result<()> {
+        let heavy = crate::exec::multi_core()
+            && deltas.iter().any(|d| {
+                env.get(&d.target)
+                    .is_ok_and(|m| m.len() >= crate::exec::PARALLEL_MIN_ELEMS)
+            });
+        if deltas.len() < 2 || !heavy {
+            for d in deltas {
+                self.apply_delta(env, &d.target, &d.u, &d.v)?;
+            }
+            return Ok(());
+        }
+        let names: Vec<&str> = deltas.iter().map(|d| d.target.as_str()).collect();
+        let slots = env.get_many_mut(&names)?;
+        let results: Vec<Result<()>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = slots
+                .into_iter()
+                .zip(deltas)
+                .map(|(slot, d)| {
+                    scope.spawn(move || -> Result<()> {
+                        let delta = d.u.try_matmul(&d.v.transpose())?;
+                        slot.add_assign_from(&delta)?;
+                        Ok(())
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("stage delta thread panicked"))
+                .collect()
+        });
+        results.into_iter().collect()
+    }
 }
 
 /// Distributed execution over the simulated cluster (§6).
@@ -126,16 +209,16 @@ impl ExecBackend for LocalBackend {
 pub struct DistBackend {
     cluster: Cluster,
     views: BTreeMap<String, DistMatrix>,
+    sched: SchedSnapshot,
 }
 
 impl DistBackend {
     /// A backend over a square grid of `workers` (must be a perfect
     /// square; every partitioned dimension must divide the grid side).
     pub fn new(workers: usize) -> Result<Self> {
-        Ok(DistBackend {
-            cluster: Cluster::try_new(workers).map_err(RuntimeError::Matrix)?,
-            views: BTreeMap::new(),
-        })
+        Ok(Self::with_cluster(
+            Cluster::try_new(workers).map_err(RuntimeError::Matrix)?,
+        ))
     }
 
     /// A backend over an existing (possibly rectangular) cluster.
@@ -143,6 +226,7 @@ impl DistBackend {
         DistBackend {
             cluster,
             views: BTreeMap::new(),
+            sched: SchedSnapshot::default(),
         }
     }
 
@@ -198,6 +282,29 @@ impl ExecBackend for DistBackend {
         Ok(())
     }
 
+    /// A stage is **one merged broadcast round**: every factor pair of the
+    /// stage is metered as part of the same round (same bytes and message
+    /// counts as sequential — the merge buys latency, not volume), and the
+    /// simulated workers fold the deltas in statement order so partitions
+    /// stay bit-identical to the sequential path. Only rank-positive
+    /// deltas that actually applied count toward the round — mirroring
+    /// what [`ThreadedBackend`] counts as sent frames, so the two
+    /// backends' [`SchedSnapshot`]s stay comparable.
+    fn apply_stage(&mut self, env: &mut Env, deltas: &[StageDelta]) -> Result<()> {
+        let mut sent = 0u64;
+        for d in deltas {
+            self.apply_delta(env, &d.target, &d.u, &d.v)?;
+            if d.u.cols() > 0 {
+                sent += 1;
+            }
+        }
+        if sent >= 2 {
+            self.sched.merged_rounds += 1;
+            self.sched.overlapped += sent - 1;
+        }
+        Ok(())
+    }
+
     fn extra_memory_bytes(&self) -> usize {
         self.views
             .values()
@@ -211,6 +318,14 @@ impl ExecBackend for DistBackend {
 
     fn reset_comm(&self) -> CommSnapshot {
         self.cluster.comm().reset()
+    }
+
+    fn sched(&self) -> SchedSnapshot {
+        self.sched
+    }
+
+    fn reset_sched(&mut self) -> SchedSnapshot {
+        std::mem::take(&mut self.sched)
     }
 }
 
@@ -236,6 +351,7 @@ pub struct ThreadedBackend {
     /// Coordinator-side shapes of the partitioned views, for validation
     /// and gather-side assembly.
     shapes: BTreeMap<String, (usize, usize)>,
+    sched: SchedSnapshot,
 }
 
 fn transport_err(e: TransportError) -> RuntimeError {
@@ -259,6 +375,7 @@ impl ThreadedBackend {
             cluster,
             pool,
             shapes: BTreeMap::new(),
+            sched: SchedSnapshot::default(),
         }
     }
 
@@ -350,6 +467,77 @@ impl ExecBackend for ThreadedBackend {
         Ok(())
     }
 
+    /// Pipelines a stage's factor broadcasts through the transport: every
+    /// frame of the stage is serialized and sent — to all workers — before
+    /// any coordinator-mirror fold, so independent broadcasts overlap on
+    /// the wire while the workers drain their FIFO channels. The per-frame
+    /// byte metering is identical to the sequential path (same frames, same
+    /// order per worker); the stage barrier is the workers' channel order,
+    /// exactly as for single-delta applies.
+    fn apply_stage(&mut self, env: &mut Env, deltas: &[StageDelta]) -> Result<()> {
+        if deltas.len() < 2 {
+            for d in deltas {
+                self.apply_delta(env, &d.target, &d.u, &d.v)?;
+            }
+            return Ok(());
+        }
+        // Validate the whole stage up front: a shape error after a partial
+        // send would leave worker state ahead of the coordinator mirror.
+        for d in deltas {
+            let &(rows, cols) = self
+                .shapes
+                .get(&d.target)
+                .ok_or_else(|| RuntimeError::Unbound(format!("partitioned view '{}'", d.target)))?;
+            env.get(&d.target)?;
+            if d.u.rows() != rows || d.v.rows() != cols || d.u.cols() != d.v.cols() {
+                return Err(RuntimeError::UpdateShape {
+                    target: (rows, cols),
+                    update: (d.u.shape(), d.v.shape()),
+                });
+            }
+        }
+        // Mirror fold for one delta; shapes were validated above, so this
+        // cannot fail and leave mirror and workers out of step.
+        fn fold_mirror(env: &mut Env, d: &StageDelta) -> Result<()> {
+            let delta = d.u.try_matmul(&d.v.transpose())?;
+            env.get_mut(&d.target)?.add_assign_from(&delta)?;
+            Ok(())
+        }
+        let mut sent = 0usize;
+        let mut send_err = None;
+        for d in deltas.iter().filter(|d| d.u.cols() > 0) {
+            match self.pool.broadcast_delta(&d.target, &d.u, &d.v) {
+                Ok(frame_len) => {
+                    for _ in 0..self.pool.workers() {
+                        self.cluster.comm().record_broadcast(frame_len);
+                    }
+                    sent += 1;
+                }
+                Err(e) => {
+                    // A dead worker mid-stage: stop sending, but still
+                    // fold the mirror for every frame already delivered so
+                    // coordinator state never trails the surviving
+                    // workers'.
+                    send_err = Some(transport_err(e));
+                    break;
+                }
+            }
+        }
+        if sent >= 2 {
+            self.sched.merged_rounds += 1;
+            self.sched.overlapped += (sent - 1) as u64;
+        }
+        // Every frame is in flight; fold the coordinator mirror while the
+        // workers apply their own copies.
+        for d in deltas.iter().filter(|d| d.u.cols() > 0).take(sent) {
+            fold_mirror(env, d)?;
+        }
+        match send_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
     fn extra_memory_bytes(&self) -> usize {
         self.shapes
             .values()
@@ -363,6 +551,14 @@ impl ExecBackend for ThreadedBackend {
 
     fn reset_comm(&self) -> CommSnapshot {
         self.cluster.comm().reset()
+    }
+
+    fn sched(&self) -> SchedSnapshot {
+        self.sched
+    }
+
+    fn reset_sched(&mut self) -> SchedSnapshot {
+        std::mem::take(&mut self.sched)
     }
 }
 
@@ -470,6 +666,210 @@ mod tests {
         backend.materialize(&env).unwrap();
         assert_eq!(&backend.view("A").unwrap(), env.get("A").unwrap());
         assert_eq!(backend.partitioned_views().count(), 1);
+    }
+
+    fn stage(deltas: &[(&str, u64, u64)]) -> Vec<StageDelta> {
+        deltas
+            .iter()
+            .map(|&(t, su, sv)| StageDelta {
+                target: t.to_string(),
+                u: Matrix::random_col(8, su),
+                v: Matrix::random_col(8, sv),
+            })
+            .collect()
+    }
+
+    fn two_view_env() -> Env {
+        let mut env = Env::new();
+        env.bind("A", Matrix::random_uniform(8, 8, 1));
+        env.bind("B", Matrix::random_uniform(8, 8, 2));
+        env
+    }
+
+    #[test]
+    fn local_apply_stage_matches_sequential_fold_bitwise() {
+        // Small views take the inline path; 200×200 views cross the
+        // parallel threshold and fold on worker threads. Both must be
+        // bit-identical to the sequential fold.
+        for n in [8usize, 200] {
+            let build = || {
+                let mut env = Env::new();
+                env.bind("A", Matrix::random_uniform(n, n, 1));
+                env.bind("B", Matrix::random_uniform(n, n, 2));
+                env
+            };
+            let deltas: Vec<StageDelta> = [("A", 3u64, 4u64), ("B", 5, 6)]
+                .iter()
+                .map(|&(t, su, sv)| StageDelta {
+                    target: t.to_string(),
+                    u: Matrix::random_col(n, su),
+                    v: Matrix::random_col(n, sv),
+                })
+                .collect();
+            let mut staged = build();
+            LocalBackend.apply_stage(&mut staged, &deltas).unwrap();
+            let mut seq = build();
+            for d in &deltas {
+                LocalBackend
+                    .apply_delta(&mut seq, &d.target, &d.u, &d.v)
+                    .unwrap();
+            }
+            assert_eq!(staged.get("A").unwrap(), seq.get("A").unwrap(), "n={n}");
+            assert_eq!(staged.get("B").unwrap(), seq.get("B").unwrap(), "n={n}");
+            // Error path. The threaded (heavy) fold pre-validates every
+            // slot, so an unknown target aborts before touching anything;
+            // the inline fold keeps the usual sequential partial-failure
+            // semantics (deltas before the failing one are applied).
+            let mut bad = deltas.clone();
+            bad[1].target = "Z".into();
+            let before = staged.get("A").unwrap().clone();
+            assert!(LocalBackend.apply_stage(&mut staged, &bad).is_err());
+            if n >= 200 && crate::exec::multi_core() {
+                assert_eq!(staged.get("A").unwrap(), &before);
+            } else {
+                let mut expect = before.clone();
+                expect
+                    .add_assign_from(&bad[0].u.try_matmul(&bad[0].v.transpose()).unwrap())
+                    .unwrap();
+                assert_eq!(staged.get("A").unwrap(), &expect);
+            }
+        }
+    }
+
+    #[test]
+    fn dist_apply_stage_meters_one_merged_round() {
+        let mut env = two_view_env();
+        let mut backend = DistBackend::new(4).unwrap();
+        backend.materialize(&env).unwrap();
+        backend.reset_comm();
+        assert_eq!(backend.sched(), SchedSnapshot::default());
+
+        let deltas = stage(&[("A", 3, 4), ("B", 5, 6)]);
+        backend.apply_stage(&mut env, &deltas).unwrap();
+        let sched = backend.sched();
+        assert_eq!(sched.merged_rounds, 1);
+        assert_eq!(sched.overlapped, 1);
+        // Volume is unchanged vs two sequential applies on a fresh twin.
+        let staged_comm = backend.reset_comm();
+        let mut twin_env = two_view_env();
+        let mut twin = DistBackend::new(4).unwrap();
+        twin.materialize(&twin_env).unwrap();
+        twin.reset_comm();
+        for d in &deltas {
+            twin.apply_delta(&mut twin_env, &d.target, &d.u, &d.v)
+                .unwrap();
+        }
+        assert_eq!(staged_comm, twin.comm());
+        assert_eq!(twin.sched(), SchedSnapshot::default());
+        // Partitions and mirror agree after the merged round.
+        assert_eq!(&backend.view("A").unwrap(), env.get("A").unwrap());
+        // Single-delta stages are not merged rounds.
+        backend
+            .apply_stage(&mut env, &stage(&[("A", 9, 10)]))
+            .unwrap();
+        assert_eq!(backend.sched().merged_rounds, 1);
+        assert_eq!(backend.reset_sched().overlapped, 1);
+        assert_eq!(backend.sched(), SchedSnapshot::default());
+    }
+
+    #[test]
+    fn dist_and_threaded_sched_counters_agree_on_rank_zero_stages() {
+        // Rank-0 members of a stage move nothing on either backend, so
+        // neither may count them toward merged rounds / overlap — the
+        // conformance suite asserts the two snapshots are equal.
+        let rank0 = |t: &str| StageDelta {
+            target: t.to_string(),
+            u: Matrix::zeros(8, 0),
+            v: Matrix::zeros(8, 0),
+        };
+        let mut denv = two_view_env();
+        let mut dist = DistBackend::new(4).unwrap();
+        dist.materialize(&denv).unwrap();
+        let mut tenv = two_view_env();
+        let mut threaded = ThreadedBackend::new(4).unwrap();
+        threaded.materialize(&tenv).unwrap();
+
+        // One real delta + one cancelled one: a single frame moves — no
+        // overlap on either backend.
+        let mut mixed = stage(&[("A", 3, 4)]);
+        mixed.push(rank0("B"));
+        dist.apply_stage(&mut denv, &mixed).unwrap();
+        threaded.apply_stage(&mut tenv, &mixed).unwrap();
+        assert_eq!(dist.sched(), SchedSnapshot::default());
+        assert_eq!(dist.sched(), threaded.sched());
+
+        // Entirely cancelled stage: still nothing.
+        dist.apply_stage(&mut denv, &[rank0("A"), rank0("B")])
+            .unwrap();
+        threaded
+            .apply_stage(&mut tenv, &[rank0("A"), rank0("B")])
+            .unwrap();
+        assert_eq!(dist.sched(), threaded.sched());
+        assert_eq!(dist.sched().merged_rounds, 0);
+
+        // Two live deltas: one merged round, one overlap, on both.
+        let live = stage(&[("A", 5, 6), ("B", 7, 8)]);
+        dist.apply_stage(&mut denv, &live).unwrap();
+        threaded.apply_stage(&mut tenv, &live).unwrap();
+        assert_eq!(dist.sched(), threaded.sched());
+        assert_eq!(
+            dist.sched(),
+            SchedSnapshot {
+                merged_rounds: 1,
+                overlapped: 1
+            }
+        );
+        assert_eq!(&threaded.view("A").unwrap(), tenv.get("A").unwrap());
+        assert_eq!(denv.get("A").unwrap(), tenv.get("A").unwrap());
+    }
+
+    #[test]
+    fn threaded_apply_stage_pipelines_frames_and_stays_exact() {
+        let mut env = two_view_env();
+        let mut backend = ThreadedBackend::new(4).unwrap();
+        backend.materialize(&env).unwrap();
+        backend.reset_comm();
+
+        let deltas = stage(&[("A", 3, 4), ("B", 5, 6)]);
+        backend.apply_stage(&mut env, &deltas).unwrap();
+        assert_eq!(backend.sched().merged_rounds, 1);
+        assert_eq!(backend.sched().overlapped, 1);
+        // Exact frame accounting: both frames to all 4 workers.
+        let comm = backend.comm();
+        let expected: u64 = deltas
+            .iter()
+            .map(|d| linview_dist::delta_frame(&d.target, &d.u, &d.v).len() as u64)
+            .sum();
+        assert_eq!(comm.broadcast_bytes, 4 * expected);
+        assert_eq!(comm.broadcast_msgs, 8);
+        // Worker-owned state caught up with the mirror at the barrier.
+        assert_eq!(&backend.view("A").unwrap(), env.get("A").unwrap());
+        assert_eq!(&backend.view("B").unwrap(), env.get("B").unwrap());
+        // A bad shape anywhere in the stage aborts before any send.
+        backend.reset_comm();
+        let mut bad = stage(&[("A", 7, 8)]);
+        bad.push(StageDelta {
+            target: "B".into(),
+            u: Matrix::zeros(6, 1),
+            v: Matrix::zeros(8, 1),
+        });
+        assert!(matches!(
+            backend.apply_stage(&mut env, &bad),
+            Err(RuntimeError::UpdateShape { .. })
+        ));
+        assert_eq!(backend.comm().broadcast_msgs, 0);
+        assert_eq!(&backend.view("A").unwrap(), env.get("A").unwrap());
+        // Rank-0 members of a stage neither move bytes nor count overlap.
+        let mut with_empty = stage(&[("A", 11, 12)]);
+        with_empty.push(StageDelta {
+            target: "B".into(),
+            u: Matrix::zeros(8, 0),
+            v: Matrix::zeros(8, 0),
+        });
+        backend.reset_sched();
+        backend.apply_stage(&mut env, &with_empty).unwrap();
+        assert_eq!(backend.sched().overlapped, 0);
+        assert_eq!(&backend.view("A").unwrap(), env.get("A").unwrap());
     }
 
     #[test]

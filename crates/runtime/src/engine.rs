@@ -9,7 +9,7 @@
 //! **multiple** dynamic inputs, buffers them per input, coalesces each
 //! buffer into one [`BatchUpdate`] under a configurable [`FlushPolicy`],
 //! and fires the compiled trigger through the view's
-//! [`ExecBackend`](crate::ExecBackend) — accumulating unified refresh
+//! [`crate::ExecBackend`] — accumulating unified refresh
 //! ([`RefreshStats`]) and communication ([`CommSnapshot`]) accounting as it
 //! goes.
 //!
@@ -114,6 +114,16 @@ pub struct EngineStats {
     /// Per-input trigger firings avoided by joint rounds (inputs covered
     /// minus one, summed over rounds) — the flush loop's §4.4 savings.
     pub triggers_saved: u64,
+    /// Trigger statements executed across all firings.
+    pub stmts: u64,
+    /// Execution stages those statements were grouped into by the
+    /// compile-time dependency DAG (equals `stmts` when running with
+    /// [`ExecOptions::sequential`](crate::ExecOptions) or for
+    /// chain-dependent triggers).
+    pub stages: u64,
+    /// Factor broadcasts that overlapped an earlier broadcast of the same
+    /// stage on the wire (dist/threaded backends; always 0 on local).
+    pub overlapped_broadcasts: u64,
     /// Wall-time + FLOP samples, one per firing.
     pub refresh: StatsAccumulator,
 }
@@ -125,6 +135,12 @@ impl EngineStats {
             wall: self.refresh.mean_wall(),
             flops: self.refresh.mean_flops() as u64,
         }
+    }
+
+    /// Statements that ran inside an already-open stage instead of
+    /// lengthening the critical path — the staged scheduler's savings.
+    pub fn stmts_saved(&self) -> u64 {
+        self.stmts - self.stages
     }
 }
 
@@ -207,13 +223,30 @@ impl<B: ExecBackend> MaintenanceEngine<B> {
         Ok(())
     }
 
+    /// Folds the scheduling counters the last firing added to the view and
+    /// its backend into the engine's statistics.
+    fn record_sched(
+        &mut self,
+        sched_before: crate::SchedStats,
+        overlap_before: crate::SchedSnapshot,
+    ) {
+        let sched = self.view.sched_stats();
+        self.stats.stmts += sched.stmts - sched_before.stmts;
+        self.stats.stages += sched.stages - sched_before.stages;
+        self.stats.overlapped_broadcasts +=
+            self.view.backend().sched().overlapped - overlap_before.overlapped;
+    }
+
     fn fire_buffer(&mut self, input: &str, events: &[RankOneUpdate]) -> Result<()> {
         let batch = BatchUpdate::from_rank_ones(events)?.compact_rows()?;
         if batch.rank() == 0 {
             return Ok(()); // all events cancelled out to an empty delta
         }
+        let sched_before = self.view.sched_stats();
+        let overlap_before = self.view.backend().sched();
         let (result, refresh) = measure(|| self.view.apply_batch(input, &batch));
         result?;
+        self.record_sched(sched_before, overlap_before);
         self.stats.firings += 1;
         self.stats.fired_rank += batch.rank() as u64;
         self.stats.refresh.record(refresh);
@@ -269,8 +302,11 @@ impl<B: ExecBackend> MaintenanceEngine<B> {
             .iter()
             .map(|(name, b)| (name.as_str(), &b.u, &b.v))
             .collect();
+        let sched_before = self.view.sched_stats();
+        let overlap_before = self.view.backend().sched();
         let (result, refresh) = measure(|| self.view.apply_joint(&updates));
         result?;
+        self.record_sched(sched_before, overlap_before);
         for (input, _) in &batches {
             self.pending.remove(input);
         }

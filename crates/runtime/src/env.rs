@@ -37,6 +37,36 @@ impl Env {
             .ok_or_else(|| RuntimeError::Unbound(name.to_string()))
     }
 
+    /// Simultaneous mutable access to several **distinct** bindings — the
+    /// disjoint environment slots a staged delta application writes from
+    /// worker threads. Returns the matrices in `names` order.
+    ///
+    /// Missing names error with [`RuntimeError::Unbound`]. Duplicate names
+    /// panic: the stage scheduler's write-after-write edges guarantee a
+    /// stage never folds two deltas into one view, so a duplicate here is
+    /// an internal invariant violation, not a runtime condition.
+    pub fn get_many_mut(&mut self, names: &[&str]) -> Result<Vec<&mut Matrix>> {
+        for (i, name) in names.iter().enumerate() {
+            assert!(
+                !names[..i].contains(name),
+                "duplicate environment slot '{name}' requested in one stage"
+            );
+            if !self.bindings.contains_key(*name) {
+                return Err(RuntimeError::Unbound(name.to_string()));
+            }
+        }
+        let mut slots: Vec<Option<&mut Matrix>> = names.iter().map(|_| None).collect();
+        for (key, value) in self.bindings.iter_mut() {
+            if let Some(pos) = names.iter().position(|n| n == key) {
+                slots[pos] = Some(value);
+            }
+        }
+        Ok(slots
+            .into_iter()
+            .map(|s| s.expect("presence checked above"))
+            .collect())
+    }
+
     /// Removes a binding, returning it if present.
     pub fn unbind(&mut self, name: &str) -> Option<Matrix> {
         self.bindings.remove(name)
@@ -111,6 +141,35 @@ mod tests {
         env.bind("A", Matrix::zeros(10, 10)); // 800 B
         env.bind("B", Matrix::zeros(5, 4)); // 160 B
         assert_eq!(env.memory_bytes(), 960);
+    }
+
+    #[test]
+    fn get_many_mut_returns_disjoint_slots_in_request_order() {
+        let mut env = Env::new();
+        env.bind("A", Matrix::zeros(2, 2));
+        env.bind("B", Matrix::zeros(3, 3));
+        env.bind("C", Matrix::zeros(4, 4));
+        let slots = env.get_many_mut(&["C", "A"]).unwrap();
+        assert_eq!(slots.len(), 2);
+        assert_eq!(slots[0].shape(), (4, 4));
+        assert_eq!(slots[1].shape(), (2, 2));
+        for s in slots {
+            s.set(0, 0, 1.0);
+        }
+        assert_eq!(env.get("A").unwrap().get(0, 0), 1.0);
+        assert_eq!(env.get("B").unwrap().get(0, 0), 0.0);
+        assert!(matches!(
+            env.get_many_mut(&["A", "nope"]),
+            Err(RuntimeError::Unbound(_))
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate environment slot")]
+    fn get_many_mut_rejects_duplicates() {
+        let mut env = Env::new();
+        env.bind("A", Matrix::zeros(2, 2));
+        let _ = env.get_many_mut(&["A", "A"]);
     }
 
     #[test]

@@ -1,11 +1,21 @@
 //! Trigger execution, including the numeric Sherman–Morrison primitive.
 //!
 //! There is exactly **one** statement interpreter ([`run_statements`]) for
-//! every execution backend: the compute phase (block evaluation,
-//! Sherman–Morrison, optional recompression) is backend-independent, and
-//! the final delta application is dispatched through
-//! [`ExecBackend::apply_delta`](crate::ExecBackend::apply_delta). The free
-//! functions [`fire_trigger`] / [`fire_trigger_with_options`] /
+//! every execution backend, and it is **staged**: instead of walking
+//! `trigger.stmts` in program order, it consumes the compile-time
+//! statement dependency DAG ([`Trigger::dag`]) one topological stage at a
+//! time. Every statement in a stage is provably independent, so the stage
+//! is evaluated against the pre-stage environment — on worker threads when
+//! the stage holds more than one statement — and its low-rank view deltas
+//! are handed to the backend **as a set** through
+//! [`ExecBackend::apply_stage`](crate::ExecBackend::apply_stage) (threaded
+//! GEMMs into disjoint slots locally; merged broadcast rounds and
+//! pipelined frames on the distributed backends). Program order is a
+//! linear extension of the DAG, so staged execution is bit-identical to
+//! the sequential walk — [`ExecOptions::sequential`] opts back into the
+//! legacy one-statement-per-stage order for ablation.
+//!
+//! The free functions [`fire_trigger`] / [`fire_trigger_with_options`] /
 //! [`fire_joint_trigger`] are the historical in-process entry points and
 //! simply run on a [`LocalBackend`](crate::LocalBackend).
 
@@ -127,8 +137,65 @@ pub struct ExecOptions {
     /// recompressed to its rank (relative tolerance) right after it is
     /// evaluated, *before* subsequent statements propagate it. This is the
     /// `O((n+m)k²)` pass §4.3 declines to pay for — the ablation bench
-    /// measures when it wins.
+    /// measures when it wins. Because the pass rebinds blocks mid-body,
+    /// enabling it forces the sequential statement schedule (staged
+    /// evaluation could not observe a rebinding inside its own stage).
     pub recompress_tol: Option<f64>,
+    /// Opt out of DAG-staged execution: run one statement per stage in
+    /// program order (the pre-scheduler interpreter). Results are
+    /// bit-identical either way — this exists for ablation benchmarks and
+    /// the `--sequential-exec` CLI flag.
+    pub sequential: bool,
+}
+
+/// What one trigger firing executed under the staged scheduler.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FiringReport {
+    /// Statements executed.
+    pub stmts: u64,
+    /// Stages the statements were grouped into (equals `stmts` under
+    /// [`ExecOptions::sequential`] or for chain-dependent triggers).
+    pub stages: u64,
+}
+
+/// Cumulative staged-scheduling counters, accumulated over firings.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SchedStats {
+    /// Trigger firings recorded.
+    pub firings: u64,
+    /// Statements executed across all firings.
+    pub stmts: u64,
+    /// Stages those statements were grouped into.
+    pub stages: u64,
+}
+
+impl SchedStats {
+    /// Folds one firing's report in.
+    pub fn record(&mut self, report: FiringReport) {
+        self.firings += 1;
+        self.stmts += report.stmts;
+        self.stages += report.stages;
+    }
+
+    /// Statements that ran inside an already-open stage instead of
+    /// lengthening the critical path — the scheduler's savings.
+    pub fn stmts_saved(&self) -> u64 {
+        self.stmts - self.stages
+    }
+}
+
+/// One evaluated low-rank view delta of a stage, ready for the backend to
+/// fold: `target += u · vᵀ`. A stage's deltas are guaranteed to hit
+/// pairwise-distinct targets (write-after-write hazard edges), which is
+/// what lets backends fold them concurrently.
+#[derive(Debug, Clone)]
+pub struct StageDelta {
+    /// The maintained view being updated.
+    pub target: String,
+    /// Left factor.
+    pub u: Matrix,
+    /// Right factor.
+    pub v: Matrix,
 }
 
 /// Fires `trigger` for the factored input update `ΔX = du · dvᵀ` with
@@ -158,7 +225,7 @@ pub fn fire_trigger_with_options(
     dv: &Matrix,
     opts: &ExecOptions,
 ) -> Result<()> {
-    fire_trigger_on(&mut LocalBackend, env, evaluator, trigger, du, dv, opts)
+    fire_trigger_on(&mut LocalBackend, env, evaluator, trigger, du, dv, opts).map(|_| ())
 }
 
 /// Fires `trigger` on an explicit backend — the shared execution path every
@@ -171,7 +238,7 @@ pub(crate) fn fire_trigger_on<B: ExecBackend + ?Sized>(
     du: &Matrix,
     dv: &Matrix,
     opts: &ExecOptions,
-) -> Result<()> {
+) -> Result<FiringReport> {
     let (du_name, dv_name) = input_delta_names(&trigger.input);
     // Shape check against the target input.
     let target = env.get(&trigger.input)?;
@@ -230,7 +297,7 @@ pub fn fire_joint_trigger(
     updates: &[(&str, &Matrix, &Matrix)],
     opts: &ExecOptions,
 ) -> Result<()> {
-    fire_joint_trigger_on(&mut LocalBackend, env, evaluator, joint, updates, opts)
+    fire_joint_trigger_on(&mut LocalBackend, env, evaluator, joint, updates, opts).map(|_| ())
 }
 
 /// As [`fire_joint_trigger`] on an explicit backend (the shared path behind
@@ -242,7 +309,7 @@ pub(crate) fn fire_joint_trigger_on<B: ExecBackend + ?Sized>(
     joint: &linview_compiler::JointTrigger,
     updates: &[(&str, &Matrix, &Matrix)],
     opts: &ExecOptions,
-) -> Result<()> {
+) -> Result<FiringReport> {
     if updates.len() != joint.inputs.len()
         || !joint
             .inputs
@@ -283,6 +350,98 @@ pub(crate) fn fire_joint_trigger_on<B: ExecBackend + ?Sized>(
     result
 }
 
+/// Stages whose statements only touch matrices smaller than this many
+/// elements are evaluated inline even when independent: thread-spawn
+/// overhead beats the parallelism for small operands, and the dense
+/// kernels already multi-thread internally in exactly that regime. The
+/// stage *structure* (and the backends' merged rounds / pipelined
+/// broadcasts) is unaffected — only where the expression evaluation runs.
+pub(crate) const PARALLEL_MIN_ELEMS: usize = 32_768;
+
+/// True when the host actually has more than one core to fan out to —
+/// on a single-CPU machine every spawn is pure overhead, exactly as in
+/// the threaded matmul kernel's gate.
+pub(crate) fn multi_core() -> bool {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get) > 1
+}
+
+/// True when any statement of the stage reads an environment matrix large
+/// enough to justify evaluating the stage on worker threads. Reuses the
+/// effect sets the DAG analysis already computed.
+fn stage_is_heavy(stage: &[usize], effects: &[linview_compiler::StmtEffects], env: &Env) -> bool {
+    multi_core()
+        && stage.iter().any(|&i| {
+            effects[i]
+                .reads
+                .iter()
+                .any(|r| env.get(r).is_ok_and(|m| m.len() >= PARALLEL_MIN_ELEMS))
+        })
+}
+
+/// One statement's evaluated result, produced read-only against the
+/// pre-stage environment and applied after the whole stage has evaluated.
+enum StmtOutput {
+    /// Variables to bind (an `Assign` yields one, Sherman–Morrison two).
+    Bind(Vec<(String, Matrix)>),
+    /// An evaluated low-rank view delta for the backend's stage barrier.
+    Delta(StageDelta),
+}
+
+/// Evaluates one statement against the (read-only) pre-stage environment.
+/// Safe to call from several threads for the statements of one stage: the
+/// dependency DAG guarantees no statement reads another's output.
+fn eval_stmt(
+    stmt: &TriggerStmt,
+    env: &Env,
+    evaluator: &Evaluator,
+    opts: &ExecOptions,
+) -> Result<StmtOutput> {
+    match stmt {
+        TriggerStmt::Assign { var, expr } => {
+            let value = evaluator.eval(expr, env)?;
+            Ok(StmtOutput::Bind(vec![(var.clone(), value)]))
+        }
+        TriggerStmt::ShermanMorrison {
+            inv_var,
+            p,
+            q,
+            out_u,
+            out_v,
+        } => {
+            let pm = evaluator.eval(p, env)?;
+            let qm = evaluator.eval(q, env)?;
+            let w = env.get(inv_var)?;
+            let (u, v) = match opts.inverse_primitive {
+                InversePrimitive::ShermanMorrison => sherman_morrison(w, &pm, &qm)?,
+                InversePrimitive::Woodbury => woodbury(w, &pm, &qm)?,
+            };
+            Ok(StmtOutput::Bind(vec![
+                (out_u.clone(), u),
+                (out_v.clone(), v),
+            ]))
+        }
+        TriggerStmt::ApplyDelta { target, u, v } => {
+            let um = evaluator.eval(u, env)?;
+            let vm = evaluator.eval(v, env)?;
+            Ok(StmtOutput::Delta(StageDelta {
+                target: target.clone(),
+                u: um,
+                v: vm,
+            }))
+        }
+    }
+}
+
+/// The staged statement interpreter shared by every backend.
+///
+/// Each stage runs in three phases: (1) every statement of the stage is
+/// evaluated against the pre-stage environment — concurrently when the
+/// stage holds more than one statement, since the DAG proves them
+/// independent; (2) compute results are bound in program order (and the
+/// optional §4.3 recompression pass runs for pairs completed this stage);
+/// (3) the stage's view deltas are folded through
+/// [`ExecBackend::apply_stage`] — the stage barrier, and the only
+/// backend-specific step.
 fn run_statements<B: ExecBackend + ?Sized>(
     backend: &mut B,
     env: &mut Env,
@@ -290,7 +449,7 @@ fn run_statements<B: ExecBackend + ?Sized>(
     trigger: &Trigger,
     temporaries: &mut Vec<String>,
     opts: &ExecOptions,
-) -> Result<()> {
+) -> Result<FiringReport> {
     // Orientation-preserving pair lookup for the optional recompression
     // pass: block name -> (U name, V name) of its pair.
     let pairs: Vec<(String, String)> = if opts.recompress_tol.is_some() {
@@ -302,50 +461,93 @@ fn run_statements<B: ExecBackend + ?Sized>(
     } else {
         Vec::new()
     };
-    for stmt in &trigger.stmts {
-        match stmt {
-            TriggerStmt::Assign { var, expr } => {
-                let value = evaluator.eval(expr, env)?;
-                env.bind(var.clone(), value);
-                temporaries.push(var.clone());
-                if let Some(tol) = opts.recompress_tol {
-                    for (u_name, v_name) in &pairs {
-                        if var == u_name || var == v_name {
-                            recompress_pair(env, u_name, v_name, tol)?;
+    // The §4.3 recompression pass rewrites a pair's blocks in place the
+    // moment the pair completes, and later statements of the *sequential*
+    // walk observe the rebinding mid-body — a stage evaluated against the
+    // pre-stage environment could not. Recompression therefore always
+    // runs on the sequential schedule; bit-identity with the opt-out is
+    // preserved by construction.
+    //
+    // The DAG is re-analyzed per firing rather than cached on the
+    // trigger: `Trigger::stmts` is public and the optimizer rewrites
+    // bodies in place, so a stored schedule could silently go stale. The
+    // analysis is O(stmts²) over tiny bodies — noise next to one O(kn²)
+    // delta fold.
+    let dag = if opts.sequential || opts.recompress_tol.is_some() {
+        None
+    } else {
+        Some(trigger.dag()?)
+    };
+    let stages: Vec<Vec<usize>> = match &dag {
+        Some(dag) => dag.stages().to_vec(),
+        None => (0..trigger.stmts.len()).map(|i| vec![i]).collect(),
+    };
+    let report = FiringReport {
+        stmts: trigger.stmts.len() as u64,
+        stages: stages.len() as u64,
+    };
+    for stage in &stages {
+        // Phase 1: evaluate the stage against the pre-stage environment.
+        let heavy = dag
+            .as_ref()
+            .is_some_and(|dag| stage.len() >= 2 && stage_is_heavy(stage, dag.effects(), env));
+        let outputs: Vec<Result<StmtOutput>> = if heavy {
+            let env = &*env;
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = stage[1..]
+                    .iter()
+                    .map(|&i| {
+                        scope.spawn(move || eval_stmt(&trigger.stmts[i], env, evaluator, opts))
+                    })
+                    .collect();
+                let mut outs = vec![eval_stmt(&trigger.stmts[stage[0]], env, evaluator, opts)];
+                outs.extend(
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("stage evaluator thread panicked")),
+                );
+                outs
+            })
+        } else {
+            stage
+                .iter()
+                .map(|&i| eval_stmt(&trigger.stmts[i], env, evaluator, opts))
+                .collect()
+        };
+        // Phase 2: bind compute results in program order, collect deltas.
+        let mut deltas: Vec<StageDelta> = Vec::new();
+        let mut bound_now: Vec<String> = Vec::new();
+        for (&i, out) in stage.iter().zip(outputs) {
+            match out? {
+                StmtOutput::Bind(binds) => {
+                    // Only plain assignments feed the recompression pass
+                    // (Sherman–Morrison outputs are left exact, as in the
+                    // sequential interpreter).
+                    let assign = matches!(trigger.stmts[i], TriggerStmt::Assign { .. });
+                    for (name, value) in binds {
+                        env.bind(name.clone(), value);
+                        temporaries.push(name.clone());
+                        if assign {
+                            bound_now.push(name);
                         }
                     }
                 }
-            }
-            TriggerStmt::ShermanMorrison {
-                inv_var,
-                p,
-                q,
-                out_u,
-                out_v,
-            } => {
-                let pm = evaluator.eval(p, env)?;
-                let qm = evaluator.eval(q, env)?;
-                let w = env.get(inv_var)?;
-                let (u, v) = match opts.inverse_primitive {
-                    InversePrimitive::ShermanMorrison => sherman_morrison(w, &pm, &qm)?,
-                    InversePrimitive::Woodbury => woodbury(w, &pm, &qm)?,
-                };
-                env.bind(out_u.clone(), u);
-                env.bind(out_v.clone(), v);
-                temporaries.push(out_u.clone());
-                temporaries.push(out_v.clone());
-            }
-            TriggerStmt::ApplyDelta { target, u, v } => {
-                let um = evaluator.eval(u, env)?;
-                let vm = evaluator.eval(v, env)?;
-                // The one backend-specific step: locally a rank-k GEMM
-                // (O(k·|X|)); distributed, a factor broadcast plus
-                // block-local worker updates.
-                backend.apply_delta(env, target, &um, &vm)?;
+                StmtOutput::Delta(d) => deltas.push(d),
             }
         }
+        if let Some(tol) = opts.recompress_tol {
+            for (u_name, v_name) in &pairs {
+                if bound_now.iter().any(|b| b == u_name || b == v_name) {
+                    recompress_pair(env, u_name, v_name, tol)?;
+                }
+            }
+        }
+        // Phase 3: the stage barrier — fold every independent delta.
+        if !deltas.is_empty() {
+            backend.apply_stage(env, &deltas)?;
+        }
     }
-    Ok(())
+    Ok(report)
 }
 
 #[cfg(test)]
@@ -799,6 +1001,124 @@ mod tests {
                 "{view} diverged"
             );
         }
+    }
+
+    #[test]
+    fn staged_execution_is_bit_identical_to_sequential() {
+        // A^8 with a batch update: wide stages (U_B/V_B, U_C/V_C, U_D/V_D
+        // pairs plus independent view folds) against the one-statement-at-
+        // a-time opt-out. Bit-identical, not approximately equal. n is
+        // past the parallel threshold so stage evaluation really runs on
+        // worker threads.
+        let n = 192;
+        let mut cat = Catalog::new();
+        cat.declare("A", n, n);
+        let mut prog = Program::new();
+        prog.assign("B", Expr::var("A") * Expr::var("A"));
+        prog.assign("C", Expr::var("B") * Expr::var("B"));
+        prog.assign("D", Expr::var("C") * Expr::var("C"));
+        let tp = compile(&prog, &["A"], &cat, &CompileOptions::default()).unwrap();
+        let dag = tp.triggers[0].dag().unwrap();
+        assert!(dag.stage_count() < dag.stmt_count(), "{dag:?}");
+
+        let a = Matrix::random_spectral(n, 17, 0.7);
+        let build_env = || {
+            let b = a.try_matmul(&a).unwrap();
+            let c = b.try_matmul(&b).unwrap();
+            let d = c.try_matmul(&c).unwrap();
+            let mut env = Env::new();
+            env.bind("A", a.clone());
+            env.bind("B", b);
+            env.bind("C", c);
+            env.bind("D", d);
+            env
+        };
+        let ev = Evaluator::new();
+        let du = Matrix::random_uniform(n, 3, 18).scale(0.01);
+        let dv = Matrix::random_uniform(n, 3, 19);
+
+        let mut staged = build_env();
+        let staged_report = fire_trigger_on(
+            &mut LocalBackend,
+            &mut staged,
+            &ev,
+            &tp.triggers[0],
+            &du,
+            &dv,
+            &ExecOptions::default(),
+        )
+        .unwrap();
+        let mut seq = build_env();
+        let seq_report = fire_trigger_on(
+            &mut LocalBackend,
+            &mut seq,
+            &ev,
+            &tp.triggers[0],
+            &du,
+            &dv,
+            &ExecOptions {
+                sequential: true,
+                ..ExecOptions::default()
+            },
+        )
+        .unwrap();
+        for view in ["A", "B", "C", "D"] {
+            assert_eq!(
+                staged.get(view).unwrap(),
+                seq.get(view).unwrap(),
+                "{view} diverged between staged and sequential execution"
+            );
+        }
+        assert_eq!(staged_report.stmts, seq_report.stmts);
+        assert_eq!(seq_report.stages, seq_report.stmts, "opt-out is serial");
+        assert_eq!(staged_report.stages as usize, dag.stage_count());
+        assert!(staged_report.stages < staged_report.stmts);
+
+        let mut sched = SchedStats::default();
+        sched.record(staged_report);
+        assert_eq!(sched.firings, 1);
+        assert_eq!(
+            sched.stmts_saved(),
+            staged_report.stmts - staged_report.stages
+        );
+    }
+
+    #[test]
+    fn recompression_forces_the_sequential_schedule() {
+        // The §4.3 pass rebinds pair blocks mid-body; a reader scheduled
+        // into the same stage as the pair's completion would observe the
+        // raw blocks where the sequential walk observes the recompressed
+        // ones. Enabling recompression must therefore serialize the
+        // schedule (stages == stmts in the firing report).
+        let n = 16;
+        let mut cat = Catalog::new();
+        cat.declare("A", n, n);
+        let mut prog = Program::new();
+        prog.assign("B", Expr::var("A") * Expr::var("A"));
+        prog.assign("C", Expr::var("B") * Expr::var("B"));
+        let tp = compile(&prog, &["A"], &cat, &CompileOptions::default()).unwrap();
+        let a = Matrix::random_spectral(n, 27, 0.7);
+        let mut env = Env::new();
+        env.bind("A", a.clone());
+        let b = a.try_matmul(&a).unwrap();
+        env.bind("C", b.try_matmul(&b).unwrap());
+        env.bind("B", b);
+        let du = Matrix::random_uniform(n, 2, 28).scale(0.01);
+        let dv = Matrix::random_uniform(n, 2, 29);
+        let report = fire_trigger_on(
+            &mut LocalBackend,
+            &mut env,
+            &Evaluator::new(),
+            &tp.triggers[0],
+            &du,
+            &dv,
+            &ExecOptions {
+                recompress_tol: Some(1e-10),
+                ..ExecOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(report.stages, report.stmts);
     }
 
     #[test]

@@ -36,14 +36,14 @@ pub mod stats;
 pub mod updates;
 mod view;
 
-pub use backend::{DistBackend, ExecBackend, LocalBackend, ThreadedBackend};
+pub use backend::{DistBackend, ExecBackend, LocalBackend, SchedSnapshot, ThreadedBackend};
 pub use engine::{EngineStats, FlushPolicy, MaintenanceEngine};
 pub use env::Env;
 pub use error::RuntimeError;
 pub use eval::{eval, Evaluator};
 pub use exec::{
     fire_joint_trigger, fire_trigger, fire_trigger_with_options, sherman_morrison, woodbury,
-    ExecOptions, InversePrimitive,
+    ExecOptions, FiringReport, InversePrimitive, SchedStats, StageDelta,
 };
 pub use linview_dist::CommSnapshot;
 pub use updates::{BatchUpdate, RankOneUpdate, UpdateStream, Zipf};

@@ -18,6 +18,7 @@ use linview_dist::CommSnapshot;
 use linview_expr::Catalog;
 use linview_matrix::Matrix;
 
+use crate::exec::SchedStats;
 use crate::updates::BatchUpdate;
 use crate::{
     Env, Evaluator, ExecBackend, ExecOptions, LocalBackend, RankOneUpdate, Result, RuntimeError,
@@ -96,6 +97,8 @@ pub struct IncrementalView<B: ExecBackend = LocalBackend> {
     evaluator: Evaluator,
     exec: ExecOptions,
     backend: B,
+    /// Cumulative staged-scheduling counters across firings.
+    sched: SchedStats,
 }
 
 impl IncrementalView<LocalBackend> {
@@ -161,6 +164,7 @@ impl<B: ExecBackend> IncrementalView<B> {
             evaluator,
             exec: ExecOptions::default(),
             backend,
+            sched: SchedStats::default(),
         })
     }
 
@@ -186,8 +190,16 @@ impl<B: ExecBackend> IncrementalView<B> {
             .trigger_program
             .trigger_for(input)
             .ok_or_else(|| RuntimeError::Unbound(format!("trigger for '{input}'")))?;
-        self.backend
-            .fire_trigger(&mut self.env, &self.evaluator, trigger, du, dv, &self.exec)
+        let report = self.backend.fire_trigger(
+            &mut self.env,
+            &self.evaluator,
+            trigger,
+            du,
+            dv,
+            &self.exec,
+        )?;
+        self.sched.record(report);
+        Ok(())
     }
 
     /// Fires ONE joint trigger for *simultaneous* factored updates to all
@@ -198,8 +210,26 @@ impl<B: ExecBackend> IncrementalView<B> {
             .joint
             .as_ref()
             .ok_or_else(|| RuntimeError::Unbound("joint trigger for this program".to_string()))?;
-        self.backend
-            .fire_joint_trigger(&mut self.env, &self.evaluator, joint, updates, &self.exec)
+        let report = self.backend.fire_joint_trigger(
+            &mut self.env,
+            &self.evaluator,
+            joint,
+            updates,
+            &self.exec,
+        )?;
+        self.sched.record(report);
+        Ok(())
+    }
+
+    /// Cumulative staged-scheduling counters: firings, statements
+    /// executed, and the stages they collapsed into.
+    pub fn sched_stats(&self) -> SchedStats {
+        self.sched
+    }
+
+    /// Zeroes the scheduling counters, returning the prior values.
+    pub fn reset_sched_stats(&mut self) -> SchedStats {
+        std::mem::take(&mut self.sched)
     }
 
     /// Reads a maintained matrix.

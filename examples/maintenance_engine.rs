@@ -43,7 +43,8 @@ fn stream<B: ExecBackend>(view: IncrementalView<B>, batch: usize) -> (u64, Matri
     let comm = engine.comm();
     println!(
         "  {:>8} backend, batch {:>2}: {:>2} firings (fired rank {:>2}, {} joint rounds \
-         saving {} firings), mean refresh {:>10.2?}, broadcast {:>7} B, shuffle {} B",
+         saving {} firings), mean refresh {:>10.2?}, broadcast {:>7} B, shuffle {} B, \
+         {} stmts in {} stages, {} overlapped broadcasts",
         engine.view().backend().name(),
         batch,
         stats.firings,
@@ -53,6 +54,9 @@ fn stream<B: ExecBackend>(view: IncrementalView<B>, batch: usize) -> (u64, Matri
         stats.refresh.mean_wall(),
         comm.broadcast_bytes,
         comm.shuffle_bytes,
+        stats.stmts,
+        stats.stages,
+        stats.overlapped_broadcasts,
     );
     let d = engine.get("D").expect("D is maintained").clone();
     (stats.firings, d)

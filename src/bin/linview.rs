@@ -39,7 +39,9 @@ OPTIONS:
   --program SRC      program text, e.g. \"B := A * A; C := B * B;\"
   --file PATH        read the program from a file
   --inputs LIST      dynamic inputs (default: every matrix in --dims)
-  --emit KIND        trigger | octave | spark | numpy | plan | all  (default: trigger)
+  --emit KIND        trigger | octave | spark | numpy | plan | dag | all
+                     (default: trigger; 'dag' prints each trigger's staged
+                     execution plan — the statement dependency DAG)
   --rank K           update rank of the incoming deltas (default: 1)
   --analyze          print the predicted REEVAL-vs-INCR report (§5 as an API)
   --joint            emit ONE trigger for simultaneous updates to all
@@ -60,6 +62,8 @@ ENGINE OPTIONS (stream a Zipf-skewed multi-input workload):
                      'all' compares all three backends)
   --no-joint         flush each input with its own trigger instead of ONE
                      joint trigger per flush round (§4.4 ablation)
+  --sequential-exec  opt out of DAG-staged trigger execution: run one
+                     statement per stage in program order (ablation)
 ";
 
 struct Args {
@@ -204,14 +208,22 @@ fn run(args: &Args) -> Result<String, String> {
     let emit_spark = matches!(args.emit.as_str(), "spark" | "all");
     let emit_numpy = matches!(args.emit.as_str(), "numpy" | "all");
     let emit_plan = matches!(args.emit.as_str(), "plan" | "all");
-    if !(emit_trigger || emit_octave || emit_spark || emit_numpy || emit_plan) {
+    let emit_dag = matches!(args.emit.as_str(), "dag" | "all");
+    if !(emit_trigger || emit_octave || emit_spark || emit_numpy || emit_plan || emit_dag) {
         return Err(format!(
-            "unknown --emit '{}' (want trigger|octave|spark|numpy|plan|all)",
+            "unknown --emit '{}' (want trigger|octave|spark|numpy|plan|dag|all)",
             args.emit
         ));
     }
     if emit_trigger {
         out.push_str(&tp.to_string());
+    }
+    if emit_dag {
+        for t in &tp.triggers {
+            let dag = t.dag().map_err(|e| e.to_string())?;
+            out.push_str(&format!("ON UPDATE {} staged execution plan:\n", t.input));
+            out.push_str(&dag.render(t));
+        }
     }
     if emit_octave {
         out.push_str(&octave::emit_program(&tp));
@@ -239,6 +251,7 @@ struct EngineArgs {
     workers: usize,
     backend: String,
     joint: bool,
+    sequential: bool,
 }
 
 fn parse_engine_args(argv: &[String]) -> Result<EngineArgs, String> {
@@ -251,6 +264,7 @@ fn parse_engine_args(argv: &[String]) -> Result<EngineArgs, String> {
         workers: 4,
         backend: "both".into(),
         joint: true,
+        sequential: false,
     };
     let next = |i: &mut usize, what: &str| -> Result<String, String> {
         *i += 1;
@@ -289,6 +303,7 @@ fn parse_engine_args(argv: &[String]) -> Result<EngineArgs, String> {
             }
             "--backend" => args.backend = next(&mut i, "--backend")?,
             "--no-joint" => args.joint = false,
+            "--sequential-exec" => args.sequential = true,
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown engine flag '{other}'")),
         }
@@ -316,7 +331,7 @@ fn parse_engine_args(argv: &[String]) -> Result<EngineArgs, String> {
 /// of `C := A * B; D := C * C;` through a [`MaintenanceEngine`] on
 /// `view`'s backend, returning the report lines and the final `D`.
 fn drive_engine<B: ExecBackend>(
-    view: IncrementalView<B>,
+    mut view: IncrementalView<B>,
     args: &EngineArgs,
 ) -> Result<(String, Matrix), String> {
     let policy = match args.policy.as_str() {
@@ -324,6 +339,10 @@ fn drive_engine<B: ExecBackend>(
         "rank" => FlushPolicy::Rank(args.batch),
         _ => FlushPolicy::Count(args.batch),
     };
+    view.set_exec_options(linview::runtime::ExecOptions {
+        sequential: args.sequential,
+        ..Default::default()
+    });
     view.reset_comm();
     let mut engine = MaintenanceEngine::new(view, policy);
     engine.set_joint_flush(args.joint);
@@ -355,6 +374,15 @@ fn drive_engine<B: ExecBackend>(
     out.push_str(&format!(
         "             joint: {} rounds, {} trigger firings saved\n",
         stats.joint_rounds, stats.triggers_saved
+    ));
+    out.push_str(&format!(
+        "             sched: {} stmts in {} stages ({} off the critical path{}), \
+         {} overlapped broadcasts\n",
+        stats.stmts,
+        stats.stages,
+        stats.stmts_saved(),
+        if args.sequential { ", sequential" } else { "" },
+        stats.overlapped_broadcasts,
     ));
     let d = engine.get("D").map_err(|e| e.to_string())?.clone();
     Ok((out, d))

@@ -75,7 +75,7 @@ pub mod prelude {
     pub use linview_apps::IterModel;
     pub use linview_compiler::parse::parse_program;
     pub use linview_compiler::{
-        analyze, compile, AnalysisReport, CompileOptions, Program, TriggerProgram,
+        analyze, compile, AnalysisReport, CompileOptions, Program, StmtDag, TriggerProgram,
     };
     pub use linview_dist::{dist_add_low_rank, dist_matmul, Cluster, DistMatrix};
     pub use linview_expr::{Catalog, Expr};

@@ -18,7 +18,7 @@
 use linview::apps::powers::powers_program;
 use linview::apps::sums::sums_program;
 use linview::prelude::*;
-use linview::runtime::{DistBackend, ThreadedBackend};
+use linview::runtime::{DistBackend, ExecBackend, ThreadedBackend};
 
 const SEED: u64 = 4242;
 
@@ -233,6 +233,34 @@ fn run_case(case: &Case) {
         case.name,
         tc.broadcast_bytes,
         dc.broadcast_bytes
+    );
+
+    // All of the above ran through the *staged* interpreter (the default):
+    // every backend must agree on the stage structure, and every app
+    // trigger must actually collapse statements into parallel stages.
+    let ls = local.sched_stats();
+    let ds = dist.sched_stats();
+    let ts = threaded.sched_stats();
+    assert_eq!(ls, ds, "{}: dist stage accounting diverged", case.name);
+    assert_eq!(ls, ts, "{}: threaded stage accounting diverged", case.name);
+    assert!(
+        ls.stages < ls.stmts,
+        "{}: staged execution found no parallelism ({} stages / {} stmts)",
+        case.name,
+        ls.stages,
+        ls.stmts
+    );
+    // The distributed backends overlapped the same broadcasts on the wire.
+    assert_eq!(
+        dist.backend().sched(),
+        threaded.backend().sched(),
+        "{}: dist and threaded disagree on overlapped broadcasts",
+        case.name
+    );
+    assert!(
+        threaded.backend().sched().overlapped > 0,
+        "{}: no broadcast ever overlapped within a stage",
+        case.name
     );
 }
 

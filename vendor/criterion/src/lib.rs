@@ -5,22 +5,27 @@
 //! printing the mean wall time per iteration **± the sample standard
 //! deviation** so regressions can be told apart from noise.
 //!
-//! Two statistical niceties from real criterion are reproduced:
+//! Three statistical niceties from real criterion are reproduced:
 //!
 //! * **Outlier rejection** — samples further than `3 · 1.4826 · MAD` from
 //!   the median (MAD = median absolute deviation; the scale factor makes
 //!   it a robust σ estimate) are dropped before the mean/stddev are
 //!   computed, so one scheduler hiccup cannot poison a 10-sample run.
+//! * **Bootstrap confidence intervals** — the mean is resampled with
+//!   replacement (deterministic xorshift seeding, so runs reproduce) and
+//!   the 2.5th/97.5th percentiles of the resampled means are reported as
+//!   a 95% CI alongside the stddev, and persisted in the baseline TSV.
 //! * **Baselines** — `cargo bench -- --save-baseline NAME` records each
-//!   benchmark's mean into `<workspace target>/criterion-baselines/NAME.tsv`
-//!   (override the directory with `CRITERION_BASELINE_DIR`), and
+//!   benchmark's mean and CI into
+//!   `<workspace target>/criterion-baselines/NAME.tsv` (override the
+//!   directory with `CRITERION_BASELINE_DIR`), and
 //!   `cargo bench -- --baseline NAME` compares the current run against it,
 //!   printing the percent change and flagging `REGRESSION` when a bench
 //!   runs >10% slower — enough for CI to diff bench tables across commits.
 //!
-//! There is still no HTML report or bootstrap CI; this exists so
-//! `cargo bench` produces comparable, regression-flagging numbers and
-//! `cargo build --benches` keeps the bench sources compiling.
+//! There is still no HTML report; this exists so `cargo bench` produces
+//! comparable, regression-flagging numbers and `cargo build --benches`
+//! keeps the bench sources compiling.
 
 #![warn(missing_docs)]
 
@@ -216,26 +221,104 @@ fn mean_and_stddev(samples: &[Duration]) -> (Duration, Duration) {
     )
 }
 
-/// Serializes a baseline map as TSV lines (`bench-id <TAB> mean-seconds`).
-fn render_baseline(map: &BTreeMap<String, f64>) -> String {
+/// Bootstrap resamples drawn when estimating the confidence interval.
+const BOOTSTRAP_RESAMPLES: usize = 200;
+
+/// Lower/upper tail of the reported percentile interval (95% two-sided).
+const CI_TAIL: f64 = 0.025;
+
+/// A tiny deterministic xorshift64* generator — the bootstrap must not
+/// depend on ambient randomness, or CI comparisons would not reproduce.
+struct XorShift(u64);
+
+impl XorShift {
+    fn new(seed: u64) -> Self {
+        XorShift(seed.max(1))
+    }
+
+    fn next_index(&mut self, bound: usize) -> usize {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        (x.wrapping_mul(0x2545_F491_4F6C_DD1D) % bound as u64) as usize
+    }
+}
+
+/// Bootstrap percentile confidence interval of the mean: resamples the
+/// (outlier-filtered) samples with replacement, computes each resample's
+/// mean, and returns the `[2.5%, 97.5%]` percentiles of that
+/// distribution. Degenerate inputs (0 or 1 sample) collapse to the mean.
+fn bootstrap_ci(samples: &[Duration]) -> (Duration, Duration) {
+    if samples.len() < 2 {
+        let (mean, _) = mean_and_stddev(samples);
+        return (mean, mean);
+    }
+    let secs: Vec<f64> = samples.iter().map(Duration::as_secs_f64).collect();
+    // Seed from the sample data so identical runs resample identically.
+    let seed = secs.iter().fold(0x9E37_79B9_7F4A_7C15u64, |acc, s| {
+        acc.rotate_left(7) ^ s.to_bits()
+    });
+    let mut rng = XorShift::new(seed);
+    let mut means = Vec::with_capacity(BOOTSTRAP_RESAMPLES);
+    for _ in 0..BOOTSTRAP_RESAMPLES {
+        let sum: f64 = (0..secs.len())
+            .map(|_| secs[rng.next_index(secs.len())])
+            .sum();
+        means.push(sum / secs.len() as f64);
+    }
+    means.sort_by(|a, b| a.partial_cmp(b).expect("means are finite"));
+    let pick = |q: f64| -> Duration {
+        let idx = ((means.len() - 1) as f64 * q).round() as usize;
+        Duration::from_secs_f64(means[idx])
+    };
+    (pick(CI_TAIL), pick(1.0 - CI_TAIL))
+}
+
+/// One benchmark's persisted summary: mean and its bootstrap 95% CI, all
+/// in seconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct BaselineEntry {
+    mean: f64,
+    ci_lo: f64,
+    ci_hi: f64,
+}
+
+/// Serializes a baseline map as TSV lines
+/// (`bench-id <TAB> mean-s <TAB> ci-lo-s <TAB> ci-hi-s`).
+fn render_baseline(map: &BTreeMap<String, BaselineEntry>) -> String {
     let mut out = String::new();
-    for (id, secs) in map {
-        out.push_str(&format!("{id}\t{secs:e}\n"));
+    for (id, e) in map {
+        out.push_str(&format!(
+            "{id}\t{:e}\t{:e}\t{:e}\n",
+            e.mean, e.ci_lo, e.ci_hi
+        ));
     }
     out
 }
 
 /// Parses the TSV produced by [`render_baseline`], ignoring malformed
 /// lines (a hand-edited or truncated file degrades to fewer comparisons,
-/// never to a crash).
-fn parse_baseline(text: &str) -> BTreeMap<String, f64> {
+/// never to a crash). Legacy two-column baselines (mean only) still parse
+/// — their CI collapses to the mean.
+fn parse_baseline(text: &str) -> BTreeMap<String, BaselineEntry> {
     let mut map = BTreeMap::new();
     for line in text.lines() {
-        if let Some((id, secs)) = line.split_once('\t') {
-            if let Ok(secs) = secs.trim().parse::<f64>() {
-                map.insert(id.to_string(), secs);
-            }
-        }
+        let mut fields = line.split('\t');
+        let Some(id) = fields.next() else { continue };
+        let Some(mean) = fields.next().and_then(|s| s.trim().parse::<f64>().ok()) else {
+            continue;
+        };
+        let ci_lo = fields
+            .next()
+            .and_then(|s| s.trim().parse::<f64>().ok())
+            .unwrap_or(mean);
+        let ci_hi = fields
+            .next()
+            .and_then(|s| s.trim().parse::<f64>().ok())
+            .unwrap_or(mean);
+        map.insert(id.to_string(), BaselineEntry { mean, ci_lo, ci_hi });
     }
     map
 }
@@ -331,10 +414,16 @@ impl BenchmarkGroup<'_> {
         f(&mut bencher);
         let (kept, rejected) = reject_outliers(&bencher.samples);
         let (mean, stddev) = mean_and_stddev(&kept);
+        let (ci_lo, ci_hi) = bootstrap_ci(&kept);
         let full_id = format!("{}/{}", self.name, id);
-        self.criterion
-            .recorded
-            .insert(full_id.clone(), mean.as_secs_f64());
+        self.criterion.recorded.insert(
+            full_id.clone(),
+            BaselineEntry {
+                mean: mean.as_secs_f64(),
+                ci_lo: ci_lo.as_secs_f64(),
+                ci_hi: ci_hi.as_secs_f64(),
+            },
+        );
         let mut extra = String::new();
         if rejected > 0 {
             extra.push_str(&format!(", {rejected} outliers rejected"));
@@ -345,11 +434,11 @@ impl BenchmarkGroup<'_> {
             .as_deref()
             .and_then(|n| self.criterion.baseline.get(&full_id).map(|b| (n, *b)))
         {
-            extra.push_str(&baseline_note(mean.as_secs_f64(), base, name));
+            extra.push_str(&baseline_note(mean.as_secs_f64(), base.mean, name));
         }
         println!(
-            "{}/{:<32} {:>12.3?}/iter ± {:>9.3?} ({} iters + {} warmup{})",
-            self.name, id, mean, stddev, bencher.iters, warmup_iters, extra
+            "{}/{:<32} {:>12.3?}/iter ± {:>9.3?} [95% CI {:.3?}..{:.3?}] ({} iters + {} warmup{})",
+            self.name, id, mean, stddev, ci_lo, ci_hi, bencher.iters, warmup_iters, extra
         );
     }
 
@@ -367,8 +456,8 @@ pub struct Criterion {
     default_iters: u64,
     save_baseline: Option<String>,
     baseline_name: Option<String>,
-    baseline: BTreeMap<String, f64>,
-    recorded: BTreeMap<String, f64>,
+    baseline: BTreeMap<String, BaselineEntry>,
+    recorded: BTreeMap<String, BaselineEntry>,
     /// Where baseline TSVs live; injectable so tests never have to mutate
     /// process-global environment variables.
     baseline_root: PathBuf,
@@ -532,16 +621,79 @@ mod tests {
         assert!(mean < ms(13));
     }
 
+    fn entry(mean: f64, ci_lo: f64, ci_hi: f64) -> BaselineEntry {
+        BaselineEntry { mean, ci_lo, ci_hi }
+    }
+
     #[test]
     fn baseline_format_round_trips_and_tolerates_garbage() {
         let mut map = BTreeMap::new();
-        map.insert("group/bench-a".to_string(), 1.25e-3);
-        map.insert("group/bench b/32".to_string(), 7.5e-9);
+        map.insert("group/bench-a".to_string(), entry(1.25e-3, 1.2e-3, 1.3e-3));
+        map.insert(
+            "group/bench b/32".to_string(),
+            entry(7.5e-9, 7.0e-9, 8.0e-9),
+        );
         let text = render_baseline(&map);
         assert_eq!(parse_baseline(&text), map);
         let mangled = format!("not a line\n{text}trailing\tNaN-ish\tx\n");
         assert_eq!(parse_baseline(&mangled), map);
         assert!(parse_baseline("").is_empty());
+    }
+
+    #[test]
+    fn legacy_two_column_baselines_still_parse() {
+        // Pre-CI baselines carried only the mean; they must load with the
+        // CI collapsed onto it rather than being dropped.
+        let map = parse_baseline("g/old\t2.5e-3\n");
+        assert_eq!(map.get("g/old"), Some(&entry(2.5e-3, 2.5e-3, 2.5e-3)));
+    }
+
+    #[test]
+    fn bootstrap_ci_brackets_the_mean_and_is_deterministic() {
+        let ms = Duration::from_millis;
+        let samples: Vec<Duration> = (0..20).map(|i| ms(10 + (i % 5))).collect();
+        let (mean, _) = mean_and_stddev(&samples);
+        let (lo, hi) = bootstrap_ci(&samples);
+        assert!(lo <= mean && mean <= hi, "{lo:?} !<= {mean:?} !<= {hi:?}");
+        assert!(lo >= ms(10) && hi <= ms(14), "CI outside the sample range");
+        // Deterministic: same samples, same interval.
+        assert_eq!(bootstrap_ci(&samples), (lo, hi));
+        // Identical samples collapse the interval to a point.
+        let flat = vec![ms(7); 12];
+        assert_eq!(bootstrap_ci(&flat), (ms(7), ms(7)));
+        // Degenerate inputs collapse to the mean.
+        assert_eq!(bootstrap_ci(&[]), (Duration::ZERO, Duration::ZERO));
+        assert_eq!(bootstrap_ci(&[ms(4)]), (ms(4), ms(4)));
+    }
+
+    #[test]
+    fn bootstrap_ci_narrows_with_more_samples() {
+        // Same spread, 4 vs 64 samples: the CI of the mean must shrink.
+        let ms = Duration::from_millis;
+        let small: Vec<Duration> = (0..4).map(|i| ms(10 + 10 * (i % 2))).collect();
+        let big: Vec<Duration> = (0..64).map(|i| ms(10 + 10 * (i % 2))).collect();
+        let width = |s: &[Duration]| {
+            let (lo, hi) = bootstrap_ci(s);
+            hi - lo
+        };
+        assert!(
+            width(&big) < width(&small),
+            "64-sample CI {:?} not narrower than 4-sample CI {:?}",
+            width(&big),
+            width(&small)
+        );
+    }
+
+    #[test]
+    fn xorshift_indices_are_in_bounds_and_spread() {
+        let mut rng = XorShift::new(42);
+        let mut seen = [false; 8];
+        for _ in 0..256 {
+            let i = rng.next_index(8);
+            assert!(i < 8);
+            seen[i] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "xorshift never hit some bucket");
     }
 
     /// A scratch baseline directory, injected directly (never via the
@@ -587,21 +739,21 @@ mod tests {
         let root = scratch_root("save");
         {
             let mut c = criterion_with(&["--save-baseline", "t"], &root);
-            c.recorded.insert("g/fast".into(), 1.0);
+            c.recorded.insert("g/fast".into(), entry(1.0, 0.9, 1.1));
             // Drop writes the file.
         }
         let loaded = parse_baseline(
             &std::fs::read_to_string(baseline_path(&root, "t")).expect("baseline written"),
         );
-        assert_eq!(loaded.get("g/fast"), Some(&1.0));
+        assert_eq!(loaded.get("g/fast"), Some(&entry(1.0, 0.9, 1.1)));
         // A second save merges rather than clobbers.
         {
             let mut c = criterion_with(&["--save-baseline", "t"], &root);
-            c.recorded.insert("g/slow".into(), 2.0);
+            c.recorded.insert("g/slow".into(), entry(2.0, 1.9, 2.1));
         }
         let c = criterion_with(&["--baseline", "t"], &root);
         assert_eq!(c.baseline.len(), 2);
-        assert_eq!(c.baseline.get("g/slow"), Some(&2.0));
+        assert_eq!(c.baseline.get("g/slow"), Some(&entry(2.0, 1.9, 2.1)));
         let _ = std::fs::remove_dir_all(&root);
     }
 
