@@ -1,0 +1,30 @@
+//! GEMM kernel family — the dense hot path every other bench sits on.
+//!
+//! One bench per (kernel, size) pair plus the serial blocked reference,
+//! so `--save-baseline gemm` / `--baseline gemm` track kernel regressions
+//! across commits. The acceptance bar from the microkernel rewrite:
+//! `packed/n=512` at least 2× faster than `blocked-serial/n=512`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use linview_matrix::{GemmKernel, Matrix};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm");
+    group.sample_size(10);
+    for &n in &[128usize, 256, 512] {
+        let a = Matrix::random_uniform(n, n, 1);
+        let b = Matrix::random_uniform(n, n, 2);
+        group.bench_function(format!("blocked-serial/n={n}"), |bch| {
+            bch.iter(|| a.matmul_serial(&b).expect("shapes conform"))
+        });
+        for kernel in GemmKernel::ALL {
+            group.bench_function(format!("{kernel}/n={n}"), |bch| {
+                bch.iter(|| a.matmul_with(&b, kernel).expect("shapes conform"))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

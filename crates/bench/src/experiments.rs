@@ -16,7 +16,7 @@ use linview_apps::IterModel;
 use linview_compiler::CompileOptions;
 use linview_dist::{dist_matmul, Cluster, DistMatrix};
 use linview_expr::DeltaOptions;
-use linview_matrix::{flops, Matrix};
+use linview_matrix::{flops, GemmKernel, Matrix};
 use linview_runtime::{
     DistBackend, Env, Evaluator, ExecBackend, FlushPolicy, IncrementalView, MaintenanceEngine,
     ThreadedBackend, UpdateStream,
@@ -686,6 +686,53 @@ pub fn scheduler(cfg: &Config) -> Table {
     t
 }
 
+/// GEMM — the tuned dense hot path in isolation: every [`GemmKernel`] at
+/// several square sizes, GFLOP/s, and speedup over the serial blocked
+/// kernel that used to be the hot path. The Criterion twin
+/// (`benches/gemm_kernels.rs`) adds `--save-baseline` regression
+/// tracking; this table is the harness-readable summary.
+pub fn gemm(cfg: &Config) -> Table {
+    let mut t = Table::new(
+        format!(
+            "GEMM kernels - GFLOP/s by kernel and size (threads = {})",
+            linview_matrix::gemm_threads()
+        ),
+        &["n", "kernel", "time", "GFLOP/s", "vs blocked-serial"],
+    );
+    for &n in &[cfg.n / 2, cfg.n, cfg.n * 2] {
+        let a = Matrix::random_uniform(n, n, 91);
+        let b = Matrix::random_uniform(n, n, 92);
+        let ops = 2 * (n as u64).pow(3);
+        let serial = avg_time(cfg.updates, || {
+            a.matmul_serial(&b).expect("shapes conform");
+        });
+        t.row(vec![
+            n.to_string(),
+            "blocked-serial".into(),
+            fmt_duration(serial),
+            format!("{:.2}", flops::gflops(ops, serial)),
+            "1.00x".into(),
+        ]);
+        for kernel in GemmKernel::ALL {
+            let d = avg_time(cfg.updates, || {
+                a.matmul_with(&b, kernel).expect("shapes conform");
+            });
+            t.row(vec![
+                n.to_string(),
+                kernel.label().into(),
+                fmt_duration(d),
+                format!("{:.2}", flops::gflops(ops, d)),
+                fmt_speedup(serial, d),
+            ]);
+        }
+    }
+    t.note(
+        "packed is the default try_matmul path; the acceptance bar is packed >= 2x \
+         blocked-serial at n = 512 (see the saved 'gemm' criterion baseline)",
+    );
+    t
+}
+
 /// Ablations — the design-choice studies DESIGN.md calls out, as printable
 /// tables (the Criterion versions live in `benches/ablation_*.rs`).
 pub fn ablations(cfg: &Config) -> Vec<Table> {
@@ -975,6 +1022,7 @@ pub fn all(cfg: &Config) -> Vec<Table> {
         table4(cfg),
         engine_batching(cfg),
         scheduler(cfg),
+        gemm(cfg),
     ]
 }
 
@@ -994,6 +1042,7 @@ pub fn by_name(name: &str, cfg: &Config) -> Option<Vec<Table>> {
         "table4" => vec![table4(cfg)],
         "engine" => vec![engine_batching(cfg)],
         "scheduler" => vec![scheduler(cfg)],
+        "gemm" => vec![gemm(cfg)],
         "ablations" => ablations(cfg),
         "extensions" => extensions(cfg),
         "all" => {
@@ -1023,6 +1072,7 @@ mod tests {
             "table4",
             "engine",
             "scheduler",
+            "gemm",
         ] {
             let tables = by_name(name, &cfg).expect("known experiment");
             for t in tables {

@@ -55,6 +55,17 @@ pub fn clear_labels() {
     registry().lock().clear();
 }
 
+/// Throughput in GFLOP/s for `ops` floating-point operations over `wall`
+/// time (0 when the interval is empty) — the unit the kernel benchmarks
+/// report.
+pub fn gflops(ops: u64, wall: std::time::Duration) -> f64 {
+    let secs = wall.as_secs_f64();
+    if secs <= 0.0 {
+        return 0.0;
+    }
+    ops as f64 / secs / 1e9
+}
+
 /// RAII scope measuring the FLOPs executed between construction and
 /// [`FlopScope::finish`] (or drop).
 ///
@@ -105,6 +116,13 @@ mod tests {
         add(1000);
         assert!(s.elapsed() >= 1000);
         assert!(s.finish() >= 1000);
+    }
+
+    #[test]
+    fn gflops_handles_zero_intervals() {
+        use std::time::Duration;
+        assert_eq!(gflops(1_000, Duration::ZERO), 0.0);
+        assert!((gflops(2_000_000_000, Duration::from_secs(1)) - 2.0).abs() < 1e-12);
     }
 
     #[test]

@@ -1,0 +1,482 @@
+//! Packed, register-blocked GEMM — the tuned dense hot path.
+//!
+//! Every cost the paper compares — `O(nᵞ)` re-evaluation, `O(kn²)` rank-k
+//! view folds, Strassen's base case — bottoms out in this multiply. The
+//! kernel follows the BLIS/GotoBLAS design:
+//!
+//! 1. a three-level loop nest walks `C` in `NC`-wide column slabs (L3),
+//!    `KC`-deep rank updates (packed `B` slab stays L2/L3-resident) and
+//!    `MC`-tall row panels (packed `A` panel stays L2-resident);
+//! 2. the `pack` module rewrites both operands into zero-padded
+//!    micro-panels so the inner loop is branch-free and unit-stride;
+//! 3. an `MR×NR` register-tile microkernel with fixed trip counts does the
+//!    arithmetic — LLVM fully unrolls and auto-vectorizes it, no
+//!    intrinsics required.
+//!
+//! Parallelism comes from splitting the `M` dimension into `MR`-aligned
+//! row bands executed on the persistent `pool` module — each band
+//! runs the identical serial loop nest over its own rows, so the parallel
+//! product is **bit-identical** to the serial one for every thread count,
+//! and results are reproducible run-to-run by construction.
+//!
+//! [`GemmKernel`] names the whole kernel family; the process-wide default
+//! (used by [`Matrix::try_matmul`]) is `Packed` and can be overridden
+//! programmatically ([`set_default_kernel`]) or with the `LINVIEW_GEMM`
+//! environment variable; thread count follows [`set_gemm_threads`] /
+//! `LINVIEW_THREADS`.
+
+use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+use crate::pack::{pack_a, pack_b};
+use crate::{flops, pool, Matrix, MatrixError, Result};
+
+/// Microkernel tile height (rows of `C` held in registers).
+pub const MR: usize = 6;
+/// Microkernel tile width (columns of `C` held in registers).
+pub const NR: usize = 8;
+/// Rows of `A` packed per L2-resident panel.
+const MC: usize = 128;
+/// Depth of one packed rank-`KC` update.
+const KC: usize = 256;
+/// Columns of `B` packed per outer slab.
+const NC: usize = 2048;
+
+/// Products with at least this many multiply-adds fan out across the
+/// worker pool; below it, thread handoff costs more than it saves.
+pub(crate) const PARALLEL_THRESHOLD: usize = 96 * 96 * 96;
+
+/// Below this many multiply-adds the packing passes cost more than they
+/// save and the dispatcher falls back to the plain blocked kernel
+/// (measured crossover on the bench host: ~48³).
+pub(crate) const PACKED_MIN_WORK: usize = 48 * 48 * 48;
+
+/// The dense multiplication kernels selectable at runtime.
+///
+/// All variants compute the same product; they differ in constants and in
+/// floating-point accumulation *grouping* (every kernel sums `k` in
+/// increasing index order, so results agree to roundoff and are each
+/// individually deterministic).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum GemmKernel {
+    /// Textbook `i-j-p` triple loop; the oracle the others are tested
+    /// against.
+    Naive,
+    /// Cache-blocked `i-k-j` kernel (row bands on the pool above the
+    /// parallel threshold) — the pre-packing hot path, kept for ablation.
+    Blocked,
+    /// Packed register-blocked microkernel (this module); the default.
+    #[default]
+    Packed,
+    /// Strassen recursion (`γ = log₂ 7`) for square operands, its base
+    /// case routed through the packed kernel; non-square shapes fall back
+    /// to `Packed`.
+    Strassen,
+}
+
+impl GemmKernel {
+    /// Every kernel, in oracle-to-fastest order (as benched and tested).
+    pub const ALL: [GemmKernel; 4] = [
+        GemmKernel::Naive,
+        GemmKernel::Blocked,
+        GemmKernel::Packed,
+        GemmKernel::Strassen,
+    ];
+
+    /// Lower-case kernel name (CLI flag / `LINVIEW_GEMM` spelling).
+    pub fn label(self) -> &'static str {
+        match self {
+            GemmKernel::Naive => "naive",
+            GemmKernel::Blocked => "blocked",
+            GemmKernel::Packed => "packed",
+            GemmKernel::Strassen => "strassen",
+        }
+    }
+
+    /// Parses a kernel name as accepted by `LINVIEW_GEMM` and `--gemm`.
+    pub fn parse(name: &str) -> Option<GemmKernel> {
+        match name.trim().to_ascii_lowercase().as_str() {
+            "naive" => Some(GemmKernel::Naive),
+            "blocked" => Some(GemmKernel::Blocked),
+            "packed" => Some(GemmKernel::Packed),
+            "strassen" => Some(GemmKernel::Strassen),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for GemmKernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Sentinel for "no programmatic kernel override".
+const KERNEL_UNSET: u8 = u8::MAX;
+static KERNEL_OVERRIDE: AtomicU8 = AtomicU8::new(KERNEL_UNSET);
+/// `LINVIEW_GEMM`, read once per process.
+static ENV_KERNEL: OnceLock<Option<GemmKernel>> = OnceLock::new();
+
+/// Sentinel 0 = "no programmatic thread override".
+static THREADS_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+/// `LINVIEW_THREADS`, read once per process.
+static ENV_THREADS: OnceLock<Option<usize>> = OnceLock::new();
+
+fn encode(k: GemmKernel) -> u8 {
+    match k {
+        GemmKernel::Naive => 0,
+        GemmKernel::Blocked => 1,
+        GemmKernel::Packed => 2,
+        GemmKernel::Strassen => 3,
+    }
+}
+
+fn decode(v: u8) -> Option<GemmKernel> {
+    GemmKernel::ALL.into_iter().find(|&k| encode(k) == v)
+}
+
+/// The kernel [`Matrix::try_matmul`] dispatches to.
+///
+/// Precedence: the last [`set_default_kernel`] call, else `LINVIEW_GEMM`
+/// (read once per process; unknown values are ignored), else
+/// [`GemmKernel::Packed`].
+pub fn default_kernel() -> GemmKernel {
+    if let Some(k) = decode(KERNEL_OVERRIDE.load(Ordering::Relaxed)) {
+        return k;
+    }
+    ENV_KERNEL
+        .get_or_init(|| {
+            std::env::var("LINVIEW_GEMM")
+                .ok()
+                .as_deref()
+                .and_then(GemmKernel::parse)
+        })
+        .unwrap_or_default()
+}
+
+/// Overrides the process-wide default kernel (`None` restores the
+/// `LINVIEW_GEMM` / built-in default).
+pub fn set_default_kernel(kernel: Option<GemmKernel>) {
+    let v = kernel.map(encode).unwrap_or(KERNEL_UNSET);
+    KERNEL_OVERRIDE.store(v, Ordering::Relaxed);
+}
+
+/// The thread budget parallel kernels may use.
+///
+/// Precedence: the last [`set_gemm_threads`] call, else `LINVIEW_THREADS`
+/// (read once per process; non-numeric or zero values are ignored), else
+/// the machine's available parallelism. Always ≥ 1. The answer only
+/// affects wall-clock: row-band parallelism makes every thread count
+/// produce bit-identical results.
+pub fn gemm_threads() -> usize {
+    let forced = THREADS_OVERRIDE.load(Ordering::Relaxed);
+    if forced > 0 {
+        return forced;
+    }
+    ENV_THREADS
+        .get_or_init(|| {
+            std::env::var("LINVIEW_THREADS")
+                .ok()
+                .and_then(|v| v.trim().parse::<usize>().ok())
+                .filter(|&n| n > 0)
+        })
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        })
+}
+
+/// Overrides the GEMM thread budget (`None` restores the `LINVIEW_THREADS`
+/// / auto default; `Some(0)` is treated as `Some(1)`).
+pub fn set_gemm_threads(threads: Option<usize>) {
+    THREADS_OVERRIDE.store(threads.map(|n| n.max(1)).unwrap_or(0), Ordering::Relaxed);
+}
+
+/// Serializes unit tests that mutate process-wide kernel state (the
+/// kernel/thread overrides and the global FLOP counter), so they cannot
+/// race each other under the default parallel test runner.
+#[cfg(test)]
+pub(crate) fn test_config_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// The `MR×NR` register-tile loop: a full-depth dot-product block over
+/// one packed `A` micro-panel (`kc·MR` values) and one packed `B`
+/// micro-panel (`kc·NR` values). Fixed trip counts let LLVM fully unroll
+/// the tile and keep `acc` in vector registers; the arithmetic is plain
+/// mul-then-add (never fused), so every instruction-set rendering of this
+/// body computes bit-identical results.
+#[inline(always)]
+fn microkernel_body(ap: &[f64], bp: &[f64]) -> [[f64; NR]; MR] {
+    let mut acc = [[0.0f64; NR]; MR];
+    for (a, b) in ap.chunks_exact(MR).zip(bp.chunks_exact(NR)) {
+        for (arow, &ai) in acc.iter_mut().zip(a) {
+            for (o, &bv) in arow.iter_mut().zip(b) {
+                *o += ai * bv;
+            }
+        }
+    }
+    acc
+}
+
+/// [`microkernel_body`] compiled for AVX2: the 6×8 f64 tile fits in
+/// twelve ymm accumulators instead of spilling twenty-four xmm ones. FMA
+/// is *not* enabled — Rust never contracts `a*b + c`, so this path is
+/// bit-identical to the baseline rendering (asserted in tests).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx,avx2")]
+unsafe fn microkernel_avx2(ap: &[f64], bp: &[f64]) -> [[f64; NR]; MR] {
+    microkernel_body(ap, bp)
+}
+
+/// Picks the widest microkernel rendering the host supports (decided once
+/// per process; the choice affects speed only, never output bits).
+#[inline]
+fn microkernel(ap: &[f64], bp: &[f64]) -> [[f64; NR]; MR] {
+    #[cfg(target_arch = "x86_64")]
+    {
+        static AVX2: OnceLock<bool> = OnceLock::new();
+        if *AVX2.get_or_init(|| std::arch::is_x86_feature_detected!("avx2")) {
+            // SAFETY: gated on runtime AVX2 detection.
+            return unsafe { microkernel_avx2(ap, bp) };
+        }
+    }
+    microkernel_body(ap, bp)
+}
+
+/// The serial packed loop nest over one row band: computes
+/// `C[r0..r0+mc_total][..] += A[r0..r0+mc_total][..] · B` into `out`, a
+/// row-major `mc_total × n` buffer.
+fn packed_band(a: &Matrix, b: &Matrix, out: &mut [f64], r0: usize, mc_total: usize) {
+    let k = a.cols();
+    let n = b.cols();
+    let mut abuf = Vec::new();
+    let mut bbuf = Vec::new();
+    for jc in (0..n).step_by(NC) {
+        let nc = NC.min(n - jc);
+        for pc in (0..k).step_by(KC) {
+            let kc = KC.min(k - pc);
+            pack_b(b, pc, kc, jc, nc, NR, &mut bbuf);
+            for ic in (0..mc_total).step_by(MC) {
+                let mc = MC.min(mc_total - ic);
+                pack_a(a, r0 + ic, mc, pc, kc, MR, &mut abuf);
+                for jr in (0..nc).step_by(NR) {
+                    let nr = NR.min(nc - jr);
+                    let bp = &bbuf[(jr / NR) * kc * NR..][..kc * NR];
+                    for ir in (0..mc).step_by(MR) {
+                        let mr = MR.min(mc - ir);
+                        let ap = &abuf[(ir / MR) * kc * MR..][..kc * MR];
+                        let acc = microkernel(ap, bp);
+                        for (i, arow) in acc.iter().enumerate().take(mr) {
+                            let row = &mut out[(ic + ir + i) * n + jc + jr..][..nr];
+                            for (o, &v) in row.iter_mut().zip(arow) {
+                                *o += v;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The packed product `a · b` (shapes already validated, FLOPs already
+/// counted by the caller). Fans row bands out across the persistent pool
+/// when the product is heavy and more than one thread is budgeted; the
+/// result is bit-identical for every thread count.
+pub(crate) fn packed_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    let (m, k) = a.shape();
+    let n = b.cols();
+    let mut out = Matrix::zeros(m, n);
+    let bands = m.div_ceil(MR).max(1);
+    let threads = gemm_threads().min(bands);
+    if threads <= 1 || m * k * n < PARALLEL_THRESHOLD {
+        packed_band(a, b, out.as_mut_slice(), 0, m);
+        return out;
+    }
+    // MR-aligned row bands: each band's serial loop nest touches exactly
+    // the accumulation chain the single-threaded nest would, so the split
+    // never changes a bit of the output.
+    let band = m.div_ceil(threads).div_ceil(MR) * MR;
+    let mut tasks: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::new();
+    let mut rest = out.as_mut_slice();
+    let mut r0 = 0;
+    while r0 < m {
+        let h = band.min(m - r0);
+        let (head, tail) = rest.split_at_mut(h * n);
+        tasks.push(Box::new(move || packed_band(a, b, head, r0, h)));
+        rest = tail;
+        r0 += h;
+    }
+    pool::run_scoped(tasks);
+    out
+}
+
+impl Matrix {
+    /// General matrix product through an explicit [`GemmKernel`].
+    ///
+    /// `Naive`, `Blocked` and `Packed` run exactly the named kernel
+    /// (no size-based dispatch — this is the differential-testing entry
+    /// point) and count `2·m·k·n` FLOPs. `Strassen` requires square,
+    /// equally-shaped operands to recurse (counting its own, fewer, FLOPs)
+    /// and otherwise falls back to the packed kernel.
+    pub fn matmul_with(&self, rhs: &Matrix, kernel: GemmKernel) -> Result<Matrix> {
+        if self.cols() != rhs.rows() {
+            return Err(MatrixError::DimMismatch {
+                op: "matmul",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        match kernel {
+            GemmKernel::Strassen if self.is_square() && self.shape() == rhs.shape() => {
+                self.matmul_strassen(rhs)
+            }
+            GemmKernel::Naive => {
+                flops::add((2 * self.rows() * self.cols() * rhs.cols()) as u64);
+                Ok(naive_matmul(self, rhs))
+            }
+            GemmKernel::Blocked => {
+                flops::add((2 * self.rows() * self.cols() * rhs.cols()) as u64);
+                Ok(self.blocked_matmul_auto(rhs))
+            }
+            GemmKernel::Packed | GemmKernel::Strassen => {
+                flops::add((2 * self.rows() * self.cols() * rhs.cols()) as u64);
+                Ok(packed_matmul(self, rhs))
+            }
+        }
+    }
+
+    /// The packed register-blocked product (counts `2·m·k·n` FLOPs).
+    /// Equivalent to [`Matrix::matmul_with`] with [`GemmKernel::Packed`].
+    pub fn matmul_packed(&self, rhs: &Matrix) -> Result<Matrix> {
+        self.matmul_with(rhs, GemmKernel::Packed)
+    }
+}
+
+/// Textbook `i-j-p` product — the f64 oracle.
+pub(crate) fn naive_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    let (m, k) = a.shape();
+    let n = b.cols();
+    let mut out = Matrix::zeros(m, n);
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0;
+            for p in 0..k {
+                acc += a.get(i, p) * b.get(p, j);
+            }
+            out.set(i, j, acc);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ApproxEq;
+
+    #[test]
+    fn kernel_labels_roundtrip_through_parse() {
+        for k in GemmKernel::ALL {
+            assert_eq!(GemmKernel::parse(k.label()), Some(k));
+            assert_eq!(GemmKernel::parse(&k.label().to_uppercase()), Some(k));
+        }
+        assert_eq!(GemmKernel::parse("turbo"), None);
+        assert_eq!(format!("{}", GemmKernel::Packed), "packed");
+    }
+
+    #[test]
+    fn default_kernel_override_wins_and_resets() {
+        let _guard = test_config_lock();
+        let before = default_kernel();
+        set_default_kernel(Some(GemmKernel::Naive));
+        assert_eq!(default_kernel(), GemmKernel::Naive);
+        set_default_kernel(None);
+        assert_eq!(default_kernel(), before);
+    }
+
+    #[test]
+    fn thread_override_wins_and_resets() {
+        let _guard = test_config_lock();
+        set_gemm_threads(Some(3));
+        assert_eq!(gemm_threads(), 3);
+        set_gemm_threads(Some(0));
+        assert_eq!(gemm_threads(), 1);
+        set_gemm_threads(None);
+        assert!(gemm_threads() >= 1);
+    }
+
+    #[test]
+    fn packed_matches_naive_on_rectangular_shapes() {
+        for (m, k, n, seed) in [
+            (17, 33, 9, 1),
+            (64, 64, 64, 2),
+            (5, 200, 3, 3),
+            (1, 1, 1, 4),
+        ] {
+            let a = Matrix::random_uniform(m, k, seed);
+            let b = Matrix::random_uniform(k, n, seed + 100);
+            let packed = a.matmul_packed(&b).unwrap();
+            let oracle = naive_matmul(&a, &b);
+            assert!(packed.approx_eq(&oracle, 1e-10), "{m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn packed_handles_empty_dimensions() {
+        let a = Matrix::zeros(0, 5);
+        let b = Matrix::zeros(5, 4);
+        assert_eq!(a.matmul_packed(&b).unwrap().shape(), (0, 4));
+        let a = Matrix::zeros(3, 0);
+        let b = Matrix::zeros(0, 2);
+        let c = a.matmul_packed(&b).unwrap();
+        assert_eq!(c.shape(), (3, 2));
+        assert!(c.as_slice().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn packed_parallel_is_bit_identical_to_serial() {
+        let _guard = test_config_lock();
+        // Past the parallel threshold so the pool path actually runs.
+        let n = 128;
+        let a = Matrix::random_uniform(n, n, 7);
+        let b = Matrix::random_uniform(n, n, 8);
+        set_gemm_threads(Some(1));
+        let serial = a.matmul_packed(&b).unwrap();
+        set_gemm_threads(Some(4));
+        let parallel = a.matmul_packed(&b).unwrap();
+        set_gemm_threads(None);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn matmul_with_counts_exact_flops_for_cubic_kernels() {
+        let _guard = test_config_lock();
+        let a = Matrix::random_uniform(13, 21, 9);
+        let b = Matrix::random_uniform(21, 7, 10);
+        for kernel in [GemmKernel::Naive, GemmKernel::Blocked, GemmKernel::Packed] {
+            let before = flops::read();
+            a.matmul_with(&b, kernel).unwrap();
+            assert_eq!(flops::read() - before, 2 * 13 * 21 * 7, "{kernel}");
+        }
+    }
+
+    #[test]
+    fn strassen_kernel_falls_back_to_packed_on_rectangular() {
+        let a = Matrix::random_uniform(12, 20, 11);
+        let b = Matrix::random_uniform(20, 6, 12);
+        let via_strassen = a.matmul_with(&b, GemmKernel::Strassen).unwrap();
+        assert!(via_strassen.approx_eq(&naive_matmul(&a, &b), 1e-10));
+    }
+
+    #[test]
+    fn matmul_with_rejects_dim_mismatch_for_every_kernel() {
+        let a = Matrix::zeros(2, 3);
+        for kernel in GemmKernel::ALL {
+            assert!(a.matmul_with(&a, kernel).is_err(), "{kernel}");
+        }
+    }
+}

@@ -7,8 +7,10 @@
 //! the from-scratch replacement substrate. It provides exactly the primitives
 //! the paper's computational model needs:
 //!
-//! * `O(n^γ)` dense matrix multiplication (blocked, optionally multi-threaded)
-//!   — the cost that re-evaluation pays per iteration;
+//! * `O(n^γ)` dense matrix multiplication — a packed, register-blocked
+//!   GEMM microkernel with a pluggable kernel family ([`GemmKernel`]) and a
+//!   persistent worker pool — the cost that re-evaluation pays per
+//!   iteration;
 //! * `O(n^γ)` LU-based inversion — the cost OLS re-evaluation pays;
 //! * `O(kn^2)` skinny products (matvec, outer products, `(n×k)·(k×n)` block
 //!   products) — the cost incremental maintenance pays;
@@ -38,9 +40,12 @@ mod decomp;
 mod dense;
 mod error;
 pub mod flops;
+pub mod gemm;
 mod matmul;
 mod norms;
 mod ops;
+mod pack;
+mod pool;
 mod qr;
 mod random;
 mod strassen;
@@ -52,6 +57,7 @@ pub use compress::{recompress, Recompressed};
 pub use decomp::Lu;
 pub use dense::Matrix;
 pub use error::MatrixError;
+pub use gemm::{default_kernel, gemm_threads, set_default_kernel, set_gemm_threads, GemmKernel};
 pub use norms::ApproxEq;
 pub use qr::Qr;
 pub use strassen::STRASSEN_GAMMA;

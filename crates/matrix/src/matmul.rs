@@ -1,29 +1,31 @@
-//! Matrix multiplication kernels.
+//! Matrix multiplication entry points.
 //!
-//! Three tiers, all `O(m·k·n)` multiply-adds but with very different
-//! constants:
+//! The actual kernels live in [`gemm`](crate::gemm) (packed
+//! register-blocked microkernel, the default), this module (cache-blocked
+//! `i-k-j` and the row-band parallel wrapper over the persistent worker
+//! pool) and [`strassen`](crate::Matrix::matmul_strassen). Dispatch:
 //!
-//! * [`Matrix::try_matmul`] — the public entry point. Dispatches to the
-//!   parallel blocked kernel above a size threshold, otherwise runs the
-//!   serial blocked kernel.
-//! * [`Matrix::matmul_serial`] — cache-blocked `i-k-j` kernel.
-//! * [`Matrix::matmul_parallel`] — row-band parallelism over
-//!   `std::thread::scope`, mirroring how the paper's Octave backend exploits
-//!   multi-threaded BLAS for the `O(nᵞ)` re-evaluation cost.
+//! * [`Matrix::try_matmul`] — the public entry point. Routes through the
+//!   process-wide default [`GemmKernel`](crate::GemmKernel) (`Packed`
+//!   unless overridden via [`crate::set_default_kernel`] / `LINVIEW_GEMM`)
+//!   with size-based fallbacks: products too small to amortize packing run
+//!   the serial blocked kernel instead.
+//! * [`Matrix::matmul_with`](crate::Matrix::matmul_with) — explicit kernel
+//!   choice, no size dispatch (the differential suite's entry point).
+//! * [`Matrix::matmul_serial`] / [`Matrix::matmul_parallel`] — the blocked
+//!   kernel pinned serial / row-band parallel, kept for ablation.
 //!
-//! Skinny products (`matvec`, `outer`) are the `O(n²)`-class primitives that
-//! incremental maintenance is built from.
+//! Skinny products (`matvec`, `outer`) are the `O(n²)`-class primitives
+//! that incremental maintenance is built from.
 
-use crate::{flops, Matrix, MatrixError, Result};
+use crate::gemm::{self, GemmKernel};
+use crate::{flops, pool, Matrix, MatrixError, Result};
 
-/// Products with at least this many multiply-adds use the threaded kernel.
-const PARALLEL_THRESHOLD: usize = 96 * 96 * 96;
-
-/// Cache block edge for the serial kernel.
+/// Cache block edge for the serial blocked kernel.
 const BLOCK: usize = 64;
 
 impl Matrix {
-    /// General matrix product `self · rhs`.
+    /// General matrix product `self · rhs` through the default kernel.
     pub fn try_matmul(&self, rhs: &Matrix) -> Result<Matrix> {
         if self.cols() != rhs.rows() {
             return Err(MatrixError::DimMismatch {
@@ -33,12 +35,16 @@ impl Matrix {
             });
         }
         let work = self.rows() * self.cols() * rhs.cols();
-        flops::add((2 * work) as u64);
-        if work >= PARALLEL_THRESHOLD {
-            Ok(self.matmul_parallel_impl(rhs))
-        } else {
-            Ok(self.matmul_serial_impl(rhs))
+        let kernel = gemm::default_kernel();
+        // Size-based fallback: packing three buffers for a tiny or
+        // vector-shaped product costs more than the multiply. The blocked
+        // kernel keeps its own serial/parallel gate, so large skinny
+        // products still fan out across the pool.
+        if kernel == GemmKernel::Packed && (work < gemm::PACKED_MIN_WORK || rhs.cols() < gemm::NR) {
+            flops::add((2 * work) as u64);
+            return Ok(self.blocked_matmul_auto(rhs));
         }
+        self.matmul_with(rhs, kernel)
     }
 
     /// Serial cache-blocked product (for benchmarking the kernels in
@@ -55,7 +61,7 @@ impl Matrix {
         Ok(self.matmul_serial_impl(rhs))
     }
 
-    /// Threaded product (row bands across all available cores).
+    /// Blocked product with row bands on the persistent worker pool.
     pub fn matmul_parallel(&self, rhs: &Matrix) -> Result<Matrix> {
         if self.cols() != rhs.rows() {
             return Err(MatrixError::DimMismatch {
@@ -79,39 +85,36 @@ impl Matrix {
     fn matmul_parallel_impl(&self, rhs: &Matrix) -> Matrix {
         let (m, k) = self.shape();
         let n = rhs.cols();
-        let threads = std::thread::available_parallelism()
-            .map(|t| t.get())
-            .unwrap_or(1)
-            .min(m.max(1));
+        let threads = gemm::gemm_threads().min(m.max(1));
         if threads <= 1 {
             return self.matmul_serial_impl(rhs);
         }
         let mut out = Matrix::zeros(m, n);
         let band = m.div_ceil(threads);
-        {
-            let out_slice = out.as_mut_slice();
-            let bands: Vec<(usize, usize, &mut [f64])> = {
-                let mut v = Vec::new();
-                let mut rest = out_slice;
-                let mut r0 = 0;
-                while r0 < m {
-                    let h = band.min(m - r0);
-                    let (head, tail) = rest.split_at_mut(h * n);
-                    v.push((r0, h, head));
-                    rest = tail;
-                    r0 += h;
-                }
-                v
-            };
-            std::thread::scope(|s| {
-                for (r0, h, chunk) in bands {
-                    s.spawn(move || {
-                        mul_band(self, rhs, chunk, r0, h, k, n);
-                    });
-                }
-            });
+        // Row bands accumulate disjoint output rows in the same per-element
+        // order as the serial kernel, so any thread count is bit-identical.
+        let mut tasks: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::new();
+        let mut rest = out.as_mut_slice();
+        let mut r0 = 0;
+        while r0 < m {
+            let h = band.min(m - r0);
+            let (head, tail) = rest.split_at_mut(h * n);
+            tasks.push(Box::new(move || mul_into(self, rhs, head, r0, h, k, n)));
+            rest = tail;
+            r0 += h;
         }
+        pool::run_scoped(tasks);
         out
+    }
+
+    /// Blocked kernel with the historical size gate: serial below the
+    /// parallel threshold, row-band parallel above it.
+    pub(crate) fn blocked_matmul_auto(&self, rhs: &Matrix) -> Matrix {
+        if self.rows() * self.cols() * rhs.cols() >= gemm::PARALLEL_THRESHOLD {
+            self.matmul_parallel_impl(rhs)
+        } else {
+            self.matmul_serial_impl(rhs)
+        }
     }
 
     /// Matrix–vector product `self · v` where `v` is `k×1`; `O(mk)`.
@@ -199,11 +202,6 @@ impl Matrix {
     }
 }
 
-/// Multiplies rows `[r0, r0+h)` of `a` by `b` into `out` (an `h×n` buffer).
-fn mul_band(a: &Matrix, b: &Matrix, out: &mut [f64], r0: usize, h: usize, k: usize, n: usize) {
-    mul_into(a, b, out, r0, h, k, n);
-}
-
 /// Cache-blocked i-k-j kernel writing `a[r0..r0+h] · b` into `out`.
 fn mul_into(a: &Matrix, b: &Matrix, out: &mut [f64], r0: usize, h: usize, k: usize, n: usize) {
     for kb in (0..k).step_by(BLOCK) {
@@ -279,6 +277,33 @@ mod tests {
     }
 
     #[test]
+    fn parallel_is_bit_identical_to_serial_for_any_thread_count() {
+        let _guard = gemm::test_config_lock();
+        let a = Matrix::random_uniform(97, 64, 11);
+        let b = Matrix::random_uniform(64, 55, 12);
+        let s = a.matmul_serial(&b).unwrap();
+        for threads in [1, 2, 5] {
+            gemm::set_gemm_threads(Some(threads));
+            assert_eq!(a.matmul_parallel(&b).unwrap(), s, "threads = {threads}");
+        }
+        gemm::set_gemm_threads(None);
+    }
+
+    #[test]
+    fn try_matmul_dispatches_every_default_kernel() {
+        let _guard = gemm::test_config_lock();
+        let a = Matrix::random_uniform(40, 40, 13);
+        let b = Matrix::random_uniform(40, 40, 14);
+        let oracle = naive(&a, &b);
+        for kernel in GemmKernel::ALL {
+            gemm::set_default_kernel(Some(kernel));
+            let c = a.try_matmul(&b).unwrap();
+            assert!(c.approx_eq(&oracle, 1e-10), "{kernel}");
+        }
+        gemm::set_default_kernel(None);
+    }
+
+    #[test]
     fn identity_is_neutral() {
         let a = Matrix::random_uniform(20, 20, 5);
         let i = Matrix::identity(20);
@@ -318,6 +343,7 @@ mod tests {
 
     #[test]
     fn matmul_counts_flops() {
+        let _guard = gemm::test_config_lock();
         let a = Matrix::identity(10);
         let before = flops::read();
         let _ = a.try_matmul(&a).unwrap();

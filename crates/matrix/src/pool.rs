@@ -1,0 +1,202 @@
+//! A persistent, process-wide worker pool for the dense kernels.
+//!
+//! The original parallel matmul spawned OS threads through
+//! `std::thread::scope` on every call — microseconds of setup per product,
+//! paid again on every trigger firing. This pool spawns its workers once
+//! (lazily, on the first parallel product) and keeps them parked on a
+//! shared job channel, so a parallel GEMM costs one channel send per band
+//! instead of one `clone(2)` per band.
+//!
+//! [`run_scoped`] is the only entry point: it takes a batch of closures
+//! that may borrow local data, runs one on the calling thread and the rest
+//! on the pool, and **blocks until every closure has finished** — that
+//! barrier is what makes handing non-`'static` borrows to long-lived
+//! workers sound. Panics inside a task are caught on the worker and
+//! re-raised on the caller after the barrier, so a poisoned product cannot
+//! leave a detached thread writing into a freed buffer.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// A type-erased pool job. Lifetimes are erased in [`run_scoped`]; the
+/// completion barrier restores the borrow discipline.
+type Job = Box<dyn FnOnce() + Send>;
+
+struct Pool {
+    queue: Mutex<VecDeque<Job>>,
+    available: Condvar,
+    spawned: AtomicUsize,
+}
+
+fn pool() -> &'static Pool {
+    static POOL: OnceLock<Pool> = OnceLock::new();
+    POOL.get_or_init(|| Pool {
+        queue: Mutex::new(VecDeque::new()),
+        available: Condvar::new(),
+        spawned: AtomicUsize::new(0),
+    })
+}
+
+/// Grows the pool to at least `want` parked workers (never shrinks — the
+/// pool is shared by every kernel invocation for the process lifetime).
+fn ensure_workers(want: usize) {
+    let p = pool();
+    loop {
+        let cur = p.spawned.load(Ordering::Acquire);
+        if cur >= want {
+            return;
+        }
+        if p.spawned
+            .compare_exchange(cur, cur + 1, Ordering::AcqRel, Ordering::Acquire)
+            .is_err()
+        {
+            continue;
+        }
+        std::thread::Builder::new()
+            .name(format!("linview-gemm-{cur}"))
+            .spawn(|| {
+                let p = pool();
+                loop {
+                    let job = {
+                        let mut q = p.queue.lock().expect("gemm pool queue poisoned");
+                        loop {
+                            if let Some(job) = q.pop_front() {
+                                break job;
+                            }
+                            q = p.available.wait(q).expect("gemm pool queue poisoned");
+                        }
+                    };
+                    job();
+                }
+            })
+            .expect("spawning a gemm pool worker");
+    }
+}
+
+/// Synchronization record for one `run_scoped` batch.
+struct Batch {
+    remaining: Mutex<usize>,
+    done: Condvar,
+    panicked: AtomicBool,
+}
+
+/// Runs every task to completion, the first on the calling thread and the
+/// rest on the persistent pool, then returns. Tasks may borrow from the
+/// caller's stack: the function does not return (or unwind) until all of
+/// them have finished, and a panic in any task is re-raised here.
+pub(crate) fn run_scoped<'scope>(mut tasks: Vec<Box<dyn FnOnce() + Send + 'scope>>) {
+    let Some(local) = tasks.pop() else { return };
+    if tasks.is_empty() {
+        return local();
+    }
+    ensure_workers(tasks.len());
+    let batch = Arc::new(Batch {
+        remaining: Mutex::new(tasks.len()),
+        done: Condvar::new(),
+        panicked: AtomicBool::new(false),
+    });
+    let p = pool();
+    {
+        let mut q = p.queue.lock().expect("gemm pool queue poisoned");
+        for task in tasks {
+            let b = Arc::clone(&batch);
+            let job: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
+                if catch_unwind(AssertUnwindSafe(task)).is_err() {
+                    b.panicked.store(true, Ordering::Release);
+                }
+                let mut left = b.remaining.lock().expect("gemm batch lock poisoned");
+                *left -= 1;
+                if *left == 0 {
+                    b.done.notify_all();
+                }
+            });
+            // SAFETY: the barrier below blocks until `remaining` reaches
+            // zero — on the normal path and before any re-panic — so every
+            // borrow captured by `job` strictly outlives its execution.
+            // The transmute only erases the `'scope` lifetime so the job
+            // can sit in the pool's 'static queue.
+            let job: Job = unsafe { std::mem::transmute(job) };
+            q.push_back(job);
+        }
+        p.available.notify_all();
+    }
+    let local_result = catch_unwind(AssertUnwindSafe(local));
+    let mut left = batch.remaining.lock().expect("gemm batch lock poisoned");
+    while *left > 0 {
+        left = batch.done.wait(left).expect("gemm batch lock poisoned");
+    }
+    drop(left);
+    if let Err(payload) = local_result {
+        resume_unwind(payload);
+    }
+    if batch.panicked.load(Ordering::Acquire) {
+        panic!("a gemm pool task panicked");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_batch_is_a_noop() {
+        run_scoped(Vec::new());
+    }
+
+    #[test]
+    fn single_task_runs_inline() {
+        // A single task executes on the calling thread (observable via a
+        // plain &mut borrow that a detached worker could never have).
+        let mut hit = false;
+        run_scoped(vec![Box::new(|| hit = true)]);
+        assert!(hit);
+    }
+
+    #[test]
+    fn tasks_borrow_disjoint_caller_state() {
+        let mut data = vec![0usize; 64];
+        {
+            let mut tasks: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::new();
+            for (i, chunk) in data.chunks_mut(16).enumerate() {
+                tasks.push(Box::new(move || {
+                    for x in chunk.iter_mut() {
+                        *x = i + 1;
+                    }
+                }));
+            }
+            run_scoped(tasks);
+        }
+        for (i, chunk) in data.chunks(16).enumerate() {
+            assert!(chunk.iter().all(|&x| x == i + 1));
+        }
+    }
+
+    #[test]
+    fn worker_panic_is_reraised_after_the_barrier() {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            let tasks: Vec<Box<dyn FnOnce() + Send>> =
+                vec![Box::new(|| panic!("boom")), Box::new(|| {})];
+            run_scoped(tasks);
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn pool_is_reused_across_batches() {
+        for round in 0..8 {
+            let counter = AtomicUsize::new(0);
+            let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = (0..4)
+                .map(|_| {
+                    let c = &counter;
+                    Box::new(move || {
+                        c.fetch_add(1, Ordering::Relaxed);
+                    }) as Box<dyn FnOnce() + Send + '_>
+                })
+                .collect();
+            run_scoped(tasks);
+            assert_eq!(counter.load(Ordering::Relaxed), 4, "round {round}");
+        }
+    }
+}

@@ -40,7 +40,10 @@ impl Matrix {
 fn strassen_rec(a: &Matrix, b: &Matrix) -> Matrix {
     let n = a.rows();
     if n <= CUTOFF {
-        return a.matmul_serial(b).expect("shapes checked by caller");
+        // The base case is where nearly all of the arithmetic happens;
+        // route it through the tuned packed kernel (identical FLOP
+        // accounting to the blocked kernel it replaced).
+        return a.matmul_packed(b).expect("shapes checked by caller");
     }
     // Pad to even.
     if n % 2 == 1 {
@@ -136,6 +139,9 @@ mod tests {
 
     #[test]
     fn strassen_does_fewer_multiplications_at_depth() {
+        // Resets the process-global FLOP counter; serialize against the
+        // exact-accounting tests.
+        let _guard = crate::gemm::test_config_lock();
         // FLOP counters: one level of Strassen at n=2·CUTOFF does 7 base
         // products of (n/2)³ instead of 8 — plus O(n²) additions.
         let n = 2 * CUTOFF;
@@ -150,6 +156,39 @@ mod tests {
             (strassen_flops as f64) < 0.95 * cubic_flops as f64,
             "strassen {strassen_flops} !< cubic {cubic_flops}"
         );
+    }
+
+    #[test]
+    fn tiny_inputs_down_to_empty_stay_exact() {
+        for n in [0usize, 1, 2, 3] {
+            let a = Matrix::random_uniform(n, n, 40 + n as u64);
+            let b = Matrix::random_uniform(n, n, 50 + n as u64);
+            let fast = a.matmul_strassen(&b).unwrap();
+            let slow = a.matmul_serial(&b).unwrap();
+            assert_eq!(fast.shape(), (n, n));
+            assert!(fast.approx_eq(&slow, 1e-12), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn non_power_of_two_sizes_match_the_packed_oracle() {
+        // Sizes chosen to exercise every padding path: odd at depth 1,
+        // odd again at depth 2, and a prime edge well past the cutoff.
+        for n in [65usize, 66, 97, 131] {
+            let a = Matrix::random_uniform(n, n, 60 + n as u64).scale(0.5);
+            let b = Matrix::random_uniform(n, n, 70 + n as u64).scale(0.5);
+            let fast = a.matmul_strassen(&b).unwrap();
+            let oracle = a.matmul_packed(&b).unwrap();
+            assert!(fast.approx_eq(&oracle, 1e-9), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn base_case_agrees_bitwise_with_the_packed_kernel() {
+        // At or below the cutoff the recursion IS the packed kernel.
+        let a = Matrix::random_uniform(CUTOFF, CUTOFF, 80);
+        let b = Matrix::random_uniform(CUTOFF, CUTOFF, 81);
+        assert_eq!(a.matmul_strassen(&b).unwrap(), a.matmul_packed(&b).unwrap());
     }
 
     #[test]

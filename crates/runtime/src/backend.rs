@@ -137,7 +137,11 @@ pub trait ExecBackend: std::fmt::Debug {
 }
 
 /// In-process execution: views are dense matrices in the [`Env`], and a
-/// delta is a rank-k GEMM (`X += U Vᵀ`, `O(k·|X|)`).
+/// delta is a rank-k GEMM (`X += U Vᵀ`, `O(k·|X|)`) routed — like every
+/// dense product in the system — through the process-wide
+/// [`GemmKernel`](linview_matrix::GemmKernel) dispatch (packed
+/// register-blocked microkernel by default, `LINVIEW_GEMM` /
+/// `LINVIEW_THREADS` overridable).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct LocalBackend;
 

@@ -358,11 +358,15 @@ pub(crate) fn fire_joint_trigger_on<B: ExecBackend + ?Sized>(
 /// broadcasts) is unaffected — only where the expression evaluation runs.
 pub(crate) const PARALLEL_MIN_ELEMS: usize = 32_768;
 
-/// True when the host actually has more than one core to fan out to —
-/// on a single-CPU machine every spawn is pure overhead, exactly as in
-/// the threaded matmul kernel's gate.
+/// True when the execution layer may fan work out to more than one
+/// thread. Follows the process-wide GEMM thread budget
+/// ([`linview_matrix::gemm_threads`], i.e. `LINVIEW_THREADS` / the
+/// `--threads` CLI flag, defaulting to the machine's parallelism), so
+/// pinning the budget to 1 serializes stage evaluation, stage delta
+/// folds, *and* the dense kernels with one knob. Results are bit-identical
+/// either way — the gate only decides where the arithmetic runs.
 pub(crate) fn multi_core() -> bool {
-    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get) > 1
+    linview_matrix::gemm_threads() > 1
 }
 
 /// True when any statement of the stage reads an environment matrix large

@@ -20,7 +20,7 @@ use linview::compiler::parse::parse_program;
 use linview::compiler::{analyze, compile, compile_joint, CompileOptions};
 use linview::expr::cost::CostModel;
 use linview::expr::{Catalog, DeltaOptions};
-use linview::matrix::Matrix;
+use linview::matrix::{gemm_threads, set_default_kernel, set_gemm_threads, GemmKernel, Matrix};
 use linview::runtime::{
     DistBackend, ExecBackend, FlushPolicy, IncrementalView, MaintenanceEngine, ThreadedBackend,
     UpdateStream,
@@ -49,6 +49,11 @@ OPTIONS:
   --no-factor        disable §4.3 common-factor extraction (ablation)
   --no-optimize      skip CSE / copy propagation / dead-code elimination
   --gamma G          matmul exponent for the plan's cost model (default: 3.0)
+  --gemm KERNEL      dense GEMM kernel: naive | blocked | packed | strassen
+                     (default: packed; also settable via LINVIEW_GEMM)
+  --threads N        GEMM thread budget (default: all cores; also settable
+                     via LINVIEW_THREADS — results are bit-identical for
+                     every value)
 
 ENGINE OPTIONS (stream a Zipf-skewed multi-input workload):
   --n N              square input dimension (default: 48)
@@ -64,7 +69,33 @@ ENGINE OPTIONS (stream a Zipf-skewed multi-input workload):
                      joint trigger per flush round (§4.4 ablation)
   --sequential-exec  opt out of DAG-staged trigger execution: run one
                      statement per stage in program order (ablation)
+  --gemm KERNEL      dense GEMM kernel for the whole run (see above)
+  --threads N        GEMM thread budget (see above)
 ";
+
+/// Pins the process-wide GEMM kernel from a `--gemm` flag value.
+fn apply_gemm_flag(value: &str) -> Result<(), String> {
+    match GemmKernel::parse(value) {
+        Some(k) => {
+            set_default_kernel(Some(k));
+            Ok(())
+        }
+        None => Err(format!(
+            "unknown --gemm '{value}' (want naive|blocked|packed|strassen)"
+        )),
+    }
+}
+
+/// Pins the process-wide GEMM thread budget from a `--threads` flag value.
+fn apply_threads_flag(value: &str) -> Result<(), String> {
+    match value.parse::<usize>() {
+        Ok(n) if n >= 1 => {
+            set_gemm_threads(Some(n));
+            Ok(())
+        }
+        _ => Err(format!("bad --threads '{value}' (want an integer >= 1)")),
+    }
+}
 
 struct Args {
     dims: Vec<(String, usize, usize)>,
@@ -142,6 +173,8 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                     .parse()
                     .map_err(|_| "bad --gamma value".to_string())?
             }
+            "--gemm" => apply_gemm_flag(&next(&mut i, "--gemm")?)?,
+            "--threads" => apply_threads_flag(&next(&mut i, "--threads")?)?,
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown flag '{other}'")),
         }
@@ -304,6 +337,8 @@ fn parse_engine_args(argv: &[String]) -> Result<EngineArgs, String> {
             "--backend" => args.backend = next(&mut i, "--backend")?,
             "--no-joint" => args.joint = false,
             "--sequential-exec" => args.sequential = true,
+            "--gemm" => apply_gemm_flag(&next(&mut i, "--gemm")?)?,
+            "--threads" => apply_threads_flag(&next(&mut i, "--threads")?)?,
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown engine flag '{other}'")),
         }
@@ -398,8 +433,14 @@ fn run_engine(args: &EngineArgs) -> Result<String, String> {
     let inputs = [("A", a), ("B", b)];
 
     let mut out = format!(
-        "maintenance engine: C := A * B; D := C * C;  (n = {}, policy = {}({}), zipf = {})\n",
-        args.n, args.policy, args.batch, args.zipf
+        "maintenance engine: C := A * B; D := C * C;  (n = {}, policy = {}({}), zipf = {})\n\
+         gemm: kernel {}, {} thread budget\n",
+        args.n,
+        args.policy,
+        args.batch,
+        args.zipf,
+        linview::matrix::default_kernel(),
+        gemm_threads(),
     );
     let mut results: Vec<(String, Matrix)> = Vec::new();
     if matches!(args.backend.as_str(), "local" | "both" | "all") {

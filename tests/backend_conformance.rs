@@ -356,3 +356,67 @@ fn reachability_index_runs_on_the_threaded_backend() {
     }
     assert!(threaded.firings() < churn.len() as u64);
 }
+
+/// Determinism under the tuned GEMM path: with the kernel pinned and a
+/// fixed thread budget, two full conformance runs from one seed are
+/// bit-identical run-to-run — and the result does not depend on the
+/// budget at all, because row-band parallelism preserves every
+/// per-element accumulation order. This is what keeps the staged
+/// scheduling assertions above meaningful on top of the packed kernel.
+#[test]
+fn pinned_kernel_runs_are_bit_identical_across_thread_budgets() {
+    use linview::matrix::{set_default_kernel, set_gemm_threads, GemmKernel};
+
+    let case = &cases()[0]; // powers: the widest trigger in the suite
+    let final_views = |case: &Case| -> Vec<(String, Matrix)> {
+        let inputs: Vec<(&str, Matrix)> = case
+            .inputs
+            .iter()
+            .map(|(name, m)| (*name, m.clone()))
+            .collect();
+        let mut cat = Catalog::new();
+        for (name, m) in &inputs {
+            cat.declare(*name, m.rows(), m.cols());
+        }
+        let mut view = IncrementalView::build(&case.program, &inputs, &cat).unwrap();
+        let (rows, cols) = inputs[0].1.shape();
+        let mut stream = UpdateStream::new(rows, cols, case.scale, SEED);
+        for _ in 0..case.updates {
+            view.apply(case.target, &stream.next_rank_one()).unwrap();
+        }
+        let mut names: Vec<String> = inputs.iter().map(|(n, _)| n.to_string()).collect();
+        names.extend(
+            case.program
+                .hoist_inverses(&["A"])
+                .statements()
+                .iter()
+                .map(|s| s.target.clone()),
+        );
+        names
+            .into_iter()
+            .map(|name| {
+                let m = view.get(&name).unwrap().clone();
+                (name, m)
+            })
+            .collect()
+    };
+
+    set_default_kernel(Some(GemmKernel::Packed));
+    set_gemm_threads(Some(1));
+    let serial_once = final_views(case);
+    let serial_twice = final_views(case);
+    assert_eq!(
+        serial_once, serial_twice,
+        "run-to-run divergence at 1 thread"
+    );
+    // The full cross-backend conformance contract holds under the pin.
+    run_case(case);
+    set_gemm_threads(Some(4));
+    let parallel = final_views(case);
+    assert_eq!(
+        serial_once, parallel,
+        "thread budget changed maintained view bits"
+    );
+    set_gemm_threads(None);
+    set_default_kernel(None);
+}

@@ -1,0 +1,240 @@
+//! Differential GEMM kernel-equivalence suite.
+//!
+//! Every [`GemmKernel`] variant is an independent implementation of the
+//! same product, and every variant changes the floating-point accumulation
+//! *grouping* — exactly the kind of rewrite that silently corrupts a hot
+//! path. This suite locks the family together:
+//!
+//! 1. **Oracle differencing** — each kernel vs a textbook `i-j-p` f64
+//!    oracle *and* a Kahan-compensated oracle, over proptest-randomized
+//!    adversarial shapes (0/1-sized dims, skinny/tall, odd sizes,
+//!    non-multiples of the `MR`/`NR` register tiles and `KC`/`MC` cache
+//!    blocks), to ≤ 1e-10 relative error.
+//! 2. **Exact accounting** — output shapes always `(m, n)`, and the cubic
+//!    kernels add exactly `2·m·k·n` to the FLOP counter.
+//! 3. **Determinism** — the packed kernel is bit-identical across thread
+//!    counts and run-to-run; every kernel is repeatable on identical
+//!    inputs.
+//!
+//! Tests mutate process-wide kernel state (thread budget, default
+//! kernel), so each takes the `SUITE` lock — the binary is internally
+//! serialized and safe under any `RUST_TEST_THREADS`.
+
+use linview::matrix::gemm::{MR, NR};
+use linview::matrix::{flops, set_default_kernel, set_gemm_threads, GemmKernel, Matrix};
+use proptest::prelude::*;
+use std::sync::Mutex;
+
+static SUITE: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    SUITE.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Textbook f64 oracle: `i-j-p`, one sequential sum per output entry.
+fn naive_oracle(a: &Matrix, b: &Matrix) -> Matrix {
+    let (m, k) = a.shape();
+    let n = b.cols();
+    let mut out = Matrix::zeros(m, n);
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0;
+            for p in 0..k {
+                acc += a.get(i, p) * b.get(p, j);
+            }
+            out.set(i, j, acc);
+        }
+    }
+    out
+}
+
+/// Kahan-compensated oracle: the same sums with error compensation, i.e.
+/// a strictly more accurate reference that calibrates how much of the
+/// 1e-10 budget is kernel reordering vs plain f64 rounding.
+fn kahan_oracle(a: &Matrix, b: &Matrix) -> Matrix {
+    let (m, k) = a.shape();
+    let n = b.cols();
+    let mut out = Matrix::zeros(m, n);
+    for i in 0..m {
+        for j in 0..n {
+            let mut sum = 0.0f64;
+            let mut comp = 0.0f64;
+            for p in 0..k {
+                let y = a.get(i, p) * b.get(p, j) - comp;
+                let t = sum + y;
+                comp = (t - sum) - y;
+                sum = t;
+            }
+            out.set(i, j, sum);
+        }
+    }
+    out
+}
+
+/// Adversarial dimension strategy: degenerate, tiny, register-tile and
+/// cache-block straddling, skinny and moderately large sizes.
+fn dim() -> impl Strategy<Value = usize> {
+    prop_oneof![
+        2 => 0usize..2,          // empty and scalar dims
+        3 => 1usize..10,         // tiny and odd
+        2 => (1usize..4).prop_map(|x| x * MR + 1),     // off the MR grid
+        2 => (1usize..4).prop_map(|x| x * NR - 1),     // off the NR grid
+        2 => 120usize..140,      // straddles MC = 128
+        1 => 250usize..260,      // straddles KC = 256
+        2 => 30usize..70,        // generic mid-size
+    ]
+}
+
+fn operands() -> impl Strategy<Value = (Matrix, Matrix)> {
+    (dim(), dim(), dim(), 0u64..1u64 << 32).prop_map(|(m, k, n, seed)| {
+        (
+            Matrix::random_uniform(m, k, seed),
+            Matrix::random_uniform(k, n, seed.wrapping_add(1)),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Property 1: every kernel within 1e-10 relative error of both
+    /// oracles, with exact output shapes, on adversarial shapes.
+    #[test]
+    fn every_kernel_matches_both_oracles((a, b) in operands()) {
+        let _guard = lock();
+        let plain = naive_oracle(&a, &b);
+        let kahan = kahan_oracle(&a, &b);
+        // Calibration: the two oracles must themselves agree far inside
+        // the kernel budget, or the budget measures nothing.
+        prop_assert!(plain.rel_diff(&kahan) <= 1e-12);
+        for kernel in GemmKernel::ALL {
+            let c = a.matmul_with(&b, kernel).unwrap();
+            prop_assert_eq!(c.shape(), (a.rows(), b.cols()));
+            prop_assert!(
+                c.rel_diff(&plain) <= 1e-10,
+                "{} vs naive oracle: {:e} on {}x{}x{}",
+                kernel, c.rel_diff(&plain), a.rows(), a.cols(), b.cols()
+            );
+            prop_assert!(
+                c.rel_diff(&kahan) <= 1e-10,
+                "{} vs kahan oracle: {:e}",
+                kernel, c.rel_diff(&kahan)
+            );
+        }
+    }
+
+    /// Property 2: the cubic kernels account exactly 2·m·k·n FLOPs per
+    /// product (Strassen asserts its own sub-cubic count in-crate).
+    #[test]
+    fn cubic_kernels_count_exact_flops((a, b) in operands()) {
+        let _guard = lock();
+        let expected = (2 * a.rows() * a.cols() * b.cols()) as u64;
+        for kernel in [GemmKernel::Naive, GemmKernel::Blocked, GemmKernel::Packed] {
+            let before = flops::read();
+            a.matmul_with(&b, kernel).unwrap();
+            prop_assert_eq!(flops::read() - before, expected, "{}", kernel);
+        }
+    }
+
+    /// Property 3: the packed kernel is bit-identical for every thread
+    /// budget, including counts that do not divide the row count.
+    #[test]
+    fn packed_is_bit_identical_across_thread_counts((a, b) in operands()) {
+        let _guard = lock();
+        set_gemm_threads(Some(1));
+        let serial = a.matmul_packed(&b).unwrap();
+        for threads in [2usize, 3, 8] {
+            set_gemm_threads(Some(threads));
+            let parallel = a.matmul_packed(&b).unwrap();
+            prop_assert_eq!(&serial, &parallel, "threads = {}", threads);
+        }
+        set_gemm_threads(None);
+    }
+}
+
+/// Explicit regression shapes: the exact boundaries the proptest strategy
+/// samples around, pinned so a strategy change can never lose them.
+#[test]
+fn pinned_adversarial_shapes_match_the_oracle() {
+    let _guard = lock();
+    let shapes = [
+        (0, 0, 0),
+        (0, 4, 3),
+        (3, 0, 4),
+        (4, 3, 0),
+        (1, 1, 1),
+        (1, 257, 1),         // skinny straddling KC
+        (2, 1, 64),          // outer-product-like
+        (MR, 5, NR),         // one exact register tile
+        (MR - 1, 5, NR - 1), // one ragged register tile
+        (MR + 1, 7, NR + 1),
+        (6 * MR + 1, 13, 3 * NR + 5), // ragged panel grids
+        (129, 257, 17),               // straddles MC and KC together
+        (65, 31, 130),
+    ];
+    for (m, k, n) in shapes {
+        let a = Matrix::random_uniform(m, k, (m * 1000 + k) as u64);
+        let b = Matrix::random_uniform(k, n, (k * 1000 + n) as u64);
+        let oracle = naive_oracle(&a, &b);
+        for kernel in GemmKernel::ALL {
+            let c = a.matmul_with(&b, kernel).unwrap();
+            assert_eq!(c.shape(), (m, n), "{kernel} shape on {m}x{k}x{n}");
+            assert!(
+                c.rel_diff(&oracle) <= 1e-10,
+                "{kernel} on {m}x{k}x{n}: {:e}",
+                c.rel_diff(&oracle)
+            );
+        }
+    }
+}
+
+/// Run-to-run repeatability: identical inputs give bitwise-identical
+/// outputs for every kernel, with the thread budget pinned and unpinned.
+#[test]
+fn every_kernel_is_repeatable_run_to_run() {
+    let _guard = lock();
+    let a = Matrix::random_uniform(97, 113, 21);
+    let b = Matrix::random_uniform(113, 41, 22);
+    for threads in [Some(1), Some(4), None] {
+        set_gemm_threads(threads);
+        for kernel in GemmKernel::ALL {
+            let first = a.matmul_with(&b, kernel).unwrap();
+            for _ in 0..3 {
+                assert_eq!(
+                    first,
+                    a.matmul_with(&b, kernel).unwrap(),
+                    "{kernel} with threads {threads:?}"
+                );
+            }
+        }
+    }
+    set_gemm_threads(None);
+}
+
+/// The dispatcher honors a pinned default kernel end to end (the API side
+/// of the `LINVIEW_GEMM` override; the env-var side is covered by the CLI
+/// suite in a subprocess).
+#[test]
+fn try_matmul_follows_the_pinned_default_kernel() {
+    let _guard = lock();
+    let a = Matrix::random_uniform(50, 50, 31);
+    let b = Matrix::random_uniform(50, 50, 32);
+    let oracle = naive_oracle(&a, &b);
+    for kernel in GemmKernel::ALL {
+        set_default_kernel(Some(kernel));
+        let c = a.try_matmul(&b).unwrap();
+        assert!(c.rel_diff(&oracle) <= 1e-10, "{kernel}");
+    }
+    set_default_kernel(None);
+}
+
+/// Every kernel rejects inner-dimension mismatches identically.
+#[test]
+fn every_kernel_rejects_dim_mismatch() {
+    let _guard = lock();
+    let a = Matrix::zeros(3, 4);
+    let b = Matrix::zeros(5, 2);
+    for kernel in GemmKernel::ALL {
+        assert!(a.matmul_with(&b, kernel).is_err(), "{kernel}");
+    }
+}
