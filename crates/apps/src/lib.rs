@@ -21,6 +21,7 @@
 //! recurrences of Appendix A/B numerically — the test suites cross-validate
 //! the two paths against full re-evaluation.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod convergence;

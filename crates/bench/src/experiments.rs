@@ -519,7 +519,16 @@ pub fn engine_batching(cfg: &Config) -> Table {
         format!(
             "MaintenanceEngine - batched multi-input ingestion (n = {n}, {events} events, zipf = {zipf})"
         ),
-        &["backend", "batch", "firings", "fired rank", "joint saved", "refresh/event", "comm bytes"],
+        &[
+            "backend",
+            "batch",
+            "firings",
+            "fired rank",
+            "joint saved",
+            "refresh/event",
+            "static flops/firing",
+            "comm bytes",
+        ],
     );
     let program =
         linview_compiler::parse::parse_program("C := A * B; D := C * C;").expect("program parses");
@@ -539,6 +548,17 @@ pub fn engine_batching(cfg: &Config) -> Table {
         n: usize,
     ) {
         view.reset_comm();
+        // The analyzer's per-firing FLOP estimate (mean over the program's
+        // triggers, priced at the compiled update rank) — printed next to
+        // the measured refresh so estimate-vs-actual drift is visible.
+        let static_est = {
+            let report = linview_compiler::analyze_program(
+                view.trigger_program(),
+                &linview_compiler::AnalyzeOptions::default(),
+            );
+            let triggers = report.triggers.len().max(1) as f64;
+            report.triggers.iter().map(|t| t.cost.flops).sum::<f64>() / triggers
+        };
         let mut engine = MaintenanceEngine::new(
             view,
             if batch <= 1 {
@@ -564,6 +584,7 @@ pub fn engine_batching(cfg: &Config) -> Table {
             stats.fired_rank.to_string(),
             stats.triggers_saved.to_string(),
             fmt_duration(per_event),
+            format!("{static_est:.2e}"),
             fmt_bytes(engine.comm().total_bytes()),
         ]);
     }
@@ -614,6 +635,7 @@ pub fn scheduler(cfg: &Config) -> Table {
             "stmts/firing",
             "overlapped bcasts",
             "refresh",
+            "static flops/firing",
         ],
     );
     let program = linview_compiler::parse::parse_program("B := A * A; C := B * B; D := C * C;")
@@ -634,6 +656,16 @@ pub fn scheduler(cfg: &Config) -> Table {
             sequential,
             ..ExecOptions::default()
         });
+        // Static per-firing FLOP estimate of the single A-trigger, for
+        // drift comparison against the measured refresh column.
+        let static_est = linview_compiler::analyze_program(
+            view.trigger_program(),
+            &linview_compiler::AnalyzeOptions::default(),
+        )
+        .triggers
+        .iter()
+        .map(|t| t.cost.flops)
+        .sum::<f64>();
         let mut stream = UpdateStream::new(n, n, 0.01, 72);
         // Untimed warmup so the first-measured mode does not absorb the
         // process-wide cold start (page faults, frequency ramp).
@@ -653,6 +685,7 @@ pub fn scheduler(cfg: &Config) -> Table {
             (sched.stmts / sched.firings).to_string(),
             view.backend().sched().overlapped.to_string(),
             fmt_duration(time),
+            format!("{static_est:.2e}"),
         ]);
         view.get("D").expect("D is maintained").clone()
     }

@@ -13,6 +13,7 @@
 //! * `cargo bench -p linview-bench` — Criterion benches, one per figure or
 //!   table, reusing the same workload builders.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod experiments;

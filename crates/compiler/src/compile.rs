@@ -57,7 +57,12 @@ pub fn compile(
         trigger.dag()?;
         triggers.push(trigger);
     }
-    Ok(TriggerProgram { triggers, catalog })
+    let tp = TriggerProgram { triggers, catalog };
+    // Deny-by-default static analysis: shape inference, stage-disjointness
+    // proofs, and the scheduler cross-check must all pass before any
+    // backend sees the program.
+    crate::analyze::check_program(&tp, Some(program))?;
+    Ok(tp)
 }
 
 /// Compiles `program` into a **single** trigger handling *simultaneous*
@@ -135,12 +140,14 @@ pub fn compile_joint(
         stmts,
     };
     trigger.dag()?; // compile-time schedule validation, as in `compile`
-    Ok(JointTrigger {
+    let joint = JointTrigger {
         inputs: inputs.iter().map(|s| s.to_string()).collect(),
         update_rank: opts.update_rank,
         trigger,
         catalog,
-    })
+    };
+    crate::analyze::check_joint(&joint, Some(program))?; // deny-by-default
+    Ok(joint)
 }
 
 /// A single trigger maintaining all views under *simultaneous* factored

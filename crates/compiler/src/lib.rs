@@ -30,9 +30,11 @@
 //!    source; [`codegen::plan`] emits an annotated textual plan. The
 //!    in-process backend lives in `linview-runtime`.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod analyze;
 pub mod codegen;
 pub mod compile;
 pub mod optimizer;
@@ -42,6 +44,11 @@ pub mod schedule;
 mod trigger;
 
 pub use analysis::{analyze, AnalysisReport};
+pub use analyze::{
+    analyze_joint, analyze_program, check_joint, check_program, derive_effects, verify_stages,
+    AnalyzeOptions, AnalyzerPass, AnalyzerReport, CostEstimate, Diagnostic, Severity,
+    TriggerAnalysis,
+};
 pub use compile::{compile, compile_joint, CompileOptions, JointTrigger};
 pub use program::{Program, Statement};
 pub use schedule::{StmtDag, StmtEffects};

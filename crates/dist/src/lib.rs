@@ -52,6 +52,7 @@
 //! assert!(comm.broadcast_bytes > 0);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod cluster;

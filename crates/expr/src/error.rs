@@ -38,6 +38,21 @@ pub enum ExprError {
         /// 0-based indices of the statements left unschedulable.
         stmts: Vec<usize>,
     },
+    /// The static trigger-program analyzer denied the program: one of its
+    /// passes (shape inference, stage-disjointness proof, scheduler
+    /// cross-check) produced an error-severity diagnostic.
+    Analysis {
+        /// Name of the analyzer pass that produced the diagnostic.
+        pass: &'static str,
+        /// Input name of the trigger the diagnostic is about.
+        trigger: String,
+        /// 0-based statement index inside the trigger body, if any.
+        stmt: Option<usize>,
+        /// What is wrong.
+        message: String,
+        /// How to fix it, when the analyzer has a concrete idea.
+        suggestion: Option<String>,
+    },
 }
 
 impl fmt::Display for ExprError {
@@ -65,6 +80,23 @@ impl fmt::Display for ExprError {
                 f,
                 "cyclic statement dependencies: no stage order for statements {stmts:?}"
             ),
+            ExprError::Analysis {
+                pass,
+                trigger,
+                stmt,
+                message,
+                suggestion,
+            } => {
+                write!(f, "static analysis [{pass}] trigger '{trigger}'")?;
+                if let Some(i) = stmt {
+                    write!(f, " stmt {i}")?;
+                }
+                write!(f, ": {message}")?;
+                if let Some(s) = suggestion {
+                    write!(f, " (hint: {s})")?;
+                }
+                Ok(())
+            }
         }
     }
 }

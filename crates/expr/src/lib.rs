@@ -21,6 +21,7 @@
 //! assert_eq!(b.dim(&cat).unwrap(), (4, 4).into());
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod ast;

@@ -31,6 +31,7 @@
 //! assert_eq!(c.get(1, 2), 3.0);
 //! ```
 
+#![deny(unsafe_op_in_unsafe_fn)]
 #![warn(missing_docs)]
 
 mod block;

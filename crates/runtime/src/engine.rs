@@ -121,6 +121,10 @@ pub struct EngineStats {
     /// [`ExecOptions::sequential`](crate::ExecOptions) or for
     /// chain-dependent triggers).
     pub stages: u64,
+    /// View writes folded through stage barriers across all firings; in
+    /// debug builds each was asserted against the statically-proved effect
+    /// sets (see `FiringReport::writes`).
+    pub writes: u64,
     /// Factor broadcasts that overlapped an earlier broadcast of the same
     /// stage on the wire (dist/threaded backends; always 0 on local).
     pub overlapped_broadcasts: u64,
@@ -233,6 +237,7 @@ impl<B: ExecBackend> MaintenanceEngine<B> {
         let sched = self.view.sched_stats();
         self.stats.stmts += sched.stmts - sched_before.stmts;
         self.stats.stages += sched.stages - sched_before.stages;
+        self.stats.writes += sched.writes - sched_before.writes;
         self.stats.overlapped_broadcasts +=
             self.view.backend().sched().overlapped - overlap_before.overlapped;
     }

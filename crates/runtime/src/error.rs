@@ -42,8 +42,11 @@ pub enum RuntimeError {
 impl fmt::Display for RuntimeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            RuntimeError::Matrix(e) => write!(f, "matrix error: {e}"),
-            RuntimeError::Expr(e) => write!(f, "expression error: {e}"),
+            // Wrapper variants print a short label only; the wrapped error
+            // is exposed via `source()` so chain-walking renderers (the
+            // CLI's `render_error`) print it exactly once as a cause.
+            RuntimeError::Matrix(_) => write!(f, "matrix kernel error"),
+            RuntimeError::Expr(_) => write!(f, "expression error"),
             RuntimeError::Unbound(v) => write!(f, "unbound matrix variable '{v}'"),
             RuntimeError::ShermanMorrisonSingular { step, denominator } => write!(
                 f,
@@ -66,7 +69,15 @@ impl fmt::Display for RuntimeError {
     }
 }
 
-impl std::error::Error for RuntimeError {}
+impl std::error::Error for RuntimeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RuntimeError::Matrix(e) => Some(e),
+            RuntimeError::Expr(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 impl From<MatrixError> for RuntimeError {
     fn from(e: MatrixError) -> Self {

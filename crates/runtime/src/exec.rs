@@ -156,6 +156,11 @@ pub struct FiringReport {
     /// Stages the statements were grouped into (equals `stmts` under
     /// [`ExecOptions::sequential`] or for chain-dependent triggers).
     pub stages: u64,
+    /// View writes folded through the stage barriers (one per applied
+    /// [`StageDelta`]). In debug builds, staged execution asserts each of
+    /// these against the statically-proved effect sets from
+    /// `linview_compiler::analyze::derive_effects` before the fold.
+    pub writes: u64,
 }
 
 /// Cumulative staged-scheduling counters, accumulated over firings.
@@ -167,6 +172,8 @@ pub struct SchedStats {
     pub stmts: u64,
     /// Stages those statements were grouped into.
     pub stages: u64,
+    /// View writes folded across all firings.
+    pub writes: u64,
 }
 
 impl SchedStats {
@@ -175,6 +182,7 @@ impl SchedStats {
         self.firings += 1;
         self.stmts += report.stmts;
         self.stages += report.stages;
+        self.writes += report.writes;
     }
 
     /// Statements that ran inside an already-open stage instead of
@@ -486,10 +494,17 @@ fn run_statements<B: ExecBackend + ?Sized>(
         Some(dag) => dag.stages().to_vec(),
         None => (0..trigger.stmts.len()).map(|i| vec![i]).collect(),
     };
-    let report = FiringReport {
+    let mut report = FiringReport {
         stmts: trigger.stmts.len() as u64,
         stages: stages.len() as u64,
+        writes: 0,
     };
+    // Debug builds re-derive the analyzer's effect sets once per firing and
+    // assert every observed view write against them: the statically-proved
+    // write sets are the contract `apply_stage` soundness rests on, so a
+    // divergence here is a scheduler or analyzer bug, not a data error.
+    #[cfg(debug_assertions)]
+    let proved = linview_compiler::analyze::derive_effects(&trigger.stmts);
     for stage in &stages {
         // Phase 1: evaluate the stage against the pre-stage environment.
         let heavy = dag
@@ -547,6 +562,26 @@ fn run_statements<B: ExecBackend + ?Sized>(
             }
         }
         // Phase 3: the stage barrier — fold every independent delta.
+        #[cfg(debug_assertions)]
+        {
+            let mut seen: std::collections::BTreeSet<&str> = std::collections::BTreeSet::new();
+            for d in &deltas {
+                debug_assert!(
+                    seen.insert(d.target.as_str()),
+                    "stage writes view '{}' twice; statically-proved stage writes \
+                     must be pairwise disjoint",
+                    d.target
+                );
+                debug_assert!(
+                    stage.iter().any(|&i| proved[i].writes.contains(&d.target)),
+                    "observed write to '{}' is outside the statically-proved \
+                     effect sets of stage {:?}",
+                    d.target,
+                    stage
+                );
+            }
+        }
+        report.writes += deltas.len() as u64;
         if !deltas.is_empty() {
             backend.apply_stage(env, &deltas)?;
         }

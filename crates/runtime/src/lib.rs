@@ -23,6 +23,7 @@
 //! assert_eq!(view.get("C").unwrap().shape(), (8, 8));
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod backend;

@@ -29,6 +29,7 @@
 //! assert!((pr.scores().iter().sum::<f64>() - 1.0).abs() < 1e-9);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod coo;

@@ -17,7 +17,9 @@
 use linview::compiler::codegen::{numpy, octave, plan, spark};
 use linview::compiler::optimizer::{optimize, OptimizerOptions};
 use linview::compiler::parse::parse_program;
-use linview::compiler::{analyze, compile, compile_joint, CompileOptions};
+use linview::compiler::{
+    analyze, analyze_program, compile, compile_joint, AnalyzeOptions, CompileOptions,
+};
 use linview::expr::cost::CostModel;
 use linview::expr::{Catalog, DeltaOptions};
 use linview::matrix::{gemm_threads, set_default_kernel, set_gemm_threads, GemmKernel, Matrix};
@@ -32,6 +34,8 @@ linview — incremental view maintenance compiler for linear algebra programs
 
 USAGE:
   linview --dims NAME=RxC[,NAME=RxC...] [OPTIONS] (--program SRC | --file PATH)
+  linview lint (--dims LIST (--program SRC | --file PATH) | --app NAME)
+               [LINT OPTIONS]
   linview engine [ENGINE OPTIONS]
 
 OPTIONS:
@@ -39,9 +43,10 @@ OPTIONS:
   --program SRC      program text, e.g. \"B := A * A; C := B * B;\"
   --file PATH        read the program from a file
   --inputs LIST      dynamic inputs (default: every matrix in --dims)
-  --emit KIND        trigger | octave | spark | numpy | plan | dag | all
-                     (default: trigger; 'dag' prints each trigger's staged
-                     execution plan — the statement dependency DAG)
+  --emit KIND        trigger | octave | spark | numpy | plan | dag | analysis
+                     | all (default: trigger; 'dag' prints each trigger's
+                     staged execution plan, 'analysis' the static analyzer's
+                     report: effect sets, verified stages, cost estimates)
   --rank K           update rank of the incoming deltas (default: 1)
   --analyze          print the predicted REEVAL-vs-INCR report (§5 as an API)
   --joint            emit ONE trigger for simultaneous updates to all
@@ -54,6 +59,14 @@ OPTIONS:
   --threads N        GEMM thread budget (default: all cores; also settable
                      via LINVIEW_THREADS — results are bit-identical for
                      every value)
+
+LINT OPTIONS (run the static trigger-program analyzer, deny on errors):
+  --app NAME         lint a shipped app program instead of --program/--file:
+                     powers | sums | ols | reach | pagerank-step | all
+  --n N              square dimension for --app programs (default: 16)
+  --rank K           update rank of the incoming deltas (default: 1)
+  --gamma G          matmul exponent for the cost pass (default: 3.0)
+  --deny-warnings    exit nonzero on warnings too, not just errors
 
 ENGINE OPTIONS (stream a Zipf-skewed multi-input workload):
   --n N              square input dimension (default: 48)
@@ -242,9 +255,17 @@ fn run(args: &Args) -> Result<String, String> {
     let emit_numpy = matches!(args.emit.as_str(), "numpy" | "all");
     let emit_plan = matches!(args.emit.as_str(), "plan" | "all");
     let emit_dag = matches!(args.emit.as_str(), "dag" | "all");
-    if !(emit_trigger || emit_octave || emit_spark || emit_numpy || emit_plan || emit_dag) {
+    let emit_analysis = matches!(args.emit.as_str(), "analysis" | "all");
+    if !(emit_trigger
+        || emit_octave
+        || emit_spark
+        || emit_numpy
+        || emit_plan
+        || emit_dag
+        || emit_analysis)
+    {
         return Err(format!(
-            "unknown --emit '{}' (want trigger|octave|spark|numpy|plan|dag|all)",
+            "unknown --emit '{}' (want trigger|octave|spark|numpy|plan|dag|analysis|all)",
             args.emit
         ));
     }
@@ -271,7 +292,316 @@ fn run(args: &Args) -> Result<String, String> {
         let model = CostModel::with_gamma(args.gamma);
         out.push_str(&plan::render_program(&tp, &model).map_err(|e| e.to_string())?);
     }
+    if emit_analysis {
+        let report = analyze_program(
+            &tp,
+            &AnalyzeOptions {
+                program: Some(&normalized),
+                model: Some(CostModel::with_gamma(args.gamma)),
+            },
+        );
+        out.push_str(&report.to_string());
+    }
     Ok(out)
+}
+
+/// Renders an error with its full `source()` chain, one `caused by:` line
+/// per cause, so wrapped errors (runtime → expression → analyzer) surface
+/// structurally instead of as nested Debug prints.
+fn render_error(e: impl std::error::Error) -> String {
+    let mut out = e.to_string();
+    let mut src = e.source();
+    while let Some(cause) = src {
+        out.push_str(&format!("\n  caused by: {cause}"));
+        src = cause.source();
+    }
+    out
+}
+
+/// Options of the `lint` subcommand.
+struct LintArgs {
+    app: Option<String>,
+    dims: Vec<(String, usize, usize)>,
+    program: Option<String>,
+    file: Option<String>,
+    inputs: Option<Vec<String>>,
+    n: usize,
+    rank: usize,
+    gamma: f64,
+    deny_warnings: bool,
+}
+
+fn parse_lint_args(argv: &[String]) -> Result<LintArgs, String> {
+    let mut args = LintArgs {
+        app: None,
+        dims: Vec::new(),
+        program: None,
+        file: None,
+        inputs: None,
+        n: 16,
+        rank: 1,
+        gamma: 3.0,
+        deny_warnings: false,
+    };
+    let next = |i: &mut usize, what: &str| -> Result<String, String> {
+        *i += 1;
+        argv.get(*i)
+            .cloned()
+            .ok_or_else(|| format!("missing value for {what}"))
+    };
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--app" => args.app = Some(next(&mut i, "--app")?),
+            "--dims" => {
+                let v = next(&mut i, "--dims")?;
+                for spec in v.split(',') {
+                    let (name, shape) = spec
+                        .split_once('=')
+                        .ok_or_else(|| format!("bad dim spec '{spec}' (want NAME=RxC)"))?;
+                    let (r, c) = shape
+                        .split_once(['x', 'X'])
+                        .ok_or_else(|| format!("bad shape '{shape}' (want RxC)"))?;
+                    let rows = r.parse().map_err(|_| format!("bad row count '{r}'"))?;
+                    let cols = c.parse().map_err(|_| format!("bad col count '{c}'"))?;
+                    args.dims.push((name.to_string(), rows, cols));
+                }
+            }
+            "--program" => args.program = Some(next(&mut i, "--program")?),
+            "--file" => args.file = Some(next(&mut i, "--file")?),
+            "--inputs" => {
+                args.inputs = Some(
+                    next(&mut i, "--inputs")?
+                        .split(',')
+                        .map(str::to_string)
+                        .collect(),
+                )
+            }
+            "--n" => {
+                args.n = next(&mut i, "--n")?
+                    .parse()
+                    .map_err(|_| "bad --n value".to_string())?
+            }
+            "--rank" => {
+                args.rank = next(&mut i, "--rank")?
+                    .parse()
+                    .map_err(|_| "bad --rank value".to_string())?
+            }
+            "--gamma" => {
+                args.gamma = next(&mut i, "--gamma")?
+                    .parse()
+                    .map_err(|_| "bad --gamma value".to_string())?
+            }
+            "--deny-warnings" => args.deny_warnings = true,
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown lint flag '{other}'")),
+        }
+        i += 1;
+    }
+    if args.app.is_none() {
+        if args.dims.is_empty() {
+            return Err("lint needs --app NAME or --dims + --program/--file".into());
+        }
+        if args.program.is_none() && args.file.is_none() {
+            return Err("one of --program / --file is required".into());
+        }
+    }
+    Ok(args)
+}
+
+/// One lintable program: name, source program, catalog, dynamic inputs.
+struct LintTarget {
+    name: String,
+    program: linview::compiler::Program,
+    cat: Catalog,
+    inputs: Vec<String>,
+}
+
+/// The shipped app programs `linview lint --app` knows, sized `n`.
+fn shipped_apps(n: usize) -> Vec<LintTarget> {
+    use linview::apps::IterModel;
+    use linview::compiler::Program;
+    use linview::expr::Expr;
+
+    let square = |name: &str| {
+        let mut cat = Catalog::new();
+        cat.declare(name, n, n);
+        cat
+    };
+    let mut out = Vec::new();
+
+    let (program, _) = linview::apps::powers::powers_program(IterModel::Exponential, 4);
+    out.push(LintTarget {
+        name: "powers".into(),
+        program,
+        cat: square("A"),
+        inputs: vec!["A".into()],
+    });
+
+    let (program, _) = linview::apps::sums::sums_program(IterModel::Linear, 4, n);
+    out.push(LintTarget {
+        name: "sums".into(),
+        program,
+        cat: square("A"),
+        inputs: vec!["A".into()],
+    });
+
+    let mut cat = Catalog::new();
+    cat.declare("X", n, n.min(4));
+    cat.declare("Y", n, 1);
+    out.push(LintTarget {
+        name: "ols".into(),
+        program: parse_program("beta := inv(X' * X) * X' * Y;").expect("shipped OLS parses"),
+        cat,
+        inputs: vec!["X".into(), "Y".into()],
+    });
+
+    let (sums, final_sum) = linview::apps::sums::sums_program(IterModel::Exponential, 4, n);
+    let mut program = Program::new();
+    for stmt in sums.statements() {
+        program.assign(stmt.target.clone(), stmt.expr.clone());
+    }
+    program.assign("R", Expr::var("A") * Expr::var(final_sum));
+    out.push(LintTarget {
+        name: "reach".into(),
+        program,
+        cat: square("A"),
+        inputs: vec!["A".into()],
+    });
+
+    let mut cat = Catalog::new();
+    cat.declare("M", n, n);
+    cat.declare("R0", n, 1);
+    out.push(LintTarget {
+        name: "pagerank-step".into(),
+        program: parse_program("R1 := M * R0; R2 := M * R1; R3 := M * R2;")
+            .expect("shipped pagerank parses"),
+        cat,
+        inputs: vec!["M".into(), "R0".into()],
+    });
+
+    out
+}
+
+/// Renders a compile-time denial as a lint diagnostic line, classifying
+/// the error variant into the analyzer pass vocabulary.
+fn render_compile_error(e: &linview::expr::ExprError) -> String {
+    use linview::expr::ExprError;
+    match e {
+        ExprError::Analysis {
+            pass,
+            trigger,
+            stmt,
+            message,
+            suggestion,
+        } => {
+            let mut line = format!("error[{pass}] trigger '{trigger}'");
+            if let Some(i) = stmt {
+                line.push_str(&format!(" stmt {i}"));
+            }
+            line.push_str(&format!(": {message}"));
+            if let Some(s) = suggestion {
+                line.push_str(&format!("\n  hint: {s}"));
+            }
+            line
+        }
+        ExprError::ScheduleCycle { .. } => format!("error[disjointness] {e}"),
+        _ => format!("error[shape] {e}"),
+    }
+}
+
+/// Lints one program: compile (deny-by-default), then the full analyzer
+/// report. Returns the rendered output and the (errors, warnings) counts.
+fn lint_one(target: &LintTarget, rank: usize, gamma: f64) -> (String, usize, usize) {
+    let input_refs: Vec<&str> = target.inputs.iter().map(String::as_str).collect();
+    let normalized = target.program.hoist_inverses(&input_refs);
+    let opts = CompileOptions {
+        update_rank: rank,
+        delta: DeltaOptions::default(),
+    };
+    let mut out = format!("-- lint: {} --\n", target.name);
+    match compile(&normalized, &input_refs, &target.cat, &opts) {
+        Err(e) => {
+            out.push_str(&render_compile_error(&e));
+            out.push('\n');
+            (out, 1, 0)
+        }
+        Ok(tp) => {
+            let report = analyze_program(
+                &tp,
+                &AnalyzeOptions {
+                    program: Some(&normalized),
+                    model: Some(CostModel::with_gamma(gamma)),
+                },
+            );
+            let (errors, warnings) = report.counts();
+            out.push_str(&report.to_string());
+            (out, errors, warnings)
+        }
+    }
+}
+
+fn run_lint(args: &LintArgs) -> Result<(String, bool), String> {
+    let targets = match &args.app {
+        Some(app) => {
+            let mut apps = shipped_apps(args.n);
+            if app != "all" {
+                apps.retain(|t| t.name == *app);
+                if apps.is_empty() {
+                    return Err(format!(
+                        "unknown --app '{app}' (want powers|sums|ols|reach|pagerank-step|all)"
+                    ));
+                }
+            }
+            apps
+        }
+        None => {
+            let source = match (&args.program, &args.file) {
+                (Some(src), _) => src.clone(),
+                (None, Some(path)) => {
+                    std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?
+                }
+                _ => unreachable!("validated in parse_lint_args"),
+            };
+            let program = match parse_program(&source) {
+                Ok(p) => p,
+                Err(e) => {
+                    // Parse failures are lint findings, not usage errors:
+                    // report structurally and exit nonzero via the caller.
+                    return Ok((format!("error[parse] {e}\n"), false));
+                }
+            };
+            let mut cat = Catalog::new();
+            for (name, r, c) in &args.dims {
+                cat.declare(name, *r, *c);
+            }
+            let inputs: Vec<String> = args
+                .inputs
+                .clone()
+                .unwrap_or_else(|| args.dims.iter().map(|(n, _, _)| n.clone()).collect());
+            vec![LintTarget {
+                name: "program".into(),
+                program,
+                cat,
+                inputs,
+            }]
+        }
+    };
+
+    let mut out = String::new();
+    let (mut errors, mut warnings) = (0, 0);
+    for target in &targets {
+        let (text, e, w) = lint_one(target, args.rank, args.gamma);
+        out.push_str(&text);
+        errors += e;
+        warnings += w;
+    }
+    out.push_str(&format!(
+        "lint: {} program(s), {errors} error(s), {warnings} warning(s)\n",
+        targets.len()
+    ));
+    let ok = errors == 0 && !(args.deny_warnings && warnings > 0);
+    Ok((out, ok))
 }
 
 /// Options of the `engine` subcommand.
@@ -386,9 +716,9 @@ fn drive_engine<B: ExecBackend>(
         let input = if i % 2 == 0 { "A" } else { "B" };
         engine
             .ingest(input, stream.next_rank_one_zipf(args.zipf))
-            .map_err(|e| e.to_string())?;
+            .map_err(render_error)?;
     }
-    engine.flush_all().map_err(|e| e.to_string())?;
+    engine.flush_all().map_err(render_error)?;
     let stats = engine.stats();
     let comm = engine.comm();
     let mut out = String::new();
@@ -412,14 +742,15 @@ fn drive_engine<B: ExecBackend>(
     ));
     out.push_str(&format!(
         "             sched: {} stmts in {} stages ({} off the critical path{}), \
-         {} overlapped broadcasts\n",
+         {} view writes, {} overlapped broadcasts\n",
         stats.stmts,
         stats.stages,
         stats.stmts_saved(),
         if args.sequential { ", sequential" } else { "" },
+        stats.writes,
         stats.overlapped_broadcasts,
     ));
-    let d = engine.get("D").map_err(|e| e.to_string())?.clone();
+    let d = engine.get("D").map_err(render_error)?.clone();
     Ok((out, d))
 }
 
@@ -444,23 +775,23 @@ fn run_engine(args: &EngineArgs) -> Result<String, String> {
     );
     let mut results: Vec<(String, Matrix)> = Vec::new();
     if matches!(args.backend.as_str(), "local" | "both" | "all") {
-        let view = IncrementalView::build(&program, &inputs, &cat).map_err(|e| e.to_string())?;
+        let view = IncrementalView::build(&program, &inputs, &cat).map_err(render_error)?;
         let (report, d) = drive_engine(view, args)?;
         out.push_str(&report);
         results.push(("local".into(), d));
     }
     if matches!(args.backend.as_str(), "dist" | "both" | "all") {
-        let backend = DistBackend::new(args.workers).map_err(|e| e.to_string())?;
-        let view = IncrementalView::build_on(backend, &program, &inputs, &cat)
-            .map_err(|e| e.to_string())?;
+        let backend = DistBackend::new(args.workers).map_err(render_error)?;
+        let view =
+            IncrementalView::build_on(backend, &program, &inputs, &cat).map_err(render_error)?;
         let (report, d) = drive_engine(view, args)?;
         out.push_str(&report);
         results.push(("dist".into(), d));
     }
     if matches!(args.backend.as_str(), "threaded" | "all") {
-        let backend = ThreadedBackend::new(args.workers).map_err(|e| e.to_string())?;
-        let view = IncrementalView::build_on(backend, &program, &inputs, &cat)
-            .map_err(|e| e.to_string())?;
+        let backend = ThreadedBackend::new(args.workers).map_err(render_error)?;
+        let view =
+            IncrementalView::build_on(backend, &program, &inputs, &cat).map_err(render_error)?;
         let (report, d) = drive_engine(view, args)?;
         out.push_str(&report);
         results.push(("threaded".into(), d));
@@ -483,6 +814,26 @@ fn run_engine(args: &EngineArgs) -> Result<String, String> {
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map(String::as_str) == Some("lint") {
+        return match parse_lint_args(&argv[1..]).and_then(|a| run_lint(&a)) {
+            Ok((output, ok)) => {
+                print!("{output}");
+                if ok {
+                    ExitCode::SUCCESS
+                } else {
+                    ExitCode::FAILURE
+                }
+            }
+            Err(msg) if msg.is_empty() => {
+                print!("{USAGE}");
+                ExitCode::SUCCESS
+            }
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                ExitCode::from(2)
+            }
+        };
+    }
     if argv.first().map(String::as_str) == Some("engine") {
         return match parse_engine_args(&argv[1..]).and_then(|a| run_engine(&a)) {
             Ok(output) => {

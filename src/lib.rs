@@ -50,6 +50,7 @@
 //! assert_eq!(view.get("C").unwrap().shape(), (64, 64));
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub use linview_apps as apps;

@@ -185,6 +185,90 @@ fn file_input_works() {
 }
 
 #[test]
+fn lint_accepts_well_formed_programs() {
+    let (ok, stdout, _) = linview(&[
+        "lint",
+        "--dims",
+        "A=16x16",
+        "--program",
+        "B := A * A; C := B * B;",
+    ]);
+    assert!(ok, "well-formed program must lint clean: {stdout}");
+    assert!(stdout.contains("0 error(s)"));
+    assert!(stdout.contains("verified stage(s)"));
+    assert!(stdout.contains("flops/firing"));
+}
+
+#[test]
+fn lint_rejects_ill_formed_program_with_structured_diagnostic() {
+    // Seeded ill-formed program: dimension-inconsistent entrywise sum.
+    let (ok, stdout, _) = linview(&["lint", "--dims", "A=4x4,B=5x5", "--program", "C := A + B;"]);
+    assert!(!ok, "ill-formed program must exit nonzero");
+    assert!(
+        stdout.contains("error[shape]"),
+        "missing structured diagnostic: {stdout}"
+    );
+    assert!(stdout.contains("1 error(s)"));
+}
+
+#[test]
+fn lint_reports_parse_errors_structurally() {
+    let (ok, stdout, _) = linview(&["lint", "--dims", "A=8x8", "--program", "B := A **;"]);
+    assert!(!ok);
+    assert!(stdout.contains("error[parse]"), "{stdout}");
+}
+
+#[test]
+fn lint_runs_all_shipped_apps() {
+    let (ok, stdout, _) = linview(&["lint", "--app", "all"]);
+    assert!(ok, "shipped apps must lint without errors: {stdout}");
+    for app in ["powers", "sums", "ols", "reach", "pagerank-step"] {
+        assert!(
+            stdout.contains(&format!("-- lint: {app} --")),
+            "{app} missing"
+        );
+    }
+    assert!(stdout.contains("5 program(s), 0 error(s)"));
+}
+
+#[test]
+fn lint_deny_warnings_escalates() {
+    // pagerank-step at n=16 legitimately prices worse than re-evaluation
+    // (Table 2), which is a warning — fatal only under --deny-warnings.
+    let (ok, stdout, _) = linview(&["lint", "--app", "pagerank-step"]);
+    assert!(ok, "warnings alone must not fail: {stdout}");
+    let (ok, stdout, _) = linview(&["lint", "--app", "pagerank-step", "--deny-warnings"]);
+    assert!(!ok, "--deny-warnings must escalate: {stdout}");
+    assert!(stdout.contains("warning[cost]"), "{stdout}");
+}
+
+#[test]
+fn lint_rejects_unknown_flags_and_apps() {
+    let (ok, _, stderr) = linview(&["lint", "--app", "nonesuch"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown --app"));
+    let (ok, _, stderr) = linview(&["lint", "--bogus"]);
+    assert!(!ok);
+    assert!(stderr.contains("bogus"));
+}
+
+#[test]
+fn emit_analysis_prints_analyzer_report() {
+    let (ok, stdout, _) = linview(&[
+        "--dims",
+        "A=32x32",
+        "--program",
+        "B := A * A; C := B * B;",
+        "--emit",
+        "analysis",
+    ]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("static analysis"), "{stdout}");
+    assert!(stdout.contains("verified stage(s)"));
+    assert!(stdout.contains("cost terms:"));
+}
+
+#[test]
 fn engine_subcommand_runs_both_backends() {
     let (ok, stdout, stderr) = linview(&[
         "engine",

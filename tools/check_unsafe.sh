@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Unsafe-code budget gate.
+#
+# Counts `unsafe fn` / `unsafe {` / `unsafe impl` occurrences in workspace
+# source (crates/ + src/, vendored deps excluded) and fails when the count
+# exceeds the committed budget in tools/unsafe_budget.txt. Raising the
+# budget is a reviewed change: every new unsafe block must carry a
+# `// SAFETY:` comment (enforced separately by clippy's
+# undocumented_unsafe_blocks lint) and live in a crate without
+# `#![forbid(unsafe_code)]` — currently only linview-matrix qualifies.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+budget=$(tr -d '[:space:]' < tools/unsafe_budget.txt)
+count=$(grep -rE '\bunsafe (fn|\{|impl)' --include='*.rs' crates/ src/ | wc -l | tr -d ' ')
+
+echo "unsafe occurrences: ${count} (budget: ${budget})"
+if [ "${count}" -gt "${budget}" ]; then
+    echo "error: unsafe count ${count} exceeds the committed budget ${budget}." >&2
+    echo "If the new unsafe code is justified, document it with a SAFETY" >&2
+    echo "comment and raise tools/unsafe_budget.txt in the same change." >&2
+    exit 1
+fi
