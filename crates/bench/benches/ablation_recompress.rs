@@ -74,14 +74,9 @@ fn bench(c: &mut Criterion) {
                     v
                 },
                 |v| {
-                    v.apply_batch(
-                        "A",
-                        &linview_runtime::BatchUpdate {
-                            u: bu.clone(),
-                            v: bv.clone(),
-                        },
-                    )
-                    .expect("update")
+                    let batch = linview_runtime::BatchUpdate::new(bu.clone(), bv.clone())
+                        .expect("conforming factors");
+                    v.apply_batch("A", &batch).expect("update")
                 },
                 BatchSize::LargeInput,
             )

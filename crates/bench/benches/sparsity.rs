@@ -1,0 +1,63 @@
+//! Sparse-aware ApplyDelta folds — the runtime's density-gated fold path
+//! vs the dense GEMM fold it replaces.
+//!
+//! One bench per (n, density, path) triple, so `--save-baseline sparsity`
+//! / `--baseline sparsity` track the crossover across commits. The
+//! acceptance bar from the sparse-execution rewrite: `auto/n=4096/row` at
+//! least 2× faster than `dense/n=4096/row` (a Zipf rank-1 row update is
+//! 1/n dense, far below the 5% crossover). The `d=1/16` pairs sit above
+//! the crossover and must stay at parity — both resolve to the same GEMM.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use linview_matrix::{fold_low_rank, Matrix};
+
+/// A deterministic n×k factor keeping every `stride`-th entry (row-major)
+/// of a seeded dense factor — density 1/stride.
+fn strided_factor(n: usize, k: usize, stride: usize, seed: u64) -> Matrix {
+    let dense = Matrix::random_uniform(n, k, seed);
+    let mut m = Matrix::zeros(n, k);
+    for i in 0..n {
+        for j in 0..k {
+            if (i * k + j).is_multiple_of(stride) {
+                m.set(i, j, dense.get(i, j));
+            }
+        }
+    }
+    m
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sparsity");
+    group.sample_size(10);
+    for &n in &[1024usize, 4096] {
+        // A Zipf-skewed rank-1 row update: u is one scaled basis column.
+        let mut row_u = Matrix::zeros(n, 1);
+        row_u.set(3, 0, 0.7);
+        let cases = [
+            ("row", row_u, Matrix::random_uniform(n, 1, 5)),
+            (
+                "d=1/64",
+                strided_factor(n, 4, 64, 6),
+                Matrix::random_uniform(n, 4, 7),
+            ),
+            (
+                "d=1/16",
+                strided_factor(n, 4, 16, 8),
+                Matrix::random_uniform(n, 4, 9),
+            ),
+        ];
+        for (label, u, v) in cases {
+            let mut target = Matrix::random_uniform(n, n, 4);
+            group.bench_function(format!("auto/n={n}/{label}"), |bch| {
+                bch.iter(|| fold_low_rank(&mut target, &u, &v, true).expect("fold applies"))
+            });
+            group.bench_function(format!("dense/n={n}/{label}"), |bch| {
+                bch.iter(|| fold_low_rank(&mut target, &u, &v, false).expect("fold applies"))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

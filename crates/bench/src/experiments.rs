@@ -766,6 +766,145 @@ pub fn gemm(cfg: &Config) -> Table {
     t
 }
 
+/// Sparsity — sparse-aware delta execution and rank-compressed broadcasts
+/// vs forced-dense execution, across density × n × backend. Each row
+/// drives the same seeded batches through two views of the same backend —
+/// auto (the runtime picks sparse folds and compressed frames) and
+/// `sparse_folds: Some(false)` — asserts the maintained views are
+/// bit-identical, and reports the fold-path split plus the broadcast bytes
+/// compression saved.
+pub fn sparsity(cfg: &Config) -> Table {
+    use linview_runtime::{BatchUpdate, ExecOptions};
+
+    let k = 4;
+    let mut t = Table::new(
+        format!("Sparsity - sparse folds + compressed broadcasts vs forced dense (rank {k})"),
+        &[
+            "backend",
+            "n",
+            "density",
+            "auto",
+            "forced dense",
+            "speedup",
+            "sparse/dense folds",
+            "comm saved",
+        ],
+    );
+    let program = linview_compiler::parse::parse_program("B := A * A;").expect("program parses");
+
+    // A deterministic n×k factor keeping every `stride`-th entry (row-major)
+    // of a seeded dense factor — density 1/stride, exactly reproducible.
+    fn strided_factor(n: usize, k: usize, stride: usize, seed: u64) -> Matrix {
+        let dense = Matrix::random_uniform(n, k, seed);
+        let mut m = Matrix::zeros(n, k);
+        for i in 0..n {
+            for j in 0..k {
+                if (i * k + j).is_multiple_of(stride) {
+                    m.set(i, j, dense.get(i, j));
+                }
+            }
+        }
+        m
+    }
+
+    fn run<B: ExecBackend>(
+        t: &mut Table,
+        name: &str,
+        make: impl Fn() -> IncrementalView<B>,
+        n: usize,
+        k: usize,
+        stride: usize,
+        updates: usize,
+    ) {
+        let batches: Vec<BatchUpdate> = (0..updates.max(1) as u64)
+            .map(|s| {
+                BatchUpdate::new(
+                    strided_factor(n, k, stride, 100 + s),
+                    Matrix::random_uniform(n, k, 200 + s),
+                )
+                .expect("factors conform")
+            })
+            .collect();
+        let drive = |force_dense: bool| {
+            let mut view = make();
+            view.set_exec_options(ExecOptions {
+                sparse_folds: if force_dense { Some(false) } else { None },
+                ..Default::default()
+            });
+            view.reset_comm();
+            let t0 = Instant::now();
+            for b in &batches {
+                view.apply_batch("A", b).expect("update applies");
+            }
+            let wall = t0.elapsed() / batches.len().max(1) as u32;
+            let stats = view.sparse_stats();
+            let bytes = view.comm().total_bytes();
+            let maintained = view.get("B").expect("B is maintained").clone();
+            (wall, stats, bytes, maintained)
+        };
+        let (auto_t, stats, auto_bytes, auto_b) = drive(false);
+        let (dense_t, _, dense_bytes, dense_b) = drive(true);
+        assert_eq!(
+            auto_b.max_abs_diff(&dense_b),
+            0.0,
+            "sparse and forced-dense executions must stay bit-identical"
+        );
+        t.row(vec![
+            name.into(),
+            n.to_string(),
+            format!("1/{stride}"),
+            fmt_duration(auto_t),
+            fmt_duration(dense_t),
+            fmt_speedup(dense_t, auto_t),
+            format!("{}/{}", stats.sparse_folds, stats.dense_folds),
+            fmt_bytes(dense_bytes.saturating_sub(auto_bytes)),
+        ]);
+    }
+
+    // Densities straddle both thresholds: 1/64 takes the sparse fold path
+    // (below the 5% crossover) AND compressed frames; 1/16 folds dense but
+    // still compresses on the wire; 1/1 is fully dense on both axes.
+    for &n in &[cfg.n, cfg.n * 2] {
+        for &stride in &[64usize, 16, 1] {
+            let view = || IncrementalView::build(&program, &inputs(n), &cat(n)).expect("builds");
+            run(&mut t, "local", view, n, k, stride, cfg.updates);
+            let dist = || {
+                IncrementalView::build_on(
+                    DistBackend::new(4).expect("square worker count"),
+                    &program,
+                    &inputs(n),
+                    &cat(n),
+                )
+                .expect("builds")
+            };
+            run(&mut t, "dist", dist, n, k, stride, cfg.updates);
+            let threaded = || {
+                IncrementalView::build_on(
+                    ThreadedBackend::new(4).expect("square worker count"),
+                    &program,
+                    &inputs(n),
+                    &cat(n),
+                )
+                .expect("builds")
+            };
+            run(&mut t, "threaded", threaded, n, k, stride, cfg.updates);
+        }
+    }
+    fn cat(n: usize) -> linview_expr::Catalog {
+        let mut cat = linview_expr::Catalog::new();
+        cat.declare("A", n, n);
+        cat
+    }
+    fn inputs(n: usize) -> [(&'static str, Matrix); 1] {
+        [("A", Matrix::random_spectral(n, 17, 0.8))]
+    }
+    t.note(
+        "auto == dense bit-for-bit by construction; below the 5% crossover the fold replays \
+         stored entries, and triplet frames shrink broadcasts until density 1/2",
+    );
+    t
+}
+
 /// Ablations — the design-choice studies DESIGN.md calls out, as printable
 /// tables (the Criterion versions live in `benches/ablation_*.rs`).
 pub fn ablations(cfg: &Config) -> Vec<Table> {
@@ -869,10 +1008,11 @@ fn ablation_recompress(cfg: &Config) -> Table {
     }
     let urefs: Vec<&Matrix> = us.iter().collect();
     let vrefs: Vec<&Matrix> = vs.iter().collect();
-    let batch = BatchUpdate {
-        u: Matrix::hstack(&urefs).expect("stack"),
-        v: Matrix::hstack(&vrefs).expect("stack"),
-    };
+    let batch = BatchUpdate::new(
+        Matrix::hstack(&urefs).expect("stack"),
+        Matrix::hstack(&vrefs).expect("stack"),
+    )
+    .expect("conforming factors");
 
     for (label, tol) in [("off", None), ("on (1e-10)", Some(1e-10))] {
         let exec = ExecOptions {
@@ -1056,6 +1196,7 @@ pub fn all(cfg: &Config) -> Vec<Table> {
         engine_batching(cfg),
         scheduler(cfg),
         gemm(cfg),
+        sparsity(cfg),
     ]
 }
 
@@ -1076,6 +1217,7 @@ pub fn by_name(name: &str, cfg: &Config) -> Option<Vec<Table>> {
         "engine" => vec![engine_batching(cfg)],
         "scheduler" => vec![scheduler(cfg)],
         "gemm" => vec![gemm(cfg)],
+        "sparsity" => vec![sparsity(cfg)],
         "ablations" => ablations(cfg),
         "extensions" => extensions(cfg),
         "all" => {
@@ -1106,6 +1248,7 @@ mod tests {
             "engine",
             "scheduler",
             "gemm",
+            "sparsity",
         ] {
             let tables = by_name(name, &cfg).expect("known experiment");
             for t in tables {

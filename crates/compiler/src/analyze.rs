@@ -462,6 +462,12 @@ pub fn verify_stages(trigger: &Trigger, dag: &StmtDag) -> Vec<Diagnostic> {
     diags
 }
 
+/// Density at or below which the runtime folds a delta factor sparsely.
+/// Mirrors `linview_matrix::SPARSE_FOLD_CROSSOVER` — the compiler crate
+/// deliberately does not depend on the kernel crate, so the two constants
+/// must be kept in sync by hand.
+const SPARSE_FOLD_CROSSOVER: f64 = 0.05;
+
 /// Per-trigger static cost and broadcast estimate (pass 4).
 #[derive(Debug, Clone, PartialEq)]
 pub struct CostEstimate {
@@ -477,6 +483,27 @@ pub struct CostEstimate {
     pub update_rank: usize,
     /// Symbolic-in-`(n, k)` rendering of the dominant cost terms.
     pub terms: String,
+    /// Density-refined (nnz-aware) estimate, present when the caller
+    /// supplied [`AnalyzeOptions::density`].
+    pub sparse: Option<SparseEstimate>,
+}
+
+/// Density-refined companion to a [`CostEstimate`]: what the same firing
+/// costs when each delta factor carries only `density · len` nonzeros —
+/// sparse ApplyDelta folds replay stored entries (engaged at or below the
+/// runtime's crossover density) and compressed broadcast frames ship
+/// 16-byte triplets instead of 8-byte dense entries whenever that is
+/// strictly smaller.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SparseEstimate {
+    /// The assumed nonzero fraction per delta factor.
+    pub density: f64,
+    /// Predicted FLOPs of one firing with sparse-eligible folds replayed
+    /// over stored entries only.
+    pub flops: f64,
+    /// Predicted broadcast payload of one firing under compressed
+    /// (triplet-encoded) factor frames.
+    pub wire_bytes: u64,
 }
 
 impl CostEstimate {
@@ -515,6 +542,11 @@ pub struct AnalyzeOptions<'a> {
     pub program: Option<&'a Program>,
     /// Cost model for pass 4 (`None` → the cubic model).
     pub model: Option<CostModel>,
+    /// Expected nonzero fraction of each incoming delta factor, when the
+    /// workload is known (basis-row streams are `1/n` dense): refines pass
+    /// 4 with nnz-aware fold FLOPs and compressed-frame wire bytes. Values
+    /// outside `(0, 1]` are ignored.
+    pub density: Option<f64>,
 }
 
 /// The full analyzer output: diagnostics plus per-trigger facts.
@@ -583,6 +615,14 @@ impl std::fmt::Display for AnalyzerReport {
             if !t.cost.terms.is_empty() {
                 writeln!(f, "  cost terms: {}", t.cost.terms)?;
             }
+            if let Some(sp) = &t.cost.sparse {
+                writeln!(
+                    f,
+                    "  at density {:.4}: est. {:.3e} flops/firing, {} wire bytes/firing \
+                     (compressed frames)",
+                    sp.density, sp.flops, sp.wire_bytes
+                )?;
+            }
         }
         for d in &self.diagnostics {
             writeln!(f, "{d}")?;
@@ -615,7 +655,7 @@ pub fn analyze_joint(joint: &JointTrigger, opts: &AnalyzeOptions) -> AnalyzerRep
 pub fn check_program(tp: &TriggerProgram, program: Option<&Program>) -> Result<()> {
     let opts = AnalyzeOptions {
         program,
-        model: None,
+        ..Default::default()
     };
     match analyze_program(tp, &opts).first_error() {
         Some(d) => Err(d.to_error()),
@@ -628,7 +668,7 @@ pub fn check_program(tp: &TriggerProgram, program: Option<&Program>) -> Result<(
 pub fn check_joint(joint: &JointTrigger, program: Option<&Program>) -> Result<()> {
     let opts = AnalyzeOptions {
         program,
-        model: None,
+        ..Default::default()
     };
     match analyze_joint(joint, &opts).first_error() {
         Some(d) => Err(d.to_error()),
@@ -689,7 +729,14 @@ fn analyze_triggers(
         // Cost formulas use the flow-refined catalog so per-trigger delta
         // block ranks (which the shared catalog cannot represent) price
         // correctly.
-        let cost = cost_pass(trigger, &refined, &model, opts.program, &mut diagnostics);
+        let cost = cost_pass(
+            trigger,
+            &refined,
+            &model,
+            opts.program,
+            opts.density,
+            &mut diagnostics,
+        );
         facts.push(TriggerAnalysis {
             input: trigger.input.clone(),
             effects: derive_effects(&trigger.stmts),
@@ -895,13 +942,19 @@ fn cost_pass(
     cat: &Catalog,
     model: &CostModel,
     program: Option<&Program>,
+    density: Option<f64>,
     diags: &mut Vec<Diagnostic>,
 ) -> CostEstimate {
     let flops = trigger.cost(cat, model).unwrap_or(0.0);
+    let density = density.filter(|d| *d > 0.0 && *d <= 1.0);
 
     // Wire bytes: each factored delta pair a distributed backend broadcasts
-    // once per firing, 8 bytes per f64 entry.
+    // once per firing, 8 bytes per f64 entry. The density-refined variants
+    // start from the dense figures and re-price only what the sparse
+    // runtime paths change: ApplyDelta fold FLOPs and factor payloads.
     let mut wire_bytes = 0u64;
+    let mut sparse_flops = flops;
+    let mut sparse_wire = 0u64;
     let mut terms: Vec<String> = Vec::new();
     for stmt in &trigger.stmts {
         match stmt {
@@ -912,6 +965,23 @@ fn cost_pass(
                         "2k·nm [{target}: k={}, {}×{}]",
                         su.cols, su.rows, sv.rows
                     ));
+                    if let Some(d) = density {
+                        let (n, k, m) = (su.rows as f64, su.cols as f64, sv.rows as f64);
+                        if d <= SPARSE_FOLD_CROSSOVER {
+                            // Sparse fold: 2 flops per stored entry per view
+                            // column, plus one row-gather per touched row —
+                            // replaces the dense 2·k·n·m GEMM fold.
+                            let nnz = d * n * k;
+                            sparse_flops += (2.0 * nnz + nnz.min(n)) * m - 2.0 * k * n * m;
+                        }
+                        for len in [su.rows * su.cols, sv.rows * sv.cols] {
+                            let nnz = (d * len as f64).ceil() as u64;
+                            let len = len as u64;
+                            // The codec's exact rule: 16-byte triplets win
+                            // over 8-byte dense entries iff 2·nnz < len.
+                            sparse_wire += if 2 * nnz < len { 16 * nnz } else { 8 * len };
+                        }
+                    }
                 }
             }
             TriggerStmt::ShermanMorrison { inv_var, p, .. } => {
@@ -965,6 +1035,11 @@ fn cost_pass(
         wire_bytes,
         update_rank: trigger.update_rank,
         terms: terms.join(" + "),
+        sparse: density.map(|d| SparseEstimate {
+            density: d,
+            flops: sparse_flops.max(0.0),
+            wire_bytes: sparse_wire,
+        }),
     }
 }
 
@@ -990,7 +1065,7 @@ mod tests {
             &tp,
             &AnalyzeOptions {
                 program: Some(&p),
-                model: None,
+                ..Default::default()
             },
         );
         assert!(!report.has_errors(), "{report}");
@@ -998,6 +1073,49 @@ mod tests {
         assert!(t.stages >= 2 && t.max_stage_width >= 2);
         assert!(t.cost.flops > 0.0 && t.cost.wire_bytes > 0);
         assert!(t.cost.speedup().unwrap() > 1.0, "INCR should win: {report}");
+        assert!(t.cost.sparse.is_none(), "no density supplied");
+    }
+
+    #[test]
+    fn density_refines_fold_flops_and_compressed_wire_bytes() {
+        let (p, cat) = powers();
+        let tp = compile(&p, &["A"], &cat, &CompileOptions::default()).unwrap();
+        let at = |density: Option<f64>| {
+            analyze_program(
+                &tp,
+                &AnalyzeOptions {
+                    program: Some(&p),
+                    density,
+                    ..Default::default()
+                },
+            )
+        };
+        // Basis-row streams on a 64×64 input are 1/64 ≈ 0.016 dense: below
+        // the fold crossover AND the triplet-encoding break-even, so both
+        // refined figures must drop strictly below the dense estimates.
+        let sparse = at(Some(1.0 / 64.0));
+        assert!(!sparse.has_errors(), "{sparse}");
+        for t in &sparse.triggers {
+            let sp = t.cost.sparse.as_ref().expect("density was supplied");
+            assert!(sp.flops < t.cost.flops, "{:?}", t.cost);
+            assert!(sp.wire_bytes < t.cost.wire_bytes, "{:?}", t.cost);
+        }
+        let rendered = sparse.to_string();
+        assert!(rendered.contains("at density"), "{rendered}");
+        // Fully dense factors gain nothing: the refinement degenerates to
+        // the dense estimate on both axes.
+        let dense = at(Some(1.0));
+        for t in &dense.triggers {
+            let sp = t.cost.sparse.as_ref().unwrap();
+            assert_eq!(sp.flops, t.cost.flops);
+            assert_eq!(sp.wire_bytes, t.cost.wire_bytes);
+        }
+        // Out-of-range densities are ignored rather than mispriced.
+        for bad in [0.0, -0.5, 1.5] {
+            for t in &at(Some(bad)).triggers {
+                assert!(t.cost.sparse.is_none());
+            }
+        }
     }
 
     #[test]

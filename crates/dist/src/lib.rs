@@ -64,8 +64,10 @@ pub mod transport;
 pub use cluster::Cluster;
 pub use comm::{CommSnapshot, CommStats};
 pub use matrix::DistMatrix;
-pub use ops::{dist_add_low_rank, dist_matmul};
-pub use transport::{delta_frame, TransportError, WorkerPool};
+pub use ops::{dist_add_low_rank, dist_add_low_rank_sparse, dist_matmul, factor_wire_bytes};
+pub use transport::{
+    delta_frame, factor_prefers_sparse, sparse_delta_frame, TransportError, WorkerPool,
+};
 
 /// Crate-wide result type (all fallible paths surface dense-kernel errors).
 pub type Result<T> = std::result::Result<T, linview_matrix::MatrixError>;

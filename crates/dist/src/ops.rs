@@ -1,7 +1,7 @@
 //! Distributed kernels over partitioned matrices, with metered traffic.
 
 use crate::{Cluster, DistMatrix, Result};
-use linview_matrix::{Matrix, MatrixError};
+use linview_matrix::{factor_nnz, fold_low_rank, Matrix, MatrixError};
 
 /// Block-SUMMA distributed product `C = A · B`.
 ///
@@ -59,6 +59,43 @@ pub fn dist_add_low_rank(
     v: &Matrix,
     cluster: &Cluster,
 ) -> Result<()> {
+    dist_add_low_rank_sparse(m, u, v, cluster, false, false)
+}
+
+/// Analytic payload bytes one broadcast factor costs on the wire.
+///
+/// Dense factors move all `rows·cols` doubles (`8·len` bytes); with
+/// `compress` set, a factor whose shorter form is the triplet list —
+/// exactly when `2·nnz < len`, the predicate the transport's flagged codec
+/// uses — moves `16·nnz` bytes (a 16-byte `(row, col, value)` cell per
+/// stored nonzero) instead. This keeps the simulated cluster's byte meter
+/// in lockstep with the exact frame lengths the threaded transport reports,
+/// minus the fixed per-frame headers.
+pub fn factor_wire_bytes(m: &Matrix, compress: bool) -> u64 {
+    let nnz = factor_nnz(m);
+    if compress && 2 * nnz < m.len() {
+        16 * nnz as u64
+    } else {
+        8 * m.len() as u64
+    }
+}
+
+/// [`dist_add_low_rank`] with the sparse execution knobs exposed.
+///
+/// * `sparse` routes every per-block fold through the density-aware
+///   [`fold_low_rank`], so blocks hit by a near-basis factor pay
+///   `O(nnz·m)` FLOPs instead of the dense `O(k·n·m)` (bit-identical
+///   either way).
+/// * `compress` meters each broadcast factor at its compressed wire cost
+///   ([`factor_wire_bytes`]) instead of its dense footprint.
+pub fn dist_add_low_rank_sparse(
+    m: &mut DistMatrix,
+    u: &Matrix,
+    v: &Matrix,
+    cluster: &Cluster,
+    sparse: bool,
+    compress: bool,
+) -> Result<()> {
     if u.rows() != m.rows() || v.rows() != m.cols() || u.cols() != v.cols() {
         return Err(MatrixError::DimMismatch {
             op: "dist_add_low_rank",
@@ -73,7 +110,7 @@ pub fn dist_add_low_rank(
         // transport, so per-backend delivery counts stay comparable.
         return Ok(());
     }
-    let factor_bytes = ((u.len() + v.len()) * std::mem::size_of::<f64>()) as u64;
+    let factor_bytes = factor_wire_bytes(u, compress) + factor_wire_bytes(v, compress);
     for _ in 0..cluster.workers() {
         cluster.comm().record_broadcast(factor_bytes);
     }
@@ -83,8 +120,7 @@ pub fn dist_add_low_rank(
         let u_i = u.submatrix(i * bh, 0, bh, k)?;
         for j in 0..m.grid_cols() {
             let v_j = v.submatrix(j * bw, 0, bw, k)?;
-            let delta = u_i.try_matmul(&v_j.transpose())?;
-            m.block_mut(i, j).add_assign_from(&delta)?;
+            fold_low_rank(m.block_mut(i, j), &u_i, &v_j, sparse)?;
         }
     }
     Ok(())
@@ -227,6 +263,70 @@ mod tests {
             assert_eq!(snap.broadcast_bytes, workers * (2 * n * k * 8) as u64);
             assert_eq!(snap.shuffle_bytes, 0);
             assert_eq!(snap.shuffle_msgs, 0);
+        }
+    }
+
+    #[test]
+    fn sparse_fold_variant_is_bit_identical_to_the_dense_kernel() {
+        // A basis-column U (density 1/16, below the crossover) must take
+        // the sparse per-block path and still produce bit-identical blocks.
+        let (n, k) = (16, 2);
+        let m0 = Matrix::random_uniform(n, n, 71);
+        let mut u = Matrix::zeros(n, k);
+        u.set(3, 0, 1.0);
+        u.set(11, 1, -2.0);
+        let v = Matrix::random_uniform(n, k, 72);
+        for (gr, gc) in [(1, 1), (2, 2), (4, 2)] {
+            let cluster = Cluster::with_grid(gr, gc);
+            let mut dense = DistMatrix::from_dense_grid(&m0, gr, gc).unwrap();
+            dist_add_low_rank(&mut dense, &u, &v, &cluster).unwrap();
+            let mut sparse = DistMatrix::from_dense_grid(&m0, gr, gc).unwrap();
+            dist_add_low_rank_sparse(&mut sparse, &u, &v, &cluster, true, true).unwrap();
+            assert_eq!(
+                sparse.to_dense(),
+                dense.to_dense(),
+                "sparse folds diverged on grid {gr}x{gc}"
+            );
+        }
+    }
+
+    #[test]
+    fn compressed_metering_charges_nnz_scaled_bytes() {
+        let (n, k) = (24, 2);
+        let mut u = Matrix::zeros(n, k);
+        u.set(5, 0, 1.0);
+        u.set(17, 1, 1.0);
+        let v = Matrix::random_uniform(n, k, 34); // dense → stays 8·len
+        assert_eq!(factor_wire_bytes(&u, true), 16 * 2);
+        assert_eq!(factor_wire_bytes(&u, false), (8 * n * k) as u64);
+        assert_eq!(factor_wire_bytes(&v, true), (8 * n * k) as u64);
+
+        for (gr, gc) in [(1, 1), (2, 2), (3, 2)] {
+            let cluster = Cluster::with_grid(gr, gc);
+            let mut dm =
+                DistMatrix::from_dense_grid(&Matrix::random_uniform(n, n, 35), gr, gc).unwrap();
+            dist_add_low_rank_sparse(&mut dm, &u, &v, &cluster, true, true).unwrap();
+            let snap = cluster.comm().snapshot();
+            let workers = (gr * gc) as u64;
+            assert_eq!(snap.broadcast_msgs, workers);
+            assert_eq!(
+                snap.broadcast_bytes,
+                workers * (16 * 2 + (8 * n * k) as u64),
+                "compressed byte model broke on grid {gr}x{gc}"
+            );
+        }
+    }
+
+    #[test]
+    fn factor_wire_bytes_threshold_is_exact() {
+        // len = 32: nnz 15 compresses (30 < 32), nnz 16 does not.
+        for (nnz, compressed) in [(15usize, true), (16usize, false)] {
+            let mut m = Matrix::zeros(8, 4);
+            for i in 0..nnz {
+                m.set(i / 4, i % 4, 1.0);
+            }
+            let want = if compressed { 16 * nnz as u64 } else { 8 * 32 };
+            assert_eq!(factor_wire_bytes(&m, true), want, "nnz {nnz}");
         }
     }
 

@@ -17,7 +17,15 @@
 //!   2  delta    name U V         (no reply; worker slices its own rows)
 //!   3  gather   name             encoded block (doubles as a barrier)
 //!   4  reset                     (no reply)
+//!   5  delta*   name U V         (as 2, factors flag-encoded dense|sparse)
 //! ```
+//!
+//! The tag-5 frame carries each factor behind a one-byte encoding flag:
+//! dense (the tag-2 layout) or sparse triplets `(u32 row, u32 col, f64)` in
+//! row-major order, keeping only entries `x != 0.0`. A factor is encoded
+//! sparse exactly when that is the shorter form (`2·nnz < rows·cols`), so a
+//! compressed broadcast's wire bytes scale with the factors' nonzero count
+//! rather than their dense footprint.
 //!
 //! Because each worker processes its channel in FIFO order, a gather reply
 //! is only produced after every previously sent delta has been applied —
@@ -30,7 +38,7 @@ use std::sync::mpsc::{self, Receiver, Sender};
 use std::thread::JoinHandle;
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
-use linview_matrix::Matrix;
+use linview_matrix::{factor_nnz, Matrix};
 
 use crate::DistMatrix;
 
@@ -39,6 +47,12 @@ const TAG_INSTALL: u8 = 1;
 const TAG_DELTA: u8 = 2;
 const TAG_GATHER: u8 = 3;
 const TAG_RESET: u8 = 4;
+const TAG_DELTA_SPARSE: u8 = 5;
+
+/// Flag byte: the matrix that follows uses the dense (tag-2) layout.
+const ENC_DENSE: u8 = 0;
+/// Flag byte: the matrix that follows is a triplet list of its nonzeros.
+const ENC_SPARSE: u8 = 1;
 
 /// Errors surfaced by the message-passing transport.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -114,6 +128,70 @@ fn get_matrix(buf: &mut Bytes) -> TransportResult<Matrix> {
     Matrix::from_vec(rows, cols, data).map_err(|_| TransportError::Malformed("matrix shape"))
 }
 
+/// Whether the flagged encoding of `m` is shorter sparse than dense.
+///
+/// Sparse spends 16 bytes per stored entry plus a 4-byte count against the
+/// dense form's 8 bytes per cell, so sparse wins exactly when
+/// `2·nnz < rows·cols`. Exposed so coordinators (and their byte-accounting
+/// models) can predict a frame's layout without serializing it.
+pub fn factor_prefers_sparse(m: &Matrix) -> bool {
+    2 * factor_nnz(m) < m.len()
+}
+
+fn put_matrix_auto(buf: &mut BytesMut, m: &Matrix) {
+    if factor_prefers_sparse(m) {
+        buf.put_u8(ENC_SPARSE);
+        buf.put_u32_le(m.rows() as u32);
+        buf.put_u32_le(m.cols() as u32);
+        buf.put_u32_le(factor_nnz(m) as u32);
+        for r in 0..m.rows() {
+            for c in 0..m.cols() {
+                let x = m.get(r, c);
+                if x != 0.0 {
+                    buf.put_u32_le(r as u32);
+                    buf.put_u32_le(c as u32);
+                    buf.put_f64_le(x);
+                }
+            }
+        }
+    } else {
+        buf.put_u8(ENC_DENSE);
+        put_matrix(buf, m);
+    }
+}
+
+fn get_matrix_auto(buf: &mut Bytes) -> TransportResult<Matrix> {
+    if buf.remaining() < 1 {
+        return Err(TransportError::Malformed("encoding flag"));
+    }
+    match buf.get_u8() {
+        ENC_DENSE => get_matrix(buf),
+        ENC_SPARSE => {
+            if buf.remaining() < 12 {
+                return Err(TransportError::Malformed("sparse matrix header"));
+            }
+            let rows = buf.get_u32_le() as usize;
+            let cols = buf.get_u32_le() as usize;
+            let nnz = buf.get_u32_le() as usize;
+            if buf.remaining() < 16 * nnz {
+                return Err(TransportError::Malformed("sparse matrix payload"));
+            }
+            let mut m = Matrix::zeros(rows, cols);
+            for _ in 0..nnz {
+                let r = buf.get_u32_le() as usize;
+                let c = buf.get_u32_le() as usize;
+                let x = buf.get_f64_le();
+                if r >= rows || c >= cols {
+                    return Err(TransportError::Malformed("sparse entry out of bounds"));
+                }
+                m.set(r, c, x);
+            }
+            Ok(m)
+        }
+        _ => Err(TransportError::Malformed("unknown matrix encoding")),
+    }
+}
+
 fn control_frame(tag: u8) -> Bytes {
     let mut buf = BytesMut::with_capacity(1);
     buf.put_u8(tag);
@@ -140,6 +218,24 @@ pub fn delta_frame(view: &str, u: &Matrix, v: &Matrix) -> Bytes {
     put_name(&mut buf, view);
     put_matrix(&mut buf, u);
     put_matrix(&mut buf, v);
+    buf.freeze()
+}
+
+/// The compressed broadcast frame: same delta as [`delta_frame`], but each
+/// factor is flag-encoded and switches to a triplet list of its nonzeros
+/// whenever that is the shorter form.
+///
+/// Public for the same reason as [`delta_frame`]: byte-accounting audits
+/// recompute a backend's metered counts from the serialization the workers
+/// actually receive. Decoding reconstructs each factor cell for cell, so a
+/// worker folding a sparse frame stays bit-identical to one folding the
+/// dense frame (only the signs of zeros can differ, which `==` ignores).
+pub fn sparse_delta_frame(view: &str, u: &Matrix, v: &Matrix) -> Bytes {
+    let mut buf = BytesMut::with_capacity(1 + 4 + view.len() + 18 + 8 * (u.len() + v.len()));
+    buf.put_u8(TAG_DELTA_SPARSE);
+    put_name(&mut buf, view);
+    put_matrix_auto(&mut buf, u);
+    put_matrix_auto(&mut buf, v);
     buf.freeze()
 }
 
@@ -171,10 +267,19 @@ fn worker_loop(br: usize, bc: usize, rx: Receiver<Bytes>, reply: Sender<Bytes>) 
                 let block = get_matrix(&mut frame).expect("install frame: block");
                 blocks.insert(name, block);
             }
-            TAG_DELTA => {
+            tag @ (TAG_DELTA | TAG_DELTA_SPARSE) => {
                 let name = get_name(&mut frame).expect("delta frame: name");
-                let u = get_matrix(&mut frame).expect("delta frame: U");
-                let v = get_matrix(&mut frame).expect("delta frame: V");
+                let (u, v) = if tag == TAG_DELTA {
+                    (
+                        get_matrix(&mut frame).expect("delta frame: U"),
+                        get_matrix(&mut frame).expect("delta frame: V"),
+                    )
+                } else {
+                    (
+                        get_matrix_auto(&mut frame).expect("sparse delta frame: U"),
+                        get_matrix_auto(&mut frame).expect("sparse delta frame: V"),
+                    )
+                };
                 let block = blocks
                     .get_mut(&name)
                     .unwrap_or_else(|| panic!("delta for uninstalled view '{name}'"));
@@ -327,6 +432,24 @@ impl WorkerPool {
     /// (the exact per-worker byte cost of the broadcast).
     pub fn broadcast_delta(&self, view: &str, u: &Matrix, v: &Matrix) -> TransportResult<u64> {
         let frame = delta_frame(view, u, v);
+        let len = frame.len() as u64;
+        self.send_all(&frame)?;
+        Ok(len)
+    }
+
+    /// Broadcasts the factored delta as a compressed
+    /// ([`sparse_delta_frame`]) frame instead of a dense one, returning the
+    /// serialized frame length sent to each worker. Workers fold the
+    /// reconstructed factors through the same arithmetic as
+    /// [`WorkerPool::broadcast_delta`], so the two frames are
+    /// interchangeable in everything but wire bytes.
+    pub fn broadcast_delta_sparse(
+        &self,
+        view: &str,
+        u: &Matrix,
+        v: &Matrix,
+    ) -> TransportResult<u64> {
+        let frame = sparse_delta_frame(view, u, v);
         let len = frame.len() as u64;
         self.send_all(&frame)?;
         Ok(len)
@@ -502,6 +625,152 @@ mod tests {
         let blocks = pool.gather("X").unwrap();
         assert_eq!(blocks[0], b.submatrix(0, 0, 4, 2).unwrap());
         assert_eq!(blocks[1], b.submatrix(0, 2, 4, 2).unwrap());
+    }
+
+    #[test]
+    fn flagged_codec_round_trips_both_encodings() {
+        // Sparse-preferring: 2 nonzeros in a 6×2 factor (2·2 < 12).
+        let mut sp = Matrix::zeros(6, 2);
+        sp.set(1, 0, 3.5);
+        sp.set(4, 1, -2.25);
+        // Dense-preferring: every cell nonzero.
+        let dn = Matrix::random_uniform(3, 3, 17);
+        for m in [&sp, &dn] {
+            let mut buf = BytesMut::new();
+            put_matrix_auto(&mut buf, m);
+            let mut frame = buf.freeze();
+            let back = get_matrix_auto(&mut frame).unwrap();
+            assert_eq!(&back, m);
+            assert!(!frame.has_remaining());
+        }
+        assert!(factor_prefers_sparse(&sp));
+        assert!(!factor_prefers_sparse(&dn));
+        // Exact lengths: sparse = 1+8+4+16·nnz, dense = 1+8+8·len.
+        let mut buf = BytesMut::new();
+        put_matrix_auto(&mut buf, &sp);
+        assert_eq!(buf.len(), 13 + 16 * 2);
+        let mut buf = BytesMut::new();
+        put_matrix_auto(&mut buf, &dn);
+        assert_eq!(buf.len(), 9 + 8 * 9);
+    }
+
+    #[test]
+    fn sparse_encoding_engages_exactly_when_shorter() {
+        // Densities straddling the 2·nnz = len threshold on an 8×4 factor
+        // (len 32): nnz 15 → sparse (30 < 32), nnz 16 → dense (32 ≮ 32).
+        for (nnz, expect_sparse) in [(15usize, true), (16usize, false)] {
+            let mut m = Matrix::zeros(8, 4);
+            for i in 0..nnz {
+                m.set(i / 4, i % 4, 1.0 + i as f64);
+            }
+            assert_eq!(factor_prefers_sparse(&m), expect_sparse, "nnz {nnz}");
+            let mut buf = BytesMut::new();
+            put_matrix_auto(&mut buf, &m);
+            let dense_len = 9 + 8 * m.len();
+            if expect_sparse {
+                assert!(buf.len() < dense_len);
+            } else {
+                assert_eq!(buf.len(), dense_len);
+            }
+            let back = get_matrix_auto(&mut buf.freeze()).unwrap();
+            assert_eq!(back, m);
+        }
+    }
+
+    #[test]
+    fn truncated_sparse_frames_are_malformed_not_panics() {
+        let mut sp = Matrix::zeros(6, 2);
+        sp.set(2, 1, 9.0);
+        let mut buf = BytesMut::new();
+        put_matrix_auto(&mut buf, &sp);
+        let full = buf.freeze();
+        for cut in [0, 5, full.len() - 1] {
+            let mut truncated = full.slice(0..cut);
+            assert!(matches!(
+                get_matrix_auto(&mut truncated),
+                Err(TransportError::Malformed(_))
+            ));
+        }
+        // An out-of-bounds triplet is a decode error, not a panic.
+        let mut bad = BytesMut::new();
+        bad.put_u8(ENC_SPARSE);
+        bad.put_u32_le(2);
+        bad.put_u32_le(2);
+        bad.put_u32_le(1);
+        bad.put_u32_le(7); // row 7 of a 2×2 matrix
+        bad.put_u32_le(0);
+        bad.put_f64_le(1.0);
+        assert!(matches!(
+            get_matrix_auto(&mut bad.freeze()),
+            Err(TransportError::Malformed(_))
+        ));
+        // Unknown flag byte likewise.
+        let mut unknown = Bytes::from(vec![9u8]);
+        assert!(matches!(
+            get_matrix_auto(&mut unknown),
+            Err(TransportError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn sparse_broadcast_folds_identically_to_dense_and_costs_fewer_bytes() {
+        for (gr, gc) in [(1, 1), (2, 2), (2, 4)] {
+            let n = 24;
+            let m0 = Matrix::random_uniform(n, n, 41);
+            let dm0 = DistMatrix::from_dense_grid(&m0, gr, gc).unwrap();
+
+            // A sparse rank-2 delta: two touched rows, a handful of cols.
+            let mut u = Matrix::zeros(n, 2);
+            u.set(3, 0, 1.0);
+            u.set(17, 1, 1.0);
+            let mut v = Matrix::zeros(n, 2);
+            v.set(0, 0, 2.5);
+            v.set(9, 0, -1.25);
+            v.set(4, 1, 0.75);
+
+            let dense_pool = WorkerPool::spawn(gr, gc);
+            dense_pool.install("X", &dm0).unwrap();
+            let dense_len = dense_pool.broadcast_delta("X", &u, &v).unwrap();
+
+            let sparse_pool = WorkerPool::spawn(gr, gc);
+            sparse_pool.install("X", &dm0).unwrap();
+            let sparse_len = sparse_pool.broadcast_delta_sparse("X", &u, &v).unwrap();
+
+            assert!(
+                sparse_len < dense_len,
+                "sparse frame ({sparse_len}B) not shorter than dense ({dense_len}B)"
+            );
+            assert_eq!(sparse_len, sparse_delta_frame("X", &u, &v).len() as u64);
+
+            let dense_blocks = dense_pool.gather("X").unwrap();
+            let sparse_blocks = sparse_pool.gather("X").unwrap();
+            assert_eq!(
+                dense_blocks, sparse_blocks,
+                "sparse frame diverged from dense on grid {gr}x{gc}"
+            );
+        }
+    }
+
+    #[test]
+    fn sparse_frame_with_dense_factors_still_decodes() {
+        // Both factors dense-preferring: the tag-5 frame degenerates to
+        // flag-prefixed dense payloads and must still fold correctly.
+        let pool = WorkerPool::spawn(2, 2);
+        let m0 = Matrix::random_uniform(8, 8, 51);
+        pool.install("X", &DistMatrix::from_dense_grid(&m0, 2, 2).unwrap())
+            .unwrap();
+        let u = Matrix::random_uniform(8, 2, 52);
+        let v = Matrix::random_uniform(8, 2, 53);
+        pool.broadcast_delta_sparse("X", &u, &v).unwrap();
+        let mut expected = m0;
+        expected
+            .add_assign_from(&u.try_matmul(&v.transpose()).unwrap())
+            .unwrap();
+        let blocks = pool.gather("X").unwrap();
+        for (idx, block) in blocks.iter().enumerate() {
+            let (br, bc) = (idx / 2, idx % 2);
+            assert_eq!(block, &expected.submatrix(br * 4, bc * 4, 4, 4).unwrap());
+        }
     }
 
     #[test]

@@ -49,6 +49,7 @@ mod pack;
 mod pool;
 mod qr;
 mod random;
+mod sparsity;
 mod strassen;
 mod svd;
 
@@ -61,6 +62,10 @@ pub use error::MatrixError;
 pub use gemm::{default_kernel, gemm_threads, set_default_kernel, set_gemm_threads, GemmKernel};
 pub use norms::ApproxEq;
 pub use qr::Qr;
+pub use sparsity::{
+    factor_nnz, fold_low_rank, set_sparse_folds, sparse_folds_enabled, FoldPath,
+    SPARSE_FOLD_CROSSOVER,
+};
 pub use strassen::STRASSEN_GAMMA;
 pub use svd::{numerical_rank, Svd};
 

@@ -1,0 +1,305 @@
+//! Density-aware low-rank view folds.
+//!
+//! Every trigger update statement bottoms out in the fold
+//! `X += U·Vᵀ` with skinny `n×k` factors. On the paper's graph/Zipf
+//! workloads (§7) the left factor is overwhelmingly sparse — a row update
+//! contributes one basis column, so `U` carries ~`k` nonzeros out of
+//! `n·k` — and a dense rank-`k` GEMM wastes `O(n·k·m)` work on zeros.
+//! [`fold_low_rank`] measures the factor's density and, below the
+//! benchmarked [`SPARSE_FOLD_CROSSOVER`], replays the fold row by row over
+//! the stored nonzeros only, in `O(nnz(U)·m)`.
+//!
+//! **Bit-identity.** The dense path computes
+//! `delta[r][j] = Σₖ u[r,k]·v[j,k]` with `k` ascending (the documented
+//! [`GemmKernel`](crate::GemmKernel) contract — plain mul-then-add, never
+//! fused) and then performs one elementwise `X += delta`. The sparse path
+//! replays exactly that per-element order, skipping only terms where
+//! `u[r,k]` is exactly `0.0` and rows of `U` that are entirely zero.
+//! Skipped terms contribute `±0.0`; under IEEE-754 round-to-nearest,
+//! adding an exact zero never changes a finite accumulator except possibly
+//! in the sign of a zero result — and `f64::==` (hence `Matrix::==`, the
+//! relation every conformance suite asserts) treats `-0.0 == +0.0`. So
+//! sparse and dense folds agree under `==` for every kernel and thread
+//! count.
+//!
+//! The opt-out knob mirrors `LINVIEW_GEMM`: [`set_sparse_folds`] overrides
+//! programmatically, `LINVIEW_SPARSE=0` (or `off`/`false`) disables via
+//! the environment, default is enabled.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+
+use crate::{flops, Matrix, MatrixError, Result};
+
+/// Density of the left factor below which the sparse row-replay fold beats
+/// the packed GEMM + elementwise add.
+///
+/// Benchmarked with the `sparsity` experiment table: the packed kernel
+/// sustains roughly 6–8× the scalar fold's FLOP rate, so the naive
+/// break-even sits near density ≈ 1/7; `0.05` leaves a 2–3× margin so the
+/// sparse path only engages where it wins clearly (basis-vector factors
+/// from row-update streams have density `1/n`, far below it).
+pub const SPARSE_FOLD_CROSSOVER: f64 = 0.05;
+
+/// Sentinel 0 = "no programmatic override".
+static SPARSE_OVERRIDE: AtomicU8 = AtomicU8::new(0);
+/// `LINVIEW_SPARSE`, read once per process.
+static ENV_SPARSE: OnceLock<Option<bool>> = OnceLock::new();
+
+/// Whether density-aware folds (and the matching sparse factor frames) are
+/// enabled process-wide.
+///
+/// Precedence: the last [`set_sparse_folds`] call, else `LINVIEW_SPARSE`
+/// (read once per process; `0`/`off`/`false` disable, `1`/`on`/`true`
+/// enable, anything else is ignored), else enabled.
+pub fn sparse_folds_enabled() -> bool {
+    match SPARSE_OVERRIDE.load(Ordering::Relaxed) {
+        1 => return false,
+        2 => return true,
+        _ => {}
+    }
+    ENV_SPARSE
+        .get_or_init(|| {
+            let v = std::env::var("LINVIEW_SPARSE").ok()?;
+            match v.trim().to_ascii_lowercase().as_str() {
+                "0" | "off" | "false" | "no" => Some(false),
+                "1" | "on" | "true" | "yes" => Some(true),
+                _ => None,
+            }
+        })
+        .unwrap_or(true)
+}
+
+/// Overrides the process-wide sparse-fold default (`None` restores the
+/// `LINVIEW_SPARSE` / built-in default).
+pub fn set_sparse_folds(enabled: Option<bool>) {
+    let v = match enabled {
+        None => 0,
+        Some(false) => 1,
+        Some(true) => 2,
+    };
+    SPARSE_OVERRIDE.store(v, Ordering::Relaxed);
+}
+
+/// Which execution path [`fold_low_rank`] took, with the work it saw.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FoldPath {
+    /// Sparse row-replay over the stored nonzeros of `U`.
+    Sparse {
+        /// Exact nonzeros of the left factor.
+        nnz: usize,
+        /// Rows of `U` with at least one nonzero (= rows of `X` written).
+        rows_touched: usize,
+    },
+    /// Dense rank-`k` GEMM + elementwise accumulation.
+    Dense,
+}
+
+impl FoldPath {
+    /// True when the sparse replay ran.
+    pub fn is_sparse(self) -> bool {
+        matches!(self, FoldPath::Sparse { .. })
+    }
+}
+
+/// Exact nonzero count of a factor (entries not equal to `±0.0`).
+pub fn factor_nnz(m: &Matrix) -> usize {
+    m.as_slice().iter().filter(|&&x| x != 0.0).count()
+}
+
+/// Folds `target += u · vᵀ`, picking the sparse row-replay when the left
+/// factor's measured density is at or below [`SPARSE_FOLD_CROSSOVER`] (and
+/// `allow_sparse` is set), the dense rank-`k` GEMM otherwise.
+///
+/// Shapes: `u` is `n×k`, `v` is `m×k`, `target` is `n×m`. Both paths are
+/// `==`-identical (see the module docs); the FLOP meter records the work
+/// the chosen path actually performed, which is the whole point — sparse
+/// folds cost `O(nnz(U)·m)` instead of `O(n·k·m)`.
+pub fn fold_low_rank(
+    target: &mut Matrix,
+    u: &Matrix,
+    v: &Matrix,
+    allow_sparse: bool,
+) -> Result<FoldPath> {
+    if u.cols() != v.cols() || u.rows() != target.rows() || v.rows() != target.cols() {
+        return Err(MatrixError::DimMismatch {
+            op: "fold_low_rank",
+            lhs: u.shape(),
+            rhs: v.shape(),
+        });
+    }
+    let (n, k) = u.shape();
+    let m = v.rows();
+    if allow_sparse && n * k > 0 {
+        let nnz = factor_nnz(u);
+        if (nnz as f64) <= SPARSE_FOLD_CROSSOVER * (n * k) as f64 {
+            return sparse_fold(target, u, v, nnz, m);
+        }
+    }
+    let delta = u.try_matmul(&v.transpose())?;
+    target.add_assign_from(&delta)?;
+    Ok(FoldPath::Dense)
+}
+
+/// The sparse replay: for each nonzero row `r` of `u`, accumulate
+/// `Σₖ u[r,k]·v[j,k]` over the stored `k` in ascending order into a scalar
+/// and add it into `target[r][j]` once — the exact per-element grouping of
+/// GEMM-then-add, minus the terms that are exactly zero.
+fn sparse_fold(
+    target: &mut Matrix,
+    u: &Matrix,
+    v: &Matrix,
+    nnz: usize,
+    m: usize,
+) -> Result<FoldPath> {
+    let mut cols: Vec<(usize, f64)> = Vec::new();
+    let mut rows_touched = 0usize;
+    for r in 0..u.rows() {
+        cols.clear();
+        cols.extend(
+            u.row(r)
+                .iter()
+                .enumerate()
+                .filter(|(_, &x)| x != 0.0)
+                .map(|(k, &x)| (k, x)),
+        );
+        if cols.is_empty() {
+            continue;
+        }
+        rows_touched += 1;
+        let out_row = target.row_mut(r);
+        for (j, out) in out_row.iter_mut().enumerate() {
+            let v_row = v.row(j);
+            let mut acc = 0.0f64;
+            for &(k, uval) in &cols {
+                acc += uval * v_row[k];
+            }
+            *out += acc;
+        }
+    }
+    // 2 flops per (stored nonzero × output column) plus the per-row fold.
+    flops::add((2 * nnz * m + rows_touched * m) as u64);
+    Ok(FoldPath::Sparse { nnz, rows_touched })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dense_fold(target: &mut Matrix, u: &Matrix, v: &Matrix) {
+        let delta = u.try_matmul(&v.transpose()).unwrap();
+        target.add_assign_from(&delta).unwrap();
+    }
+
+    /// A skinny factor with exactly `per_col` nonzeros per column.
+    fn basisish(n: usize, k: usize, per_col: usize, seed: u64) -> Matrix {
+        let mut u = Matrix::zeros(n, k);
+        let mut s = seed;
+        for c in 0..k {
+            for _ in 0..per_col {
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let r = (s >> 33) as usize % n;
+                let val = ((s >> 11) & 0xffff) as f64 / 65536.0 - 0.5;
+                u.set(r, c, if val == 0.0 { 0.25 } else { val });
+            }
+        }
+        u
+    }
+
+    #[test]
+    fn sparse_fold_is_bit_identical_to_dense() {
+        for &(n, m, k) in &[(40, 40, 1), (64, 48, 3), (33, 57, 5)] {
+            let u = basisish(n, k, 1, 7 + n as u64);
+            let v = Matrix::random_uniform(m, k, 11 + m as u64);
+            let base = Matrix::random_uniform(n, m, 13);
+            let mut sparse_t = base.clone();
+            let path = fold_low_rank(&mut sparse_t, &u, &v, true).unwrap();
+            assert!(
+                path.is_sparse(),
+                "density {} should take the sparse path",
+                n
+            );
+            let mut dense_t = base.clone();
+            dense_fold(&mut dense_t, &u, &v);
+            assert_eq!(sparse_t, dense_t, "sparse fold diverged at ({n},{m},{k})");
+        }
+    }
+
+    #[test]
+    fn dense_factors_take_the_dense_path() {
+        let u = Matrix::random_uniform(32, 2, 3);
+        let v = Matrix::random_uniform(32, 2, 4);
+        let mut t = Matrix::zeros(32, 32);
+        let path = fold_low_rank(&mut t, &u, &v, true).unwrap();
+        assert_eq!(path, FoldPath::Dense);
+        let mut want = Matrix::zeros(32, 32);
+        dense_fold(&mut want, &u, &v);
+        assert_eq!(t, want);
+    }
+
+    #[test]
+    fn opt_out_forces_dense() {
+        let u = basisish(64, 2, 1, 5);
+        let v = Matrix::random_uniform(48, 2, 6);
+        let mut t = Matrix::zeros(64, 48);
+        assert_eq!(
+            fold_low_rank(&mut t, &u, &v, false).unwrap(),
+            FoldPath::Dense
+        );
+    }
+
+    #[test]
+    fn all_zero_factor_is_a_sparse_noop() {
+        let u = Matrix::zeros(16, 2);
+        let v = Matrix::random_uniform(16, 2, 9);
+        let base = Matrix::random_uniform(16, 16, 10);
+        let mut t = base.clone();
+        let path = fold_low_rank(&mut t, &u, &v, true).unwrap();
+        assert_eq!(
+            path,
+            FoldPath::Sparse {
+                nnz: 0,
+                rows_touched: 0
+            }
+        );
+        assert_eq!(t, base);
+    }
+
+    #[test]
+    fn shape_mismatch_is_rejected() {
+        let u = Matrix::zeros(4, 2);
+        let v = Matrix::zeros(5, 3);
+        let mut t = Matrix::zeros(4, 5);
+        assert!(fold_low_rank(&mut t, &u, &v, true).is_err());
+    }
+
+    #[test]
+    fn sparse_fold_meters_nnz_scaled_flops() {
+        let n = 200;
+        let u = basisish(n, 4, 1, 21);
+        let v = Matrix::random_uniform(n, 4, 22);
+        let mut t = Matrix::zeros(n, n);
+        let before = flops::read();
+        let path = fold_low_rank(&mut t, &u, &v, true).unwrap();
+        let spent = flops::read() - before;
+        let FoldPath::Sparse { nnz, rows_touched } = path else {
+            panic!("expected the sparse path");
+        };
+        assert_eq!(spent, (2 * nnz * n + rows_touched * n) as u64);
+        // Far below the dense fold's 2·n·k·m + n·m.
+        assert!(spent < (2 * n * 4 * n + n * n) as u64 / 10);
+    }
+
+    #[test]
+    fn env_knob_parses() {
+        // Only exercises the override layer (the env layer is read once
+        // per process and owned by whichever test process runs first).
+        set_sparse_folds(Some(false));
+        assert!(!sparse_folds_enabled());
+        set_sparse_folds(Some(true));
+        assert!(sparse_folds_enabled());
+        set_sparse_folds(None);
+    }
+}

@@ -23,11 +23,12 @@ use std::collections::BTreeMap;
 
 use linview_compiler::{JointTrigger, Trigger};
 use linview_dist::{
-    dist_add_low_rank, transport::TransportError, Cluster, CommSnapshot, DistMatrix, WorkerPool,
+    dist_add_low_rank_sparse, factor_prefers_sparse, factor_wire_bytes, transport::TransportError,
+    Cluster, CommSnapshot, DistMatrix, WorkerPool,
 };
-use linview_matrix::Matrix;
+use linview_matrix::{fold_low_rank, Matrix};
 
-use crate::exec::{FiringReport, StageDelta};
+use crate::exec::{FiringReport, SparseStats, StageDelta};
 use crate::{Env, Evaluator, ExecOptions, Result, RuntimeError};
 
 /// Scheduling telemetry a backend accumulates while executing stages.
@@ -63,8 +64,19 @@ pub trait ExecBackend: std::fmt::Debug {
     fn materialize(&mut self, env: &Env) -> Result<()>;
 
     /// Folds the factored delta `ΔX = U Vᵀ` into view `target` — the
-    /// single-delta backend-specific step of trigger execution.
-    fn apply_delta(&mut self, env: &mut Env, target: &str, u: &Matrix, v: &Matrix) -> Result<()>;
+    /// single-delta backend-specific step of trigger execution. With
+    /// `sparse` set, folds route through the density cost model (and
+    /// distributed factor broadcasts may go out compressed); either way the
+    /// result is bit-identical. Returns the fold-path and wire accounting
+    /// of the application; rank-0 deltas are uncounted no-ops.
+    fn apply_delta(
+        &mut self,
+        env: &mut Env,
+        target: &str,
+        u: &Matrix,
+        v: &Matrix,
+        sparse: bool,
+    ) -> Result<SparseStats>;
 
     /// Folds one **stage** of provably independent deltas (pairwise
     /// distinct targets, guaranteed by the compile-time DAG). The default
@@ -72,11 +84,17 @@ pub trait ExecBackend: std::fmt::Debug {
     /// exploit the independence — threaded GEMMs into disjoint slots,
     /// merged broadcast rounds, pipelined frames. Every override must stay
     /// bit-identical to the sequential fold.
-    fn apply_stage(&mut self, env: &mut Env, deltas: &[StageDelta]) -> Result<()> {
+    fn apply_stage(
+        &mut self,
+        env: &mut Env,
+        deltas: &[StageDelta],
+        sparse: bool,
+    ) -> Result<SparseStats> {
+        let mut stats = SparseStats::default();
         for d in deltas {
-            self.apply_delta(env, &d.target, &d.u, &d.v)?;
+            stats.merge(self.apply_delta(env, &d.target, &d.u, &d.v, sparse)?);
         }
-        Ok(())
+        Ok(stats)
     }
 
     /// Fires `trigger` for the factored input update `ΔX = du · dvᵀ`
@@ -154,10 +172,20 @@ impl ExecBackend for LocalBackend {
         Ok(())
     }
 
-    fn apply_delta(&mut self, env: &mut Env, target: &str, u: &Matrix, v: &Matrix) -> Result<()> {
-        let delta = u.try_matmul(&v.transpose())?;
-        env.get_mut(target)?.add_assign_from(&delta)?;
-        Ok(())
+    fn apply_delta(
+        &mut self,
+        env: &mut Env,
+        target: &str,
+        u: &Matrix,
+        v: &Matrix,
+        sparse: bool,
+    ) -> Result<SparseStats> {
+        if u.cols() == 0 {
+            env.get_mut(target)?; // target must still exist
+            return Ok(SparseStats::default()); // rank-0: uncounted no-op
+        }
+        let path = fold_low_rank(env.get_mut(target)?, u, v, sparse)?;
+        Ok(SparseStats::from_path(path))
     }
 
     /// A multi-delta stage folds every rank-k GEMM concurrently: the
@@ -166,29 +194,37 @@ impl ExecBackend for LocalBackend {
     /// the result is bit-identical to the sequential fold regardless of
     /// scheduling. Small stages (every target under the parallel
     /// threshold) fold inline — spawn overhead would dominate.
-    fn apply_stage(&mut self, env: &mut Env, deltas: &[StageDelta]) -> Result<()> {
+    fn apply_stage(
+        &mut self,
+        env: &mut Env,
+        deltas: &[StageDelta],
+        sparse: bool,
+    ) -> Result<SparseStats> {
         let heavy = crate::exec::multi_core()
             && deltas.iter().any(|d| {
                 env.get(&d.target)
                     .is_ok_and(|m| m.len() >= crate::exec::PARALLEL_MIN_ELEMS)
             });
         if deltas.len() < 2 || !heavy {
+            let mut stats = SparseStats::default();
             for d in deltas {
-                self.apply_delta(env, &d.target, &d.u, &d.v)?;
+                stats.merge(self.apply_delta(env, &d.target, &d.u, &d.v, sparse)?);
             }
-            return Ok(());
+            return Ok(stats);
         }
         let names: Vec<&str> = deltas.iter().map(|d| d.target.as_str()).collect();
         let slots = env.get_many_mut(&names)?;
-        let results: Vec<Result<()>> = std::thread::scope(|scope| {
+        let results: Vec<Result<SparseStats>> = std::thread::scope(|scope| {
             let handles: Vec<_> = slots
                 .into_iter()
                 .zip(deltas)
                 .map(|(slot, d)| {
-                    scope.spawn(move || -> Result<()> {
-                        let delta = d.u.try_matmul(&d.v.transpose())?;
-                        slot.add_assign_from(&delta)?;
-                        Ok(())
+                    scope.spawn(move || -> Result<SparseStats> {
+                        if d.u.cols() == 0 {
+                            return Ok(SparseStats::default());
+                        }
+                        let path = fold_low_rank(slot, &d.u, &d.v, sparse)?;
+                        Ok(SparseStats::from_path(path))
                     })
                 })
                 .collect();
@@ -197,7 +233,11 @@ impl ExecBackend for LocalBackend {
                 .map(|h| h.join().expect("stage delta thread panicked"))
                 .collect()
         });
-        results.into_iter().collect()
+        let mut stats = SparseStats::default();
+        for r in results {
+            stats.merge(r?);
+        }
+        Ok(stats)
     }
 }
 
@@ -273,17 +313,41 @@ impl ExecBackend for DistBackend {
         Ok(())
     }
 
-    fn apply_delta(&mut self, env: &mut Env, target: &str, u: &Matrix, v: &Matrix) -> Result<()> {
+    fn apply_delta(
+        &mut self,
+        env: &mut Env,
+        target: &str,
+        u: &Matrix,
+        v: &Matrix,
+        sparse: bool,
+    ) -> Result<SparseStats> {
         let dm = self
             .views
             .get_mut(target)
             .ok_or_else(|| RuntimeError::Unbound(format!("partitioned view '{target}'")))?;
-        // Broadcast + block-local worker updates (metered).
-        dist_add_low_rank(dm, u, v, &self.cluster).map_err(RuntimeError::Matrix)?;
-        // Keep the coordinator mirror in sync for subsequent statements.
-        let delta = u.try_matmul(&v.transpose())?;
-        env.get_mut(target)?.add_assign_from(&delta)?;
-        Ok(())
+        // Broadcast + block-local worker updates (metered; compressed
+        // factor payloads when sparse execution is on). Shape checks run
+        // even for rank-0 deltas, which are otherwise uncounted no-ops.
+        dist_add_low_rank_sparse(dm, u, v, &self.cluster, sparse, sparse)
+            .map_err(RuntimeError::Matrix)?;
+        if u.cols() == 0 {
+            env.get_mut(target)?;
+            return Ok(SparseStats::default());
+        }
+        // Keep the coordinator mirror in sync for subsequent statements;
+        // the mirror fold is the one coordinator-visible fold this apply
+        // counts.
+        let path = fold_low_rank(env.get_mut(target)?, u, v, sparse)?;
+        let mut stats = SparseStats::from_path(path);
+        // Wire accounting against the dense analytic model, mirroring the
+        // compression predicate `factor_wire_bytes` applied per factor.
+        if sparse && (factor_prefers_sparse(u) || factor_prefers_sparse(v)) {
+            let dense = 8 * (u.len() + v.len()) as u64;
+            let wire = factor_wire_bytes(u, true) + factor_wire_bytes(v, true);
+            stats.compressed_frames = 1;
+            stats.bytes_saved = self.cluster.workers() as u64 * (dense - wire);
+        }
+        Ok(stats)
     }
 
     /// A stage is **one merged broadcast round**: every factor pair of the
@@ -294,10 +358,16 @@ impl ExecBackend for DistBackend {
     /// deltas that actually applied count toward the round — mirroring
     /// what [`ThreadedBackend`] counts as sent frames, so the two
     /// backends' [`SchedSnapshot`]s stay comparable.
-    fn apply_stage(&mut self, env: &mut Env, deltas: &[StageDelta]) -> Result<()> {
+    fn apply_stage(
+        &mut self,
+        env: &mut Env,
+        deltas: &[StageDelta],
+        sparse: bool,
+    ) -> Result<SparseStats> {
         let mut sent = 0u64;
+        let mut stats = SparseStats::default();
         for d in deltas {
-            self.apply_delta(env, &d.target, &d.u, &d.v)?;
+            stats.merge(self.apply_delta(env, &d.target, &d.u, &d.v, sparse)?);
             if d.u.cols() > 0 {
                 sent += 1;
             }
@@ -306,7 +376,7 @@ impl ExecBackend for DistBackend {
             self.sched.merged_rounds += 1;
             self.sched.overlapped += sent - 1;
         }
-        Ok(())
+        Ok(stats)
     }
 
     fn extra_memory_bytes(&self) -> usize {
@@ -443,7 +513,14 @@ impl ExecBackend for ThreadedBackend {
         Ok(())
     }
 
-    fn apply_delta(&mut self, env: &mut Env, target: &str, u: &Matrix, v: &Matrix) -> Result<()> {
+    fn apply_delta(
+        &mut self,
+        env: &mut Env,
+        target: &str,
+        u: &Matrix,
+        v: &Matrix,
+        sparse: bool,
+    ) -> Result<SparseStats> {
         let &(rows, cols) = self
             .shapes
             .get(target)
@@ -455,20 +532,37 @@ impl ExecBackend for ThreadedBackend {
             });
         }
         if u.cols() == 0 {
-            return Ok(()); // rank-0 delta: nothing moves, nothing changes
+            return Ok(SparseStats::default()); // rank-0: nothing moves
         }
         // One serialized frame per worker; meter exactly what was sent.
-        let frame_len = self
-            .pool
-            .broadcast_delta(target, u, v)
-            .map_err(transport_err)?;
+        // The compressed frame is only engaged when at least one factor's
+        // triplet form is shorter — a flag-prefixed all-dense frame would
+        // be strictly *longer* than the plain dense frame.
+        let compress = sparse && (factor_prefers_sparse(u) || factor_prefers_sparse(v));
+        let frame_len = if compress {
+            self.pool
+                .broadcast_delta_sparse(target, u, v)
+                .map_err(transport_err)?
+        } else {
+            self.pool
+                .broadcast_delta(target, u, v)
+                .map_err(transport_err)?
+        };
         for _ in 0..self.pool.workers() {
             self.cluster.comm().record_broadcast(frame_len);
         }
-        // Keep the coordinator mirror in sync for subsequent statements.
-        let delta = u.try_matmul(&v.transpose())?;
-        env.get_mut(target)?.add_assign_from(&delta)?;
-        Ok(())
+        // Keep the coordinator mirror in sync for subsequent statements;
+        // this mirror fold is the apply's one counted fold.
+        let path = fold_low_rank(env.get_mut(target)?, u, v, sparse)?;
+        let mut stats = SparseStats::from_path(path);
+        if compress {
+            // What the same broadcast would have cost dense: the exact
+            // TAG_DELTA frame length, computed without serializing it.
+            let dense_len = (1 + 4 + target.len() + 16 + 8 * (u.len() + v.len())) as u64;
+            stats.compressed_frames = 1;
+            stats.bytes_saved = self.pool.workers() as u64 * (dense_len - frame_len);
+        }
+        Ok(stats)
     }
 
     /// Pipelines a stage's factor broadcasts through the transport: every
@@ -478,12 +572,18 @@ impl ExecBackend for ThreadedBackend {
     /// byte metering is identical to the sequential path (same frames, same
     /// order per worker); the stage barrier is the workers' channel order,
     /// exactly as for single-delta applies.
-    fn apply_stage(&mut self, env: &mut Env, deltas: &[StageDelta]) -> Result<()> {
+    fn apply_stage(
+        &mut self,
+        env: &mut Env,
+        deltas: &[StageDelta],
+        sparse: bool,
+    ) -> Result<SparseStats> {
         if deltas.len() < 2 {
+            let mut stats = SparseStats::default();
             for d in deltas {
-                self.apply_delta(env, &d.target, &d.u, &d.v)?;
+                stats.merge(self.apply_delta(env, &d.target, &d.u, &d.v, sparse)?);
             }
-            return Ok(());
+            return Ok(stats);
         }
         // Validate the whole stage up front: a shape error after a partial
         // send would leave worker state ahead of the coordinator mirror.
@@ -500,20 +600,26 @@ impl ExecBackend for ThreadedBackend {
                 });
             }
         }
-        // Mirror fold for one delta; shapes were validated above, so this
-        // cannot fail and leave mirror and workers out of step.
-        fn fold_mirror(env: &mut Env, d: &StageDelta) -> Result<()> {
-            let delta = d.u.try_matmul(&d.v.transpose())?;
-            env.get_mut(&d.target)?.add_assign_from(&delta)?;
-            Ok(())
-        }
+        let mut stats = SparseStats::default();
         let mut sent = 0usize;
         let mut send_err = None;
         for d in deltas.iter().filter(|d| d.u.cols() > 0) {
-            match self.pool.broadcast_delta(&d.target, &d.u, &d.v) {
+            let compress = sparse && (factor_prefers_sparse(&d.u) || factor_prefers_sparse(&d.v));
+            let outcome = if compress {
+                self.pool.broadcast_delta_sparse(&d.target, &d.u, &d.v)
+            } else {
+                self.pool.broadcast_delta(&d.target, &d.u, &d.v)
+            };
+            match outcome {
                 Ok(frame_len) => {
                     for _ in 0..self.pool.workers() {
                         self.cluster.comm().record_broadcast(frame_len);
+                    }
+                    if compress {
+                        let dense_len =
+                            (1 + 4 + d.target.len() + 16 + 8 * (d.u.len() + d.v.len())) as u64;
+                        stats.compressed_frames += 1;
+                        stats.bytes_saved += self.pool.workers() as u64 * (dense_len - frame_len);
                     }
                     sent += 1;
                 }
@@ -532,13 +638,15 @@ impl ExecBackend for ThreadedBackend {
             self.sched.overlapped += (sent - 1) as u64;
         }
         // Every frame is in flight; fold the coordinator mirror while the
-        // workers apply their own copies.
+        // workers apply their own copies. Shapes were validated above, so
+        // the folds cannot fail and leave mirror and workers out of step.
         for d in deltas.iter().filter(|d| d.u.cols() > 0).take(sent) {
-            fold_mirror(env, d)?;
+            let path = fold_low_rank(env.get_mut(&d.target)?, &d.u, &d.v, sparse)?;
+            stats.merge(SparseStats::from_path(path));
         }
         match send_err {
             Some(e) => Err(e),
-            None => Ok(()),
+            None => Ok(stats),
         }
     }
 
@@ -587,7 +695,9 @@ mod tests {
         env.bind("X", Matrix::zeros(4, 4));
         let u = Matrix::random_uniform(4, 2, 1);
         let v = Matrix::random_uniform(4, 2, 2);
-        LocalBackend.apply_delta(&mut env, "X", &u, &v).unwrap();
+        LocalBackend
+            .apply_delta(&mut env, "X", &u, &v, false)
+            .unwrap();
         let expected = u.try_matmul(&v.transpose()).unwrap();
         assert_eq!(env.get("X").unwrap(), &expected);
     }
@@ -604,7 +714,7 @@ mod tests {
 
         let u = Matrix::random_col(8, 5);
         let v = Matrix::random_col(8, 6);
-        backend.apply_delta(&mut env, "A", &u, &v).unwrap();
+        backend.apply_delta(&mut env, "A", &u, &v, true).unwrap();
         let comm = backend.comm();
         assert!(comm.broadcast_bytes > 0);
         assert_eq!(comm.shuffle_bytes, 0);
@@ -626,7 +736,7 @@ mod tests {
 
         let u = Matrix::random_col(8, 5);
         let v = Matrix::random_col(8, 6);
-        backend.apply_delta(&mut env, "A", &u, &v).unwrap();
+        backend.apply_delta(&mut env, "A", &u, &v, true).unwrap();
         let comm = backend.comm();
         // Byte counts recomputed from the same serialization the workers
         // received — exact, not an estimate.
@@ -647,9 +757,9 @@ mod tests {
         env.bind("A", Matrix::zeros(8, 8));
         backend.materialize(&env).unwrap();
         let u = Matrix::zeros(8, 1);
-        assert!(backend.apply_delta(&mut env, "Z", &u, &u).is_err());
+        assert!(backend.apply_delta(&mut env, "Z", &u, &u, true).is_err());
         assert!(matches!(
-            backend.apply_delta(&mut env, "A", &Matrix::zeros(6, 1), &u),
+            backend.apply_delta(&mut env, "A", &Matrix::zeros(6, 1), &u, true),
             Err(RuntimeError::UpdateShape { .. })
         ));
         // Indivisible dimension fails materialize but leaves the previous
@@ -711,11 +821,13 @@ mod tests {
                 })
                 .collect();
             let mut staged = build();
-            LocalBackend.apply_stage(&mut staged, &deltas).unwrap();
+            LocalBackend
+                .apply_stage(&mut staged, &deltas, true)
+                .unwrap();
             let mut seq = build();
             for d in &deltas {
                 LocalBackend
-                    .apply_delta(&mut seq, &d.target, &d.u, &d.v)
+                    .apply_delta(&mut seq, &d.target, &d.u, &d.v, true)
                     .unwrap();
             }
             assert_eq!(staged.get("A").unwrap(), seq.get("A").unwrap(), "n={n}");
@@ -727,7 +839,7 @@ mod tests {
             let mut bad = deltas.clone();
             bad[1].target = "Z".into();
             let before = staged.get("A").unwrap().clone();
-            assert!(LocalBackend.apply_stage(&mut staged, &bad).is_err());
+            assert!(LocalBackend.apply_stage(&mut staged, &bad, true).is_err());
             if n >= 200 && crate::exec::multi_core() {
                 assert_eq!(staged.get("A").unwrap(), &before);
             } else {
@@ -749,7 +861,7 @@ mod tests {
         assert_eq!(backend.sched(), SchedSnapshot::default());
 
         let deltas = stage(&[("A", 3, 4), ("B", 5, 6)]);
-        backend.apply_stage(&mut env, &deltas).unwrap();
+        backend.apply_stage(&mut env, &deltas, true).unwrap();
         let sched = backend.sched();
         assert_eq!(sched.merged_rounds, 1);
         assert_eq!(sched.overlapped, 1);
@@ -760,7 +872,7 @@ mod tests {
         twin.materialize(&twin_env).unwrap();
         twin.reset_comm();
         for d in &deltas {
-            twin.apply_delta(&mut twin_env, &d.target, &d.u, &d.v)
+            twin.apply_delta(&mut twin_env, &d.target, &d.u, &d.v, true)
                 .unwrap();
         }
         assert_eq!(staged_comm, twin.comm());
@@ -769,7 +881,7 @@ mod tests {
         assert_eq!(&backend.view("A").unwrap(), env.get("A").unwrap());
         // Single-delta stages are not merged rounds.
         backend
-            .apply_stage(&mut env, &stage(&[("A", 9, 10)]))
+            .apply_stage(&mut env, &stage(&[("A", 9, 10)]), true)
             .unwrap();
         assert_eq!(backend.sched().merged_rounds, 1);
         assert_eq!(backend.reset_sched().overlapped, 1);
@@ -797,24 +909,24 @@ mod tests {
         // overlap on either backend.
         let mut mixed = stage(&[("A", 3, 4)]);
         mixed.push(rank0("B"));
-        dist.apply_stage(&mut denv, &mixed).unwrap();
-        threaded.apply_stage(&mut tenv, &mixed).unwrap();
+        dist.apply_stage(&mut denv, &mixed, true).unwrap();
+        threaded.apply_stage(&mut tenv, &mixed, true).unwrap();
         assert_eq!(dist.sched(), SchedSnapshot::default());
         assert_eq!(dist.sched(), threaded.sched());
 
         // Entirely cancelled stage: still nothing.
-        dist.apply_stage(&mut denv, &[rank0("A"), rank0("B")])
+        dist.apply_stage(&mut denv, &[rank0("A"), rank0("B")], true)
             .unwrap();
         threaded
-            .apply_stage(&mut tenv, &[rank0("A"), rank0("B")])
+            .apply_stage(&mut tenv, &[rank0("A"), rank0("B")], true)
             .unwrap();
         assert_eq!(dist.sched(), threaded.sched());
         assert_eq!(dist.sched().merged_rounds, 0);
 
         // Two live deltas: one merged round, one overlap, on both.
         let live = stage(&[("A", 5, 6), ("B", 7, 8)]);
-        dist.apply_stage(&mut denv, &live).unwrap();
-        threaded.apply_stage(&mut tenv, &live).unwrap();
+        dist.apply_stage(&mut denv, &live, true).unwrap();
+        threaded.apply_stage(&mut tenv, &live, true).unwrap();
         assert_eq!(dist.sched(), threaded.sched());
         assert_eq!(
             dist.sched(),
@@ -835,7 +947,7 @@ mod tests {
         backend.reset_comm();
 
         let deltas = stage(&[("A", 3, 4), ("B", 5, 6)]);
-        backend.apply_stage(&mut env, &deltas).unwrap();
+        backend.apply_stage(&mut env, &deltas, true).unwrap();
         assert_eq!(backend.sched().merged_rounds, 1);
         assert_eq!(backend.sched().overlapped, 1);
         // Exact frame accounting: both frames to all 4 workers.
@@ -858,7 +970,7 @@ mod tests {
             v: Matrix::zeros(8, 1),
         });
         assert!(matches!(
-            backend.apply_stage(&mut env, &bad),
+            backend.apply_stage(&mut env, &bad, true),
             Err(RuntimeError::UpdateShape { .. })
         ));
         assert_eq!(backend.comm().broadcast_msgs, 0);
@@ -871,7 +983,7 @@ mod tests {
             v: Matrix::zeros(8, 0),
         });
         backend.reset_sched();
-        backend.apply_stage(&mut env, &with_empty).unwrap();
+        backend.apply_stage(&mut env, &with_empty, true).unwrap();
         assert_eq!(backend.sched().overlapped, 0);
         assert_eq!(&backend.view("A").unwrap(), env.get("A").unwrap());
     }
@@ -884,7 +996,7 @@ mod tests {
         env.bind("A", Matrix::zeros(8, 8));
         backend.materialize(&env).unwrap();
         let u = Matrix::zeros(8, 1);
-        assert!(backend.apply_delta(&mut env, "Z", &u, &u).is_err());
+        assert!(backend.apply_delta(&mut env, "Z", &u, &u, true).is_err());
         // Indivisible dimension surfaces at materialize time — and the
         // failure leaves the previous partitions intact (restore() relies
         // on this to keep a view consistent after a bad checkpoint).

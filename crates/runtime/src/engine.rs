@@ -30,7 +30,13 @@ use linview_matrix::Matrix;
 
 use crate::stats::{measure, RefreshStats, StatsAccumulator};
 use crate::updates::{BatchUpdate, RankOneUpdate};
-use crate::{ExecBackend, IncrementalView, LocalBackend, Result};
+use crate::{ExecBackend, IncrementalView, LocalBackend, Result, SparseStats};
+
+/// Relative singular-value tolerance for the pre-flush rank compression
+/// pass: components of a coalesced batch below `1e-12 · σ_max` are noise
+/// at `f64` working precision and are dropped before the factors are
+/// folded (and, on communicating backends, broadcast).
+const RECOMPRESS_TOL: f64 = 1e-12;
 
 /// When a per-input buffer of pending rank-1 events is coalesced and fired.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -128,6 +134,10 @@ pub struct EngineStats {
     /// Factor broadcasts that overlapped an earlier broadcast of the same
     /// stage on the wire (dist/threaded backends; always 0 on local).
     pub overlapped_broadcasts: u64,
+    /// Sparse-execution counters accumulated across firings: fold-path
+    /// choices, compressed broadcast frames and the bytes they saved, plus
+    /// the rank shed by the engine's pre-flush recompression pass.
+    pub sparse: SparseStats,
     /// Wall-time + FLOP samples, one per firing.
     pub refresh: StatsAccumulator,
 }
@@ -232,6 +242,7 @@ impl<B: ExecBackend> MaintenanceEngine<B> {
     fn record_sched(
         &mut self,
         sched_before: crate::SchedStats,
+        sparse_before: SparseStats,
         overlap_before: crate::SchedSnapshot,
     ) {
         let sched = self.view.sched_stats();
@@ -240,6 +251,30 @@ impl<B: ExecBackend> MaintenanceEngine<B> {
         self.stats.writes += sched.writes - sched_before.writes;
         self.stats.overlapped_broadcasts +=
             self.view.backend().sched().overlapped - overlap_before.overlapped;
+        self.stats
+            .sparse
+            .merge(self.view.sparse_stats().since(sparse_before));
+    }
+
+    /// Rank-compresses a coalesced batch before it is fired (relative
+    /// tolerance [`RECOMPRESS_TOL`]). The compressed factors replace the
+    /// batch only when the SVD pass proves a *strictly smaller* numerical
+    /// rank — its output is dense, so accepting a same-rank result would
+    /// densify sparse basis factors for no gain. Runs unconditionally
+    /// (never gated on the sparse-fold knob) so sparse and forced-dense
+    /// executions fold identical deltas.
+    fn recompress_batch(&mut self, batch: BatchUpdate) -> Result<BatchUpdate> {
+        if batch.rank() < 2 {
+            return Ok(batch);
+        }
+        let rc = linview_matrix::recompress(&batch.u, &batch.v, RECOMPRESS_TOL)?;
+        if rc.rank_after < rc.rank_before {
+            let saved = (rc.rank_before - rc.rank_after) as u64;
+            let rebuilt = BatchUpdate::new(rc.u, rc.v)?;
+            self.stats.sparse.rank_saved += saved;
+            return Ok(rebuilt);
+        }
+        Ok(batch)
     }
 
     fn fire_buffer(&mut self, input: &str, events: &[RankOneUpdate]) -> Result<()> {
@@ -247,11 +282,13 @@ impl<B: ExecBackend> MaintenanceEngine<B> {
         if batch.rank() == 0 {
             return Ok(()); // all events cancelled out to an empty delta
         }
+        let batch = self.recompress_batch(batch)?;
         let sched_before = self.view.sched_stats();
+        let sparse_before = self.view.sparse_stats();
         let overlap_before = self.view.backend().sched();
         let (result, refresh) = measure(|| self.view.apply_batch(input, &batch));
         result?;
-        self.record_sched(sched_before, overlap_before);
+        self.record_sched(sched_before, sparse_before, overlap_before);
         self.stats.firings += 1;
         self.stats.fired_rank += batch.rank() as u64;
         self.stats.refresh.record(refresh);
@@ -301,6 +338,7 @@ impl<B: ExecBackend> MaintenanceEngine<B> {
                 // no-op, and the round no longer covers every input.
                 return Ok(());
             }
+            let batch = self.recompress_batch(batch)?;
             batches.push((input.clone(), batch));
         }
         let updates: Vec<(&str, &Matrix, &Matrix)> = batches
@@ -308,10 +346,11 @@ impl<B: ExecBackend> MaintenanceEngine<B> {
             .map(|(name, b)| (name.as_str(), &b.u, &b.v))
             .collect();
         let sched_before = self.view.sched_stats();
+        let sparse_before = self.view.sparse_stats();
         let overlap_before = self.view.backend().sched();
         let (result, refresh) = measure(|| self.view.apply_joint(&updates));
         result?;
-        self.record_sched(sched_before, overlap_before);
+        self.record_sched(sched_before, sparse_before, overlap_before);
         for (input, _) in &batches {
             self.pending.remove(input);
         }

@@ -146,6 +146,24 @@ pub struct ExecOptions {
     /// bit-identical either way — this exists for ablation benchmarks and
     /// the `--sequential-exec` CLI flag.
     pub sequential: bool,
+    /// Density-aware delta execution: route view folds through the sparse
+    /// cost model ([`linview_matrix::fold_low_rank`]) and let the
+    /// distributed backends compress factor broadcasts whose triplet form
+    /// is shorter. `None` (the default) defers to the process-wide knob
+    /// ([`linview_matrix::sparse_folds_enabled`], i.e. `LINVIEW_SPARSE`);
+    /// `Some(false)` forces every fold dense and every frame uncompressed.
+    /// Results are bit-identical either way — the knob only moves work and
+    /// bytes.
+    pub sparse_folds: Option<bool>,
+}
+
+impl ExecOptions {
+    /// The effective sparse-execution flag: the per-view option if set,
+    /// else the process-wide default.
+    pub fn sparse_enabled(&self) -> bool {
+        self.sparse_folds
+            .unwrap_or_else(linview_matrix::sparse_folds_enabled)
+    }
 }
 
 /// What one trigger firing executed under the staged scheduler.
@@ -161,6 +179,73 @@ pub struct FiringReport {
     /// these against the statically-proved effect sets from
     /// `linview_compiler::analyze::derive_effects` before the fold.
     pub writes: u64,
+    /// Sparse-execution accounting for the firing's folds and broadcasts.
+    pub sparse: SparseStats,
+}
+
+/// Sparse-execution counters: how many view folds took which path, and what
+/// the compressed factor frames saved on the wire.
+///
+/// Fold counts are **coordinator-visible**: one per applied delta on every
+/// backend (the distributed backends count their mirror fold, not the
+/// per-block worker folds, so the counters stay comparable across
+/// backends). Rank-0 deltas are uncounted no-ops everywhere. Byte savings
+/// are measured against what the same broadcast would have cost dense, at
+/// each backend's own accounting granularity — exact frame lengths on the
+/// threaded transport, analytic factor payloads on the simulated cluster.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SparseStats {
+    /// Rank-positive view folds that took the sparse row-replay path.
+    pub sparse_folds: u64,
+    /// Rank-positive view folds that took the dense GEMM path.
+    pub dense_folds: u64,
+    /// Factor broadcasts that went out compressed (≥ 1 factor in triplet
+    /// form) — counted once per broadcast, not per receiving worker.
+    pub compressed_frames: u64,
+    /// Delta rank shed by numerical recompression before firing.
+    pub rank_saved: u64,
+    /// Wire bytes the compressed broadcasts avoided, summed over every
+    /// receiving worker.
+    pub bytes_saved: u64,
+}
+
+impl SparseStats {
+    /// Accumulates another counter set into this one.
+    pub fn merge(&mut self, other: SparseStats) {
+        self.sparse_folds += other.sparse_folds;
+        self.dense_folds += other.dense_folds;
+        self.compressed_frames += other.compressed_frames;
+        self.rank_saved += other.rank_saved;
+        self.bytes_saved += other.bytes_saved;
+    }
+
+    /// Componentwise difference against an earlier snapshot of the same
+    /// monotone counters.
+    pub fn since(&self, earlier: SparseStats) -> SparseStats {
+        SparseStats {
+            sparse_folds: self.sparse_folds - earlier.sparse_folds,
+            dense_folds: self.dense_folds - earlier.dense_folds,
+            compressed_frames: self.compressed_frames - earlier.compressed_frames,
+            rank_saved: self.rank_saved - earlier.rank_saved,
+            bytes_saved: self.bytes_saved - earlier.bytes_saved,
+        }
+    }
+
+    /// One fold on the given path.
+    pub fn from_path(path: linview_matrix::FoldPath) -> SparseStats {
+        let mut s = SparseStats::default();
+        if path.is_sparse() {
+            s.sparse_folds = 1;
+        } else {
+            s.dense_folds = 1;
+        }
+        s
+    }
+
+    /// Folds counted, both paths combined.
+    pub fn total_folds(&self) -> u64 {
+        self.sparse_folds + self.dense_folds
+    }
 }
 
 /// Cumulative staged-scheduling counters, accumulated over firings.
@@ -498,7 +583,9 @@ fn run_statements<B: ExecBackend + ?Sized>(
         stmts: trigger.stmts.len() as u64,
         stages: stages.len() as u64,
         writes: 0,
+        sparse: SparseStats::default(),
     };
+    let sparse = opts.sparse_enabled();
     // Debug builds re-derive the analyzer's effect sets once per firing and
     // assert every observed view write against them: the statically-proved
     // write sets are the contract `apply_stage` soundness rests on, so a
@@ -583,7 +670,9 @@ fn run_statements<B: ExecBackend + ?Sized>(
         }
         report.writes += deltas.len() as u64;
         if !deltas.is_empty() {
-            backend.apply_stage(env, &deltas)?;
+            report
+                .sparse
+                .merge(backend.apply_stage(env, &deltas, sparse)?);
         }
     }
     Ok(report)

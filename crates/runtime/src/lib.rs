@@ -44,7 +44,7 @@ pub use error::RuntimeError;
 pub use eval::{eval, Evaluator};
 pub use exec::{
     fire_joint_trigger, fire_trigger, fire_trigger_with_options, sherman_morrison, woodbury,
-    ExecOptions, FiringReport, InversePrimitive, SchedStats, StageDelta,
+    ExecOptions, FiringReport, InversePrimitive, SchedStats, SparseStats, StageDelta,
 };
 pub use linview_dist::CommSnapshot;
 pub use updates::{BatchUpdate, RankOneUpdate, UpdateStream, Zipf};

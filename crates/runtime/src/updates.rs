@@ -7,7 +7,8 @@
 //! zero skew spreads it uniformly (expensive — the regime where incremental
 //! evaluation loses its advantage).
 
-use linview_matrix::Matrix;
+use linview_matrix::{factor_nnz, Matrix};
+use linview_sparse::CsrMatrix;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
@@ -83,14 +84,31 @@ pub struct BatchUpdate {
     pub u: Matrix,
     /// Right block `(cols×k)`.
     pub v: Matrix,
+    /// Combined factor nonzeros, counted once at construction (coalesce
+    /// time) so per-fold consumers never rescan the factors.
+    nnz: usize,
 }
 
 impl BatchUpdate {
+    /// Builds a batch from already-factored blocks, counting factor
+    /// nonzeros once. Rejects factors with mismatched ranks.
+    pub fn new(u: Matrix, v: Matrix) -> crate::Result<Self> {
+        if u.cols() != v.cols() {
+            return Err(crate::RuntimeError::UpdateShape {
+                target: (u.rows(), v.rows()),
+                update: (u.shape(), v.shape()),
+            });
+        }
+        let nnz = factor_nnz(&u) + factor_nnz(&v);
+        Ok(BatchUpdate { u, v, nnz })
+    }
+
     /// An empty (rank-0, no-op) batch against an `rows×cols` matrix.
     pub fn empty(rows: usize, cols: usize) -> Self {
         BatchUpdate {
             u: Matrix::zeros(rows, 0),
             v: Matrix::zeros(cols, 0),
+            nnz: 0,
         }
     }
 
@@ -100,10 +118,29 @@ impl BatchUpdate {
     pub fn from_rank_ones(updates: &[RankOneUpdate]) -> crate::Result<Self> {
         let us: Vec<&Matrix> = updates.iter().map(|r| &r.u).collect();
         let vs: Vec<&Matrix> = updates.iter().map(|r| &r.v).collect();
-        Ok(BatchUpdate {
-            u: Matrix::hstack(&us)?,
-            v: Matrix::hstack(&vs)?,
-        })
+        BatchUpdate::new(Matrix::hstack(&us)?, Matrix::hstack(&vs)?)
+    }
+
+    /// Factors a sparse delta `ΔX` into batch form: every nonzero row `r`
+    /// contributes one basis column `e_r` on the left and the row's values
+    /// on the right, so the rank equals the number of touched rows — the
+    /// natural encoding of a CSR-accumulated update stream.
+    pub fn from_csr(delta: &CsrMatrix) -> crate::Result<Self> {
+        let touched: Vec<usize> = (0..delta.rows())
+            .filter(|&r| delta.row_entries(r).any(|(_, x)| x != 0.0))
+            .collect();
+        if touched.is_empty() {
+            return Ok(BatchUpdate::empty(delta.rows(), delta.cols()));
+        }
+        let mut u = Matrix::zeros(delta.rows(), touched.len());
+        let mut v = Matrix::zeros(delta.cols(), touched.len());
+        for (col, &r) in touched.iter().enumerate() {
+            u.set(r, col, 1.0);
+            for (c, x) in delta.row_entries(r) {
+                v.set(c, col, x);
+            }
+        }
+        BatchUpdate::new(u, v)
     }
 
     /// The batch rank `k`.
@@ -114,6 +151,23 @@ impl BatchUpdate {
     /// True when the batch carries no update at all (rank 0).
     pub fn is_empty(&self) -> bool {
         self.u.cols() == 0
+    }
+
+    /// Combined nonzeros of both factor blocks, cached at construction.
+    pub fn nnz(&self) -> usize {
+        self.nnz
+    }
+
+    /// Fraction of stored factor entries that are nonzero (`0.0` for a
+    /// rank-0 batch). Row-update streams sit near `1/rows` on the left
+    /// block, far under the sparse-fold crossover.
+    pub fn density(&self) -> f64 {
+        let cells = self.u.rows() * self.u.cols() + self.v.rows() * self.v.cols();
+        if cells == 0 {
+            0.0
+        } else {
+            self.nnz as f64 / cells as f64
+        }
     }
 
     /// Number of *distinct* rows touched (row updates only): the effective
@@ -147,9 +201,13 @@ impl BatchUpdate {
         // Column indices of non-basis u columns, passed through verbatim.
         let mut passthrough: Vec<usize> = Vec::new();
         for c in 0..self.u.cols() {
-            let zero_col = (0..self.u.rows()).all(|r| self.u.get(r, c) == 0.0);
-            if zero_col {
-                continue; // no-op column
+            // A column whose u *or* v block is entirely zero is an exact
+            // no-op event (ΔX contribution u_c·v_cᵀ = 0) — drop it so
+            // cancelling Zipf streams shrink the batch rank.
+            let zero_u = (0..self.u.rows()).all(|r| self.u.get(r, c) == 0.0);
+            let zero_v = (0..self.v.rows()).all(|r| self.v.get(r, c) == 0.0);
+            if zero_u || zero_v {
+                continue;
             }
             let Some((r, coeff)) = basis_row_of_col(&self.u, c) else {
                 passthrough.push(c);
@@ -188,7 +246,7 @@ impl BatchUpdate {
             }
             col += 1;
         }
-        Ok(BatchUpdate { u, v })
+        BatchUpdate::new(u, v)
     }
 
     /// Materializes the dense `ΔX` (all zeros for an empty batch).
@@ -379,16 +437,69 @@ mod tests {
 
     #[test]
     fn compact_rows_drops_zero_columns_to_rank_zero() {
-        let batch = BatchUpdate {
-            u: Matrix::zeros(5, 3),
-            v: Matrix::random_uniform(4, 3, 9),
-        };
+        let batch = BatchUpdate::new(Matrix::zeros(5, 3), Matrix::random_uniform(4, 3, 9)).unwrap();
         let compact = batch.compact_rows().unwrap();
         assert!(compact.is_empty());
         assert!(compact
             .to_dense()
             .unwrap()
             .approx_eq(&Matrix::zeros(5, 4), 0.0));
+    }
+
+    #[test]
+    fn compact_rows_drops_zero_v_events_even_on_dense_u_columns() {
+        // A dense (non-basis) u column paired with an all-zero v column is
+        // an exact no-op event; the old passthrough kept it alive.
+        let mut u = Matrix::random_uniform(6, 2, 31);
+        for r in 0..6 {
+            u.set(r, 1, u.get(r, 1) + 0.5); // ensure column 1 is dense too
+        }
+        let mut v = Matrix::zeros(4, 2);
+        for r in 0..4 {
+            v.set(r, 0, 0.25 * (r as f64 + 1.0));
+        }
+        let batch = BatchUpdate::new(u, v).unwrap();
+        let compact = batch.compact_rows().unwrap();
+        assert_eq!(compact.rank(), 1);
+        assert!(compact
+            .to_dense()
+            .unwrap()
+            .approx_eq(&batch.to_dense().unwrap(), 1e-12));
+    }
+
+    #[test]
+    fn nnz_and_density_are_cached_at_coalesce_time() {
+        let ones = vec![
+            RankOneUpdate::row_update(8, 4, 2, 0.1, 1),
+            RankOneUpdate::row_update(8, 4, 5, 0.1, 2),
+        ];
+        let batch = BatchUpdate::from_rank_ones(&ones).unwrap();
+        // u: one basis entry per column; v: fully dense random columns.
+        assert_eq!(batch.nnz(), 2 + 2 * 4);
+        let cells = (8 * 2 + 4 * 2) as f64;
+        assert!((batch.density() - batch.nnz() as f64 / cells).abs() < 1e-15);
+        assert_eq!(BatchUpdate::empty(8, 4).nnz(), 0);
+        assert_eq!(BatchUpdate::empty(8, 4).density(), 0.0);
+    }
+
+    #[test]
+    fn new_rejects_mismatched_ranks() {
+        assert!(BatchUpdate::new(Matrix::zeros(4, 2), Matrix::zeros(5, 3)).is_err());
+    }
+
+    #[test]
+    fn from_csr_round_trips_the_sparse_delta() {
+        let mut dense = Matrix::zeros(5, 4);
+        dense.set(1, 0, 2.0);
+        dense.set(1, 3, -1.5);
+        dense.set(4, 2, 0.75);
+        let csr = linview_sparse::CsrMatrix::from_dense(&dense, 0.0);
+        let batch = BatchUpdate::from_csr(&csr).unwrap();
+        assert_eq!(batch.rank(), 2); // two touched rows
+        assert_eq!(batch.to_dense().unwrap(), dense);
+        // Empty delta factors to the rank-0 batch.
+        let none = BatchUpdate::from_csr(&linview_sparse::CsrMatrix::zeros(5, 4)).unwrap();
+        assert!(none.is_empty());
     }
 
     #[test]

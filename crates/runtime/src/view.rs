@@ -18,7 +18,7 @@ use linview_dist::CommSnapshot;
 use linview_expr::Catalog;
 use linview_matrix::Matrix;
 
-use crate::exec::SchedStats;
+use crate::exec::{SchedStats, SparseStats};
 use crate::updates::BatchUpdate;
 use crate::{
     Env, Evaluator, ExecBackend, ExecOptions, LocalBackend, RankOneUpdate, Result, RuntimeError,
@@ -99,6 +99,8 @@ pub struct IncrementalView<B: ExecBackend = LocalBackend> {
     backend: B,
     /// Cumulative staged-scheduling counters across firings.
     sched: SchedStats,
+    /// Cumulative sparse-execution counters across firings.
+    sparse: SparseStats,
 }
 
 impl IncrementalView<LocalBackend> {
@@ -165,6 +167,7 @@ impl<B: ExecBackend> IncrementalView<B> {
             exec: ExecOptions::default(),
             backend,
             sched: SchedStats::default(),
+            sparse: SparseStats::default(),
         })
     }
 
@@ -199,6 +202,7 @@ impl<B: ExecBackend> IncrementalView<B> {
             &self.exec,
         )?;
         self.sched.record(report);
+        self.sparse.merge(report.sparse);
         Ok(())
     }
 
@@ -218,6 +222,7 @@ impl<B: ExecBackend> IncrementalView<B> {
             &self.exec,
         )?;
         self.sched.record(report);
+        self.sparse.merge(report.sparse);
         Ok(())
     }
 
@@ -230,6 +235,17 @@ impl<B: ExecBackend> IncrementalView<B> {
     /// Zeroes the scheduling counters, returning the prior values.
     pub fn reset_sched_stats(&mut self) -> SchedStats {
         std::mem::take(&mut self.sched)
+    }
+
+    /// Cumulative sparse-execution counters: sparse vs dense fold path
+    /// choices, compressed broadcast frames, and the rank/bytes they saved.
+    pub fn sparse_stats(&self) -> SparseStats {
+        self.sparse
+    }
+
+    /// Zeroes the sparse-execution counters, returning the prior values.
+    pub fn reset_sparse_stats(&mut self) -> SparseStats {
+        std::mem::take(&mut self.sparse)
     }
 
     /// Reads a maintained matrix.

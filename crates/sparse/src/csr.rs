@@ -137,7 +137,9 @@ impl CsrMatrix {
     /// Sparse × dense product `self · x` for `x : (cols×p)`, `O(nnz·p)`.
     ///
     /// This is the PageRank workhorse: the per-iteration cost is `O(nnz)`
-    /// rather than the dense `O(n²)`.
+    /// rather than the dense `O(n²)`. Explicitly-stored zeros (which an
+    /// update stream can legitimately leave behind) are skipped — they
+    /// contribute nothing and would only burn FLOPs.
     pub fn spmm(&self, x: &Matrix) -> Result<Matrix> {
         if x.rows() != self.cols {
             return Err(SparseError::DimMismatch {
@@ -147,22 +149,81 @@ impl CsrMatrix {
             });
         }
         let p = x.cols();
-        flops::add((2 * self.nnz() * p) as u64);
         let mut out = Matrix::zeros(self.rows, p);
+        let mut work = 0usize;
         for r in 0..self.rows {
             let lo = self.row_ptr[r];
             let hi = self.row_ptr[r + 1];
             let out_row = out.row_mut(r);
             for i in lo..hi {
-                let c = self.col_idx[i];
                 let v = self.vals[i];
-                let x_row = x.row(c);
+                if v == 0.0 {
+                    continue;
+                }
+                work += 1;
+                let x_row = x.row(self.col_idx[i]);
                 for (o, &xv) in out_row.iter_mut().zip(x_row) {
                     *o += v * xv;
                 }
             }
         }
+        flops::add((2 * work * p) as u64);
         Ok(out)
+    }
+
+    /// Accumulating sparse × dense product: `out += self · x`.
+    ///
+    /// This is the shape an `ApplyDelta` fold actually needs — it avoids
+    /// materializing an `n×p` temporary and paying a second elementwise
+    /// add per fold. Each output row is accumulated into a scratch row
+    /// first (stored entries in column order) and added into `out` with a
+    /// single `+=` per element, so the result is bit-identical to
+    /// [`spmm`](Self::spmm) followed by an elementwise add. Rows of `self`
+    /// with no (nonzero) stored entries are skipped entirely.
+    pub fn spmm_into(&self, x: &Matrix, out: &mut Matrix) -> Result<()> {
+        if x.rows() != self.cols {
+            return Err(SparseError::DimMismatch {
+                op: "spmm_into",
+                lhs: self.shape(),
+                rhs: x.shape(),
+            });
+        }
+        if out.shape() != (self.rows, x.cols()) {
+            return Err(SparseError::DimMismatch {
+                op: "spmm_into",
+                lhs: (self.rows, x.cols()),
+                rhs: out.shape(),
+            });
+        }
+        let p = x.cols();
+        let mut scratch = vec![0.0f64; p];
+        let mut work = 0usize;
+        let mut rows_touched = 0usize;
+        for r in 0..self.rows {
+            let lo = self.row_ptr[r];
+            let hi = self.row_ptr[r + 1];
+            if self.vals[lo..hi].iter().all(|&v| v == 0.0) {
+                continue;
+            }
+            rows_touched += 1;
+            scratch.iter_mut().for_each(|s| *s = 0.0);
+            for i in lo..hi {
+                let v = self.vals[i];
+                if v == 0.0 {
+                    continue;
+                }
+                work += 1;
+                let x_row = x.row(self.col_idx[i]);
+                for (s, &xv) in scratch.iter_mut().zip(x_row) {
+                    *s += v * xv;
+                }
+            }
+            for (o, &s) in out.row_mut(r).iter_mut().zip(&scratch) {
+                *o += s;
+            }
+        }
+        flops::add((2 * work * p + rows_touched * p) as u64);
+        Ok(())
     }
 
     /// Sparse matrix–vector product with a column vector (`cols×1`).
@@ -330,6 +391,45 @@ mod tests {
         let dense = m.to_dense().try_matmul(&x).unwrap();
         assert!(sparse.approx_eq(&dense, 1e-12));
         assert!(m.spmm(&Matrix::zeros(4, 1)).is_err());
+    }
+
+    #[test]
+    fn spmm_skips_explicitly_stored_zeros() {
+        // `CooBuilder` drops zeros, so assemble the stored zero directly.
+        let m = CsrMatrix::from_parts(2, 2, vec![0, 2, 2], vec![0, 1], vec![0.0, 2.0]);
+        assert_eq!(m.nnz(), 2); // structurally stored, numerically one zero
+        let x = Matrix::random_uniform(2, 3, 8);
+        let before = flops::read();
+        let got = m.spmm(&x).unwrap();
+        // Only the single nonzero entry is charged: 2 flops × p columns.
+        assert_eq!(flops::read() - before, 2 * 3);
+        assert!(got.approx_eq(&m.to_dense().try_matmul(&x).unwrap(), 1e-12));
+    }
+
+    #[test]
+    fn spmm_into_is_bit_identical_to_spmm_plus_add() {
+        let m = sample();
+        let x = Matrix::random_uniform(3, 4, 5);
+        let base = Matrix::random_uniform(3, 4, 6);
+        let mut accumulated = base.clone();
+        m.spmm_into(&x, &mut accumulated).unwrap();
+        let mut reference = base.clone();
+        reference
+            .add_assign_from(&m.spmm(&x).unwrap())
+            .expect("shapes agree");
+        assert_eq!(accumulated, reference);
+        // Row 1 of `sample` is empty: it must be left untouched (bitwise).
+        assert_eq!(accumulated.row(1), base.row(1));
+    }
+
+    #[test]
+    fn spmm_into_rejects_bad_shapes() {
+        let m = sample();
+        let x = Matrix::zeros(3, 2);
+        assert!(m
+            .spmm_into(&Matrix::zeros(4, 2), &mut Matrix::zeros(3, 2))
+            .is_err());
+        assert!(m.spmm_into(&x, &mut Matrix::zeros(2, 2)).is_err());
     }
 
     #[test]

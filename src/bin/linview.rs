@@ -54,6 +54,9 @@ OPTIONS:
   --no-factor        disable §4.3 common-factor extraction (ablation)
   --no-optimize      skip CSE / copy propagation / dead-code elimination
   --gamma G          matmul exponent for the plan's cost model (default: 3.0)
+  --density D        expected nonzero fraction of incoming delta factors
+                     (0 < D <= 1): refines --emit analysis with nnz-aware
+                     fold FLOPs and compressed-frame wire bytes
   --gemm KERNEL      dense GEMM kernel: naive | blocked | packed | strassen
                      (default: packed; also settable via LINVIEW_GEMM)
   --threads N        GEMM thread budget (default: all cores; also settable
@@ -82,6 +85,9 @@ ENGINE OPTIONS (stream a Zipf-skewed multi-input workload):
                      joint trigger per flush round (§4.4 ablation)
   --sequential-exec  opt out of DAG-staged trigger execution: run one
                      statement per stage in program order (ablation)
+  --dense            force dense folds and uncompressed broadcast frames
+                     (ablation; default: sparse paths enabled, also
+                     switchable via LINVIEW_SPARSE=0)
   --gemm KERNEL      dense GEMM kernel for the whole run (see above)
   --threads N        GEMM thread budget (see above)
 ";
@@ -122,6 +128,7 @@ struct Args {
     factor: bool,
     optimize: bool,
     gamma: f64,
+    density: Option<f64>,
 }
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
@@ -137,6 +144,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         factor: true,
         optimize: true,
         gamma: 3.0,
+        density: None,
     };
     let mut i = 0;
     let next = |i: &mut usize, what: &str| -> Result<String, String> {
@@ -185,6 +193,15 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 args.gamma = next(&mut i, "--gamma")?
                     .parse()
                     .map_err(|_| "bad --gamma value".to_string())?
+            }
+            "--density" => {
+                let d: f64 = next(&mut i, "--density")?
+                    .parse()
+                    .map_err(|_| "bad --density value".to_string())?;
+                if !(d > 0.0 && d <= 1.0) {
+                    return Err(format!("--density {d} out of range (want 0 < D <= 1)"));
+                }
+                args.density = Some(d);
             }
             "--gemm" => apply_gemm_flag(&next(&mut i, "--gemm")?)?,
             "--threads" => apply_threads_flag(&next(&mut i, "--threads")?)?,
@@ -298,6 +315,7 @@ fn run(args: &Args) -> Result<String, String> {
             &AnalyzeOptions {
                 program: Some(&normalized),
                 model: Some(CostModel::with_gamma(args.gamma)),
+                density: args.density,
             },
         );
         out.push_str(&report.to_string());
@@ -532,6 +550,7 @@ fn lint_one(target: &LintTarget, rank: usize, gamma: f64) -> (String, usize, usi
                 &AnalyzeOptions {
                     program: Some(&normalized),
                     model: Some(CostModel::with_gamma(gamma)),
+                    ..Default::default()
                 },
             );
             let (errors, warnings) = report.counts();
@@ -615,6 +634,7 @@ struct EngineArgs {
     backend: String,
     joint: bool,
     sequential: bool,
+    dense: bool,
 }
 
 fn parse_engine_args(argv: &[String]) -> Result<EngineArgs, String> {
@@ -628,6 +648,7 @@ fn parse_engine_args(argv: &[String]) -> Result<EngineArgs, String> {
         backend: "both".into(),
         joint: true,
         sequential: false,
+        dense: false,
     };
     let next = |i: &mut usize, what: &str| -> Result<String, String> {
         *i += 1;
@@ -667,6 +688,7 @@ fn parse_engine_args(argv: &[String]) -> Result<EngineArgs, String> {
             "--backend" => args.backend = next(&mut i, "--backend")?,
             "--no-joint" => args.joint = false,
             "--sequential-exec" => args.sequential = true,
+            "--dense" => args.dense = true,
             "--gemm" => apply_gemm_flag(&next(&mut i, "--gemm")?)?,
             "--threads" => apply_threads_flag(&next(&mut i, "--threads")?)?,
             "--help" | "-h" => return Err(String::new()),
@@ -706,6 +728,7 @@ fn drive_engine<B: ExecBackend>(
     };
     view.set_exec_options(linview::runtime::ExecOptions {
         sequential: args.sequential,
+        sparse_folds: if args.dense { Some(false) } else { None },
         ..Default::default()
     });
     view.reset_comm();
@@ -749,6 +772,16 @@ fn drive_engine<B: ExecBackend>(
         if args.sequential { ", sequential" } else { "" },
         stats.writes,
         stats.overlapped_broadcasts,
+    ));
+    out.push_str(&format!(
+        "             sparse: {} sparse / {} dense folds, {} compressed frames \
+         ({} B saved), {} rank shed by recompression{}\n",
+        stats.sparse.sparse_folds,
+        stats.sparse.dense_folds,
+        stats.sparse.compressed_frames,
+        stats.sparse.bytes_saved,
+        stats.sparse.rank_saved,
+        if args.dense { ", forced dense" } else { "" },
     ));
     let d = engine.get("D").map_err(render_error)?.clone();
     Ok((out, d))

@@ -86,7 +86,7 @@ fn every_shipped_program_passes_all_passes() {
             &tp,
             &AnalyzeOptions {
                 program: Some(&normalized),
-                model: None,
+                ..Default::default()
             },
         );
         assert!(
@@ -130,7 +130,7 @@ fn joint_trigger_passes_all_passes() {
         &joint,
         &AnalyzeOptions {
             program: Some(&program),
-            model: None,
+            ..Default::default()
         },
     );
     assert!(!report.has_errors(), "{report}");
@@ -259,7 +259,7 @@ proptest! {
         let tp = compile(&program, &["A"], &cat, &CompileOptions::default()).unwrap();
         let report = analyze_program(
             &tp,
-            &AnalyzeOptions { program: Some(&program), model: None },
+            &AnalyzeOptions { program: Some(&program), ..Default::default() },
         );
         prop_assert!(!report.has_errors(), "random program flagged:\n{report}");
         for trigger in &tp.triggers {

@@ -271,6 +271,150 @@ fn every_app_is_bit_identical_across_all_backends() {
     }
 }
 
+/// Sparse-aware execution conformance: a basis-row update stream (factor
+/// density 1/n, inside the fold crossover and far below the
+/// wire-compression break-even) maintained with sparse execution ON must
+/// be bit-identical — across all three backends AND against the same runs
+/// forced dense — while compressed broadcast frames strictly shrink the
+/// wire, by exactly the bytes the accounting claims.
+#[test]
+fn sparse_execution_is_bit_identical_and_strictly_cheaper_on_the_wire() {
+    use linview::runtime::{CommSnapshot, ExecOptions, SparseStats};
+
+    let n = 24;
+    let (program, _) = powers_program(IterModel::Exponential, 4);
+    let inputs: Vec<(&str, Matrix)> = vec![("A", Matrix::random_spectral(n, 77, 0.8))];
+    let mut cat = Catalog::new();
+    cat.declare("A", n, n);
+    let views: Vec<String> = std::iter::once("A".to_string())
+        .chain(
+            program
+                .hoist_inverses(&["A"])
+                .statements()
+                .iter()
+                .map(|s| s.target.clone()),
+        )
+        .collect();
+
+    fn drive<B: ExecBackend>(
+        mut view: IncrementalView<B>,
+        sparse_folds: Option<bool>,
+        names: &[String],
+        n: usize,
+    ) -> (Vec<Matrix>, SparseStats, CommSnapshot) {
+        view.set_exec_options(ExecOptions {
+            sparse_folds,
+            ..Default::default()
+        });
+        view.reset_comm();
+        let mut stream = UpdateStream::new(n, n, 0.01, SEED);
+        for _ in 0..8 {
+            view.apply("A", &stream.next_rank_one()).unwrap();
+        }
+        let finals = names.iter().map(|v| view.get(v).unwrap().clone()).collect();
+        (finals, view.sparse_stats(), view.comm())
+    }
+
+    let build_local = || IncrementalView::build(&program, &inputs, &cat).unwrap();
+    let build_dist = || {
+        IncrementalView::build_on(
+            DistBackend::with_cluster(Cluster::with_grid(2, 2)),
+            &program,
+            &inputs,
+            &cat,
+        )
+        .unwrap()
+    };
+    let build_thr = || {
+        IncrementalView::build_on(
+            ThreadedBackend::with_cluster(Cluster::with_grid(2, 2)),
+            &program,
+            &inputs,
+            &cat,
+        )
+        .unwrap()
+    };
+
+    let (reference, l_sparse, _) = drive(build_local(), None, &views, n);
+    let (d_views, d_sparse, d_comm) = drive(build_dist(), None, &views, n);
+    let (t_views, t_sparse, t_comm) = drive(build_thr(), None, &views, n);
+    let (lf_views, lf_sparse, _) = drive(build_local(), Some(false), &views, n);
+    let (df_views, df_sparse, df_comm) = drive(build_dist(), Some(false), &views, n);
+    let (tf_views, tf_sparse, tf_comm) = drive(build_thr(), Some(false), &views, n);
+
+    for (i, name) in views.iter().enumerate() {
+        for (label, run) in [
+            ("dist sparse", &d_views),
+            ("threaded sparse", &t_views),
+            ("local forced-dense", &lf_views),
+            ("dist forced-dense", &df_views),
+            ("threaded forced-dense", &tf_views),
+        ] {
+            assert_eq!(
+                run[i], reference[i],
+                "{name} is not bit-identical on {label}"
+            );
+        }
+    }
+
+    // The sparse path actually engaged on every backend…
+    for (backend, stats) in [
+        ("local", l_sparse),
+        ("dist", d_sparse),
+        ("threaded", t_sparse),
+    ] {
+        assert!(
+            stats.sparse_folds > 0,
+            "{backend}: no fold took the sparse path at density 1/{n}"
+        );
+    }
+    // …and the forced-dense opt-out actually opted out, of everything.
+    for (backend, stats) in [
+        ("local", lf_sparse),
+        ("dist", df_sparse),
+        ("threaded", tf_sparse),
+    ] {
+        assert_eq!(
+            stats.sparse_folds, 0,
+            "{backend}: forced dense still folded sparsely"
+        );
+        assert_eq!(
+            stats.compressed_frames, 0,
+            "{backend}: forced dense still compressed"
+        );
+        assert_eq!(
+            stats.bytes_saved, 0,
+            "{backend}: forced dense claimed savings"
+        );
+    }
+    // Compression strictly shrinks the wire on both communicating
+    // backends, by exactly the bytes the accounting claims.
+    for (backend, stats, comm, forced) in [
+        ("dist", d_sparse, d_comm, df_comm),
+        ("threaded", t_sparse, t_comm, tf_comm),
+    ] {
+        assert!(
+            stats.compressed_frames > 0 && stats.bytes_saved > 0,
+            "{backend}: no broadcast ever compressed"
+        );
+        assert!(
+            comm.broadcast_bytes < forced.broadcast_bytes,
+            "{backend}: compression did not shrink the wire ({} !< {})",
+            comm.broadcast_bytes,
+            forced.broadcast_bytes
+        );
+        assert_eq!(
+            comm.broadcast_bytes + stats.bytes_saved,
+            forced.broadcast_bytes,
+            "{backend}: bytes_saved disagrees with the meters"
+        );
+        assert_eq!(
+            comm.broadcast_msgs, forced.broadcast_msgs,
+            "{backend}: compression changed the delivery count"
+        );
+    }
+}
+
 /// The app-level constructors too: `new_on` must give the same maintained
 /// results on the threaded backend as the default local path.
 #[test]

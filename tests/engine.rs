@@ -189,6 +189,53 @@ proptest! {
         prop_assert_eq!(seq.pending_total(), 0);
     }
 
+    /// Property 5: rank recompression is exact and monotone — for any
+    /// (possibly rank-deficient) low-rank delta, folding the recompressed
+    /// factors matches folding the originals to 1e-9, and recompression
+    /// never increases the rank. Duplicated outer products must be
+    /// detected: the recompressed rank is bounded by the span of the
+    /// distinct factor columns.
+    #[test]
+    fn recompress_then_fold_matches_plain_fold(
+        pairs in proptest::collection::vec((0u64..4, 0u64..4), 2..7),
+        tseed in 0u64..1000,
+    ) {
+        use linview::matrix::{fold_low_rank, recompress};
+        let k = pairs.len();
+        let mut u = Matrix::zeros(N, k);
+        let mut v = Matrix::zeros(N, k);
+        for (j, &(su, sv)) in pairs.iter().enumerate() {
+            let cu = Matrix::random_uniform(N, 1, su);
+            let cv = Matrix::random_uniform(N, 1, 1000 + sv);
+            for i in 0..N {
+                u.set(i, j, cu.get(i, 0));
+                v.set(i, j, cv.get(i, 0));
+            }
+        }
+        let rc = recompress(&u, &v, 1e-12).unwrap();
+        prop_assert_eq!(rc.rank_before, k);
+        prop_assert!(rc.rank_after <= k, "recompression increased rank");
+        let span = std::cmp::min(
+            pairs.iter().map(|p| p.0).collect::<std::collections::BTreeSet<_>>().len(),
+            pairs.iter().map(|p| p.1).collect::<std::collections::BTreeSet<_>>().len(),
+        );
+        prop_assert!(
+            rc.rank_after <= span,
+            "missed redundancy: rank {} exceeds the {}-dimensional factor span",
+            rc.rank_after,
+            span
+        );
+        let mut plain = Matrix::random_spectral(N, tseed, 0.7);
+        let mut compressed = plain.clone();
+        fold_low_rank(&mut plain, &u, &v, true).unwrap();
+        fold_low_rank(&mut compressed, &rc.u, &rc.v, true).unwrap();
+        prop_assert!(
+            compressed.approx_eq(&plain, 1e-9),
+            "recompressed fold diverged by {:.2e}",
+            compressed.max_abs_diff(&plain)
+        );
+    }
+
     /// Property 3: compact_rows preserves the dense delta for mixed
     /// batches of row updates and dense (non-basis) updates.
     #[test]
@@ -216,5 +263,39 @@ proptest! {
         let distinct: std::collections::BTreeSet<usize> =
             rows.iter().map(|&(r, _)| r).collect();
         prop_assert_eq!(compact.rank(), distinct.len() + dense_seeds.len());
+    }
+}
+
+/// Engine-level recompression accounting: duplicated dense updates are
+/// shed by the pre-flush recompression pass, the shed rank is recorded in
+/// the sparse-execution stats, and the maintained views still match full
+/// re-evaluation.
+#[test]
+fn engine_recompression_sheds_redundant_rank() {
+    let (program, cat, a, b) = build_setup();
+    let mut reeval =
+        ReevalView::build(&program, &[("A", a.clone()), ("B", b.clone())], &cat).unwrap();
+    let view = IncrementalView::build(&program, &[("A", a), ("B", b)], &cat).unwrap();
+    let mut engine = MaintenanceEngine::new(view, FlushPolicy::Count(4));
+    // Seeds repeat, so the rank-4 buffered batch is truly rank 2.
+    for seed in [7u64, 7, 9, 9] {
+        let upd = RankOneUpdate::dense(N, N, 0.01, seed);
+        reeval.apply("A", &upd).unwrap();
+        engine.ingest("A", upd).unwrap();
+    }
+    engine.flush_all().unwrap();
+    assert!(
+        engine.stats().sparse.rank_saved >= 2,
+        "recompression shed {} ranks from a half-redundant batch",
+        engine.stats().sparse.rank_saved
+    );
+    for view in ["C", "D"] {
+        let got = engine.get(view).unwrap();
+        let want = reeval.get(view).unwrap();
+        assert!(
+            got.approx_eq(want, 1e-9),
+            "{view} diverged from re-evaluation by {:.2e} after recompression",
+            got.max_abs_diff(want)
+        );
     }
 }

@@ -156,7 +156,7 @@ fn comm_bytes_are_recomputed_exactly_from_serialized_frames() {
     for k in [1usize, 2, 5] {
         let batch = stream.next_batch_zipf(k, 1.0).unwrap();
         backend
-            .apply_delta(&mut env, "X", &batch.u, &batch.v)
+            .apply_delta(&mut env, "X", &batch.u, &batch.v, false)
             .unwrap();
         let frame = linview::dist::delta_frame("X", &batch.u, &batch.v);
         expected_bytes += WORKERS as u64 * frame.len() as u64;
