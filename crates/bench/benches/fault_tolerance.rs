@@ -1,0 +1,93 @@
+//! Fault-tolerance overhead: what checkpoint/replay recovery costs.
+//!
+//! Three prices are measured on the streaming `A⁴` engine:
+//!
+//! * **checkpoint** — snapshotting the full maintained environment
+//!   (`O(n²)` per view, paid every N firings);
+//! * **wal-roundtrip** — encoding + decoding one logged firing record
+//!   (`O(kn)` factor bytes, paid every firing);
+//! * **recover** — the full crash path at varying log depths: restore the
+//!   snapshot, re-install every partitioned view on the revived worker
+//!   grid, and replay the logged firings.
+//!
+//! The point of the cadence knob is visible here: checkpoints cost `O(n²)`
+//! but bound replay depth, while each replayed firing costs the same
+//! `O(kn²)` broadcast fold it cost the first time.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use linview_compiler::parse::parse_program;
+use linview_dist::Cluster;
+use linview_expr::Catalog;
+use linview_matrix::Matrix;
+use linview_runtime::{
+    FiringRecord, FlushPolicy, IncrementalView, MaintenanceEngine, ThreadedBackend, UpdateStream,
+};
+
+const N: usize = 120;
+const SEED: u64 = 606;
+
+fn engine(every: usize) -> MaintenanceEngine<ThreadedBackend> {
+    let program = parse_program("B := A * A; C := B * B;").expect("program");
+    let mut cat = Catalog::new();
+    cat.declare("A", N, N);
+    let a = Matrix::random_spectral(N, 17, 0.9);
+    let view = IncrementalView::build_on(
+        ThreadedBackend::with_cluster(Cluster::with_grid(2, 2)),
+        &program,
+        &[("A", a)],
+        &cat,
+    )
+    .expect("build");
+    let mut engine = MaintenanceEngine::new(view, FlushPolicy::Immediate);
+    engine.enable_checkpointing(every).expect("checkpointing");
+    engine
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fault_tolerance");
+    group.sample_size(10);
+
+    // Snapshot cost: the O(n²) half of the cadence trade-off.
+    let snap_engine = engine(1);
+    group.bench_function("checkpoint", |b| {
+        b.iter(|| snap_engine.view().checkpoint().expect("snapshot"))
+    });
+
+    // Per-firing log cost: encode + decode one O(kn) record.
+    let u = Matrix::random_uniform(N, 4, 1).scale(0.01);
+    let v = Matrix::random_uniform(N, 4, 2);
+    let record = FiringRecord::single("A", u, v);
+    group.bench_function("wal-roundtrip", |b| {
+        b.iter(|| FiringRecord::decode(record.encode()).expect("decode"))
+    });
+
+    // The crash path itself, deeper logs costing proportionally more.
+    for log_depth in [1usize, 4, 16] {
+        group.bench_with_input(
+            BenchmarkId::new("recover", log_depth),
+            &log_depth,
+            |b, &depth| {
+                b.iter_batched(
+                    || {
+                        // Cadence > depth keeps every firing in the log.
+                        let mut engine = engine(depth + 1);
+                        let mut stream = UpdateStream::new(N, N, 0.01, SEED);
+                        for _ in 0..depth {
+                            engine.ingest("A", stream.next_rank_one()).expect("ingest");
+                        }
+                        engine
+                    },
+                    |mut engine| {
+                        engine.recover().expect("recover");
+                        engine
+                    },
+                    BatchSize::LargeInput,
+                )
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

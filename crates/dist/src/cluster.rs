@@ -1,8 +1,42 @@
 //! The simulated worker grid.
 
+use std::fmt;
+
 use crate::comm::CommStats;
-use crate::Result;
-use linview_matrix::MatrixError;
+
+/// A worker count that cannot form the square grid the paper's hybrid
+/// partitioning scheme (§6) assumes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClusterError {
+    workers: usize,
+}
+
+impl ClusterError {
+    /// The rejected worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let workers = self.workers;
+        let side = (workers as f64).sqrt().floor() as usize;
+        if workers == 0 {
+            write!(f, "a cluster needs at least one worker")
+        } else {
+            write!(
+                f,
+                "{workers} workers cannot form a square grid ({workers} is not a \
+                 perfect square; nearest are {} and {})",
+                side * side,
+                (side + 1) * (side + 1)
+            )
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
 
 /// A simulated cluster: a rectangular grid of workers plus a communication
 /// meter. Partitioned matrices ([`crate::DistMatrix`]) use the same grid
@@ -21,23 +55,20 @@ impl Cluster {
     ///
     /// Panics if `workers` is zero or not a perfect square — the paper's
     /// hybrid partitioning scheme (§6) assumes a square grid. Use
-    /// [`Cluster::with_grid`] for rectangular layouts.
+    /// [`Cluster::with_grid`] for rectangular layouts, or
+    /// [`Cluster::try_new`] anywhere the worker count is user input.
     pub fn new(workers: usize) -> Cluster {
-        Cluster::try_new(workers)
-            .unwrap_or_else(|_| panic!("worker count {workers} is not a positive perfect square"))
+        Cluster::try_new(workers).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Fallible form of [`Cluster::new`] for `Result`-returning callers:
     /// errors instead of panicking when `workers` is zero or not a perfect
-    /// square.
-    pub fn try_new(workers: usize) -> Result<Cluster> {
+    /// square. Worker counts arriving from a CLI flag or config file go
+    /// through here so a bad count renders as an error chain, not an abort.
+    pub fn try_new(workers: usize) -> std::result::Result<Cluster, ClusterError> {
         let side = (workers as f64).sqrt().round() as usize;
         if workers == 0 || side * side != workers {
-            return Err(MatrixError::DimMismatch {
-                op: "square cluster grid",
-                lhs: (workers, 1),
-                rhs: (side, side),
-            });
+            return Err(ClusterError { workers });
         }
         Ok(Cluster::with_grid(side, side))
     }

@@ -59,14 +59,20 @@ mod cluster;
 mod comm;
 mod matrix;
 mod ops;
+pub mod socket;
 pub mod transport;
 
-pub use cluster::Cluster;
+pub use cluster::{Cluster, ClusterError};
 pub use comm::{CommSnapshot, CommStats};
 pub use matrix::DistMatrix;
 pub use ops::{dist_add_low_rank, dist_add_low_rank_sparse, dist_matmul, factor_wire_bytes};
+pub use socket::{
+    bind, serve_worker, spawn_local_grid, PeerAddr, ServeOptions, SocketConfig, SocketTransport,
+    WorkerListener, WorkerServer,
+};
 pub use transport::{
-    delta_frame, factor_prefers_sparse, sparse_delta_frame, TransportError, WorkerPool,
+    decode_delta_frame, delta_frame, factor_prefers_sparse, sparse_delta_frame, ChannelTransport,
+    FramePool, Transport, TransportError, TransportResult, WorkerPool,
 };
 
 /// Crate-wide result type (all fallible paths surface dense-kernel errors).

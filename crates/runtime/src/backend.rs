@@ -18,13 +18,17 @@
 //!   blocks, and every factor broadcast is serialized into a byte frame
 //!   and moved over a channel. `CommStats` counts the frames actually
 //!   sent, not analytical estimates.
+//! * [`SocketBackend`] — the same frame protocol over TCP or Unix
+//!   sockets to out-of-process `linview worker` peers; both are
+//!   instantiations of the transport-generic [`FrameBackend`].
 
 use std::collections::BTreeMap;
 
 use linview_compiler::{JointTrigger, Trigger};
 use linview_dist::{
-    dist_add_low_rank_sparse, factor_prefers_sparse, factor_wire_bytes, transport::TransportError,
-    Cluster, CommSnapshot, DistMatrix, WorkerPool,
+    delta_frame, dist_add_low_rank_sparse, factor_prefers_sparse, factor_wire_bytes,
+    sparse_delta_frame, transport::TransportError, ChannelTransport, Cluster, CommSnapshot,
+    DistMatrix, FramePool, PeerAddr, SocketConfig, SocketTransport, Transport, WorkerPool,
 };
 use linview_matrix::{fold_low_rank, Matrix};
 
@@ -261,7 +265,7 @@ impl DistBackend {
     /// square; every partitioned dimension must divide the grid side).
     pub fn new(workers: usize) -> Result<Self> {
         Ok(Self::with_cluster(
-            Cluster::try_new(workers).map_err(RuntimeError::Matrix)?,
+            Cluster::try_new(workers).map_err(RuntimeError::Cluster)?,
         ))
     }
 
@@ -403,30 +407,44 @@ impl ExecBackend for DistBackend {
     }
 }
 
-/// Distributed execution over **real** worker threads (§6, without the
-/// simulation shortcut).
+/// Distributed execution over **real** message passing (§6, without the
+/// simulation shortcut), generic over *where the frames go*.
 ///
 /// Like [`DistBackend`], every materialized view is grid-partitioned and
 /// the trigger's compute phase runs on the coordinator against a dense
-/// mirror. Unlike it, the partitions live on long-lived worker threads —
-/// one per grid cell, spawned at construction — and every delta
-/// application serializes the factored update into a byte frame and
-/// broadcasts it over per-worker channels. Workers decode, slice their own
-/// rows, and fold the update into the blocks they own; nothing is shared.
-/// `CommStats` therefore counts the exact length of every frame moved.
+/// mirror. Unlike it, the partitions live behind a [`Transport`]: every
+/// delta application serializes the factored update into a byte frame and
+/// broadcasts it to one worker per grid cell. Workers decode, slice their
+/// own rows, and fold the update into the blocks they own; nothing is
+/// shared. `CommStats` therefore counts the exact length of every frame
+/// moved.
 ///
-/// Reads of worker state ([`ThreadedBackend::view`]) gather the blocks
-/// back over the same channels and double as a barrier: channel order
+/// The two shipped instantiations are
+///
+/// * [`ThreadedBackend`] — [`ChannelTransport`]: long-lived worker
+///   *threads* in this process, frames moved over bounded channels;
+/// * [`SocketBackend`] — [`SocketTransport`]: worker *processes* reached
+///   over TCP or Unix sockets (`linview worker`), frames length-prefixed
+///   on the wire.
+///
+/// Reads of worker state ([`FrameBackend::view`]) gather the blocks
+/// back over the same transport and double as a barrier: FIFO frame order
 /// guarantees all previously broadcast deltas are applied first.
 #[derive(Debug)]
-pub struct ThreadedBackend {
+pub struct FrameBackend<T: Transport> {
     cluster: Cluster,
-    pool: WorkerPool,
+    pool: FramePool<T>,
     /// Coordinator-side shapes of the partitioned views, for validation
     /// and gather-side assembly.
     shapes: BTreeMap<String, (usize, usize)>,
     sched: SchedSnapshot,
 }
+
+/// [`FrameBackend`] over in-process worker threads and channels.
+pub type ThreadedBackend = FrameBackend<ChannelTransport>;
+
+/// [`FrameBackend`] over out-of-process workers on TCP/Unix sockets.
+pub type SocketBackend = FrameBackend<SocketTransport>;
 
 fn transport_err(e: TransportError) -> RuntimeError {
     RuntimeError::Transport(e.to_string())
@@ -437,7 +455,7 @@ impl ThreadedBackend {
     /// perfect square; every partitioned dimension must divide the side).
     pub fn new(workers: usize) -> Result<Self> {
         Ok(Self::with_cluster(
-            Cluster::try_new(workers).map_err(RuntimeError::Matrix)?,
+            Cluster::try_new(workers).map_err(RuntimeError::Cluster)?,
         ))
     }
 
@@ -445,17 +463,59 @@ impl ThreadedBackend {
     /// spawns the worker threads immediately.
     pub fn with_cluster(cluster: Cluster) -> Self {
         let pool = WorkerPool::spawn(cluster.grid_rows(), cluster.grid_cols());
-        ThreadedBackend {
+        FrameBackend {
             cluster,
             pool,
             shapes: BTreeMap::new(),
             sched: SchedSnapshot::default(),
         }
     }
+}
 
-    /// Gathers a partitioned view back from the worker threads into a
-    /// dense matrix. Acts as a barrier: all previously broadcast deltas
-    /// are folded in before the workers reply.
+impl SocketBackend {
+    /// Connects to worker processes at `addrs`, arranged row-major over a
+    /// square grid (`addrs.len()` must be a perfect square).
+    pub fn connect(addrs: Vec<PeerAddr>, config: SocketConfig) -> Result<Self> {
+        let cluster = Cluster::try_new(addrs.len()).map_err(RuntimeError::Cluster)?;
+        Self::connect_with_cluster(cluster, addrs, config)
+    }
+
+    /// Connects to worker processes at `addrs` over an explicit (possibly
+    /// rectangular) cluster geometry.
+    pub fn connect_with_cluster(
+        cluster: Cluster,
+        addrs: Vec<PeerAddr>,
+        config: SocketConfig,
+    ) -> Result<Self> {
+        let transport =
+            SocketTransport::connect(cluster.grid_rows(), cluster.grid_cols(), addrs, config)
+                .map_err(transport_err)?;
+        let pool = FramePool::from_transport(cluster.grid_rows(), cluster.grid_cols(), transport)
+            .map_err(transport_err)?;
+        Ok(FrameBackend {
+            cluster,
+            pool,
+            shapes: BTreeMap::new(),
+            sched: SchedSnapshot::default(),
+        })
+    }
+}
+
+impl<T: Transport> FrameBackend<T> {
+    /// The frame pool driving the transport (worker-state reads, tests).
+    pub fn pool(&self) -> &FramePool<T> {
+        &self.pool
+    }
+
+    /// Mutable pool access — fault injection (killing a worker) and
+    /// transport-level reconfiguration.
+    pub fn pool_mut(&mut self) -> &mut FramePool<T> {
+        &mut self.pool
+    }
+
+    /// Gathers a partitioned view back from the workers into a dense
+    /// matrix. Acts as a barrier: all previously broadcast deltas are
+    /// folded in before the workers reply.
     pub fn view(&self, name: &str) -> Result<Matrix> {
         let &(rows, cols) = self
             .shapes
@@ -483,9 +543,9 @@ impl ThreadedBackend {
     }
 }
 
-impl ExecBackend for ThreadedBackend {
+impl<T: Transport> ExecBackend for FrameBackend<T> {
     fn name(&self) -> &'static str {
-        "threaded"
+        self.pool.label()
     }
 
     fn materialize(&mut self, env: &Env) -> Result<()> {
@@ -499,6 +559,9 @@ impl ExecBackend for ThreadedBackend {
                     .map_err(RuntimeError::Matrix)?;
             parts.push((name.to_string(), dm));
         }
+        // Materialize is the recovery entry point: bring dead peers back
+        // (a no-op on a healthy pool) before re-installing state.
+        self.pool.revive().map_err(transport_err)?;
         self.pool.reset().map_err(transport_err)?;
         let mut shapes = BTreeMap::new();
         for (name, dm) in &parts {
@@ -566,12 +629,19 @@ impl ExecBackend for ThreadedBackend {
     }
 
     /// Pipelines a stage's factor broadcasts through the transport: every
-    /// frame of the stage is serialized and sent — to all workers — before
-    /// any coordinator-mirror fold, so independent broadcasts overlap on
-    /// the wire while the workers drain their FIFO channels. The per-frame
-    /// byte metering is identical to the sequential path (same frames, same
-    /// order per worker); the stage barrier is the workers' channel order,
-    /// exactly as for single-delta applies.
+    /// frame of the stage is serialized up front and shipped to each
+    /// worker as one batch (a single coalesced write on wire transports)
+    /// before any coordinator-mirror fold, so independent broadcasts
+    /// overlap on the wire while the workers drain their FIFO streams.
+    /// The per-frame byte metering is identical to the sequential path
+    /// (same frames, same order per worker); the stage barrier is the
+    /// workers' FIFO order, exactly as for single-delta applies.
+    ///
+    /// Failure model: the batch send is *continue-on-error* per worker —
+    /// a dead peer never starves the survivors of their frames, so every
+    /// live worker and the coordinator mirror hold the complete stage.
+    /// The first failure is still surfaced (after the folds) for the
+    /// engine's checkpoint/replay recovery to act on.
     fn apply_stage(
         &mut self,
         env: &mut Env,
@@ -601,46 +671,52 @@ impl ExecBackend for ThreadedBackend {
             }
         }
         let mut stats = SparseStats::default();
-        let mut sent = 0usize;
-        let mut send_err = None;
-        for d in deltas.iter().filter(|d| d.u.cols() > 0) {
+        let live: Vec<&StageDelta> = deltas.iter().filter(|d| d.u.cols() > 0).collect();
+        // Serialize the whole stage first; per-frame compression decisions
+        // are identical to the single-delta path.
+        let mut frames = Vec::with_capacity(live.len());
+        let mut compressed = Vec::with_capacity(live.len());
+        for d in &live {
             let compress = sparse && (factor_prefers_sparse(&d.u) || factor_prefers_sparse(&d.v));
-            let outcome = if compress {
-                self.pool.broadcast_delta_sparse(&d.target, &d.u, &d.v)
+            let frame = if compress {
+                sparse_delta_frame(&d.target, &d.u, &d.v)
             } else {
-                self.pool.broadcast_delta(&d.target, &d.u, &d.v)
+                delta_frame(&d.target, &d.u, &d.v)
             };
-            match outcome {
-                Ok(frame_len) => {
-                    for _ in 0..self.pool.workers() {
-                        self.cluster.comm().record_broadcast(frame_len);
-                    }
-                    if compress {
-                        let dense_len =
-                            (1 + 4 + d.target.len() + 16 + 8 * (d.u.len() + d.v.len())) as u64;
-                        stats.compressed_frames += 1;
-                        stats.bytes_saved += self.pool.workers() as u64 * (dense_len - frame_len);
-                    }
-                    sent += 1;
-                }
-                Err(e) => {
-                    // A dead worker mid-stage: stop sending, but still
-                    // fold the mirror for every frame already delivered so
-                    // coordinator state never trails the surviving
-                    // workers'.
-                    send_err = Some(transport_err(e));
-                    break;
-                }
+            compressed.push(compress);
+            frames.push(frame);
+        }
+        // One batch per worker, continue-on-error: a dead peer does not
+        // keep the survivors from receiving (and applying) the full stage.
+        let outcomes = self.pool.broadcast_frames(&frames);
+        let delivered = outcomes.iter().filter(|r| r.is_ok()).count() as u64;
+        let send_err = outcomes
+            .into_iter()
+            .find_map(|r| r.err())
+            .map(transport_err);
+        // Meter exactly what moved: every frame, to every worker that
+        // accepted the batch.
+        for frame in &frames {
+            for _ in 0..delivered {
+                self.cluster.comm().record_broadcast(frame.len() as u64);
             }
         }
-        if sent >= 2 {
-            self.sched.merged_rounds += 1;
-            self.sched.overlapped += (sent - 1) as u64;
+        for ((d, frame), compress) in live.iter().zip(&frames).zip(&compressed) {
+            if *compress {
+                let dense_len = (1 + 4 + d.target.len() + 16 + 8 * (d.u.len() + d.v.len())) as u64;
+                stats.compressed_frames += 1;
+                stats.bytes_saved += delivered * (dense_len - frame.len() as u64);
+            }
         }
-        // Every frame is in flight; fold the coordinator mirror while the
-        // workers apply their own copies. Shapes were validated above, so
-        // the folds cannot fail and leave mirror and workers out of step.
-        for d in deltas.iter().filter(|d| d.u.cols() > 0).take(sent) {
+        if delivered > 0 && frames.len() >= 2 {
+            self.sched.merged_rounds += 1;
+            self.sched.overlapped += (frames.len() - 1) as u64;
+        }
+        // Every live worker holds the full stage; fold the coordinator
+        // mirror to match while they apply their own copies. Shapes were
+        // validated above, so the folds cannot fail and leave mirror and
+        // workers out of step.
+        for d in &live {
             let path = fold_low_rank(env.get_mut(&d.target)?, &d.u, &d.v, sparse)?;
             stats.merge(SparseStats::from_path(path));
         }

@@ -13,6 +13,15 @@
 //! magic "LNVW" | u32 version | u32 entry_count |
 //!   { u32 name_len | name utf8 | u64 rows | u64 cols | rows·cols f64 }*
 //! ```
+//!
+//! [`restore`] treats its input as untrusted: every length and shape field
+//! is validated with checked arithmetic *before* any allocation sized by
+//! it, so a corrupt or hostile snapshot errors — it can neither panic nor
+//! trigger an enormous allocation. Failures surface as
+//! [`RuntimeError::Checkpoint`] carrying a [`CheckpointError`] in the
+//! `source()` chain.
+
+use std::fmt;
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use linview_matrix::Matrix;
@@ -22,14 +31,68 @@ use crate::{Env, Result, RuntimeError};
 const MAGIC: &[u8; 4] = b"LNVW";
 const VERSION: u32 = 1;
 
+/// Every entry spends at least this many bytes after the count field
+/// (empty name: 4-byte name length + 8-byte rows + 8-byte cols), so an
+/// `entry_count` claiming more entries than `remaining / 20` is rejected
+/// before the entry loop runs.
+const MIN_ENTRY_BYTES: u64 = 20;
+
+/// Why a checkpoint could not be saved, or a snapshot failed its
+/// integrity checks on restore.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointError {
+    message: String,
+}
+
+impl CheckpointError {
+    pub(crate) fn new(message: impl Into<String>) -> CheckpointError {
+        CheckpointError {
+            message: message.into(),
+        }
+    }
+
+    /// Human-readable description of the failure.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+fn corrupt(msg: impl fmt::Display) -> RuntimeError {
+    RuntimeError::Checkpoint(CheckpointError::new(format!("corrupt checkpoint: {msg}")))
+}
+
 /// Serializes every binding of `env` into a standalone byte buffer.
-pub fn save(env: &Env) -> Bytes {
+///
+/// Errors (instead of silently truncating the `u32` header fields) if the
+/// environment holds more than `u32::MAX` bindings or a name longer than
+/// `u32::MAX` bytes — a snapshot that cannot faithfully round-trip is
+/// refused at save time, not discovered as corruption on restore.
+pub fn save(env: &Env) -> Result<Bytes> {
+    let count = u32::try_from(env.len()).map_err(|_| {
+        RuntimeError::Checkpoint(CheckpointError::new(
+            "environment has too many bindings for a v1 checkpoint",
+        ))
+    })?;
     let mut buf = BytesMut::new();
     buf.put_slice(MAGIC);
     buf.put_u32_le(VERSION);
-    buf.put_u32_le(env.len() as u32);
+    buf.put_u32_le(count);
     for (name, m) in env.iter() {
-        buf.put_u32_le(name.len() as u32);
+        let name_len = u32::try_from(name.len()).map_err(|_| {
+            RuntimeError::Checkpoint(CheckpointError::new(format!(
+                "binding name of {} bytes does not fit a v1 checkpoint",
+                name.len()
+            )))
+        })?;
+        buf.put_u32_le(name_len);
         buf.put_slice(name.as_bytes());
         buf.put_u64_le(m.rows() as u64);
         buf.put_u64_le(m.cols() as u64);
@@ -37,46 +100,67 @@ pub fn save(env: &Env) -> Bytes {
             buf.put_f64_le(x);
         }
     }
-    buf.freeze()
+    Ok(buf.freeze())
 }
 
 /// Restores an environment from a snapshot produced by [`save`].
+///
+/// The input is untrusted: any mutation of a valid snapshot — truncation,
+/// bit flips, hostile length or shape headers — yields a
+/// [`RuntimeError::Checkpoint`], never a panic or an
+/// attacker-sized allocation.
 pub fn restore(mut data: Bytes) -> Result<Env> {
-    let fail = |msg: &str| RuntimeError::Unbound(format!("corrupt checkpoint: {msg}"));
     if data.remaining() < 12 {
-        return Err(fail("truncated header"));
+        return Err(corrupt("truncated header"));
     }
     let mut magic = [0u8; 4];
     data.copy_to_slice(&mut magic);
     if &magic != MAGIC {
-        return Err(fail("bad magic"));
+        return Err(corrupt("bad magic"));
     }
     let version = data.get_u32_le();
     if version != VERSION {
-        return Err(fail(&format!("unsupported version {version}")));
+        return Err(corrupt(format!("unsupported version {version}")));
     }
     let count = data.get_u32_le() as usize;
+    // Reject an oversized entry count before looping: each entry costs at
+    // least MIN_ENTRY_BYTES, so a count the payload cannot possibly hold
+    // is corruption, caught without touching the entries.
+    if (count as u64).saturating_mul(MIN_ENTRY_BYTES) > data.remaining() as u64 {
+        return Err(corrupt("entry count exceeds payload"));
+    }
     let mut env = Env::new();
     for _ in 0..count {
         if data.remaining() < 4 {
-            return Err(fail("truncated entry header"));
+            return Err(corrupt("truncated entry header"));
         }
         let name_len = data.get_u32_le() as usize;
-        if data.remaining() < name_len + 16 {
-            return Err(fail("truncated entry"));
+        let entry_header = name_len
+            .checked_add(16)
+            .ok_or_else(|| corrupt("name length overflow"))?;
+        if data.remaining() < entry_header {
+            return Err(corrupt("truncated entry"));
         }
         let name_bytes = data.copy_to_bytes(name_len);
         let name = std::str::from_utf8(&name_bytes)
-            .map_err(|_| fail("non-utf8 name"))?
+            .map_err(|_| corrupt("non-utf8 name"))?
             .to_string();
         let rows = data.get_u64_le() as usize;
         let cols = data.get_u64_le() as usize;
+        // Both multiplications are checked: `rows·cols` and the payload
+        // byte count can each overflow `usize` on hostile headers (e.g.
+        // rows = 2^62, cols = 2 passes the first check but wraps `·8`).
         let entries = rows
             .checked_mul(cols)
-            .ok_or_else(|| fail("shape overflow"))?;
-        if data.remaining() < entries * 8 {
-            return Err(fail("truncated matrix payload"));
+            .ok_or_else(|| corrupt("shape overflow"))?;
+        let payload_bytes = entries
+            .checked_mul(8)
+            .ok_or_else(|| corrupt("payload size overflow"))?;
+        if data.remaining() < payload_bytes {
+            return Err(corrupt("truncated matrix payload"));
         }
+        // `entries` is now bounded by the buffer length, so this
+        // allocation is at most the snapshot's own size.
         let mut values = Vec::with_capacity(entries);
         for _ in 0..entries {
             values.push(data.get_f64_le());
@@ -85,7 +169,7 @@ pub fn restore(mut data: Bytes) -> Result<Env> {
         env.bind(name, m);
     }
     if data.has_remaining() {
-        return Err(fail("trailing bytes"));
+        return Err(corrupt("trailing bytes"));
     }
     Ok(env)
 }
@@ -105,7 +189,7 @@ mod tests {
     #[test]
     fn save_restore_roundtrip() {
         let env = sample_env();
-        let snapshot = save(&env);
+        let snapshot = save(&env).unwrap();
         let back = restore(snapshot).unwrap();
         assert_eq!(back.len(), env.len());
         for (name, m) in env.iter() {
@@ -116,23 +200,23 @@ mod tests {
     #[test]
     fn empty_env_roundtrips() {
         let env = Env::new();
-        let back = restore(save(&env)).unwrap();
+        let back = restore(save(&env).unwrap()).unwrap();
         assert!(back.is_empty());
     }
 
     #[test]
     fn rejects_bad_magic_and_version() {
-        let mut raw = BytesMut::from(&save(&sample_env())[..]);
+        let mut raw = BytesMut::from(&save(&sample_env()).unwrap()[..]);
         raw[0] = b'X';
         assert!(restore(raw.freeze()).is_err());
-        let mut raw2 = BytesMut::from(&save(&sample_env())[..]);
+        let mut raw2 = BytesMut::from(&save(&sample_env()).unwrap()[..]);
         raw2[4] = 99;
         assert!(restore(raw2.freeze()).is_err());
     }
 
     #[test]
     fn rejects_truncation_anywhere() {
-        let full = save(&sample_env());
+        let full = save(&sample_env()).unwrap();
         for cut in [0usize, 3, 11, 20, full.len() - 1] {
             let truncated = full.slice(0..cut);
             assert!(restore(truncated).is_err(), "cut at {cut} accepted");
@@ -141,9 +225,67 @@ mod tests {
 
     #[test]
     fn rejects_trailing_garbage() {
-        let mut raw = BytesMut::from(&save(&sample_env())[..]);
+        let mut raw = BytesMut::from(&save(&sample_env()).unwrap()[..]);
         raw.put_u8(0);
         assert!(restore(raw.freeze()).is_err());
+    }
+
+    #[test]
+    fn corruption_reports_as_checkpoint_error_with_source_chain() {
+        let mut raw = BytesMut::from(&save(&sample_env()).unwrap()[..]);
+        raw[0] = b'X';
+        let err = restore(raw.freeze()).unwrap_err();
+        let RuntimeError::Checkpoint(inner) = &err else {
+            panic!("expected RuntimeError::Checkpoint, got {err:?}");
+        };
+        assert!(inner.message().contains("bad magic"));
+        // The CLI renderer walks source(): the label is short, the detail
+        // hangs off the chain.
+        use std::error::Error;
+        let source = err.source().expect("checkpoint errors carry a source");
+        assert!(source.to_string().contains("corrupt checkpoint"));
+    }
+
+    #[test]
+    fn hostile_shape_header_cannot_overflow_the_length_check() {
+        // One entry claiming rows = 2^62, cols = 2: `rows·cols = 2^63`
+        // passes a checked multiply, but `entries * 8` wraps to 0 in
+        // unchecked arithmetic — the historical bug let this through the
+        // length check and into a capacity-2^63 allocation.
+        let mut raw = BytesMut::new();
+        raw.put_slice(MAGIC);
+        raw.put_u32_le(VERSION);
+        raw.put_u32_le(1);
+        raw.put_u32_le(1);
+        raw.put_u8(b'A');
+        raw.put_u64_le(1u64 << 62);
+        raw.put_u64_le(2);
+        let err = restore(raw.freeze()).unwrap_err();
+        assert!(matches!(err, RuntimeError::Checkpoint(_)), "{err:?}");
+
+        // And rows·cols itself overflowing is likewise a clean error.
+        let mut raw = BytesMut::new();
+        raw.put_slice(MAGIC);
+        raw.put_u32_le(VERSION);
+        raw.put_u32_le(1);
+        raw.put_u32_le(1);
+        raw.put_u8(b'A');
+        raw.put_u64_le(u64::MAX);
+        raw.put_u64_le(u64::MAX);
+        assert!(restore(raw.freeze()).is_err());
+    }
+
+    #[test]
+    fn absurd_entry_count_is_rejected_before_the_entry_loop() {
+        let mut raw = BytesMut::new();
+        raw.put_slice(MAGIC);
+        raw.put_u32_le(VERSION);
+        raw.put_u32_le(u32::MAX);
+        let err = restore(raw.freeze()).unwrap_err();
+        let RuntimeError::Checkpoint(inner) = err else {
+            panic!("expected a checkpoint error");
+        };
+        assert!(inner.message().contains("entry count"));
     }
 
     #[test]
@@ -177,7 +319,7 @@ mod tests {
 
         // Apply upd1, snapshot, then continue with upd2 on the restored env.
         crate::fire_trigger(&mut env, &ev, trigger, &upd1.u, &upd1.v).unwrap();
-        let snapshot = save(&env);
+        let snapshot = save(&env).unwrap();
         let mut restored = restore(snapshot).unwrap();
         crate::fire_trigger(&mut restored, &ev, trigger, &upd2.u, &upd2.v).unwrap();
 

@@ -25,11 +25,14 @@
 
 use std::collections::BTreeMap;
 
+use bytes::Bytes;
 use linview_dist::CommSnapshot;
 use linview_matrix::Matrix;
 
+use crate::checkpoint::CheckpointError;
 use crate::stats::{measure, RefreshStats, StatsAccumulator};
 use crate::updates::{BatchUpdate, RankOneUpdate};
+use crate::wal::FiringRecord;
 use crate::{ExecBackend, IncrementalView, LocalBackend, Result, SparseStats};
 
 /// Relative singular-value tolerance for the pre-flush rank compression
@@ -158,11 +161,86 @@ impl EngineStats {
     }
 }
 
+/// Fault-tolerance counters: what checkpointing cost and what recovery
+/// moved.
+///
+/// The communication triple (`aborted`/`reinstall`/`replay`) partitions
+/// every byte a *disturbed* run sends beyond its undisturbed twin, so the
+/// conformance suite can reconcile meters exactly:
+/// `disturbed.comm == undisturbed.comm + aborted + reinstall + replay`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// Snapshots taken (one at enable time, then every `N` firings).
+    pub checkpoints: u64,
+    /// Firings appended to the delta log since checkpointing was enabled.
+    pub logged_firings: u64,
+    /// [`MaintenanceEngine::recover`] invocations.
+    pub recoveries: u64,
+    /// Logged firings re-fired during recoveries.
+    pub replayed_firings: u64,
+    /// Total rank those replayed firings folded.
+    pub replayed_rank: u64,
+    /// Broadcast bytes spent on firings that failed and were rolled back.
+    pub aborted_bytes: u64,
+    /// Broadcast messages of those aborted firings.
+    pub aborted_msgs: u64,
+    /// Bytes moved re-installing the checkpoint snapshot on the workers.
+    pub reinstall_bytes: u64,
+    /// Messages of those re-installs.
+    pub reinstall_msgs: u64,
+    /// Bytes moved replaying the delta log after a re-install.
+    pub replay_bytes: u64,
+    /// Messages of those replays.
+    pub replay_msgs: u64,
+}
+
+impl RecoveryStats {
+    /// All recovery-attributable traffic: aborted + reinstall + replay.
+    pub fn overhead_bytes(&self) -> u64 {
+        self.aborted_bytes + self.reinstall_bytes + self.replay_bytes
+    }
+
+    /// All recovery-attributable messages.
+    pub fn overhead_msgs(&self) -> u64 {
+        self.aborted_msgs + self.reinstall_msgs + self.replay_msgs
+    }
+}
+
+/// The engine's fault-tolerance state: the last environment snapshot plus
+/// the delta log of every firing since (see [`crate::wal`]).
+#[derive(Debug, Clone)]
+struct CheckpointState {
+    /// Take a fresh snapshot after this many logged firings.
+    every: usize,
+    /// Firings logged since the last snapshot.
+    rounds_since: usize,
+    /// The last full-environment snapshot ([`crate::checkpoint::save`]).
+    snapshot: Bytes,
+    /// Encoded [`FiringRecord`]s since `snapshot`, in firing order.
+    log: Vec<Bytes>,
+    /// Backend communication at the last *successful* firing (or
+    /// snapshot); anything metered past this at recover time was spent on
+    /// the aborted firing.
+    comm_at_last_success: CommSnapshot,
+}
+
 /// A streaming maintenance engine over an [`IncrementalView`].
 ///
 /// Reads ([`MaintenanceEngine::get`]) observe only *flushed* state; call
 /// [`MaintenanceEngine::flush_all`] (or use [`FlushPolicy::Immediate`])
 /// before reading when every ingested event must be visible.
+///
+/// # Fault tolerance
+///
+/// With [`MaintenanceEngine::enable_checkpointing`] the engine snapshots
+/// the full environment every `N` firings and logs the factored deltas of
+/// every firing in between ([`crate::wal`]). After a backend failure — a
+/// dead worker, a torn connection — [`MaintenanceEngine::recover`]
+/// restores the snapshot (reviving dead transport peers) and replays the
+/// log; because triggers are deterministic in the environment and the
+/// update factors, the recovered state is **bit-identical** to the
+/// pre-crash state, and the retried flush then proceeds exactly as an
+/// undisturbed run would have.
 #[derive(Debug, Clone)]
 pub struct MaintenanceEngine<B: ExecBackend = LocalBackend> {
     view: IncrementalView<B>,
@@ -173,6 +251,9 @@ pub struct MaintenanceEngine<B: ExecBackend = LocalBackend> {
     /// joint trigger per flush round whenever every joint input has
     /// pending events, instead of one trigger per input.
     joint_flush: bool,
+    /// Checkpoint + delta-log state; `None` until enabled.
+    ckpt: Option<CheckpointState>,
+    recovery: RecoveryStats,
 }
 
 impl<B: ExecBackend> MaintenanceEngine<B> {
@@ -185,7 +266,132 @@ impl<B: ExecBackend> MaintenanceEngine<B> {
             pending: BTreeMap::new(),
             stats: EngineStats::default(),
             joint_flush: true,
+            ckpt: None,
+            recovery: RecoveryStats::default(),
         }
+    }
+
+    /// Turns on checkpoint/replay fault tolerance: snapshots the current
+    /// environment immediately, then re-snapshots after every `every`
+    /// logged firings, keeping a delta log of the firings in between.
+    /// `every = 0` behaves like `1` (snapshot after every firing).
+    ///
+    /// Call it *after* the view is materialized and before streaming; the
+    /// snapshot taken here is the recovery floor.
+    pub fn enable_checkpointing(&mut self, every: usize) -> Result<()> {
+        let snapshot = self.view.checkpoint()?;
+        self.ckpt = Some(CheckpointState {
+            every: every.max(1),
+            rounds_since: 0,
+            snapshot,
+            log: Vec::new(),
+            comm_at_last_success: self.view.comm(),
+        });
+        self.recovery.checkpoints += 1;
+        Ok(())
+    }
+
+    /// Whether checkpoint/replay fault tolerance is on.
+    pub fn checkpointing_enabled(&self) -> bool {
+        self.ckpt.is_some()
+    }
+
+    /// Checkpoint/recovery counters (all zero until
+    /// [`MaintenanceEngine::enable_checkpointing`]).
+    pub fn recovery_stats(&self) -> RecoveryStats {
+        self.recovery
+    }
+
+    /// Logs a successful firing and rolls the checkpoint when the cadence
+    /// says so. Must be called *after* the firing succeeded — the log may
+    /// only ever contain firings the view state actually reflects.
+    fn note_firing(&mut self, record: &FiringRecord) -> Result<()> {
+        let comm = self.view.comm();
+        let Some(ckpt) = self.ckpt.as_mut() else {
+            return Ok(());
+        };
+        ckpt.log.push(record.encode());
+        ckpt.rounds_since += 1;
+        ckpt.comm_at_last_success = comm;
+        self.recovery.logged_firings += 1;
+        if ckpt.rounds_since >= ckpt.every {
+            let snapshot = self.view.checkpoint()?;
+            let Some(ckpt) = self.ckpt.as_mut() else {
+                unreachable!("checkpoint state checked above");
+            };
+            ckpt.snapshot = snapshot;
+            ckpt.log.clear();
+            ckpt.rounds_since = 0;
+            self.recovery.checkpoints += 1;
+        }
+        Ok(())
+    }
+
+    /// Restores the last checkpoint and replays the delta log, returning
+    /// the engine to the exact state after the last successful firing.
+    ///
+    /// This is the recovery path for backend failures (a killed worker, a
+    /// torn socket): restoring re-materializes the environment through the
+    /// backend — reviving dead transport peers first — and replaying
+    /// re-fires each logged record's factors, which is bit-identical to
+    /// the original firings because triggers are deterministic. Pending
+    /// (unfired) buffers are untouched; re-issue the failed
+    /// [`MaintenanceEngine::flush`] / [`MaintenanceEngine::flush_all`]
+    /// after recovering.
+    ///
+    /// Errors if checkpointing was never enabled, or if the backend is
+    /// still unreachable (recovery can be retried).
+    pub fn recover(&mut self) -> Result<()> {
+        let Some(ckpt) = self.ckpt.as_ref() else {
+            return Err(CheckpointError::new(
+                "recover() without enable_checkpointing(): no snapshot to restore",
+            )
+            .into());
+        };
+        let snapshot = ckpt.snapshot.clone();
+        let log = ckpt.log.clone();
+        let comm_at_last_success = ckpt.comm_at_last_success;
+
+        // 1. Account the aborted firing: whatever was metered past the
+        //    last success was spent on work recovery is about to discard.
+        let comm_now = self.view.comm();
+        self.recovery.aborted_bytes += comm_now.total_bytes() - comm_at_last_success.total_bytes();
+        self.recovery.aborted_msgs += comm_now.total_msgs() - comm_at_last_success.total_msgs();
+
+        // 2. Restore the snapshot. `restore` re-materializes through the
+        //    backend, which revives dead peers before re-installing.
+        let before_restore = self.view.comm();
+        self.view.restore(snapshot)?;
+        let after_restore = self.view.comm();
+        self.recovery.reinstall_bytes += after_restore.total_bytes() - before_restore.total_bytes();
+        self.recovery.reinstall_msgs += after_restore.total_msgs() - before_restore.total_msgs();
+
+        // 3. Replay the delta log in firing order.
+        for encoded in log {
+            let record = FiringRecord::decode(encoded)?;
+            if record.joint {
+                let updates: Vec<(&str, &Matrix, &Matrix)> = record
+                    .updates
+                    .iter()
+                    .map(|(name, u, v)| (name.as_str(), u, v))
+                    .collect();
+                self.view.apply_joint(&updates)?;
+            } else {
+                for (input, u, v) in &record.updates {
+                    self.view.apply_factored(input, u, v)?;
+                }
+            }
+            self.recovery.replayed_firings += 1;
+            self.recovery.replayed_rank += record.rank();
+        }
+        let after_replay = self.view.comm();
+        self.recovery.replay_bytes += after_replay.total_bytes() - after_restore.total_bytes();
+        self.recovery.replay_msgs += after_replay.total_msgs() - after_restore.total_msgs();
+        self.recovery.recoveries += 1;
+        if let Some(ckpt) = self.ckpt.as_mut() {
+            ckpt.comm_at_last_success = after_replay;
+        }
+        Ok(())
     }
 
     /// Enables or disables joint flush rounds in
@@ -292,6 +498,15 @@ impl<B: ExecBackend> MaintenanceEngine<B> {
         self.stats.firings += 1;
         self.stats.fired_rank += batch.rank() as u64;
         self.stats.refresh.record(refresh);
+        if self.ckpt.is_some() {
+            // Log exactly what was fired (post-compaction, post-recompress)
+            // so replay re-folds the identical factors.
+            self.note_firing(&FiringRecord::single(
+                input,
+                batch.u.clone(),
+                batch.v.clone(),
+            ))?;
+        }
         Ok(())
     }
 
@@ -359,6 +574,15 @@ impl<B: ExecBackend> MaintenanceEngine<B> {
         self.stats.triggers_saved += (batches.len() - 1) as u64;
         self.stats.fired_rank += batches.iter().map(|(_, b)| b.rank() as u64).sum::<u64>();
         self.stats.refresh.record(refresh);
+        if self.ckpt.is_some() {
+            let record = FiringRecord::joint(
+                batches
+                    .into_iter()
+                    .map(|(input, b)| (input, b.u, b.v))
+                    .collect(),
+            );
+            self.note_firing(&record)?;
+        }
         Ok(())
     }
 
@@ -644,6 +868,161 @@ mod tests {
         buf.push(RankOneUpdate::dense(n, n, 0.1, 3));
         assert_eq!(buf.effective_rank(), 2, "dense update adds one rank");
         assert_eq!(buf.len(), 3);
+    }
+
+    #[test]
+    fn kill_and_recover_is_bit_identical_on_the_threaded_backend() {
+        let n = 16;
+        let (program, cat, a, b) = two_input_setup(n);
+        let inputs = [("A", a.clone()), ("B", b.clone())];
+        let mut undisturbed = MaintenanceEngine::new(
+            IncrementalView::build_on(
+                crate::ThreadedBackend::new(4).unwrap(),
+                &program,
+                &inputs,
+                &cat,
+            )
+            .unwrap(),
+            FlushPolicy::Count(3),
+        );
+        let mut disturbed = MaintenanceEngine::new(
+            IncrementalView::build_on(
+                crate::ThreadedBackend::new(4).unwrap(),
+                &program,
+                &inputs,
+                &cat,
+            )
+            .unwrap(),
+            FlushPolicy::Count(3),
+        );
+        disturbed.enable_checkpointing(2).unwrap();
+        let mut s1 = UpdateStream::new(n, n, 0.01, 7);
+        let mut s2 = UpdateStream::new(n, n, 0.01, 7);
+        let mut failures = 0;
+        for i in 0..12 {
+            let input = if i % 2 == 0 { "A" } else { "B" };
+            undisturbed.ingest(input, s1.next_rank_one()).unwrap();
+            if i == 5 {
+                // SIGKILL-equivalent: the worker thread is gone, taking its
+                // blocks with it.
+                disturbed.view_mut().backend_mut().pool_mut().kill_worker(2);
+            }
+            if let Err(e) = disturbed.ingest(input, s2.next_rank_one()) {
+                assert!(matches!(e, crate::RuntimeError::Transport(_)), "{e}");
+                failures += 1;
+                disturbed.recover().unwrap();
+                // The failed flush retained its buffer; retry exactly it
+                // (NOT flush_all, which would change batch boundaries).
+                disturbed.flush(input).unwrap();
+            }
+        }
+        undisturbed.flush_all().unwrap();
+        if disturbed.flush_all().is_err() {
+            failures += 1;
+            disturbed.recover().unwrap();
+            disturbed.flush_all().unwrap();
+        }
+        assert!(failures > 0, "the kill must actually disturb the stream");
+        let rec = disturbed.recovery_stats();
+        assert_eq!(rec.recoveries as usize, failures);
+        assert!(rec.checkpoints >= 1);
+
+        // Bit-identical — not approximately equal — on every view, both on
+        // the coordinator mirror and gathered back from the workers.
+        for view in ["A", "B", "C", "D"] {
+            let want = undisturbed.get(view).unwrap();
+            let got = disturbed.get(view).unwrap();
+            assert_eq!(
+                got.as_slice(),
+                want.as_slice(),
+                "{view} diverged after kill-and-recover"
+            );
+            let gathered = disturbed.view().backend().view(view).unwrap();
+            assert_eq!(
+                gathered.as_slice(),
+                want.as_slice(),
+                "worker-held {view} diverged after kill-and-recover"
+            );
+        }
+        // And the meters reconcile exactly: every byte the disturbed run
+        // moved beyond its twin is attributed to recovery.
+        let d = disturbed.comm();
+        let u = undisturbed.comm();
+        assert_eq!(d.total_bytes(), u.total_bytes() + rec.overhead_bytes());
+        assert_eq!(d.total_msgs(), u.total_msgs() + rec.overhead_msgs());
+        assert_eq!(
+            disturbed.stats().fired_rank + rec.replayed_rank,
+            undisturbed.stats().fired_rank + rec.replayed_rank,
+            "fired rank must match modulo replays"
+        );
+    }
+
+    #[test]
+    fn recover_on_a_healthy_engine_reproduces_its_own_state() {
+        let n = 12;
+        let (program, cat, a, b) = two_input_setup(n);
+        let mut engine = MaintenanceEngine::new(
+            IncrementalView::build(&program, &[("A", a), ("B", b)], &cat).unwrap(),
+            FlushPolicy::Count(2),
+        );
+        engine.enable_checkpointing(3).unwrap();
+        let mut stream = UpdateStream::new(n, n, 0.01, 9);
+        for i in 0..10 {
+            let input = if i % 2 == 0 { "A" } else { "B" };
+            engine.ingest(input, stream.next_rank_one()).unwrap();
+        }
+        engine.flush_all().unwrap();
+        let before: Vec<Vec<f64>> = ["A", "B", "C", "D"]
+            .iter()
+            .map(|v| engine.get(v).unwrap().as_slice().to_vec())
+            .collect();
+        // Recovery on an undamaged engine must be a state no-op: restore +
+        // replay land exactly where the engine already is.
+        engine.recover().unwrap();
+        engine.recover().unwrap();
+        for (view, want) in ["A", "B", "C", "D"].iter().zip(&before) {
+            assert_eq!(
+                engine.get(view).unwrap().as_slice(),
+                &want[..],
+                "{view} changed across healthy recover()"
+            );
+        }
+        assert_eq!(engine.recovery_stats().recoveries, 2);
+    }
+
+    #[test]
+    fn recover_without_checkpointing_is_a_checkpoint_error() {
+        let n = 8;
+        let (program, cat, a, b) = two_input_setup(n);
+        let mut engine = MaintenanceEngine::new(
+            IncrementalView::build(&program, &[("A", a), ("B", b)], &cat).unwrap(),
+            FlushPolicy::Immediate,
+        );
+        assert!(!engine.checkpointing_enabled());
+        let err = engine.recover().unwrap_err();
+        assert!(matches!(err, crate::RuntimeError::Checkpoint(_)), "{err}");
+    }
+
+    #[test]
+    fn checkpoint_cadence_rolls_the_log() {
+        let n = 8;
+        let (program, cat, a, b) = two_input_setup(n);
+        let mut engine = MaintenanceEngine::new(
+            IncrementalView::build(&program, &[("A", a), ("B", b)], &cat).unwrap(),
+            FlushPolicy::Immediate,
+        );
+        engine.enable_checkpointing(2).unwrap();
+        let mut stream = UpdateStream::new(n, n, 0.01, 4);
+        for _ in 0..5 {
+            engine.ingest("A", stream.next_rank_one()).unwrap();
+        }
+        let rec = engine.recovery_stats();
+        assert_eq!(rec.logged_firings, 5);
+        // 1 at enable + one per 2 firings.
+        assert_eq!(rec.checkpoints, 3);
+        // 5 firings, cadence 2: one firing sits in the live log.
+        engine.recover().unwrap();
+        assert_eq!(engine.recovery_stats().replayed_firings, 1);
     }
 
     #[test]

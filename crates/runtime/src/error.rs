@@ -1,6 +1,9 @@
+use linview_dist::ClusterError;
 use linview_expr::ExprError;
 use linview_matrix::MatrixError;
 use std::fmt;
+
+use crate::checkpoint::CheckpointError;
 
 /// Errors produced while executing programs and triggers.
 #[derive(Debug, Clone, PartialEq)]
@@ -30,6 +33,11 @@ pub enum RuntimeError {
     /// The threaded backend's message-passing transport failed (a worker
     /// thread died, or a reply frame was malformed).
     Transport(String),
+    /// A checkpoint could not be saved, or a snapshot failed its integrity
+    /// checks on restore.
+    Checkpoint(CheckpointError),
+    /// A worker count could not form the square cluster grid.
+    Cluster(ClusterError),
     /// A convergence-threshold iteration exhausted its iteration budget.
     DidNotConverge {
         /// Iterations performed.
@@ -58,6 +66,8 @@ impl fmt::Display for RuntimeError {
                 update, target.0, target.1
             ),
             RuntimeError::Transport(what) => write!(f, "transport error: {what}"),
+            RuntimeError::Checkpoint(_) => write!(f, "checkpoint error"),
+            RuntimeError::Cluster(_) => write!(f, "cluster layout error"),
             RuntimeError::DidNotConverge {
                 iterations,
                 residual,
@@ -74,8 +84,22 @@ impl std::error::Error for RuntimeError {
         match self {
             RuntimeError::Matrix(e) => Some(e),
             RuntimeError::Expr(e) => Some(e),
+            RuntimeError::Checkpoint(e) => Some(e),
+            RuntimeError::Cluster(e) => Some(e),
             _ => None,
         }
+    }
+}
+
+impl From<CheckpointError> for RuntimeError {
+    fn from(e: CheckpointError) -> Self {
+        RuntimeError::Checkpoint(e)
+    }
+}
+
+impl From<ClusterError> for RuntimeError {
+    fn from(e: ClusterError) -> Self {
+        RuntimeError::Cluster(e)
     }
 }
 

@@ -36,9 +36,14 @@ mod exec;
 pub mod stats;
 pub mod updates;
 mod view;
+pub mod wal;
 
-pub use backend::{DistBackend, ExecBackend, LocalBackend, SchedSnapshot, ThreadedBackend};
-pub use engine::{EngineStats, FlushPolicy, MaintenanceEngine};
+pub use backend::{
+    DistBackend, ExecBackend, FrameBackend, LocalBackend, SchedSnapshot, SocketBackend,
+    ThreadedBackend,
+};
+pub use checkpoint::CheckpointError;
+pub use engine::{EngineStats, FlushPolicy, MaintenanceEngine, RecoveryStats};
 pub use env::Env;
 pub use error::RuntimeError;
 pub use eval::{eval, Evaluator};
@@ -49,6 +54,7 @@ pub use exec::{
 pub use linview_dist::CommSnapshot;
 pub use updates::{BatchUpdate, RankOneUpdate, UpdateStream, Zipf};
 pub use view::{IncrementalView, ReevalView};
+pub use wal::FiringRecord;
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, RuntimeError>;

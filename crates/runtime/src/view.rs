@@ -299,7 +299,7 @@ impl<B: ExecBackend> IncrementalView<B> {
     /// buffer — the operational requirement of §1's "long-lived data":
     /// incremental state must survive restarts, because rebuilding it means
     /// paying the full re-evaluation it exists to avoid.
-    pub fn checkpoint(&self) -> bytes::Bytes {
+    pub fn checkpoint(&self) -> Result<bytes::Bytes> {
         crate::checkpoint::save(&self.env)
     }
 
@@ -446,7 +446,7 @@ mod tests {
         for _ in 0..5 {
             view.apply("A", &stream.next_rank_one()).unwrap();
         }
-        let snapshot = view.checkpoint();
+        let snapshot = view.checkpoint().unwrap();
         // Deterministic continuation: record the next updates, apply them,
         // then restore and replay — end states must agree bit-for-bit.
         let next: Vec<_> = (0..5).map(|_| stream.next_rank_one()).collect();
@@ -466,7 +466,7 @@ mod tests {
         let n = 8;
         let (program, cat, a) = powers_setup(n);
         let mut view = IncrementalView::build(&program, &[("A", a)], &cat).unwrap();
-        let mut raw = view.checkpoint().to_vec();
+        let mut raw = view.checkpoint().unwrap().to_vec();
         raw[0] ^= 0xFF; // break the magic
         let before = view.get("C").unwrap().clone();
         assert!(view.restore(bytes::Bytes::from(raw)).is_err());

@@ -1,0 +1,165 @@
+//! Delta write-ahead log: the firing records replayed after a crash.
+//!
+//! The checkpoint/replay fault-tolerance story (wired up by
+//! [`MaintenanceEngine`](crate::MaintenanceEngine)) has two halves: a
+//! periodic [`checkpoint`](crate::checkpoint) of the full environment, and
+//! this log of every trigger firing *since* that snapshot. A firing is
+//! exactly determined by the factored deltas it folded — triggers are
+//! deterministic functions of the environment and the update factors — so
+//! replaying the logged factors against the restored snapshot reproduces
+//! the pre-crash state bit for bit.
+//!
+//! Records reuse the transport's `TAG_DELTA` frame encoding
+//! ([`linview_dist::delta_frame`]) for each `(input, U, V)` triple: the
+//! same bytes a broadcast would put on the wire, so the log's size tracks
+//! the paper's `O(kn)` factor-traffic bound rather than the `O(n²)` views.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! u8  joint      1 when the record was a §4.4 joint firing
+//! u32 count      number of delta frames
+//! count × { u32 frame_len | frame bytes }   TAG_DELTA frames
+//! ```
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use linview_dist::{decode_delta_frame, delta_frame};
+use linview_matrix::Matrix;
+
+use crate::checkpoint::CheckpointError;
+use crate::Result;
+
+/// One logged trigger firing: the input(s) it covered and the factored
+/// deltas it folded, in firing order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FiringRecord {
+    /// Whether this was a joint (§4.4) firing over every update at once.
+    pub joint: bool,
+    /// `(input, U, V)` per updated input; a non-joint record has one.
+    pub updates: Vec<(String, Matrix, Matrix)>,
+}
+
+impl FiringRecord {
+    /// A single-input firing record.
+    pub fn single(input: &str, u: Matrix, v: Matrix) -> FiringRecord {
+        FiringRecord {
+            joint: false,
+            updates: vec![(input.to_string(), u, v)],
+        }
+    }
+
+    /// A joint firing record over `updates`.
+    pub fn joint(updates: Vec<(String, Matrix, Matrix)>) -> FiringRecord {
+        FiringRecord {
+            joint: true,
+            updates,
+        }
+    }
+
+    /// Total fired rank across the record's updates.
+    pub fn rank(&self) -> u64 {
+        self.updates.iter().map(|(_, u, _)| u.cols() as u64).sum()
+    }
+
+    /// Serializes the record (delta frames borrowed straight from the
+    /// transport codec).
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::new();
+        buf.put_u8(u8::from(self.joint));
+        buf.put_u32_le(self.updates.len() as u32);
+        for (input, u, v) in &self.updates {
+            let frame = delta_frame(input, u, v);
+            buf.put_u32_le(frame.len() as u32);
+            buf.put_slice(&frame);
+        }
+        buf.freeze()
+    }
+
+    /// Decodes a record, rejecting truncated or trailing bytes. Corruption
+    /// surfaces as [`RuntimeError::Checkpoint`](crate::RuntimeError) — the
+    /// log is part of the checkpoint story, and its failure modes are the
+    /// same class.
+    pub fn decode(mut data: Bytes) -> Result<FiringRecord> {
+        let corrupt = |what: &str| CheckpointError::new(format!("firing record: {what}"));
+        if data.remaining() < 5 {
+            return Err(corrupt("truncated header").into());
+        }
+        let joint = match data.get_u8() {
+            0 => false,
+            1 => true,
+            other => return Err(corrupt(&format!("bad joint flag {other}")).into()),
+        };
+        let count = data.get_u32_le() as usize;
+        let mut updates = Vec::new();
+        for _ in 0..count {
+            if data.remaining() < 4 {
+                return Err(corrupt("truncated frame length").into());
+            }
+            let frame_len = data.get_u32_le() as usize;
+            if data.remaining() < frame_len {
+                return Err(corrupt("truncated delta frame").into());
+            }
+            let frame = data.copy_to_bytes(frame_len);
+            let (input, u, v) = decode_delta_frame(frame)
+                .map_err(|e| corrupt(&format!("undecodable delta frame: {e}")))?;
+            updates.push((input, u, v));
+        }
+        if data.has_remaining() {
+            return Err(corrupt("trailing bytes").into());
+        }
+        if joint && updates.is_empty() {
+            return Err(corrupt("joint record with no updates").into());
+        }
+        Ok(FiringRecord { joint, updates })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RuntimeError;
+
+    #[test]
+    fn records_round_trip_through_the_codec() {
+        let u = Matrix::random_uniform(6, 2, 1);
+        let v = Matrix::random_uniform(4, 2, 2);
+        let single = FiringRecord::single("A", u.clone(), v.clone());
+        assert_eq!(FiringRecord::decode(single.encode()).unwrap(), single);
+        assert_eq!(single.rank(), 2);
+
+        let joint = FiringRecord::joint(vec![
+            ("A".to_string(), u.clone(), v.clone()),
+            ("B".to_string(), v.clone(), u.clone()),
+        ]);
+        let back = FiringRecord::decode(joint.encode()).unwrap();
+        assert_eq!(back, joint);
+        assert_eq!(back.rank(), 4);
+    }
+
+    #[test]
+    fn corrupt_records_error_instead_of_panicking() {
+        let rec = FiringRecord::single(
+            "A",
+            Matrix::random_uniform(4, 1, 3),
+            Matrix::random_uniform(4, 1, 4),
+        );
+        let good = rec.encode();
+        // Truncations at every length never panic.
+        for cut in 0..good.len() {
+            let sliced = good.slice(0..cut);
+            if let Err(e) = FiringRecord::decode(sliced) {
+                assert!(matches!(e, RuntimeError::Checkpoint(_)));
+            } else {
+                assert_eq!(cut, good.len(), "only the full record may decode");
+            }
+        }
+        // Trailing garbage is rejected too.
+        let mut padded = BytesMut::from(&good[..]);
+        padded.put_u8(0xAB);
+        assert!(FiringRecord::decode(padded.freeze()).is_err());
+        // A flipped joint flag value outside {0,1} is rejected.
+        let mut flipped = BytesMut::from(&good[..]);
+        flipped[0] = 7;
+        assert!(FiringRecord::decode(flipped.freeze()).is_err());
+    }
+}

@@ -1,0 +1,146 @@
+//! Adversarial hardening for the crash-recovery codecs.
+//!
+//! Checkpoint snapshots and WAL firing records are read back from storage
+//! after a crash — exactly the moment the bytes are least trustworthy.
+//! These properties pin the contract of [`checkpoint::restore`] and
+//! [`FiringRecord::decode`]: **any** input — random garbage, hostile
+//! headers, or a valid buffer with bytes flipped, truncated, or appended —
+//! yields `Ok` or a typed `RuntimeError::Checkpoint`. Never a panic,
+//! arithmetic overflow, or attacker-controlled allocation.
+
+use bytes::{BufMut, Bytes, BytesMut};
+use linview_matrix::Matrix;
+use linview_runtime::{checkpoint, Env, FiringRecord, RuntimeError};
+use proptest::prelude::*;
+
+fn sample_env() -> Env {
+    let mut env = Env::new();
+    env.bind("A", Matrix::random_uniform(6, 6, 1));
+    env.bind("B2", Matrix::random_uniform(6, 2, 2));
+    env.bind("beta", Matrix::random_col(6, 3));
+    env
+}
+
+fn sample_record() -> FiringRecord {
+    FiringRecord::joint(vec![
+        (
+            "A".to_string(),
+            Matrix::random_uniform(6, 2, 4),
+            Matrix::random_uniform(6, 2, 5),
+        ),
+        (
+            "Y".to_string(),
+            Matrix::random_col(6, 6),
+            Matrix::random_col(6, 7),
+        ),
+    ])
+}
+
+/// Applies byte flips, a truncation (`cut % (len + 1)`, so a full-length
+/// cut is a no-op), and appended garbage to a valid buffer.
+fn mutate(base: &Bytes, flips: &[(usize, u32)], cut: usize, tail: &[u8]) -> Bytes {
+    let mut buf: Vec<u8> = base[..].to_vec();
+    for &(idx, x) in flips {
+        let i = idx % buf.len().max(1);
+        if i < buf.len() {
+            buf[i] ^= x as u8;
+        }
+    }
+    buf.truncate(cut % (buf.len() + 1));
+    buf.extend_from_slice(tail);
+    Bytes::from(buf)
+}
+
+fn assert_typed(err: RuntimeError) {
+    assert!(
+        matches!(err, RuntimeError::Checkpoint(_)),
+        "corruption must surface as a checkpoint error, got {err:?}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Arbitrary bytes never panic the snapshot decoder.
+    #[test]
+    fn restore_never_panics_on_arbitrary_bytes(data in proptest::collection::vec(0u8..255, 0..256)) {
+        if let Err(e) = checkpoint::restore(Bytes::from(data)) {
+            assert_typed(e);
+        }
+    }
+
+    /// Mutations of a *valid* snapshot — the realistic corruption model —
+    /// never panic, and either fail typed or decode some environment.
+    #[test]
+    fn restore_survives_mutated_valid_snapshots(
+        flips in proptest::collection::vec((0usize..4096, 1u32..256), 0..6),
+        cut in 0usize..4096,
+        tail in proptest::collection::vec(0u8..255, 0..16),
+    ) {
+        let good = checkpoint::save(&sample_env()).unwrap();
+        let mutated = mutate(&good, &flips, cut, &tail);
+        match checkpoint::restore(mutated) {
+            Ok(env) => prop_assert!(env.len() <= sample_env().len()),
+            Err(e) => assert_typed(e),
+        }
+    }
+
+    /// Arbitrary bytes never panic the WAL record decoder.
+    #[test]
+    fn wal_decode_never_panics_on_arbitrary_bytes(data in proptest::collection::vec(0u8..255, 0..256)) {
+        if let Err(e) = FiringRecord::decode(Bytes::from(data)) {
+            assert_typed(e);
+        }
+    }
+
+    /// Mutations of a valid firing record never panic the decoder.
+    #[test]
+    fn wal_decode_survives_mutated_valid_records(
+        flips in proptest::collection::vec((0usize..4096, 1u32..256), 0..6),
+        cut in 0usize..4096,
+        tail in proptest::collection::vec(0u8..255, 0..16),
+    ) {
+        let good = sample_record().encode();
+        let mutated = mutate(&good, &flips, cut, &tail);
+        match FiringRecord::decode(mutated) {
+            Ok(rec) => prop_assert!(rec.updates.len() <= 2),
+            Err(e) => assert_typed(e),
+        }
+    }
+
+    /// Hostile length headers (count / name length / huge shapes) must be
+    /// rejected by bounds checks before any allocation is sized by them.
+    #[test]
+    fn restore_rejects_hostile_headers_without_allocating(
+        count in 1u32..u32::MAX,
+        name_len in 0u32..u32::MAX,
+        rows in 0u64..u64::MAX,
+        cols in 0u64..u64::MAX,
+    ) {
+        let mut buf = BytesMut::new();
+        buf.put_slice(b"LNVW");
+        buf.put_u32_le(1);
+        buf.put_u32_le(count);
+        buf.put_u32_le(name_len);
+        buf.put_slice(b"A");
+        buf.put_u64_le(rows);
+        buf.put_u64_le(cols);
+        if let Err(e) = checkpoint::restore(buf.freeze()) {
+            assert_typed(e);
+        }
+    }
+}
+
+/// Round-trip sanity anchoring the properties: untouched buffers decode to
+/// exactly what was saved.
+#[test]
+fn untouched_snapshots_and_records_round_trip() {
+    let env = sample_env();
+    let back = checkpoint::restore(checkpoint::save(&env).unwrap()).unwrap();
+    assert_eq!(back.len(), env.len());
+    for (name, m) in env.iter() {
+        assert_eq!(back.get(name).unwrap(), m);
+    }
+    let rec = sample_record();
+    assert_eq!(FiringRecord::decode(rec.encode()).unwrap(), rec);
+}

@@ -73,7 +73,7 @@ fn main() {
     // deployment would use to survive restarts.
     let mut env = Env::new();
     env.bind("demo", Matrix::random_uniform(8, 8, 1));
-    let snapshot = linview::runtime::checkpoint::save(&env);
+    let snapshot = linview::runtime::checkpoint::save(&env).expect("save");
     let restored = linview::runtime::checkpoint::restore(snapshot).expect("restore");
     assert_eq!(restored.get("demo").unwrap(), env.get("demo").unwrap());
     println!("checkpoint round-trip of maintained state: ok");

@@ -20,12 +20,13 @@ use linview::compiler::parse::parse_program;
 use linview::compiler::{
     analyze, analyze_program, compile, compile_joint, AnalyzeOptions, CompileOptions,
 };
+use linview::dist::{PeerAddr, ServeOptions, SocketConfig, WorkerServer};
 use linview::expr::cost::CostModel;
 use linview::expr::{Catalog, DeltaOptions};
 use linview::matrix::{gemm_threads, set_default_kernel, set_gemm_threads, GemmKernel, Matrix};
 use linview::runtime::{
-    DistBackend, ExecBackend, FlushPolicy, IncrementalView, MaintenanceEngine, ThreadedBackend,
-    UpdateStream,
+    DistBackend, ExecBackend, FlushPolicy, IncrementalView, MaintenanceEngine, SocketBackend,
+    ThreadedBackend, UpdateStream,
 };
 use std::process::ExitCode;
 
@@ -37,6 +38,8 @@ USAGE:
   linview lint (--dims LIST (--program SRC | --file PATH) | --app NAME)
                [LINT OPTIONS]
   linview engine [ENGINE OPTIONS]
+  linview worker --listen ADDR [--once]
+  linview serve-cluster [--workers W] [--dir DIR]
 
 OPTIONS:
   --dims LIST        base matrix shapes, e.g. A=64x64,Y=64x1   (required)
@@ -77,10 +80,27 @@ ENGINE OPTIONS (stream a Zipf-skewed multi-input workload):
   --batch K          flush threshold (default: 8; 1 = fire per event)
   --policy P         count | rank | immediate batching policy (default: count)
   --zipf S           row-skew exponent of the event stream (default: 1.5)
-  --workers W        cluster size for the dist/threaded backends (default: 4)
-  --backend B        local | dist | threaded | both | all (default: both;
-                     'threaded' runs real message-passing worker threads,
-                     'all' compares all three backends)
+  --workers W        cluster size for the dist/threaded/socket backends
+                     (default: 4)
+  --backend B        local | dist | threaded | socket | both | all
+                     (default: both; 'threaded' runs real message-passing
+                     worker threads, 'socket' drives out-of-process workers
+                     over the byte-frame protocol, 'all' compares every
+                     backend and asserts bit-identical results)
+  --connect LIST     comma-separated worker addresses for the socket leg of
+                     --backend socket/all (tcp:HOST:PORT or unix:PATH,
+                     row-major over the grid; default: self-hosted
+                     Unix-socket workers)
+  --checkpoint-every N
+                     enable checkpoint/replay fault tolerance: snapshot the
+                     environment every N firings and keep a delta log in
+                     between; failed flushes recover and retry (default:
+                     off)
+  --kill-worker-after E
+                     fault injection: kill one worker after event E
+                     (threaded/socket backends; requires --checkpoint-every)
+  --pace-ms MS       sleep MS milliseconds between events (lets an external
+                     fault injector interleave; default: 0)
   --no-joint         flush each input with its own trigger instead of ONE
                      joint trigger per flush round (§4.4 ablation)
   --sequential-exec  opt out of DAG-staged trigger execution: run one
@@ -90,6 +110,17 @@ ENGINE OPTIONS (stream a Zipf-skewed multi-input workload):
                      switchable via LINVIEW_SPARSE=0)
   --gemm KERNEL      dense GEMM kernel for the whole run (see above)
   --threads N        GEMM thread budget (see above)
+
+WORKER OPTIONS (host grid partitions for a remote coordinator):
+  --listen ADDR      tcp:HOST:PORT or unix:PATH to listen on (required;
+                     tcp:HOST:0 picks a free port and prints it)
+  --once             exit after the first coordinator session ends with a
+                     protocol shutdown (default: serve forever)
+
+SERVE-CLUSTER OPTIONS (spawn a local worker fleet in one process):
+  --workers W        number of workers to host (default: 4)
+  --dir DIR          directory for the Unix socket files (default: the
+                     system temp dir)
 ";
 
 /// Pins the process-wide GEMM kernel from a `--gemm` flag value.
@@ -632,6 +663,10 @@ struct EngineArgs {
     zipf: f64,
     workers: usize,
     backend: String,
+    connect: Option<Vec<String>>,
+    checkpoint_every: usize,
+    kill_worker_after: Option<usize>,
+    pace_ms: u64,
     joint: bool,
     sequential: bool,
     dense: bool,
@@ -646,6 +681,10 @@ fn parse_engine_args(argv: &[String]) -> Result<EngineArgs, String> {
         zipf: 1.5,
         workers: 4,
         backend: "both".into(),
+        connect: None,
+        checkpoint_every: 0,
+        kill_worker_after: None,
+        pace_ms: 0,
         joint: true,
         sequential: false,
         dense: false,
@@ -686,6 +725,31 @@ fn parse_engine_args(argv: &[String]) -> Result<EngineArgs, String> {
                     .map_err(|_| "bad --workers value".to_string())?
             }
             "--backend" => args.backend = next(&mut i, "--backend")?,
+            "--connect" => {
+                args.connect = Some(
+                    next(&mut i, "--connect")?
+                        .split(',')
+                        .map(str::to_string)
+                        .collect(),
+                )
+            }
+            "--checkpoint-every" => {
+                args.checkpoint_every = next(&mut i, "--checkpoint-every")?
+                    .parse()
+                    .map_err(|_| "bad --checkpoint-every value".to_string())?
+            }
+            "--kill-worker-after" => {
+                args.kill_worker_after = Some(
+                    next(&mut i, "--kill-worker-after")?
+                        .parse()
+                        .map_err(|_| "bad --kill-worker-after value".to_string())?,
+                )
+            }
+            "--pace-ms" => {
+                args.pace_ms = next(&mut i, "--pace-ms")?
+                    .parse()
+                    .map_err(|_| "bad --pace-ms value".to_string())?
+            }
             "--no-joint" => args.joint = false,
             "--sequential-exec" => args.sequential = true,
             "--dense" => args.dense = true,
@@ -698,10 +762,10 @@ fn parse_engine_args(argv: &[String]) -> Result<EngineArgs, String> {
     }
     if !matches!(
         args.backend.as_str(),
-        "local" | "dist" | "threaded" | "both" | "all"
+        "local" | "dist" | "threaded" | "socket" | "both" | "all"
     ) {
         return Err(format!(
-            "unknown --backend '{}' (want local|dist|threaded|both|all)",
+            "unknown --backend '{}' (want local|dist|threaded|socket|both|all)",
             args.backend
         ));
     }
@@ -711,15 +775,30 @@ fn parse_engine_args(argv: &[String]) -> Result<EngineArgs, String> {
             args.policy
         ));
     }
+    if args.kill_worker_after.is_some() && args.checkpoint_every == 0 {
+        return Err(
+            "--kill-worker-after needs --checkpoint-every N (recovery must be enabled)".into(),
+        );
+    }
+    if args.connect.is_some() && !matches!(args.backend.as_str(), "socket" | "all") {
+        return Err("--connect only applies to --backend socket or all".into());
+    }
     Ok(args)
 }
 
 /// Streams `events` Zipf-skewed rank-1 updates over the two dynamic inputs
 /// of `C := A * B; D := C * C;` through a [`MaintenanceEngine`] on
 /// `view`'s backend, returning the report lines and the final `D`.
+///
+/// `on_event` fires before each ingest with the event index — the fault
+/// injector's hook (`--kill-worker-after`). With `--checkpoint-every` set
+/// a failed flush is recovered (checkpoint restore + delta-log replay) and
+/// retried; the retry re-fires the identical buffer, so a recovered run's
+/// views are bit-identical to an undisturbed one.
 fn drive_engine<B: ExecBackend>(
     mut view: IncrementalView<B>,
     args: &EngineArgs,
+    mut on_event: impl FnMut(usize, &mut MaintenanceEngine<B>),
 ) -> Result<(String, Matrix), String> {
     let policy = match args.policy.as_str() {
         "immediate" => FlushPolicy::Immediate,
@@ -734,14 +813,39 @@ fn drive_engine<B: ExecBackend>(
     view.reset_comm();
     let mut engine = MaintenanceEngine::new(view, policy);
     engine.set_joint_flush(args.joint);
-    let mut stream = UpdateStream::new(args.n, args.n, 0.01, 42);
-    for i in 0..args.events {
-        let input = if i % 2 == 0 { "A" } else { "B" };
+    let fault_tolerant = args.checkpoint_every > 0;
+    if fault_tolerant {
         engine
-            .ingest(input, stream.next_rank_one_zipf(args.zipf))
+            .enable_checkpointing(args.checkpoint_every)
             .map_err(render_error)?;
     }
-    engine.flush_all().map_err(render_error)?;
+    let mut stream = UpdateStream::new(args.n, args.n, 0.01, 42);
+    for i in 0..args.events {
+        on_event(i, &mut engine);
+        let input = if i % 2 == 0 { "A" } else { "B" };
+        let upd = stream.next_rank_one_zipf(args.zipf);
+        if let Err(e) = engine.ingest(input, upd) {
+            if !fault_tolerant {
+                return Err(render_error(e));
+            }
+            // The failed flush retained its buffer: restore the last
+            // checkpoint, replay the log, and retry exactly that flush
+            // (NOT flush_all — batch boundaries must match the
+            // undisturbed run).
+            engine.recover().map_err(render_error)?;
+            engine.flush(input).map_err(render_error)?;
+        }
+        if args.pace_ms > 0 {
+            std::thread::sleep(std::time::Duration::from_millis(args.pace_ms));
+        }
+    }
+    if let Err(e) = engine.flush_all() {
+        if !fault_tolerant {
+            return Err(render_error(e));
+        }
+        engine.recover().map_err(render_error)?;
+        engine.flush_all().map_err(render_error)?;
+    }
     let stats = engine.stats();
     let comm = engine.comm();
     let mut out = String::new();
@@ -783,8 +887,87 @@ fn drive_engine<B: ExecBackend>(
         stats.sparse.rank_saved,
         if args.dense { ", forced dense" } else { "" },
     ));
+    if fault_tolerant {
+        let rec = engine.recovery_stats();
+        out.push_str(&format!(
+            "             recovery: {} checkpoints, {} logged firings, {} recoveries \
+             ({} firings replayed, rank {}), overhead {} B / {} msgs\n",
+            rec.checkpoints,
+            rec.logged_firings,
+            rec.recoveries,
+            rec.replayed_firings,
+            rec.replayed_rank,
+            rec.overhead_bytes(),
+            rec.overhead_msgs(),
+        ));
+    }
     let d = engine.get("D").map_err(render_error)?.clone();
     Ok((out, d))
+}
+
+/// The `--backend socket` engine leg: drives the same workload over
+/// out-of-process-style workers — either external peers from `--connect`,
+/// or a self-hosted Unix-socket fleet spawned for the run.
+fn run_socket_engine(
+    program: &linview::compiler::Program,
+    inputs: &[(&str, Matrix)],
+    cat: &Catalog,
+    args: &EngineArgs,
+) -> Result<(String, Matrix), String> {
+    let kill_at = args.kill_worker_after;
+    match &args.connect {
+        Some(specs) => {
+            let addrs = specs
+                .iter()
+                .map(|s| PeerAddr::parse(s))
+                .collect::<Result<Vec<_>, _>>()
+                .map_err(render_error)?;
+            let backend =
+                SocketBackend::connect(addrs, SocketConfig::default()).map_err(render_error)?;
+            let view =
+                IncrementalView::build_on(backend, program, inputs, cat).map_err(render_error)?;
+            drive_engine(view, args, |i, engine| {
+                if Some(i) == kill_at {
+                    // External workers can't be SIGKILLed from here; tear
+                    // the connection instead — the same failure surface
+                    // (dead peer) from the engine's point of view.
+                    let victim = engine.view().backend().pool().workers() - 1;
+                    engine
+                        .view()
+                        .backend()
+                        .pool()
+                        .transport()
+                        .disconnect(victim);
+                }
+            })
+        }
+        None => {
+            let cluster = linview::dist::Cluster::try_new(args.workers).map_err(render_error)?;
+            let (gr, gc) = (cluster.grid_rows(), cluster.grid_cols());
+            let (mut servers, addrs) = linview::dist::spawn_local_grid(gr, gc, "cli")
+                .map_err(|e| format!("cannot spawn local socket workers: {e}"))?;
+            let backend =
+                SocketBackend::connect_with_cluster(cluster, addrs, SocketConfig::default())
+                    .map_err(render_error)?;
+            let view =
+                IncrementalView::build_on(backend, program, inputs, cat).map_err(render_error)?;
+            drive_engine(view, args, |i, _engine| {
+                if Some(i) == kill_at {
+                    // Abrupt worker death: its state dies with it. A fresh
+                    // (empty) worker is brought up on the same address so
+                    // recovery's revive + re-install can land.
+                    let victim = servers.len() - 1;
+                    let old = servers.remove(victim);
+                    let addr = old.addr().clone();
+                    old.kill();
+                    match WorkerServer::spawn(&addr) {
+                        Ok(s) => servers.insert(victim, s),
+                        Err(e) => eprintln!("warning: could not respawn worker {victim}: {e}"),
+                    }
+                }
+            })
+        }
+    }
 }
 
 fn run_engine(args: &EngineArgs) -> Result<String, String> {
@@ -809,7 +992,7 @@ fn run_engine(args: &EngineArgs) -> Result<String, String> {
     let mut results: Vec<(String, Matrix)> = Vec::new();
     if matches!(args.backend.as_str(), "local" | "both" | "all") {
         let view = IncrementalView::build(&program, &inputs, &cat).map_err(render_error)?;
-        let (report, d) = drive_engine(view, args)?;
+        let (report, d) = drive_engine(view, args, |_, _| {})?;
         out.push_str(&report);
         results.push(("local".into(), d));
     }
@@ -817,7 +1000,7 @@ fn run_engine(args: &EngineArgs) -> Result<String, String> {
         let backend = DistBackend::new(args.workers).map_err(render_error)?;
         let view =
             IncrementalView::build_on(backend, &program, &inputs, &cat).map_err(render_error)?;
-        let (report, d) = drive_engine(view, args)?;
+        let (report, d) = drive_engine(view, args, |_, _| {})?;
         out.push_str(&report);
         results.push(("dist".into(), d));
     }
@@ -825,9 +1008,24 @@ fn run_engine(args: &EngineArgs) -> Result<String, String> {
         let backend = ThreadedBackend::new(args.workers).map_err(render_error)?;
         let view =
             IncrementalView::build_on(backend, &program, &inputs, &cat).map_err(render_error)?;
-        let (report, d) = drive_engine(view, args)?;
+        let kill_at = args.kill_worker_after;
+        let victim = args.workers - 1;
+        let (report, d) = drive_engine(view, args, |i, engine| {
+            if Some(i) == kill_at {
+                engine
+                    .view_mut()
+                    .backend_mut()
+                    .pool_mut()
+                    .kill_worker(victim);
+            }
+        })?;
         out.push_str(&report);
         results.push(("threaded".into(), d));
+    }
+    if matches!(args.backend.as_str(), "socket" | "all") {
+        let (report, d) = run_socket_engine(&program, &inputs, &cat, args)?;
+        out.push_str(&report);
+        results.push(("socket".into(), d));
     }
     if let Some((first_name, first)) = results.first() {
         for (name, d) in &results[1..] {
@@ -845,8 +1043,133 @@ fn run_engine(args: &EngineArgs) -> Result<String, String> {
     Ok(out)
 }
 
+/// Options of the `worker` subcommand.
+struct WorkerArgs {
+    listen: String,
+    once: bool,
+}
+
+fn parse_worker_args(argv: &[String]) -> Result<WorkerArgs, String> {
+    let mut listen = None;
+    let mut once = false;
+    let next = |i: &mut usize, what: &str| -> Result<String, String> {
+        *i += 1;
+        argv.get(*i)
+            .cloned()
+            .ok_or_else(|| format!("missing value for {what}"))
+    };
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--listen" => listen = Some(next(&mut i, "--listen")?),
+            "--once" => once = true,
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown worker flag '{other}'")),
+        }
+        i += 1;
+    }
+    let listen = listen.ok_or_else(|| "--listen ADDR is required".to_string())?;
+    Ok(WorkerArgs { listen, once })
+}
+
+/// Hosts one grid worker: bind, print the bound address (so scripts can
+/// use `tcp:HOST:0`), and serve coordinator sessions until told to stop.
+fn run_worker(args: &WorkerArgs) -> Result<(), String> {
+    let addr = PeerAddr::parse(&args.listen).map_err(render_error)?;
+    let listener =
+        linview::dist::bind(&addr).map_err(|e| format!("cannot listen on {addr}: {e}"))?;
+    let actual = listener
+        .local_addr()
+        .map(|a| a.to_string())
+        .unwrap_or_else(|_| addr.to_string());
+    println!("linview worker listening on {actual}");
+    use std::io::Write;
+    let _ = std::io::stdout().flush();
+    linview::dist::serve_worker(listener, ServeOptions { once: args.once })
+        .map_err(|e| format!("worker on {actual} failed: {e}"))
+}
+
+/// Hosts a whole worker fleet in one process: W Unix-socket workers whose
+/// addresses are printed one per line for a coordinator's `--connect`.
+fn run_serve_cluster(argv: &[String]) -> Result<(), String> {
+    let mut workers = 4usize;
+    let mut dir: Option<String> = None;
+    let next = |i: &mut usize, what: &str| -> Result<String, String> {
+        *i += 1;
+        argv.get(*i)
+            .cloned()
+            .ok_or_else(|| format!("missing value for {what}"))
+    };
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--workers" => {
+                workers = next(&mut i, "--workers")?
+                    .parse()
+                    .map_err(|_| "bad --workers value".to_string())?
+            }
+            "--dir" => dir = Some(next(&mut i, "--dir")?),
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown serve-cluster flag '{other}'")),
+        }
+        i += 1;
+    }
+    // Validate the grid up front so a bad count fails loudly here instead
+    // of in every coordinator that tries to connect.
+    let cluster = linview::dist::Cluster::try_new(workers).map_err(render_error)?;
+    let base = dir
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(std::env::temp_dir);
+    let pid = std::process::id();
+    let mut servers = Vec::with_capacity(workers);
+    for idx in 0..workers {
+        let path = base.join(format!("lv-cluster-{pid}-{idx}.sock"));
+        let server = WorkerServer::spawn(&PeerAddr::Unix(path))
+            .map_err(|e| format!("cannot spawn worker {idx}: {e}"))?;
+        println!("{}", server.addr());
+        servers.push(server);
+    }
+    println!(
+        "serve-cluster: {}x{} grid up ({} workers); Ctrl-C to stop",
+        cluster.grid_rows(),
+        cluster.grid_cols(),
+        workers
+    );
+    use std::io::Write;
+    let _ = std::io::stdout().flush();
+    loop {
+        std::thread::park();
+    }
+}
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map(String::as_str) == Some("worker") {
+        return match parse_worker_args(&argv[1..]).and_then(|a| run_worker(&a)) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(msg) if msg.is_empty() => {
+                print!("{USAGE}");
+                ExitCode::SUCCESS
+            }
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if argv.first().map(String::as_str) == Some("serve-cluster") {
+        return match run_serve_cluster(&argv[1..]) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(msg) if msg.is_empty() => {
+                print!("{USAGE}");
+                ExitCode::SUCCESS
+            }
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     if argv.first().map(String::as_str) == Some("lint") {
         return match parse_lint_args(&argv[1..]).and_then(|a| run_lint(&a)) {
             Ok((output, ok)) => {

@@ -429,3 +429,97 @@ fn compile_mode_accepts_gemm_flags() {
     assert!(ok);
     assert!(stdout.contains("ON UPDATE A"));
 }
+
+#[test]
+fn cluster_errors_render_a_caused_by_chain() {
+    // 3 workers cannot form a square grid: the CLI must exit nonzero with
+    // the full error chain, not panic inside the cluster constructor.
+    let (ok, _, stderr) = linview(&[
+        "engine",
+        "--n",
+        "8",
+        "--events",
+        "4",
+        "--backend",
+        "threaded",
+        "--workers",
+        "3",
+    ]);
+    assert!(!ok);
+    assert!(
+        stderr.contains("cluster layout error"),
+        "missing top-level error: {stderr}"
+    );
+    assert!(
+        stderr.contains("caused by:") && stderr.contains("not a perfect square"),
+        "missing caused-by chain: {stderr}"
+    );
+}
+
+#[test]
+fn engine_recovers_a_killed_worker_with_zero_divergence() {
+    // The full fault-tolerance drill through the CLI: every backend from
+    // the same seed, a worker killed mid-stream on the threaded and socket
+    // legs, checkpoint/replay recovery — and still bit-identical results.
+    let (ok, stdout, stderr) = linview(&[
+        "engine",
+        "--n",
+        "12",
+        "--events",
+        "12",
+        "--batch",
+        "3",
+        "--workers",
+        "4",
+        "--backend",
+        "all",
+        "--checkpoint-every",
+        "2",
+        "--kill-worker-after",
+        "6",
+    ]);
+    assert!(ok, "engine recovery run failed: {stderr}");
+    for pair in ["local vs dist", "local vs threaded", "local vs socket"] {
+        assert!(
+            stdout.contains(&format!("backend divergence on D ({pair}): 0.00e0")),
+            "nonzero divergence for {pair}: {stdout}"
+        );
+    }
+    assert!(
+        stdout.contains("recovery:") && stdout.contains("1 recoveries"),
+        "missing recovery report: {stdout}"
+    );
+}
+
+#[test]
+fn kill_injection_requires_checkpointing() {
+    let (ok, _, stderr) = linview(&[
+        "engine",
+        "--backend",
+        "threaded",
+        "--kill-worker-after",
+        "4",
+    ]);
+    assert!(!ok);
+    assert!(
+        stderr.contains("--checkpoint-every"),
+        "missing flag diagnostic: {stderr}"
+    );
+}
+
+#[test]
+fn worker_subcommand_requires_a_listen_address() {
+    let (ok, _, stderr) = linview(&["worker"]);
+    assert!(!ok);
+    assert!(stderr.contains("--listen"), "missing diagnostic: {stderr}");
+}
+
+#[test]
+fn serve_cluster_rejects_non_grid_worker_counts() {
+    let (ok, _, stderr) = linview(&["serve-cluster", "--workers", "5"]);
+    assert!(!ok);
+    assert!(
+        stderr.contains("caused by:") || stderr.contains("perfect square"),
+        "missing cluster diagnostic: {stderr}"
+    );
+}

@@ -356,7 +356,7 @@ proptest! {
                 Matrix::random_uniform(1 + (seed as usize + i) % 7, 1 + i, seed + i as u64),
             );
         }
-        let back = restore(save(&env)).unwrap();
+        let back = restore(save(&env).unwrap()).unwrap();
         prop_assert_eq!(back.len(), env.len());
         for (name, m) in env.iter() {
             prop_assert_eq!(back.get(name).unwrap(), m);

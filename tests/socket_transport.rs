@@ -1,0 +1,180 @@
+//! `SocketBackend` integration suite: the same frame protocol the
+//! threaded backend speaks over in-process channels, now over real
+//! Unix-domain sockets to self-hosted worker servers.
+//!
+//! The conformance bar is identical to `backend_conformance.rs`: views
+//! and worker-owned partitions bit-identical to the single-node
+//! reference. One claim is *stronger* here — because both frame backends
+//! meter exact serialized frame lengths, the socket backend's
+//! communication counters must equal the threaded backend's **exactly**,
+//! byte for byte and message for message.
+//!
+//! The hardening half: a dead worker (its server killed, connection
+//! reset) must surface as a typed `RuntimeError::Transport` — never a
+//! panic, never a hang — and a worker count that cannot form a grid is a
+//! `RuntimeError::Cluster` before a single socket is dialed.
+
+use linview::apps::powers::powers_program;
+use linview::dist::{spawn_local_grid, PeerAddr, SocketConfig};
+use linview::prelude::*;
+use linview::runtime::{RuntimeError, SocketBackend, ThreadedBackend};
+
+use std::path::PathBuf;
+
+const SEED: u64 = 31337;
+
+fn build_views(
+    n: usize,
+    tag: &str,
+) -> (
+    Vec<linview::dist::WorkerServer>,
+    Vec<String>,
+    IncrementalView,
+    IncrementalView<ThreadedBackend>,
+    IncrementalView<SocketBackend>,
+) {
+    let (program, _) = powers_program(IterModel::Exponential, 4);
+    let mut views = vec!["A".to_string()];
+    views.extend(program.statements().iter().map(|s| s.target.clone()));
+    let a = Matrix::random_spectral(n, 5, 0.8);
+    let inputs = vec![("A", a)];
+    let mut cat = Catalog::new();
+    cat.declare("A", n, n);
+
+    let local = IncrementalView::build(&program, &inputs, &cat).unwrap();
+    let threaded = IncrementalView::build_on(
+        ThreadedBackend::with_cluster(Cluster::with_grid(2, 2)),
+        &program,
+        &inputs,
+        &cat,
+    )
+    .unwrap();
+    let (servers, addrs) = spawn_local_grid(2, 2, tag).unwrap();
+    let socket = IncrementalView::build_on(
+        SocketBackend::connect_with_cluster(
+            Cluster::with_grid(2, 2),
+            addrs,
+            SocketConfig::default(),
+        )
+        .unwrap(),
+        &program,
+        &inputs,
+        &cat,
+    )
+    .unwrap();
+    (servers, views, local, threaded, socket)
+}
+
+#[test]
+fn socket_backend_matches_threaded_bit_for_bit_with_equal_meters() {
+    let n = 12;
+    let (_servers, views, mut local, mut threaded, mut socket) = build_views(n, "st-conf");
+    threaded.reset_comm();
+    socket.reset_comm();
+
+    let mut s_local = UpdateStream::new(n, n, 0.01, SEED);
+    let mut s_thr = UpdateStream::new(n, n, 0.01, SEED);
+    let mut s_sock = UpdateStream::new(n, n, 0.01, SEED);
+    for _ in 0..8 {
+        local.apply("A", &s_local.next_rank_one()).unwrap();
+        threaded.apply("A", &s_thr.next_rank_one()).unwrap();
+        socket.apply("A", &s_sock.next_rank_one()).unwrap();
+    }
+
+    for view in &views {
+        let reference = local.get(view).unwrap();
+        assert_eq!(
+            socket.get(view).unwrap(),
+            reference,
+            "socket mirror of {view} diverged"
+        );
+        assert_eq!(
+            &socket.backend().view(view).unwrap(),
+            reference,
+            "socket worker-owned blocks of {view} diverged"
+        );
+    }
+
+    // Both frame backends serialize the identical frames, so the meters
+    // must agree exactly — not approximately.
+    let tc = threaded.comm();
+    let sc = socket.comm();
+    assert!(sc.broadcast_bytes > 0 && sc.broadcast_msgs > 0);
+    assert_eq!(
+        sc.shuffle_bytes, 0,
+        "socket shuffled on the incremental path"
+    );
+    assert_eq!(
+        (sc.broadcast_bytes, sc.broadcast_msgs),
+        (tc.broadcast_bytes, tc.broadcast_msgs),
+        "socket and threaded frame meters disagree"
+    );
+}
+
+#[test]
+fn dead_socket_worker_is_a_typed_error_not_a_hang() {
+    let (mut servers, _views, _local, _threaded, mut socket) = build_views(10, "st-dead");
+    // SIGKILL-equivalent on the last worker; nobody takes over its address.
+    servers.pop().unwrap().kill();
+
+    // Broadcasting a delta hits the torn connection: a typed transport
+    // error, not a panic — and the coordinator keeps serving its mirror.
+    let mut stream = UpdateStream::new(10, 10, 0.01, SEED);
+    let err = socket
+        .apply("A", &stream.next_rank_one())
+        .expect_err("broadcast to a dead worker must fail");
+    assert!(
+        matches!(err, RuntimeError::Transport(_)),
+        "expected a transport error, got {err:?}"
+    );
+    assert_eq!(socket.get("A").unwrap().shape(), (10, 10));
+
+    // Gathering from the dead peer fails fast with the same typed error.
+    let err = socket
+        .backend()
+        .view("A")
+        .expect_err("gather from a dead worker must fail");
+    assert!(matches!(err, RuntimeError::Transport(_)));
+}
+
+#[test]
+fn non_grid_worker_counts_are_a_cluster_error_before_dialing() {
+    // Three bogus addresses: the grid check rejects the count before any
+    // connection attempt, so the paths never need to exist.
+    let addrs = (0..3)
+        .map(|i| PeerAddr::Unix(PathBuf::from(format!("/nonexistent/lv-{i}.sock"))))
+        .collect();
+    let err = SocketBackend::connect(addrs, SocketConfig::default())
+        .expect_err("3 workers cannot form a square grid");
+    assert!(
+        matches!(err, RuntimeError::Cluster(_)),
+        "expected a cluster error, got {err:?}"
+    );
+}
+
+#[test]
+fn revived_socket_workers_reconnect_and_reinstall() {
+    let (mut servers, views, local, _threaded, mut socket) = build_views(10, "st-revive");
+    // Kill a worker, then bring a fresh empty one up on the same address.
+    let old = servers.pop().unwrap();
+    let addr = old.addr().clone();
+    old.kill();
+    servers.push(linview::dist::WorkerServer::spawn(&addr).unwrap());
+    // Tear the coordinator's stale connection down so the peer is marked
+    // dead (in production the next I/O error does this).
+    let victim = servers.len() - 1;
+    socket.backend().pool().transport().disconnect(victim);
+
+    // restore() re-materializes the backend from the mirror snapshot:
+    // dead peers are revived (bounded-backoff redial to the fresh server)
+    // and every partitioned view reinstalled from scratch.
+    let snapshot = socket.checkpoint().unwrap();
+    socket.restore(snapshot).unwrap();
+    for view in &views {
+        assert_eq!(
+            &socket.backend().view(view).unwrap(),
+            local.get(view).unwrap(),
+            "reinstalled {view} diverged after revive"
+        );
+    }
+}
