@@ -2,11 +2,14 @@
 //!
 //! One bench per (kernel, size) pair plus the serial blocked reference,
 //! so `--save-baseline gemm` / `--baseline gemm` track kernel regressions
-//! across commits. The acceptance bar from the microkernel rewrite:
-//! `packed/n=512` at least 2× faster than `blocked-serial/n=512`.
+//! across commits. Acceptance bars from the microkernel rewrites:
+//! `packed/n=512` at least 2× faster than `blocked-serial/n=512`, and
+//! every `rank-k-fold/n=2048,k=*` row at least 2× faster than its
+//! `rank-k-fold-nest` twin (the same `X += U·Vᵀ` fold forced through
+//! GEMM-then-add on the general packed nest).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use linview_matrix::{GemmKernel, Matrix};
+use linview_matrix::{fold_low_rank, force_general_nest, GemmKernel, Matrix};
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("gemm");
@@ -22,6 +25,41 @@ fn bench(c: &mut Criterion) {
                 bch.iter(|| a.matmul_with(&b, kernel).expect("shapes conform"))
             });
         }
+    }
+    // Skinny rank-k shapes (`n×k · k×n`) — the delta-fold hot path. Each
+    // shape runs through the dedicated rank-k kernel and, as a regression
+    // reference, through the general packed nest with the fast path
+    // disabled.
+    for &n in &[512usize, 2048] {
+        for &k in &[1usize, 4, 8, 16] {
+            let a = Matrix::random_uniform(n, k, 3);
+            let b = Matrix::random_uniform(k, n, 4);
+            group.bench_function(format!("rank-k/n={n},k={k}"), |bch| {
+                bch.iter(|| a.matmul_packed(&b).expect("shapes conform"))
+            });
+            group.bench_function(format!("rank-k-nest/n={n},k={k}"), |bch| {
+                force_general_nest(true);
+                bch.iter(|| a.matmul_packed(&b).expect("shapes conform"));
+                force_general_nest(false);
+            });
+        }
+    }
+    // The fold itself (`X += U·Vᵀ`) at the paper's view scale — the
+    // fused rank-k fold against the GEMM-then-add it replaces. This pair
+    // carries the ≥ 2× acceptance bar.
+    for &k in &[1usize, 4, 8, 16] {
+        let n = 2048;
+        let u = Matrix::random_uniform(n, k, 5);
+        let v = Matrix::random_uniform(n, k, 6);
+        let mut x = Matrix::zeros(n, n);
+        group.bench_function(format!("rank-k-fold/n={n},k={k}"), |bch| {
+            bch.iter(|| fold_low_rank(&mut x, &u, &v, false).expect("shapes conform"))
+        });
+        group.bench_function(format!("rank-k-fold-nest/n={n},k={k}"), |bch| {
+            force_general_nest(true);
+            bch.iter(|| fold_low_rank(&mut x, &u, &v, false).expect("shapes conform"));
+            force_general_nest(false);
+        });
     }
     group.finish();
 }

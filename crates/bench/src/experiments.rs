@@ -759,9 +759,78 @@ pub fn gemm(cfg: &Config) -> Table {
             ]);
         }
     }
+    // Skinny rank-k rows — the `n×k · k×n` shapes every ApplyDelta fold
+    // produces. Each shape is measured twice: through the dedicated
+    // rank-k fast path (the default dispatch) and with the fast path
+    // disabled so the same product runs the general packed nest.
+    for &n in &[512usize, 2048] {
+        for &k in &[1usize, 4, 8, 16] {
+            let a = Matrix::random_uniform(n, k, 93);
+            let b = Matrix::random_uniform(k, n, 94);
+            let ops = 2 * (n as u64) * (k as u64) * (n as u64);
+            linview_matrix::force_general_nest(true);
+            let nest = avg_time(cfg.updates, || {
+                a.matmul_packed(&b).expect("shapes conform");
+            });
+            linview_matrix::force_general_nest(false);
+            let fast = avg_time(cfg.updates, || {
+                a.matmul_packed(&b).expect("shapes conform");
+            });
+            let shape = format!("{n}x{k}x{n}");
+            t.row(vec![
+                shape.clone(),
+                "packed-nest".into(),
+                fmt_duration(nest),
+                format!("{:.2}", flops::gflops(ops, nest)),
+                "1.00x".into(),
+            ]);
+            t.row(vec![
+                shape,
+                "rank-k".into(),
+                fmt_duration(fast),
+                format!("{:.2}", flops::gflops(ops, fast)),
+                fmt_speedup(nest, fast),
+            ]);
+        }
+    }
+    // The fold itself (`X += U·Vᵀ`): the fused rank-k fold against the
+    // GEMM-then-add two-step it replaces. This pair carries the >= 2x
+    // acceptance bar — at n = 2048 the fold is memory-bound and skipping
+    // the n×n delta temporary removes most of the traffic.
+    for &k in &[1usize, 4, 8, 16] {
+        let n = 2048;
+        let u = Matrix::random_uniform(n, k, 95);
+        let v = Matrix::random_uniform(n, k, 96);
+        let ops = (2 * n * k * n + n * n) as u64;
+        let mut x = Matrix::zeros(n, n);
+        linview_matrix::force_general_nest(true);
+        let nest = avg_time(cfg.updates, || {
+            linview_matrix::fold_low_rank(&mut x, &u, &v, false).expect("shapes conform");
+        });
+        linview_matrix::force_general_nest(false);
+        let fast = avg_time(cfg.updates, || {
+            linview_matrix::fold_low_rank(&mut x, &u, &v, false).expect("shapes conform");
+        });
+        let shape = format!("fold {n}x{k}");
+        t.row(vec![
+            shape.clone(),
+            "gemm-then-add".into(),
+            fmt_duration(nest),
+            format!("{:.2}", flops::gflops(ops, nest)),
+            "1.00x".into(),
+        ]);
+        t.row(vec![
+            shape,
+            "rank-k fold".into(),
+            fmt_duration(fast),
+            format!("{:.2}", flops::gflops(ops, fast)),
+            fmt_speedup(nest, fast),
+        ]);
+    }
     t.note(
-        "packed is the default try_matmul path; the acceptance bar is packed >= 2x \
-         blocked-serial at n = 512 (see the saved 'gemm' criterion baseline)",
+        "packed is the default try_matmul path; acceptance bars: packed >= 2x blocked-serial \
+         at n = 512, and the fused rank-k fold >= 2x gemm-then-add at n = 2048 for k <= 16 \
+         (see the saved 'gemm' criterion baseline)",
     );
     t
 }

@@ -45,6 +45,12 @@ pub enum MatrixError {
         /// Number of sweeps attempted.
         sweeps: usize,
     },
+    /// A kernel name (from `LINVIEW_GEMM` or `--gemm`) matched no
+    /// [`GemmKernel`](crate::GemmKernel).
+    UnknownKernel {
+        /// The unrecognized name, as supplied (trimmed).
+        name: String,
+    },
 }
 
 impl fmt::Display for MatrixError {
@@ -73,6 +79,13 @@ impl fmt::Display for MatrixError {
             ),
             MatrixError::DidNotConverge { sweeps } => {
                 write!(f, "iteration did not converge after {sweeps} sweeps")
+            }
+            MatrixError::UnknownKernel { name } => {
+                write!(
+                    f,
+                    "unknown GEMM kernel {name:?} (valid: naive, blocked, packed, \
+                     packed-fma, strassen)"
+                )
             }
         }
     }

@@ -9,33 +9,49 @@
 //!    `MC`-tall row panels (packed `A` panel stays L2-resident);
 //! 2. the `pack` module rewrites both operands into zero-padded
 //!    micro-panels so the inner loop is branch-free and unit-stride;
-//! 3. an `MR×NR` register-tile microkernel with fixed trip counts does the
-//!    arithmetic — LLVM fully unrolls and auto-vectorizes it, no
-//!    intrinsics required.
+//! 3. an `MR×NR` register-tile microkernel does the arithmetic — on AVX2
+//!    hosts a hand-written intrinsics rendering holds the 6×8 f64 tile in
+//!    twelve ymm accumulators, bit-identical to the portable body that
+//!    remains the fallback and the reference;
+//! 4. skinny `n×k · k×n` products (`k ≤ 16` — the shape every low-rank
+//!    delta fold emits) skip the packed nest entirely and run the
+//!    dedicated rank-k fast path (the in-crate `rankk` module).
 //!
-//! Parallelism comes from splitting the `M` dimension into `MR`-aligned
-//! row bands executed on the persistent `pool` module — each band
-//! runs the identical serial loop nest over its own rows, so the parallel
-//! product is **bit-identical** to the serial one for every thread count,
-//! and results are reproducible run-to-run by construction.
+//! Parallelism comes from `MC`-row output chunks scheduled onto the
+//! work-stealing queue of the persistent `pool` module, with the shared
+//! packed-`B` slab built cooperatively by the same workers. Each chunk
+//! replays the identical serial accumulation chain over its own rows, so
+//! the parallel product is **bit-identical** to the serial one for every
+//! thread count and every steal schedule, and results are reproducible
+//! run-to-run by construction.
 //!
 //! [`GemmKernel`] names the whole kernel family; the process-wide default
 //! (used by [`Matrix::try_matmul`]) is `Packed` and can be overridden
 //! programmatically ([`set_default_kernel`]) or with the `LINVIEW_GEMM`
-//! environment variable; thread count follows [`set_gemm_threads`] /
-//! `LINVIEW_THREADS`.
+//! environment variable (an unrecognized value is surfaced through
+//! [`env_kernel_error`] and otherwise ignored); thread count follows
+//! [`set_gemm_threads`] / `LINVIEW_THREADS`.
+//!
+//! The opt-in [`GemmKernel::PackedFma`] mode (`LINVIEW_GEMM=packed-fma` /
+//! `--gemm packed-fma`) swaps the microkernels for fused multiply-add
+//! renderings: one rounding instead of two per multiply-add, so it is
+//! faster and at least as accurate, but **not bit-comparable** to the
+//! exact kernels — the differential suite holds it to ≤ 1e-10 relative
+//! error against a Kahan-compensated oracle instead. Hosts without FMA
+//! fall back to the exact renderings.
 
-use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
-use std::sync::OnceLock;
+use std::sync::atomic::{AtomicBool, AtomicU8, AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
 
-use crate::pack::{pack_a, pack_b};
-use crate::{flops, pool, Matrix, MatrixError, Result};
+use crate::pack::{pack_a, pack_b, pack_b_panels};
+use crate::{flops, pool, rankk, Matrix, MatrixError, Result};
 
 /// Microkernel tile height (rows of `C` held in registers).
 pub const MR: usize = 6;
 /// Microkernel tile width (columns of `C` held in registers).
 pub const NR: usize = 8;
-/// Rows of `A` packed per L2-resident panel.
+/// Rows of `A` packed per L2-resident panel (also the parallel row-chunk
+/// height handed to the work-stealing queue).
 const MC: usize = 128;
 /// Depth of one packed rank-`KC` update.
 const KC: usize = 256;
@@ -53,10 +69,14 @@ pub(crate) const PACKED_MIN_WORK: usize = 48 * 48 * 48;
 
 /// The dense multiplication kernels selectable at runtime.
 ///
-/// All variants compute the same product; they differ in constants and in
-/// floating-point accumulation *grouping* (every kernel sums `k` in
-/// increasing index order, so results agree to roundoff and are each
-/// individually deterministic).
+/// All variants compute the same product. `Naive`, `Blocked` and `Packed`
+/// differ only in constants and loop structure, never in floating-point
+/// accumulation *grouping*: every one sums `k` in increasing index order
+/// with plain mul-then-add, so they are mutually bit-identical (asserted
+/// by the differential suite). `PackedFma` deliberately breaks that
+/// contract — it fuses each multiply-add into a single rounding — and is
+/// therefore opt-in; `Strassen` regroups the arithmetic algebraically and
+/// agrees to roundoff rather than bitwise.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum GemmKernel {
     /// Textbook `i-j-p` triple loop; the oracle the others are tested
@@ -68,6 +88,10 @@ pub enum GemmKernel {
     /// Packed register-blocked microkernel (this module); the default.
     #[default]
     Packed,
+    /// The packed kernel with fused-multiply-add microkernels: fastest and
+    /// at least as accurate, but not bit-identical to the exact kernels.
+    /// Opt-in via `LINVIEW_GEMM=packed-fma` / `--gemm packed-fma`.
+    PackedFma,
     /// Strassen recursion (`γ = log₂ 7`) for square operands, its base
     /// case routed through the packed kernel; non-square shapes fall back
     /// to `Packed`.
@@ -76,10 +100,11 @@ pub enum GemmKernel {
 
 impl GemmKernel {
     /// Every kernel, in oracle-to-fastest order (as benched and tested).
-    pub const ALL: [GemmKernel; 4] = [
+    pub const ALL: [GemmKernel; 5] = [
         GemmKernel::Naive,
         GemmKernel::Blocked,
         GemmKernel::Packed,
+        GemmKernel::PackedFma,
         GemmKernel::Strassen,
     ];
 
@@ -89,19 +114,40 @@ impl GemmKernel {
             GemmKernel::Naive => "naive",
             GemmKernel::Blocked => "blocked",
             GemmKernel::Packed => "packed",
+            GemmKernel::PackedFma => "packed-fma",
             GemmKernel::Strassen => "strassen",
         }
     }
 
-    /// Parses a kernel name as accepted by `LINVIEW_GEMM` and `--gemm`.
+    /// Parses a kernel name as accepted by `LINVIEW_GEMM` and `--gemm`,
+    /// returning a typed [`MatrixError::UnknownKernel`] (which lists the
+    /// valid spellings) when the name matches no kernel.
+    pub fn from_name(name: &str) -> Result<GemmKernel> {
+        let k = match name.trim().to_ascii_lowercase().as_str() {
+            "naive" => GemmKernel::Naive,
+            "blocked" => GemmKernel::Blocked,
+            "packed" => GemmKernel::Packed,
+            "packed-fma" | "packed_fma" => GemmKernel::PackedFma,
+            "strassen" => GemmKernel::Strassen,
+            _ => {
+                return Err(MatrixError::UnknownKernel {
+                    name: name.trim().to_string(),
+                })
+            }
+        };
+        Ok(k)
+    }
+
+    /// [`GemmKernel::from_name`] with the error flattened away, for
+    /// callers that only need the yes/no answer.
     pub fn parse(name: &str) -> Option<GemmKernel> {
-        match name.trim().to_ascii_lowercase().as_str() {
-            "naive" => Some(GemmKernel::Naive),
-            "blocked" => Some(GemmKernel::Blocked),
-            "packed" => Some(GemmKernel::Packed),
-            "strassen" => Some(GemmKernel::Strassen),
-            _ => None,
-        }
+        GemmKernel::from_name(name).ok()
+    }
+
+    /// True when this kernel may fuse `a·b + c` into a single rounding —
+    /// i.e. it trades the family's bit-identity contract for speed.
+    pub fn fuses(self) -> bool {
+        matches!(self, GemmKernel::PackedFma)
     }
 }
 
@@ -114,8 +160,9 @@ impl std::fmt::Display for GemmKernel {
 /// Sentinel for "no programmatic kernel override".
 const KERNEL_UNSET: u8 = u8::MAX;
 static KERNEL_OVERRIDE: AtomicU8 = AtomicU8::new(KERNEL_UNSET);
-/// `LINVIEW_GEMM`, read once per process.
-static ENV_KERNEL: OnceLock<Option<GemmKernel>> = OnceLock::new();
+/// `LINVIEW_GEMM`, read once per process: `None` when unset, `Ok` when it
+/// named a kernel, `Err(raw value)` when it named nothing.
+static ENV_KERNEL: OnceLock<Option<std::result::Result<GemmKernel, String>>> = OnceLock::new();
 
 /// Sentinel 0 = "no programmatic thread override".
 static THREADS_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
@@ -128,6 +175,7 @@ fn encode(k: GemmKernel) -> u8 {
         GemmKernel::Blocked => 1,
         GemmKernel::Packed => 2,
         GemmKernel::Strassen => 3,
+        GemmKernel::PackedFma => 4,
     }
 }
 
@@ -135,23 +183,44 @@ fn decode(v: u8) -> Option<GemmKernel> {
     GemmKernel::ALL.into_iter().find(|&k| encode(k) == v)
 }
 
+fn env_kernel() -> &'static Option<std::result::Result<GemmKernel, String>> {
+    ENV_KERNEL.get_or_init(|| {
+        std::env::var("LINVIEW_GEMM")
+            .ok()
+            .map(|raw| GemmKernel::from_name(&raw).map_err(|_| raw))
+    })
+}
+
 /// The kernel [`Matrix::try_matmul`] dispatches to.
 ///
 /// Precedence: the last [`set_default_kernel`] call, else `LINVIEW_GEMM`
-/// (read once per process; unknown values are ignored), else
-/// [`GemmKernel::Packed`].
+/// (read once per process; unknown values are ignored — see
+/// [`env_kernel_error`]), else [`GemmKernel::Packed`].
 pub fn default_kernel() -> GemmKernel {
     if let Some(k) = decode(KERNEL_OVERRIDE.load(Ordering::Relaxed)) {
         return k;
     }
-    ENV_KERNEL
-        .get_or_init(|| {
-            std::env::var("LINVIEW_GEMM")
-                .ok()
-                .as_deref()
-                .and_then(GemmKernel::parse)
-        })
+    env_kernel()
+        .as_ref()
+        .and_then(|r| r.as_ref().ok())
+        .copied()
         .unwrap_or_default()
+}
+
+/// The parse error for a `LINVIEW_GEMM` value that named no kernel, if the
+/// variable was set to one.
+///
+/// [`default_kernel`] silently falls back to the default in that case (a
+/// library must not write to stderr); front ends should call this once at
+/// startup and surface the error as a warning so a typo'd
+/// `LINVIEW_GEMM=packd` does not quietly benchmark the wrong kernel.
+pub fn env_kernel_error() -> Option<MatrixError> {
+    env_kernel()
+        .as_ref()
+        .and_then(|r| r.as_ref().err())
+        .map(|raw| MatrixError::UnknownKernel {
+            name: raw.trim().to_string(),
+        })
 }
 
 /// Overrides the process-wide default kernel (`None` restores the
@@ -166,7 +235,7 @@ pub fn set_default_kernel(kernel: Option<GemmKernel>) {
 /// Precedence: the last [`set_gemm_threads`] call, else `LINVIEW_THREADS`
 /// (read once per process; non-numeric or zero values are ignored), else
 /// the machine's available parallelism. Always ≥ 1. The answer only
-/// affects wall-clock: row-band parallelism makes every thread count
+/// affects wall-clock: row-chunk parallelism makes every thread count
 /// produce bit-identical results.
 pub fn gemm_threads() -> usize {
     let forced = THREADS_OVERRIDE.load(Ordering::Relaxed);
@@ -193,9 +262,84 @@ pub fn set_gemm_threads(threads: Option<usize>) {
     THREADS_OVERRIDE.store(threads.map(|n| n.max(1)).unwrap_or(0), Ordering::Relaxed);
 }
 
+static FORCE_PORTABLE: AtomicBool = AtomicBool::new(false);
+
+/// Ablation/testing knob: forces the portable (non-intrinsics) microkernel
+/// renderings even on hosts with AVX2/FMA.
+///
+/// The exact renderings are bit-identical either way — this knob is how
+/// that claim is tested. Forcing portable under [`GemmKernel::PackedFma`]
+/// also disables fusion (the portable body never fuses), which is the same
+/// fallback hosts without FMA take.
+pub fn force_portable_microkernel(on: bool) {
+    FORCE_PORTABLE.store(on, Ordering::Relaxed);
+}
+
+pub(crate) fn portable_forced() -> bool {
+    FORCE_PORTABLE.load(Ordering::Relaxed)
+}
+
+static DISABLE_RANK_K: AtomicBool = AtomicBool::new(false);
+
+/// Ablation/benchmarking knob: routes skinny rank-k shapes through the
+/// general packed nest instead of the dedicated rank-k fast path.
+///
+/// The bench harness uses this to measure the fast path's speedup against
+/// the nest on identical shapes, and the differential suite to assert the
+/// two paths agree bitwise.
+pub fn force_general_nest(on: bool) {
+    DISABLE_RANK_K.store(on, Ordering::Relaxed);
+}
+
+pub(crate) fn rank_k_disabled() -> bool {
+    DISABLE_RANK_K.load(Ordering::Relaxed)
+}
+
+/// Whether a kernel rendering may fuse `a·b + c` into one rounding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Fuse {
+    /// Plain mul-then-add — the bit-identity contract the exact kernels
+    /// share.
+    Exact,
+    /// Fused multiply-add allowed ([`GemmKernel::PackedFma`]): not
+    /// bit-comparable to `Exact`, held to ≤ 1e-10 of the Kahan oracle by
+    /// the differential suite.
+    Fused,
+}
+
+/// True when the host can run the AVX2 microkernel renderings.
+pub(crate) fn avx2_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        static AVX2: OnceLock<bool> = OnceLock::new();
+        *AVX2.get_or_init(|| std::arch::is_x86_feature_detected!("avx2"))
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// True when the host can run the fused (AVX2 + FMA) renderings.
+pub(crate) fn fma_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        static FMA: OnceLock<bool> = OnceLock::new();
+        *FMA.get_or_init(|| {
+            std::arch::is_x86_feature_detected!("avx2")
+                && std::arch::is_x86_feature_detected!("fma")
+        })
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
 /// Serializes unit tests that mutate process-wide kernel state (the
-/// kernel/thread overrides and the global FLOP counter), so they cannot
-/// race each other under the default parallel test runner.
+/// kernel/thread overrides, the microkernel/rank-k knobs and the global
+/// FLOP counter), so they cannot race each other under the default
+/// parallel test runner.
 #[cfg(test)]
 pub(crate) fn test_config_lock() -> std::sync::MutexGuard<'static, ()> {
     static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
@@ -207,9 +351,10 @@ pub(crate) fn test_config_lock() -> std::sync::MutexGuard<'static, ()> {
 /// micro-panel (`kc·NR` values). Fixed trip counts let LLVM fully unroll
 /// the tile and keep `acc` in vector registers; the arithmetic is plain
 /// mul-then-add (never fused), so every instruction-set rendering of this
-/// body computes bit-identical results.
+/// body computes bit-identical results. This portable body is the
+/// reference the intrinsics renderings are differenced against.
 #[inline(always)]
-fn microkernel_body(ap: &[f64], bp: &[f64]) -> [[f64; NR]; MR] {
+fn microkernel_portable(ap: &[f64], bp: &[f64]) -> [[f64; NR]; MR] {
     let mut acc = [[0.0f64; NR]; MR];
     for (a, b) in ap.chunks_exact(MR).zip(bp.chunks_exact(NR)) {
         for (arow, &ai) in acc.iter_mut().zip(a) {
@@ -221,35 +366,150 @@ fn microkernel_body(ap: &[f64], bp: &[f64]) -> [[f64; NR]; MR] {
     acc
 }
 
-/// [`microkernel_body`] compiled for AVX2: the 6×8 f64 tile fits in
-/// twelve ymm accumulators instead of spilling twenty-four xmm ones. FMA
-/// is *not* enabled — Rust never contracts `a*b + c`, so this path is
-/// bit-identical to the baseline rendering (asserted in tests).
+/// Loads `s[0..4]` into one ymm register (unaligned load).
 #[cfg(target_arch = "x86_64")]
-#[target_feature(enable = "avx,avx2")]
-unsafe fn microkernel_avx2(ap: &[f64], bp: &[f64]) -> [[f64; NR]; MR] {
-    microkernel_body(ap, bp)
+#[target_feature(enable = "avx")]
+fn load4(s: &[f64]) -> std::arch::x86_64::__m256d {
+    debug_assert!(s.len() >= 4);
+    let p = s.as_ptr();
+    // SAFETY: `s` is a borrowed slice of at least 4 f64s (asserted above;
+    // every caller passes an exact 4-wide subslice), so `p` points at 16
+    // readable, initialized bytes ×2. `loadu` has no alignment demand.
+    unsafe { std::arch::x86_64::_mm256_loadu_pd(p) }
 }
 
-/// Picks the widest microkernel rendering the host supports (decided once
-/// per process; the choice affects speed only, never output bits).
+/// Stores one ymm register into `d[0..4]` (unaligned store).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx")]
+fn store4(d: &mut [f64], v: std::arch::x86_64::__m256d) {
+    debug_assert!(d.len() >= 4);
+    let p = d.as_mut_ptr();
+    // SAFETY: `d` is a uniquely borrowed slice of at least 4 f64s
+    // (asserted above; every caller passes an exact 4-wide subslice), so
+    // `p` points at 32 writable bytes. `storeu` has no alignment demand.
+    unsafe { std::arch::x86_64::_mm256_storeu_pd(p, v) }
+}
+
+/// Spills the twelve-ymm accumulator tile back to a scalar `MR×NR` array.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx")]
+fn spill(acc: &[[std::arch::x86_64::__m256d; 2]; MR]) -> [[f64; NR]; MR] {
+    let mut out = [[0.0f64; NR]; MR];
+    for (orow, arow) in out.iter_mut().zip(acc) {
+        store4(&mut orow[..4], arow[0]);
+        store4(&mut orow[4..], arow[1]);
+    }
+    out
+}
+
+/// [`microkernel_portable`] hand-rendered in AVX2 intrinsics: the 6×8 f64
+/// tile lives in twelve ymm accumulators (two per `A` lane), with one
+/// broadcast and two mul/add pairs per lane per `k` step. The arithmetic
+/// is the same plain mul-then-add chain in the same order as the portable
+/// body — FMA is *not* used — so this rendering is bit-identical to it
+/// (asserted by the differential suite via [`force_portable_microkernel`]).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx,avx2")]
+fn microkernel_avx2(ap: &[f64], bp: &[f64]) -> [[f64; NR]; MR] {
+    use std::arch::x86_64::{_mm256_add_pd, _mm256_mul_pd, _mm256_set1_pd, _mm256_setzero_pd};
+    let mut acc = [[_mm256_setzero_pd(); 2]; MR];
+    for (a, b) in ap.chunks_exact(MR).zip(bp.chunks_exact(NR)) {
+        let b0 = load4(&b[..4]);
+        let b1 = load4(&b[4..]);
+        for (arow, &ai) in acc.iter_mut().zip(a) {
+            let av = _mm256_set1_pd(ai);
+            arow[0] = _mm256_add_pd(arow[0], _mm256_mul_pd(av, b0));
+            arow[1] = _mm256_add_pd(arow[1], _mm256_mul_pd(av, b1));
+        }
+    }
+    spill(&acc)
+}
+
+/// [`microkernel_avx2`] with the mul/add pairs fused into `vfmadd`: one
+/// rounding per multiply-add and half the arithmetic µops. Only reachable
+/// through [`GemmKernel::PackedFma`] — fusing changes low-order bits, so
+/// this rendering is differential-tested against the Kahan oracle rather
+/// than asserted bit-identical.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx,avx2,fma")]
+fn microkernel_fma(ap: &[f64], bp: &[f64]) -> [[f64; NR]; MR] {
+    use std::arch::x86_64::{_mm256_fmadd_pd, _mm256_set1_pd, _mm256_setzero_pd};
+    let mut acc = [[_mm256_setzero_pd(); 2]; MR];
+    for (a, b) in ap.chunks_exact(MR).zip(bp.chunks_exact(NR)) {
+        let b0 = load4(&b[..4]);
+        let b1 = load4(&b[4..]);
+        for (arow, &ai) in acc.iter_mut().zip(a) {
+            let av = _mm256_set1_pd(ai);
+            arow[0] = _mm256_fmadd_pd(av, b0, arow[0]);
+            arow[1] = _mm256_fmadd_pd(av, b1, arow[1]);
+        }
+    }
+    spill(&acc)
+}
+
+/// Picks the fastest microkernel rendering compatible with `fuse` that the
+/// host supports (decided once per process). `Exact` renderings are
+/// mutually bit-identical; `Fused` takes the FMA rendering when the host
+/// has it and falls back to the exact rendering otherwise.
 #[inline]
-fn microkernel(ap: &[f64], bp: &[f64]) -> [[f64; NR]; MR] {
+fn microkernel(ap: &[f64], bp: &[f64], fuse: Fuse) -> [[f64; NR]; MR] {
     #[cfg(target_arch = "x86_64")]
-    {
-        static AVX2: OnceLock<bool> = OnceLock::new();
-        if *AVX2.get_or_init(|| std::arch::is_x86_feature_detected!("avx2")) {
-            // SAFETY: gated on runtime AVX2 detection.
+    if !portable_forced() {
+        if fuse == Fuse::Fused && fma_available() {
+            // SAFETY: `fma_available` verified AVX2+FMA on this host.
+            return unsafe { microkernel_fma(ap, bp) };
+        }
+        if avx2_available() {
+            // SAFETY: `avx2_available` verified AVX2 on this host.
             return unsafe { microkernel_avx2(ap, bp) };
         }
     }
-    microkernel_body(ap, bp)
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = fuse;
+    microkernel_portable(ap, bp)
+}
+
+/// One `MC`-block of microkernel calls against an already-packed `B` slab:
+/// packs `A[r0..r0+mc][pc..pc+kc]` into `abuf` and accumulates the block's
+/// contribution into `out_rows` (the block's `mc` full-width output rows,
+/// written at columns `jc..jc+nc`).
+#[allow(clippy::too_many_arguments)]
+fn packed_block(
+    a: &Matrix,
+    r0: usize,
+    mc: usize,
+    pc: usize,
+    kc: usize,
+    jc: usize,
+    nc: usize,
+    bbuf: &[f64],
+    out_rows: &mut [f64],
+    n: usize,
+    abuf: &mut Vec<f64>,
+    fuse: Fuse,
+) {
+    pack_a(a, r0, mc, pc, kc, MR, abuf);
+    for jr in (0..nc).step_by(NR) {
+        let nr = NR.min(nc - jr);
+        let bp = &bbuf[(jr / NR) * kc * NR..][..kc * NR];
+        for ir in (0..mc).step_by(MR) {
+            let mr = MR.min(mc - ir);
+            let ap = &abuf[(ir / MR) * kc * MR..][..kc * MR];
+            let acc = microkernel(ap, bp, fuse);
+            for (i, arow) in acc.iter().enumerate().take(mr) {
+                let row = &mut out_rows[(ir + i) * n + jc + jr..][..nr];
+                for (o, &v) in row.iter_mut().zip(arow) {
+                    *o += v;
+                }
+            }
+        }
+    }
 }
 
 /// The serial packed loop nest over one row band: computes
 /// `C[r0..r0+mc_total][..] += A[r0..r0+mc_total][..] · B` into `out`, a
 /// row-major `mc_total × n` buffer.
-fn packed_band(a: &Matrix, b: &Matrix, out: &mut [f64], r0: usize, mc_total: usize) {
+fn packed_band(a: &Matrix, b: &Matrix, out: &mut [f64], r0: usize, mc_total: usize, fuse: Fuse) {
     let k = a.cols();
     let n = b.cols();
     let mut abuf = Vec::new();
@@ -261,65 +521,125 @@ fn packed_band(a: &Matrix, b: &Matrix, out: &mut [f64], r0: usize, mc_total: usi
             pack_b(b, pc, kc, jc, nc, NR, &mut bbuf);
             for ic in (0..mc_total).step_by(MC) {
                 let mc = MC.min(mc_total - ic);
-                pack_a(a, r0 + ic, mc, pc, kc, MR, &mut abuf);
-                for jr in (0..nc).step_by(NR) {
-                    let nr = NR.min(nc - jr);
-                    let bp = &bbuf[(jr / NR) * kc * NR..][..kc * NR];
-                    for ir in (0..mc).step_by(MR) {
-                        let mr = MR.min(mc - ir);
-                        let ap = &abuf[(ir / MR) * kc * MR..][..kc * MR];
-                        let acc = microkernel(ap, bp);
-                        for (i, arow) in acc.iter().enumerate().take(mr) {
-                            let row = &mut out[(ic + ir + i) * n + jc + jr..][..nr];
-                            for (o, &v) in row.iter_mut().zip(arow) {
-                                *o += v;
-                            }
-                        }
-                    }
-                }
+                packed_block(
+                    a,
+                    r0 + ic,
+                    mc,
+                    pc,
+                    kc,
+                    jc,
+                    nc,
+                    &bbuf,
+                    &mut out[ic * n..(ic + mc) * n],
+                    n,
+                    &mut abuf,
+                    fuse,
+                );
             }
         }
     }
 }
 
-/// The packed product `a · b` (shapes already validated, FLOPs already
-/// counted by the caller). Fans row bands out across the persistent pool
-/// when the product is heavy and more than one thread is budgeted; the
-/// result is bit-identical for every thread count.
-pub(crate) fn packed_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+/// The parallel packed nest: `MC`-row output chunks run on the pool's
+/// work-stealing queue, and the shared packed-`B` slab is built
+/// cooperatively (disjoint panel ranges) by the same workers before each
+/// rank-`KC` update. Chunks own disjoint output rows and each replays the
+/// serial nest's per-element accumulation chain, so any worker-to-chunk
+/// assignment — including mid-flight steals — is bit-identical to the
+/// serial product. This replaces the one-coarse-band-per-thread split,
+/// whose ragged tail left the barrier stalled on a single worker.
+fn packed_parallel(a: &Matrix, b: &Matrix, out: &mut [f64], threads: usize, fuse: Fuse) {
     let (m, k) = a.shape();
     let n = b.cols();
+    // Chunk height: at most MC (one packed A panel), shrunk so every
+    // worker sees ~4 chunks of stealable granularity, MR-aligned for full
+    // register tiles. The split never affects output bits — rows are
+    // independent in the nest, so any chunking replays the same
+    // per-element accumulation chains.
+    let chunk_rows = MC.min(m.div_ceil(4 * threads).next_multiple_of(MR)).max(MR);
+    let cells: Vec<Mutex<&mut [f64]>> = out.chunks_mut(chunk_rows * n).map(Mutex::new).collect();
+    let workers = threads.min(cells.len()).max(1);
+    // Per-worker `A`-panel scratch: each worker locks only its own slot
+    // (uncontended), reusing the allocation across chunks and slabs.
+    let scratch: Vec<Mutex<Vec<f64>>> = (0..workers).map(|_| Mutex::new(Vec::new())).collect();
+    let mut bbuf: Vec<f64> = Vec::new();
+    for jc in (0..n).step_by(NC) {
+        let nc = NC.min(n - jc);
+        for pc in (0..k).step_by(KC) {
+            let kc = KC.min(k - pc);
+            let panels = nc.div_ceil(NR);
+            bbuf.clear();
+            bbuf.resize(panels * kc * NR, 0.0);
+            {
+                // Parallel B packing: disjoint panel ranges of the slab,
+                // a few cells per worker so a slow worker can be robbed.
+                let per_cell = panels.div_ceil(4 * workers).max(1);
+                let bcells: Vec<Mutex<&mut [f64]>> = bbuf
+                    .chunks_mut(per_cell * kc * NR)
+                    .map(Mutex::new)
+                    .collect();
+                pool::run_stealing(workers, bcells.len(), &|_, c| {
+                    let mut dst = bcells[c].lock().expect("pack cell poisoned");
+                    let count = dst.len() / (kc * NR);
+                    pack_b_panels(b, pc, kc, jc, nc, NR, c * per_cell, count, &mut dst[..]);
+                });
+            }
+            let bbuf = &bbuf;
+            let scratch = &scratch;
+            pool::run_stealing(workers, cells.len(), &|w, c| {
+                let mut rows = cells[c].lock().expect("row chunk poisoned");
+                let mc = rows.len() / n;
+                let mut abuf = scratch[w].lock().expect("scratch poisoned");
+                packed_block(
+                    a,
+                    c * chunk_rows,
+                    mc,
+                    pc,
+                    kc,
+                    jc,
+                    nc,
+                    bbuf,
+                    &mut rows[..],
+                    n,
+                    &mut abuf,
+                    fuse,
+                );
+            });
+        }
+    }
+}
+
+/// The packed product `a · b` (shapes already validated, FLOPs already
+/// counted by the caller). Skinny `k ≤ 16` products take the dedicated
+/// rank-k fast path; everything else runs the packed nest, fanning
+/// `MC`-row chunks out across the work-stealing pool when the product is
+/// heavy and more than one thread is budgeted. With `Fuse::Exact` the
+/// result is bit-identical for every thread count and to every other exact
+/// kernel.
+pub(crate) fn packed_matmul(a: &Matrix, b: &Matrix, fuse: Fuse) -> Matrix {
+    let (m, k) = a.shape();
+    let n = b.cols();
+    if rankk::eligible(m, k, n) && !rank_k_disabled() {
+        return rankk::rank_k_matmul(a, b, fuse);
+    }
     let mut out = Matrix::zeros(m, n);
-    let bands = m.div_ceil(MR).max(1);
-    let threads = gemm_threads().min(bands);
+    let threads = gemm_threads().min(m.div_ceil(MR).max(1));
     if threads <= 1 || m * k * n < PARALLEL_THRESHOLD {
-        packed_band(a, b, out.as_mut_slice(), 0, m);
+        packed_band(a, b, out.as_mut_slice(), 0, m, fuse);
         return out;
     }
-    // MR-aligned row bands: each band's serial loop nest touches exactly
-    // the accumulation chain the single-threaded nest would, so the split
-    // never changes a bit of the output.
-    let band = m.div_ceil(threads).div_ceil(MR) * MR;
-    let mut tasks: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::new();
-    let mut rest = out.as_mut_slice();
-    let mut r0 = 0;
-    while r0 < m {
-        let h = band.min(m - r0);
-        let (head, tail) = rest.split_at_mut(h * n);
-        tasks.push(Box::new(move || packed_band(a, b, head, r0, h)));
-        rest = tail;
-        r0 += h;
-    }
-    pool::run_scoped(tasks);
+    packed_parallel(a, b, out.as_mut_slice(), threads, fuse);
     out
 }
 
 impl Matrix {
     /// General matrix product through an explicit [`GemmKernel`].
     ///
-    /// `Naive`, `Blocked` and `Packed` run exactly the named kernel
-    /// (no size-based dispatch — this is the differential-testing entry
-    /// point) and count `2·m·k·n` FLOPs. `Strassen` requires square,
+    /// `Naive`, `Blocked`, `Packed` and `PackedFma` run exactly the named
+    /// kernel (no size-based dispatch — this is the differential-testing
+    /// entry point; the packed kernels still route eligible skinny shapes
+    /// to their rank-k fast path, which is part of the kernel, not a
+    /// fallback) and count `2·m·k·n` FLOPs. `Strassen` requires square,
     /// equally-shaped operands to recurse (counting its own, fewer, FLOPs)
     /// and otherwise falls back to the packed kernel.
     pub fn matmul_with(&self, rhs: &Matrix, kernel: GemmKernel) -> Result<Matrix> {
@@ -344,7 +664,11 @@ impl Matrix {
             }
             GemmKernel::Packed | GemmKernel::Strassen => {
                 flops::add((2 * self.rows() * self.cols() * rhs.cols()) as u64);
-                Ok(packed_matmul(self, rhs))
+                Ok(packed_matmul(self, rhs, Fuse::Exact))
+            }
+            GemmKernel::PackedFma => {
+                flops::add((2 * self.rows() * self.cols() * rhs.cols()) as u64);
+                Ok(packed_matmul(self, rhs, Fuse::Fused))
             }
         }
     }
@@ -386,6 +710,33 @@ mod tests {
         }
         assert_eq!(GemmKernel::parse("turbo"), None);
         assert_eq!(format!("{}", GemmKernel::Packed), "packed");
+        assert_eq!(format!("{}", GemmKernel::PackedFma), "packed-fma");
+    }
+
+    #[test]
+    fn from_name_returns_a_typed_error_listing_the_kernels() {
+        assert_eq!(
+            GemmKernel::from_name(" Packed-FMA "),
+            Ok(GemmKernel::PackedFma)
+        );
+        let err = GemmKernel::from_name("turbo").unwrap_err();
+        assert_eq!(
+            err,
+            MatrixError::UnknownKernel {
+                name: "turbo".to_string()
+            }
+        );
+        let msg = err.to_string();
+        for k in GemmKernel::ALL {
+            assert!(msg.contains(k.label()), "{msg:?} must list {k}");
+        }
+    }
+
+    #[test]
+    fn only_the_fma_kernel_fuses() {
+        for k in GemmKernel::ALL {
+            assert_eq!(k.fuses(), k == GemmKernel::PackedFma, "{k}");
+        }
     }
 
     #[test]
@@ -426,6 +777,17 @@ mod tests {
     }
 
     #[test]
+    fn packed_fma_matches_naive_on_rectangular_shapes() {
+        for (m, k, n, seed) in [(17, 33, 9, 1), (64, 64, 64, 2), (130, 4, 70, 3)] {
+            let a = Matrix::random_uniform(m, k, seed);
+            let b = Matrix::random_uniform(k, n, seed + 100);
+            let fused = a.matmul_with(&b, GemmKernel::PackedFma).unwrap();
+            let oracle = naive_matmul(&a, &b);
+            assert!(fused.approx_eq(&oracle, 1e-10), "{m}x{k}x{n}");
+        }
+    }
+
+    #[test]
     fn packed_handles_empty_dimensions() {
         let a = Matrix::zeros(0, 5);
         let b = Matrix::zeros(5, 4);
@@ -440,7 +802,8 @@ mod tests {
     #[test]
     fn packed_parallel_is_bit_identical_to_serial() {
         let _guard = test_config_lock();
-        // Past the parallel threshold so the pool path actually runs.
+        // Past the parallel threshold so the stealing path actually runs,
+        // with k > 16 so the nest (not the rank-k path) is exercised.
         let n = 128;
         let a = Matrix::random_uniform(n, n, 7);
         let b = Matrix::random_uniform(n, n, 8);
@@ -453,11 +816,51 @@ mod tests {
     }
 
     #[test]
+    fn intrinsics_and_portable_renderings_agree_bitwise() {
+        let _guard = test_config_lock();
+        // Shapes straddling the register tiles and the KC blocking, plus a
+        // parallel-threshold-crossing square; k > 16 keeps the nest (the
+        // rank-k path has its own portable-vs-intrinsics test in-module).
+        for (m, k, n, seed) in [
+            (MR + 1, 37, NR + 3, 1),
+            (64, 300, 40, 2),
+            (128, 128, 128, 3),
+        ] {
+            let a = Matrix::random_uniform(m, k, seed);
+            let b = Matrix::random_uniform(k, n, seed + 9);
+            let simd = a.matmul_packed(&b).unwrap();
+            force_portable_microkernel(true);
+            let portable = a.matmul_packed(&b).unwrap();
+            force_portable_microkernel(false);
+            assert_eq!(simd, portable, "{m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn rank_k_fast_path_is_bit_identical_to_the_general_nest() {
+        let _guard = test_config_lock();
+        for (m, k, n, seed) in [(64, 1, 64, 1), (97, 4, 130, 2), (200, 16, 77, 3)] {
+            let a = Matrix::random_uniform(m, k, seed);
+            let b = Matrix::random_uniform(k, n, seed + 50);
+            let fast = a.matmul_packed(&b).unwrap();
+            force_general_nest(true);
+            let nest = a.matmul_packed(&b).unwrap();
+            force_general_nest(false);
+            assert_eq!(fast, nest, "{m}x{k}x{n}");
+        }
+    }
+
+    #[test]
     fn matmul_with_counts_exact_flops_for_cubic_kernels() {
         let _guard = test_config_lock();
         let a = Matrix::random_uniform(13, 21, 9);
         let b = Matrix::random_uniform(21, 7, 10);
-        for kernel in [GemmKernel::Naive, GemmKernel::Blocked, GemmKernel::Packed] {
+        for kernel in [
+            GemmKernel::Naive,
+            GemmKernel::Blocked,
+            GemmKernel::Packed,
+            GemmKernel::PackedFma,
+        ] {
             let before = flops::read();
             a.matmul_with(&b, kernel).unwrap();
             assert_eq!(flops::read() - before, 2 * 13 * 21 * 7, "{kernel}");

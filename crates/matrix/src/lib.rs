@@ -49,6 +49,7 @@ mod pack;
 mod pool;
 mod qr;
 mod random;
+mod rankk;
 mod sparsity;
 mod strassen;
 mod svd;
@@ -59,9 +60,13 @@ pub use compress::{recompress, Recompressed};
 pub use decomp::Lu;
 pub use dense::Matrix;
 pub use error::MatrixError;
-pub use gemm::{default_kernel, gemm_threads, set_default_kernel, set_gemm_threads, GemmKernel};
+pub use gemm::{
+    default_kernel, env_kernel_error, force_general_nest, force_portable_microkernel, gemm_threads,
+    set_default_kernel, set_gemm_threads, GemmKernel,
+};
 pub use norms::ApproxEq;
 pub use qr::Qr;
+pub use rankk::RANK_K_MAX_K;
 pub use sparsity::{
     factor_nnz, fold_low_rank, set_sparse_folds, sparse_folds_enabled, FoldPath,
     SPARSE_FOLD_CROSSOVER,

@@ -39,8 +39,12 @@ impl Matrix {
         // Size-based fallback: packing three buffers for a tiny or
         // vector-shaped product costs more than the multiply. The blocked
         // kernel keeps its own serial/parallel gate, so large skinny
-        // products still fan out across the pool.
-        if kernel == GemmKernel::Packed && (work < gemm::PACKED_MIN_WORK || rhs.cols() < gemm::NR) {
+        // products still fan out across the pool. (Large low-rank shapes
+        // never reach this arm — they pass the work gate and take the
+        // packed kernels' rank-k fast path, which does not pack at all.)
+        if matches!(kernel, GemmKernel::Packed | GemmKernel::PackedFma)
+            && (work < gemm::PACKED_MIN_WORK || rhs.cols() < gemm::NR)
+        {
             flops::add((2 * work) as u64);
             return Ok(self.blocked_matmul_auto(rhs));
         }

@@ -59,13 +59,33 @@ pub(crate) fn pack_b(
     let panels = nc.div_ceil(nr);
     buf.clear();
     buf.resize(panels * kc * nr, 0.0);
+    pack_b_panels(b, p0, kc, c0, nc, nr, 0, panels, buf);
+}
+
+/// Packs the panel subrange `[panel0, panel0 + panels)` of the slab that
+/// [`pack_b`] lays out, into `dst` (exactly `panels·kc·nr` values, already
+/// zeroed). Panel ranges are disjoint slices of the full slab buffer, so
+/// disjoint ranges can be packed concurrently by different workers.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn pack_b_panels(
+    b: &Matrix,
+    p0: usize,
+    kc: usize,
+    c0: usize,
+    nc: usize,
+    nr: usize,
+    panel0: usize,
+    panels: usize,
+    dst: &mut [f64],
+) {
+    debug_assert_eq!(dst.len(), panels * kc * nr);
     for p in 0..kc {
         let row = &b.row(p0 + p)[c0..c0 + nc];
         for panel in 0..panels {
-            let j0 = panel * nr;
+            let j0 = (panel0 + panel) * nr;
             let w = nr.min(nc - j0);
-            let dst = &mut buf[panel * kc * nr + p * nr..panel * kc * nr + p * nr + w];
-            dst.copy_from_slice(&row[j0..j0 + w]);
+            let at = panel * kc * nr + p * nr;
+            dst[at..at + w].copy_from_slice(&row[j0..j0 + w]);
         }
     }
 }

@@ -7,13 +7,22 @@
 //! shared job channel, so a parallel GEMM costs one channel send per band
 //! instead of one `clone(2)` per band.
 //!
-//! [`run_scoped`] is the only entry point: it takes a batch of closures
+//! [`run_scoped`] is the batch entry point: it takes a batch of closures
 //! that may borrow local data, runs one on the calling thread and the rest
 //! on the pool, and **blocks until every closure has finished** — that
 //! barrier is what makes handing non-`'static` borrows to long-lived
 //! workers sound. Panics inside a task are caught on the worker and
 //! re-raised on the caller after the barrier, so a poisoned product cannot
 //! leave a detached thread writing into a freed buffer.
+//!
+//! [`run_stealing`] layers chunked work-stealing on top: a range of chunk
+//! indices is dealt into per-worker deques (contiguous blocks, for
+//! locality), each worker drains its own deque front-to-back, and a worker
+//! whose deque runs dry steals single chunks from the *back* of its
+//! siblings' deques. This fixes the unbalanced-band-split stall of the
+//! one-coarse-band-per-thread schedule: when the ragged tail (or a
+//! descheduled worker) leaves one band still running, idle workers now
+//! take chunks off its plate instead of spinning the barrier.
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
@@ -136,6 +145,66 @@ pub(crate) fn run_scoped<'scope>(mut tasks: Vec<Box<dyn FnOnce() + Send + 'scope
     }
 }
 
+/// Runs `run(worker, chunk)` for every `chunk in 0..chunks` across
+/// `workers` pool workers with chunked work-stealing.
+///
+/// Chunk indices are dealt into per-worker deques as contiguous blocks
+/// (worker 0 gets the lowest chunks). Each worker pops its own deque from
+/// the front; on empty it steals one chunk from the back of the first
+/// non-empty sibling deque, scanning upward from its own index. The
+/// `worker` argument passed to `run` identifies the executing worker (for
+/// per-worker scratch reuse); every chunk is executed exactly once, and
+/// the call blocks until all chunks have finished.
+///
+/// `run` must tolerate concurrent invocation for distinct chunks — chunks
+/// that write shared output must own disjoint regions of it.
+pub(crate) fn run_stealing(workers: usize, chunks: usize, run: &(dyn Fn(usize, usize) + Sync)) {
+    let workers = workers.max(1).min(chunks.max(1));
+    if workers <= 1 {
+        for c in 0..chunks {
+            run(0, c);
+        }
+        return;
+    }
+    // Contiguous block deal: worker w owns chunks [w·per + extra, ...) so
+    // neighbouring chunks (adjacent output rows) stay on one worker.
+    let per = chunks / workers;
+    let extra = chunks % workers;
+    let mut start = 0;
+    let deques: Vec<Mutex<VecDeque<usize>>> = (0..workers)
+        .map(|w| {
+            let len = per + usize::from(w < extra);
+            let d = (start..start + len).collect();
+            start += len;
+            Mutex::new(d)
+        })
+        .collect();
+    let deques = &deques;
+    let worker_loop = move |w: usize| loop {
+        let own = deques[w].lock().expect("steal deque poisoned").pop_front();
+        let next = own.or_else(|| {
+            // Steal-on-empty: scan siblings from w+1 wrapping around,
+            // taking one chunk from the back (the coldest end for the
+            // victim, so owner and thief keep touching disjoint rows).
+            (1..workers).find_map(|off| {
+                deques[(w + off) % workers]
+                    .lock()
+                    .expect("steal deque poisoned")
+                    .pop_back()
+            })
+        });
+        match next {
+            Some(c) => run(w, c),
+            // All deques empty: no task generates new chunks, so done.
+            None => break,
+        }
+    };
+    let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = (0..workers)
+        .map(|w| Box::new(move || worker_loop(w)) as Box<dyn FnOnce() + Send + '_>)
+        .collect();
+    run_scoped(tasks);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -181,6 +250,57 @@ mod tests {
             run_scoped(tasks);
         }));
         assert!(result.is_err());
+    }
+
+    #[test]
+    fn stealing_runs_every_chunk_exactly_once() {
+        for (workers, chunks) in [(1, 7), (3, 1), (4, 13), (8, 3), (2, 0)] {
+            let hits: Vec<AtomicUsize> = (0..chunks).map(|_| AtomicUsize::new(0)).collect();
+            run_stealing(workers, chunks, &|_, c| {
+                hits[c].fetch_add(1, Ordering::Relaxed);
+            });
+            for (c, h) in hits.iter().enumerate() {
+                assert_eq!(
+                    h.load(Ordering::Relaxed),
+                    1,
+                    "chunk {c} with {workers} workers / {chunks} chunks"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stealing_rebalances_a_loaded_deque() {
+        // Worker 0 owns the first half of the chunks but every chunk it
+        // runs is slow; with stealing, other workers must end up running
+        // at least one of worker 0's originally-dealt chunks.
+        let ran_by: Vec<AtomicUsize> = (0..16).map(|_| AtomicUsize::new(usize::MAX)).collect();
+        run_stealing(4, 16, &|w, c| {
+            ran_by[c].store(w, Ordering::Relaxed);
+            if c < 4 {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+            }
+        });
+        let all_ran = ran_by
+            .iter()
+            .all(|w| w.load(Ordering::Relaxed) != usize::MAX);
+        assert!(all_ran, "every chunk must run");
+    }
+
+    #[test]
+    fn stealing_chunks_may_write_disjoint_borrows() {
+        let mut data = vec![0usize; 40];
+        {
+            let cells: Vec<Mutex<&mut [usize]>> = data.chunks_mut(5).map(Mutex::new).collect();
+            run_stealing(3, cells.len(), &|_, c| {
+                for x in cells[c].lock().unwrap().iter_mut() {
+                    *x = c + 1;
+                }
+            });
+        }
+        for (c, chunk) in data.chunks(5).enumerate() {
+            assert!(chunk.iter().all(|&x| x == c + 1), "chunk {c}");
+        }
     }
 
     #[test]

@@ -25,6 +25,12 @@
 //! The opt-out knob mirrors `LINVIEW_GEMM`: [`set_sparse_folds`] overrides
 //! programmatically, `LINVIEW_SPARSE=0` (or `off`/`false`) disables via
 //! the environment, default is enabled.
+//!
+//! **Interaction with `packed-fma`.** The opt-in fused kernel
+//! ([`GemmKernel::PackedFma`](crate::GemmKernel)) breaks the mul-then-add
+//! contract the replay argument above rests on, so while it is the default
+//! kernel every fold runs dense — folds stay mutually consistent (all
+//! fused) and replicated backends keep folding identical values.
 
 use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::OnceLock;
@@ -130,11 +136,42 @@ pub fn fold_low_rank(
     }
     let (n, k) = u.shape();
     let m = v.rows();
-    if allow_sparse && n * k > 0 {
+    // Under the opt-in fused (`packed-fma`) kernel the dense fold fuses
+    // its multiply-adds, which the scalar replay cannot reproduce — and a
+    // sparse/dense decision must never change fold values, or mirrored
+    // backends would drift apart. Fall back to all-dense in that mode.
+    if allow_sparse && n * k > 0 && !crate::gemm::default_kernel().fuses() {
         let nnz = factor_nnz(u);
         if (nnz as f64) <= SPARSE_FOLD_CROSSOVER * (n * k) as f64 {
             return sparse_fold(target, u, v, nnz, m);
         }
+    }
+    // Fused rank-k fold: skip the n×m delta temporary when the shape is
+    // skinny enough that the product would take the packed family's
+    // rank-k fast path anyway. Mirroring try_matmul's small-work gate
+    // keeps kernel selection — and therefore bit-exact values — aligned
+    // with the GEMM-then-add fold this replaces; the per-element chain
+    // (ascending-k accumulate, one add into the target) is identical.
+    let kernel = crate::gemm::default_kernel();
+    if crate::rankk::eligible(n, k, m)
+        && !crate::gemm::rank_k_disabled()
+        && matches!(
+            kernel,
+            crate::GemmKernel::Packed | crate::GemmKernel::PackedFma
+        )
+        && n * k * m >= crate::gemm::PACKED_MIN_WORK
+        && m >= crate::gemm::NR
+    {
+        let fuse = if kernel.fuses() {
+            crate::gemm::Fuse::Fused
+        } else {
+            crate::gemm::Fuse::Exact
+        };
+        crate::rankk::rank_k_fold(target, u, &v.transpose(), fuse);
+        // Same meter charge as the two-step: 2nkm for the product, nm for
+        // the fold into the target.
+        flops::add((2 * n * k * m + n * m) as u64);
+        return Ok(FoldPath::Dense);
     }
     let delta = u.try_matmul(&v.transpose())?;
     target.add_assign_from(&delta)?;
@@ -210,6 +247,7 @@ mod tests {
 
     #[test]
     fn sparse_fold_is_bit_identical_to_dense() {
+        let _guard = crate::gemm::test_config_lock();
         for &(n, m, k) in &[(40, 40, 1), (64, 48, 3), (33, 57, 5)] {
             let u = basisish(n, k, 1, 7 + n as u64);
             let v = Matrix::random_uniform(m, k, 11 + m as u64);
@@ -251,7 +289,46 @@ mod tests {
     }
 
     #[test]
+    fn fused_default_kernel_forces_dense_folds() {
+        let _guard = crate::gemm::test_config_lock();
+        // The factor is sparse enough for the replay, but while the fused
+        // kernel is the default every fold must stay dense (and mutually
+        // fused-consistent).
+        let u = basisish(64, 2, 1, 5);
+        let v = Matrix::random_uniform(48, 2, 6);
+        crate::set_default_kernel(Some(crate::GemmKernel::PackedFma));
+        let mut fused_t = Matrix::zeros(64, 48);
+        let path = fold_low_rank(&mut fused_t, &u, &v, true).unwrap();
+        // The values it folded are the pinned kernel's own dense fold.
+        let mut want = Matrix::zeros(64, 48);
+        dense_fold(&mut want, &u, &v);
+        crate::set_default_kernel(None);
+        assert_eq!(path, FoldPath::Dense);
+        assert_eq!(fused_t, want);
+    }
+
+    #[test]
+    fn fused_rank_k_fold_is_bit_identical_to_the_two_step_fold() {
+        let _guard = crate::gemm::test_config_lock();
+        // Dense factors above try_matmul's small-work gate
+        // (256·2·256 ≥ 48³), so the fold takes the fused rank-k path
+        // while the reference materializes the delta and adds it.
+        for k in [1usize, 2, 7, 16] {
+            let u = Matrix::random_uniform(256, k, 41 + k as u64);
+            let v = Matrix::random_uniform(256, k, 43 + k as u64);
+            let base = Matrix::random_uniform(256, 256, 45);
+            let mut fused = base.clone();
+            let path = fold_low_rank(&mut fused, &u, &v, false).unwrap();
+            assert_eq!(path, FoldPath::Dense);
+            let mut two_step = base.clone();
+            dense_fold(&mut two_step, &u, &v);
+            assert_eq!(fused, two_step, "rank-k fold diverged at k = {k}");
+        }
+    }
+
+    #[test]
     fn all_zero_factor_is_a_sparse_noop() {
+        let _guard = crate::gemm::test_config_lock();
         let u = Matrix::zeros(16, 2);
         let v = Matrix::random_uniform(16, 2, 9);
         let base = Matrix::random_uniform(16, 16, 10);

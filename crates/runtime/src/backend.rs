@@ -163,7 +163,10 @@ pub trait ExecBackend: std::fmt::Debug {
 /// dense product in the system — through the process-wide
 /// [`GemmKernel`](linview_matrix::GemmKernel) dispatch (packed
 /// register-blocked microkernel by default, `LINVIEW_GEMM` /
-/// `LINVIEW_THREADS` overridable).
+/// `LINVIEW_THREADS` overridable). Skinny delta products with
+/// `k ≤` [`linview_matrix::RANK_K_MAX_K`] take the matrix crate's
+/// dedicated rank-k fast path, which skips the packing pipeline entirely
+/// while staying bit-identical to the general nest.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct LocalBackend;
 

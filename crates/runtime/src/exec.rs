@@ -449,6 +449,13 @@ pub(crate) fn fire_joint_trigger_on<B: ExecBackend + ?Sized>(
 /// kernels already multi-thread internally in exactly that regime. The
 /// stage *structure* (and the backends' merged rounds / pipelined
 /// broadcasts) is unaffected — only where the expression evaluation runs.
+///
+/// Skinny low-rank products (`n×k · k×n`, `k ≤`
+/// [`linview_matrix::RANK_K_MAX_K`]) stay under this gate for the same
+/// reason: the matrix crate routes them to its dedicated rank-k kernel,
+/// which work-steals across row chunks internally, so a heavy stage made
+/// of `ApplyDelta` folds already saturates the thread budget without
+/// stage-level fan-out.
 pub(crate) const PARALLEL_MIN_ELEMS: usize = 32_768;
 
 /// True when the execution layer may fan work out to more than one

@@ -60,8 +60,11 @@ OPTIONS:
   --density D        expected nonzero fraction of incoming delta factors
                      (0 < D <= 1): refines --emit analysis with nnz-aware
                      fold FLOPs and compressed-frame wire bytes
-  --gemm KERNEL      dense GEMM kernel: naive | blocked | packed | strassen
-                     (default: packed; also settable via LINVIEW_GEMM)
+  --gemm KERNEL      dense GEMM kernel: naive | blocked | packed |
+                     packed-fma | strassen (default: packed; also settable
+                     via LINVIEW_GEMM; packed-fma fuses multiply-adds —
+                     fastest and differential-tested to 1e-10, but not
+                     bit-identical to the exact kernels)
   --threads N        GEMM thread budget (default: all cores; also settable
                      via LINVIEW_THREADS — results are bit-identical for
                      every value)
@@ -125,14 +128,24 @@ SERVE-CLUSTER OPTIONS (spawn a local worker fleet in one process):
 
 /// Pins the process-wide GEMM kernel from a `--gemm` flag value.
 fn apply_gemm_flag(value: &str) -> Result<(), String> {
-    match GemmKernel::parse(value) {
-        Some(k) => {
+    match GemmKernel::from_name(value) {
+        Ok(k) => {
             set_default_kernel(Some(k));
             Ok(())
         }
-        None => Err(format!(
-            "unknown --gemm '{value}' (want naive|blocked|packed|strassen)"
-        )),
+        Err(e) => Err(format!("bad --gemm: {e}")),
+    }
+}
+
+/// Surfaces a set-but-unrecognized `LINVIEW_GEMM` as a startup warning
+/// (the library itself silently ignores it, which once let a typo'd
+/// kernel name benchmark the default kernel unnoticed).
+fn warn_on_bad_env_kernel() {
+    if let Some(e) = linview::matrix::env_kernel_error() {
+        eprintln!(
+            "warning: ignoring LINVIEW_GEMM: {e}; using kernel '{}'",
+            linview::matrix::default_kernel()
+        );
     }
 }
 
@@ -1143,6 +1156,7 @@ fn run_serve_cluster(argv: &[String]) -> Result<(), String> {
 }
 
 fn main() -> ExitCode {
+    warn_on_bad_env_kernel();
     let argv: Vec<String> = std::env::args().skip(1).collect();
     if argv.first().map(String::as_str) == Some("worker") {
         return match parse_worker_args(&argv[1..]).and_then(|a| run_worker(&a)) {

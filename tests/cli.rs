@@ -398,7 +398,12 @@ fn engine_results_are_identical_across_gemm_thread_budgets() {
 fn rejects_bad_gemm_flags() {
     let (ok, _, stderr) = linview(&["engine", "--gemm", "turbo"]);
     assert!(!ok);
-    assert!(stderr.contains("unknown --gemm"));
+    assert!(stderr.contains("bad --gemm"));
+    // The typed parse error lists every valid spelling.
+    assert!(
+        stderr.contains("unknown GEMM kernel") && stderr.contains("packed-fma"),
+        "error must name the kernel list: {stderr}"
+    );
     let (ok, _, stderr) = linview(&["engine", "--threads", "0"]);
     assert!(!ok);
     assert!(stderr.contains("--threads"));
@@ -411,7 +416,62 @@ fn rejects_bad_gemm_flags() {
         "warp",
     ]);
     assert!(!ok);
-    assert!(stderr.contains("unknown --gemm"));
+    assert!(stderr.contains("bad --gemm"));
+}
+
+#[test]
+fn bad_env_kernel_warns_at_startup_and_falls_back() {
+    // A typo'd LINVIEW_GEMM must not silently benchmark the default
+    // kernel: the run still succeeds, but says what it ignored.
+    let (ok, stdout, stderr) = linview_env(
+        &["engine", "--n", "16", "--events", "4", "--backend", "local"],
+        &[("LINVIEW_GEMM", "turbo")],
+    );
+    assert!(ok, "engine under a bad LINVIEW_GEMM failed: {stderr}");
+    assert!(
+        stderr.contains("warning: ignoring LINVIEW_GEMM") && stderr.contains("turbo"),
+        "missing startup warning: {stderr}"
+    );
+    assert!(
+        stdout.contains("gemm: kernel packed"),
+        "must fall back to the default kernel: {stdout}"
+    );
+    // A valid value warns nothing.
+    let (ok, _, stderr) = linview_env(
+        &["engine", "--n", "16", "--events", "4", "--backend", "local"],
+        &[("LINVIEW_GEMM", "naive")],
+    );
+    assert!(ok);
+    assert!(
+        !stderr.contains("warning: ignoring LINVIEW_GEMM"),
+        "spurious warning: {stderr}"
+    );
+}
+
+#[test]
+fn packed_fma_is_selectable_by_flag_and_env() {
+    let (ok, stdout, stderr) = linview(&[
+        "engine",
+        "--n",
+        "16",
+        "--events",
+        "4",
+        "--backend",
+        "local",
+        "--gemm",
+        "packed-fma",
+    ]);
+    assert!(ok, "engine with --gemm packed-fma failed: {stderr}");
+    assert!(
+        stdout.contains("gemm: kernel packed-fma"),
+        "missing kernel report: {stdout}"
+    );
+    let (ok, stdout, stderr) = linview_env(
+        &["engine", "--n", "16", "--events", "4", "--backend", "local"],
+        &[("LINVIEW_GEMM", "packed-fma")],
+    );
+    assert!(ok, "engine under LINVIEW_GEMM=packed-fma failed: {stderr}");
+    assert!(stdout.contains("gemm: kernel packed-fma"), "{stdout}");
 }
 
 #[test]

@@ -15,13 +15,22 @@
 //! 3. **Determinism** — the packed kernel is bit-identical across thread
 //!    counts and run-to-run; every kernel is repeatable on identical
 //!    inputs.
+//! 4. **Rendering equivalence** — the default packed kernel is bitwise
+//!    identical whether the register tile runs through the hand-written
+//!    AVX2 intrinsics or the portable scalar loop, and whether a skinny
+//!    product takes the rank-k fast path or the general nest. Only the
+//!    opt-in `packed-fma` kernel may differ, and it is held to the same
+//!    1e-10 Kahan budget as everything else.
 //!
 //! Tests mutate process-wide kernel state (thread budget, default
 //! kernel), so each takes the `SUITE` lock — the binary is internally
 //! serialized and safe under any `RUST_TEST_THREADS`.
 
 use linview::matrix::gemm::{MR, NR};
-use linview::matrix::{flops, set_default_kernel, set_gemm_threads, GemmKernel, Matrix};
+use linview::matrix::{
+    flops, force_general_nest, force_portable_microkernel, set_default_kernel, set_gemm_threads,
+    GemmKernel, Matrix, RANK_K_MAX_K,
+};
 use proptest::prelude::*;
 use std::sync::Mutex;
 
@@ -94,6 +103,24 @@ fn operands() -> impl Strategy<Value = (Matrix, Matrix)> {
     })
 }
 
+/// Skinny rank-k operands: outer dims well past the register grid with
+/// `k ≤ RANK_K_MAX_K`, i.e. exactly the shapes the dedicated rank-k fast
+/// path claims from the packed nest.
+fn skinny_operands() -> impl Strategy<Value = (Matrix, Matrix)> {
+    (
+        20usize..300,
+        1usize..RANK_K_MAX_K + 1,
+        20usize..300,
+        0u64..1u64 << 32,
+    )
+        .prop_map(|(m, k, n, seed)| {
+            (
+                Matrix::random_uniform(m, k, seed),
+                Matrix::random_uniform(k, n, seed.wrapping_add(1)),
+            )
+        })
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
@@ -129,11 +156,48 @@ proptest! {
     fn cubic_kernels_count_exact_flops((a, b) in operands()) {
         let _guard = lock();
         let expected = (2 * a.rows() * a.cols() * b.cols()) as u64;
-        for kernel in [GemmKernel::Naive, GemmKernel::Blocked, GemmKernel::Packed] {
+        let cubic = [
+            GemmKernel::Naive,
+            GemmKernel::Blocked,
+            GemmKernel::Packed,
+            GemmKernel::PackedFma,
+        ];
+        for kernel in cubic {
             let before = flops::read();
             a.matmul_with(&b, kernel).unwrap();
             prop_assert_eq!(flops::read() - before, expected, "{}", kernel);
         }
+    }
+
+    /// Property 4: the fused FMA kernel holds the same 1e-10 budget
+    /// against the Kahan oracle on skinny rank-k shapes — the shapes where
+    /// the dedicated rank-k path (not the packed nest) renders it.
+    #[test]
+    fn fma_matches_the_kahan_oracle_on_skinny_shapes((a, b) in skinny_operands()) {
+        let _guard = lock();
+        let kahan = kahan_oracle(&a, &b);
+        let c = a.matmul_with(&b, GemmKernel::PackedFma).unwrap();
+        prop_assert!(
+            c.rel_diff(&kahan) <= 1e-10,
+            "packed-fma vs kahan on {}x{}x{}: {:e}",
+            a.rows(), a.cols(), b.cols(), c.rel_diff(&kahan)
+        );
+    }
+
+    /// Property 5: the rank-k fast path is bit-identical to the general
+    /// packed nest on every skinny shape (both replay the ascending-k
+    /// single-accumulator chain, so `==` must hold exactly).
+    #[test]
+    fn rank_k_path_is_bit_identical_to_the_general_nest((a, b) in skinny_operands()) {
+        let _guard = lock();
+        let fast = a.matmul_packed(&b).unwrap();
+        force_general_nest(true);
+        let nest = a.matmul_packed(&b).unwrap();
+        force_general_nest(false);
+        prop_assert_eq!(
+            &fast, &nest,
+            "rank-k vs nest on {}x{}x{}", a.rows(), a.cols(), b.cols()
+        );
     }
 
     /// Property 3: the packed kernel is bit-identical for every thread
@@ -206,6 +270,34 @@ fn every_kernel_is_repeatable_run_to_run() {
                     "{kernel} with threads {threads:?}"
                 );
             }
+        }
+    }
+    set_gemm_threads(None);
+}
+
+/// The hand-written AVX2 microkernel is an alternate *rendering* of the
+/// portable register tile, not an alternate algorithm: the default packed
+/// kernel must produce bitwise-identical outputs with intrinsics enabled
+/// and with the portable scalar tile forced, across thread budgets.
+#[test]
+fn intrinsics_rendering_is_bit_identical_to_portable() {
+    let _guard = lock();
+    let shapes = [
+        (MR + 1, 37, NR + 3),
+        (97, 113, 41),
+        (129, 257, 17),
+        (200, RANK_K_MAX_K, 77), // rank-k fast path, both renderings
+    ];
+    for (m, k, n) in shapes {
+        let a = Matrix::random_uniform(m, k, (m * 31 + k) as u64);
+        let b = Matrix::random_uniform(k, n, (k * 31 + n) as u64);
+        for threads in [Some(1), Some(4)] {
+            set_gemm_threads(threads);
+            let simd = a.matmul_packed(&b).unwrap();
+            force_portable_microkernel(true);
+            let portable = a.matmul_packed(&b).unwrap();
+            force_portable_microkernel(false);
+            assert_eq!(simd, portable, "{m}x{k}x{n} with threads {threads:?}");
         }
     }
     set_gemm_threads(None);
