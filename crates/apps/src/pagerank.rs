@@ -8,6 +8,7 @@
 //! `ΔA = d·Δcol·e_srcᵀ` fed to the [`GeneralForm`] maintainer.
 
 use linview_matrix::Matrix;
+use linview_runtime::{Env, SnapshotPublisher, ViewHandle};
 use std::collections::BTreeSet;
 
 use crate::general::{GeneralForm, Strategy};
@@ -20,6 +21,11 @@ pub struct PageRank {
     damping: f64,
     adj: Vec<BTreeSet<usize>>,
     gf: GeneralForm,
+    /// Wait-free snapshot publication of the rank vector; `None` until
+    /// [`PageRank::enable_serving`]. PageRank wraps a [`GeneralForm`]
+    /// rather than an `IncrementalView`, so it drives its own publisher:
+    /// each effective edge mutation is one round.
+    serving: Option<SnapshotPublisher>,
 }
 
 impl PageRank {
@@ -51,7 +57,33 @@ impl PageRank {
             damping,
             adj,
             gf,
+            serving: None,
         })
+    }
+
+    /// Turns on the wait-free snapshot read path: publishes the current
+    /// rank vector as the view `"ranks"` immediately, then republishes
+    /// every `publish_every` effective edge mutations (`0` behaves like
+    /// `1`). See [`linview_runtime::snapshot`]. Returns a cloneable
+    /// reader handle.
+    pub fn enable_serving(&mut self, publish_every: u64) -> ViewHandle {
+        let publisher = SnapshotPublisher::new(publish_every);
+        publisher.publish(&self.serving_env());
+        let handle = publisher.handle();
+        self.serving = Some(publisher);
+        handle
+    }
+
+    /// A reader handle onto the published snapshots, when serving is on.
+    pub fn serving_handle(&self) -> Option<ViewHandle> {
+        self.serving.as_ref().map(SnapshotPublisher::handle)
+    }
+
+    /// The environment snapshots are captured from: just the rank vector.
+    fn serving_env(&self) -> Env {
+        let mut env = Env::new();
+        env.bind("ranks", self.gf.result().clone());
+        env
     }
 
     /// Node count.
@@ -114,7 +146,11 @@ impl PageRank {
         let delta = new_col.try_sub(old_col)?.scale(self.damping);
         let mut e_src = Matrix::zeros(self.n, 1);
         e_src.set(src, 0, 1.0);
-        self.gf.apply_factored(&delta, &e_src, None)
+        self.gf.apply_factored(&delta, &e_src, None)?;
+        if let Some(srv) = &self.serving {
+            srv.round_completed(&self.serving_env(), false);
+        }
+        Ok(())
     }
 }
 

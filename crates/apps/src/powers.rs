@@ -214,6 +214,19 @@ impl<B: ExecBackend> IncrPowers<B> {
     pub fn trigger_program(&self) -> &linview_compiler::TriggerProgram {
         self.view.trigger_program()
     }
+
+    /// Turns on the wait-free snapshot read path over every maintained
+    /// power view (see [`linview_runtime::snapshot`]): readers get
+    /// epoch-stamped, round-consistent copies without ever blocking
+    /// trigger firings. Returns a cloneable reader handle.
+    pub fn enable_serving(&mut self, publish_every: u64) -> linview_runtime::ViewHandle {
+        self.view.enable_serving(publish_every)
+    }
+
+    /// A reader handle onto the published snapshots, when serving is on.
+    pub fn serving_handle(&self) -> Option<linview_runtime::ViewHandle> {
+        self.view.serving_handle()
+    }
 }
 
 #[cfg(test)]

@@ -185,6 +185,19 @@ impl<B: ExecBackend> Reachability<B> {
         self.engine.stats().firings
     }
 
+    /// Turns on the wait-free snapshot read path: concurrent readers get
+    /// epoch-stamped, round-consistent copies of the reachability index
+    /// (`R` and every partial sum) without blocking edge mutations. See
+    /// [`linview_runtime::snapshot`]. Returns a cloneable reader handle.
+    pub fn enable_serving(&mut self, publish_every: u64) -> linview_runtime::ViewHandle {
+        self.engine.enable_serving(publish_every)
+    }
+
+    /// A reader handle onto the published snapshots, when serving is on.
+    pub fn serving_handle(&self) -> Option<linview_runtime::ViewHandle> {
+        self.engine.serving_handle()
+    }
+
     /// True when `dst` is reachable from `src` in at most `k` hops.
     pub fn reachable(&self, src: usize, dst: usize) -> Result<bool> {
         let r = self.engine.get("R")?;

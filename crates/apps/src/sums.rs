@@ -212,6 +212,18 @@ impl<B: ExecBackend> IncrSums<B> {
     pub fn memory_bytes(&self) -> usize {
         self.view.memory_bytes()
     }
+
+    /// Turns on the wait-free snapshot read path over every maintained
+    /// partial sum (see [`linview_runtime::snapshot`]). Returns a
+    /// cloneable reader handle.
+    pub fn enable_serving(&mut self, publish_every: u64) -> linview_runtime::ViewHandle {
+        self.view.enable_serving(publish_every)
+    }
+
+    /// A reader handle onto the published snapshots, when serving is on.
+    pub fn serving_handle(&self) -> Option<linview_runtime::ViewHandle> {
+        self.view.serving_handle()
+    }
 }
 
 #[cfg(test)]

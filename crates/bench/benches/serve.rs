@@ -1,0 +1,98 @@
+//! Serving-layer costs: what wait-free snapshot reads price in.
+//!
+//! Three numbers bound the design:
+//!
+//! * **publish** — building and swapping one epoch-stamped
+//!   [`ViewSnapshot`] (`O(n²)` per view, paid by the maintainer every
+//!   `publish_every` rounds);
+//! * **acquire** — one reader taking the current snapshot (`Arc` clone
+//!   under a read lock; this is the wait-free hot path);
+//! * **maintain** — the full update stream with 0 vs 4 closed-loop
+//!   readers hammering the handle, so reader-induced writer slowdown
+//!   shows up as a regression between the two ids.
+//!
+//! `--save-baseline serve` / `--baseline serve` track all three across
+//! commits; `baselines/serve.tsv` records the committed reference run.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use linview_compiler::parse::parse_program;
+use linview_dist::Cluster;
+use linview_expr::Catalog;
+use linview_matrix::Matrix;
+use linview_runtime::{
+    FlushPolicy, IncrementalView, MaintenanceEngine, ReaderPool, ThreadedBackend, UpdateStream,
+};
+
+const N: usize = 120;
+const SEED: u64 = 727;
+const EVENTS: usize = 16;
+
+fn engine() -> MaintenanceEngine<ThreadedBackend> {
+    let program = parse_program("C := A * B; D := C * C;").expect("program");
+    let mut cat = Catalog::new();
+    cat.declare("A", N, N);
+    cat.declare("B", N, N);
+    let a = Matrix::random_spectral(N, 7, 0.8);
+    let b = Matrix::random_spectral(N, 8, 0.8);
+    let view = IncrementalView::build_on(
+        ThreadedBackend::with_cluster(Cluster::with_grid(2, 2)),
+        &program,
+        &[("A", a), ("B", b)],
+        &cat,
+    )
+    .expect("build");
+    MaintenanceEngine::new(view, FlushPolicy::Count(4))
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serve");
+    group.sample_size(10);
+
+    // Publication cost: capture every maintained view + swap the Arc.
+    let mut publishing = engine();
+    publishing.enable_serving(1);
+    group.bench_function("publish", |b| {
+        b.iter(|| black_box(publishing.publish_snapshot()))
+    });
+
+    // Reader hot path: acquire the current snapshot and read one cell.
+    let handle = publishing.serving_handle().expect("serving on");
+    group.bench_function("acquire", |b| {
+        b.iter(|| {
+            let snap = handle.snapshot();
+            black_box(snap.point("D", 0, 0))
+        })
+    });
+
+    // Maintenance throughput with and without a reader population: the
+    // two ids should track each other — snapshot reads are wait-free.
+    for readers in [0usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("maintain", format!("readers={readers}")),
+            &readers,
+            |b, &readers| {
+                b.iter(|| {
+                    let mut engine = engine();
+                    let handle = engine.enable_serving(1);
+                    let pool = (readers > 0).then(|| ReaderPool::spawn(&handle, readers, &[]));
+                    let mut stream = UpdateStream::new(N, N, 0.01, SEED);
+                    for i in 0..EVENTS {
+                        let input = if i % 2 == 0 { "A" } else { "B" };
+                        engine
+                            .ingest(input, stream.next_rank_one())
+                            .expect("ingest");
+                    }
+                    engine.flush_all().expect("flush");
+                    if let Some(pool) = pool {
+                        black_box(pool.stop());
+                    }
+                    engine
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

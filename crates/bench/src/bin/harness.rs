@@ -23,7 +23,7 @@ fn main() {
         eprintln!(
             "usage: harness [--quick] <experiment>...\n\
              experiments: fig3a fig3b fig3c fig3d fig3e fig3f fig3g fig3h \
-             table2 table3 table4 engine scheduler gemm sparsity ablations extensions all"
+             table2 table3 table4 engine scheduler gemm sparsity serving ablations extensions all"
         );
         std::process::exit(2);
     }

@@ -1248,6 +1248,144 @@ fn ext_warm_pagerank(cfg: &Config) -> Table {
     t
 }
 
+/// Serving layer: wait-free snapshot reads under live maintenance —
+/// read throughput, staleness, latency percentiles, and what the reader
+/// population costs the maintainer (readers x flush policy x backend).
+pub fn serving(cfg: &Config) -> Table {
+    use linview_runtime::{percentile_ns, ReaderPool, ReaderReport};
+
+    let n = cfg.n;
+    let events = (cfg.updates * 32).max(64);
+    let mut t = Table::new(
+        format!("Serving - wait-free snapshot reads under maintenance (n = {n}, {events} events)"),
+        &[
+            "backend",
+            "policy",
+            "readers",
+            "maint wall",
+            "writer cost",
+            "reads/s",
+            "stale max",
+            "p50 read",
+            "p99 read",
+        ],
+    );
+    let program =
+        linview_compiler::parse::parse_program("C := A * B; D := C * C;").expect("program");
+    let mut cat = linview_expr::Catalog::new();
+    cat.declare("A", n, n);
+    cat.declare("B", n, n);
+    let a = Matrix::random_spectral(n, 7, 0.8);
+    let b = Matrix::random_spectral(n, 8, 0.8);
+    let inputs = [("A", a), ("B", b)];
+
+    // One grid cell: serve the view while ingesting `events` rank-1
+    // updates. Returns the maintenance wall, the pool's whole lifetime
+    // (reads are rated over it, since readers also run during warmup),
+    // and the reader reports.
+    fn run_cell<B: ExecBackend>(
+        mut engine: MaintenanceEngine<B>,
+        readers: usize,
+        events: usize,
+        n: usize,
+    ) -> (Duration, Duration, Vec<ReaderReport>) {
+        let handle = engine.enable_serving(1);
+        let spawned = Instant::now();
+        let pool = (readers > 0).then(|| ReaderPool::spawn(&handle, readers, &[]));
+        if pool.is_some() {
+            // Let the reader threads reach steady state so the measured
+            // window prices contention, not thread spawn.
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let mut stream = UpdateStream::new(n, n, 0.01, 3131);
+        let start = Instant::now();
+        for i in 0..events {
+            let input = if i % 2 == 0 { "A" } else { "B" };
+            engine
+                .ingest(input, stream.next_rank_one())
+                .expect("event ingests");
+        }
+        engine.flush_all().expect("final flush");
+        let wall = start.elapsed();
+        let reports = pool.map(ReaderPool::stop).unwrap_or_default();
+        (wall, spawned.elapsed(), reports)
+    }
+
+    let policies = [
+        ("count", FlushPolicy::Count(4)),
+        ("immediate", FlushPolicy::Immediate),
+    ];
+    for backend_name in ["local", "threaded"] {
+        for (policy_name, policy) in policies {
+            let mut baseline: Option<Duration> = None;
+            for readers in [0usize, 2, 4] {
+                let (wall, pool_wall, reports) = if backend_name == "threaded" {
+                    let view = IncrementalView::build_on(
+                        ThreadedBackend::with_cluster(Cluster::with_grid(2, 2)),
+                        &program,
+                        &inputs,
+                        &cat,
+                    )
+                    .expect("build");
+                    run_cell(MaintenanceEngine::new(view, policy), readers, events, n)
+                } else {
+                    let view = IncrementalView::build(&program, &inputs, &cat).expect("build");
+                    run_cell(MaintenanceEngine::new(view, policy), readers, events, n)
+                };
+                let cost = match baseline {
+                    None => {
+                        baseline = Some(wall);
+                        "1.00x (baseline)".to_string()
+                    }
+                    Some(base) => {
+                        format!("{:.2}x", wall.as_secs_f64() / base.as_secs_f64().max(1e-12))
+                    }
+                };
+                let mut total = ReaderReport {
+                    epochs_monotone: true,
+                    ..ReaderReport::default()
+                };
+                for r in &reports {
+                    total.merge(r);
+                }
+                assert!(total.epochs_monotone, "serving epochs regressed");
+                let reads_per_s = total.reads as f64 / pool_wall.as_secs_f64().max(1e-12);
+                let p50 = percentile_ns(&mut total.latencies_ns, 50.0);
+                let p99 = percentile_ns(&mut total.latencies_ns, 99.0);
+                t.row(vec![
+                    backend_name.into(),
+                    policy_name.into(),
+                    readers.to_string(),
+                    fmt_duration(wall),
+                    cost,
+                    if readers == 0 {
+                        "-".into()
+                    } else {
+                        format!("{reads_per_s:.2e}")
+                    },
+                    total.max_staleness.to_string(),
+                    if readers == 0 {
+                        "-".into()
+                    } else {
+                        format!("{p50} ns")
+                    },
+                    if readers == 0 {
+                        "-".into()
+                    } else {
+                        format!("{p99} ns")
+                    },
+                ]);
+            }
+        }
+    }
+    t.note(
+        "writer cost is maintenance wall vs the 0-reader baseline; closed-loop readers spin, so \
+         on few-core hosts it prices CPU sharing, not blocking - the wait-free evidence is the \
+         flat O(100 ns) read path and bounded staleness at every reader count",
+    );
+    t
+}
+
 /// Every experiment, in paper order.
 pub fn all(cfg: &Config) -> Vec<Table> {
     vec![
@@ -1266,6 +1404,7 @@ pub fn all(cfg: &Config) -> Vec<Table> {
         scheduler(cfg),
         gemm(cfg),
         sparsity(cfg),
+        serving(cfg),
     ]
 }
 
@@ -1287,6 +1426,7 @@ pub fn by_name(name: &str, cfg: &Config) -> Option<Vec<Table>> {
         "scheduler" => vec![scheduler(cfg)],
         "gemm" => vec![gemm(cfg)],
         "sparsity" => vec![sparsity(cfg)],
+        "serving" => vec![serving(cfg)],
         "ablations" => ablations(cfg),
         "extensions" => extensions(cfg),
         "all" => {
@@ -1318,6 +1458,7 @@ mod tests {
             "scheduler",
             "gemm",
             "sparsity",
+            "serving",
         ] {
             let tables = by_name(name, &cfg).expect("known experiment");
             for t in tables {

@@ -533,16 +533,36 @@ pub enum WorkerListener {
     Unix(UnixListener),
 }
 
-/// Binds a listener at `addr`. A stale Unix socket path left by a killed
-/// worker is unlinked first, so `linview worker` restarts cleanly on the
-/// same address.
+/// Binds a listener at `addr`.
+///
+/// For Unix sockets the bind is attempted *first*; only when the path is
+/// already taken is the existing socket probed with a connection attempt.
+/// A live socket (the probe connects) means another worker owns the
+/// address, and the bind fails with `AddrInUse` — it must NOT be unlinked
+/// out from under its owner. A dead socket (the probe is refused) is the
+/// stale file a killed worker left behind: it is unlinked and the bind
+/// retried, so `linview worker` restarts cleanly on the same address.
+///
+/// The old unlink-before-bind order had a race: two workers launched on
+/// the same path could each unlink the other's freshly bound live socket,
+/// leaving a coordinator dialing a listener whose filesystem name was
+/// gone.
 pub fn bind(addr: &PeerAddr) -> io::Result<WorkerListener> {
     match addr {
         PeerAddr::Tcp(hostport) => Ok(WorkerListener::Tcp(TcpListener::bind(hostport.as_str())?)),
-        PeerAddr::Unix(path) => {
-            let _ = std::fs::remove_file(path);
-            Ok(WorkerListener::Unix(UnixListener::bind(path)?))
-        }
+        PeerAddr::Unix(path) => match UnixListener::bind(path) {
+            Ok(l) => Ok(WorkerListener::Unix(l)),
+            Err(e) if e.kind() == io::ErrorKind::AddrInUse => {
+                if UnixStream::connect(path).is_ok() {
+                    // A live worker answers on this path: surface the
+                    // collision instead of stealing the address.
+                    return Err(e);
+                }
+                std::fs::remove_file(path)?;
+                Ok(WorkerListener::Unix(UnixListener::bind(path)?))
+            }
+            Err(e) => Err(e),
+        },
     }
 }
 
@@ -870,6 +890,45 @@ mod tests {
         pool.install("X", &dm0).unwrap();
         let blocks = pool.gather("X").unwrap();
         assert_eq!(blocks[1], m0.submatrix(0, 4, 8, 4).unwrap());
+    }
+
+    #[test]
+    fn binding_a_live_socket_path_fails_without_unlinking_it() {
+        // Two workers racing the same path: the second bind must lose with
+        // AddrInUse and must NOT unlink the first worker's live socket
+        // (the old unlink-before-bind order did exactly that).
+        let path = std::env::temp_dir().join(format!("lv-collide-{}.sock", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let addr = PeerAddr::Unix(path.clone());
+        let first = WorkerServer::spawn(&addr).unwrap();
+        let err = WorkerServer::spawn(&addr).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::AddrInUse, "{err:?}");
+        // The loser left the winner fully intact: the socket file is still
+        // there and the worker still completes a handshake on it.
+        assert!(path.exists(), "collision unlinked the live socket");
+        let mut stream = connect_once(&addr).unwrap();
+        write_frame(&mut stream, &hello_frame(1, 1, 0, 0)).unwrap();
+        check_ack(read_frame(&mut stream).unwrap()).unwrap();
+        drop(stream);
+        first.kill();
+    }
+
+    #[test]
+    fn stale_socket_file_is_reclaimed_on_bind() {
+        // A SIGKILLed worker leaves its socket file behind with nobody
+        // accepting: the connect-probe fails, so the next bind reclaims
+        // the address.
+        let path = std::env::temp_dir().join(format!("lv-stale-{}.sock", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        drop(UnixListener::bind(&path).unwrap()); // dead listener, file remains
+        assert!(path.exists(), "the stale file must exist for the test");
+        let addr = PeerAddr::Unix(path);
+        let server = WorkerServer::spawn(&addr).unwrap();
+        let mut stream = connect_once(&addr).unwrap();
+        write_frame(&mut stream, &hello_frame(1, 1, 0, 0)).unwrap();
+        check_ack(read_frame(&mut stream).unwrap()).unwrap();
+        drop(stream);
+        server.kill();
     }
 
     #[test]

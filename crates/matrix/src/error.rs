@@ -51,6 +51,12 @@ pub enum MatrixError {
         /// The unrecognized name, as supplied (trimmed).
         name: String,
     },
+    /// A thread budget (from `LINVIEW_THREADS` or `--threads`) was zero or
+    /// not a number.
+    InvalidThreadBudget {
+        /// The invalid value, as supplied (trimmed).
+        value: String,
+    },
 }
 
 impl fmt::Display for MatrixError {
@@ -86,6 +92,9 @@ impl fmt::Display for MatrixError {
                     "unknown GEMM kernel {name:?} (valid: naive, blocked, packed, \
                      packed-fma, strassen)"
                 )
+            }
+            MatrixError::InvalidThreadBudget { value } => {
+                write!(f, "invalid thread budget {value:?} (need an integer >= 1)")
             }
         }
     }

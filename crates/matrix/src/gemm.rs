@@ -166,8 +166,10 @@ static ENV_KERNEL: OnceLock<Option<std::result::Result<GemmKernel, String>>> = O
 
 /// Sentinel 0 = "no programmatic thread override".
 static THREADS_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
-/// `LINVIEW_THREADS`, read once per process.
-static ENV_THREADS: OnceLock<Option<usize>> = OnceLock::new();
+/// `LINVIEW_THREADS`, read once per process: `None` when unset, `Ok` when
+/// it named a positive thread count, `Err(raw value)` when it was zero or
+/// unparsable.
+static ENV_THREADS: OnceLock<Option<std::result::Result<usize, String>>> = OnceLock::new();
 
 fn encode(k: GemmKernel) -> u8 {
     match k {
@@ -233,26 +235,52 @@ pub fn set_default_kernel(kernel: Option<GemmKernel>) {
 /// The thread budget parallel kernels may use.
 ///
 /// Precedence: the last [`set_gemm_threads`] call, else `LINVIEW_THREADS`
-/// (read once per process; non-numeric or zero values are ignored), else
-/// the machine's available parallelism. Always ≥ 1. The answer only
-/// affects wall-clock: row-chunk parallelism makes every thread count
-/// produce bit-identical results.
+/// (read once per process; zero or non-numeric values are *invalid* and
+/// fall back to auto — see [`env_threads_error`]), else the machine's
+/// available parallelism. Always ≥ 1. The answer only affects wall-clock:
+/// row-chunk parallelism makes every thread count produce bit-identical
+/// results.
 pub fn gemm_threads() -> usize {
     let forced = THREADS_OVERRIDE.load(Ordering::Relaxed);
     if forced > 0 {
         return forced;
     }
-    ENV_THREADS
-        .get_or_init(|| {
-            std::env::var("LINVIEW_THREADS")
-                .ok()
-                .and_then(|v| v.trim().parse::<usize>().ok())
-                .filter(|&n| n > 0)
-        })
+    env_threads()
+        .as_ref()
+        .and_then(|r| r.as_ref().ok())
+        .copied()
         .unwrap_or_else(|| {
             std::thread::available_parallelism()
                 .map(std::num::NonZeroUsize::get)
                 .unwrap_or(1)
+        })
+}
+
+fn env_threads() -> &'static Option<std::result::Result<usize, String>> {
+    ENV_THREADS.get_or_init(|| {
+        std::env::var("LINVIEW_THREADS")
+            .ok()
+            .map(|raw| match raw.trim().parse::<usize>() {
+                Ok(n) if n > 0 => Ok(n),
+                _ => Err(raw),
+            })
+    })
+}
+
+/// The parse error for a `LINVIEW_THREADS` value that was zero or not a
+/// number, if the variable was set to one.
+///
+/// [`gemm_threads`] silently falls back to auto-detected parallelism in
+/// that case (a library must not write to stderr); front ends should call
+/// this once at startup and surface it as a warning — mirroring
+/// [`env_kernel_error`] — so `LINVIEW_THREADS=0` or `=max` does not
+/// quietly run on a default-sized pool the operator never chose.
+pub fn env_threads_error() -> Option<MatrixError> {
+    env_threads()
+        .as_ref()
+        .and_then(|r| r.as_ref().err())
+        .map(|raw| MatrixError::InvalidThreadBudget {
+            value: raw.trim().to_string(),
         })
 }
 

@@ -24,6 +24,7 @@
 //! [`EngineStats::triggers_saved`].
 
 use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
 
 use bytes::Bytes;
 use linview_dist::CommSnapshot;
@@ -32,7 +33,7 @@ use linview_matrix::Matrix;
 use crate::checkpoint::CheckpointError;
 use crate::stats::{measure, RefreshStats, StatsAccumulator};
 use crate::updates::{BatchUpdate, RankOneUpdate};
-use crate::wal::FiringRecord;
+use crate::wal::{FiringRecord, WalFile};
 use crate::{ExecBackend, IncrementalView, LocalBackend, Result, SparseStats};
 
 /// Relative singular-value tolerance for the pre-flush rank compression
@@ -222,6 +223,112 @@ struct CheckpointState {
     /// snapshot); anything metered past this at recover time was spent on
     /// the aborted firing.
     comm_at_last_success: CommSnapshot,
+    /// On-disk mirror of `snapshot` + `log`; `None` for in-memory-only
+    /// checkpointing.
+    durable: Option<DurableState>,
+}
+
+/// Disk persistence for the checkpoint story: a generation-stamped
+/// snapshot file plus one append-only delta WAL per generation, mirroring
+/// [`CheckpointState`].
+///
+/// Crash safety hinges on the roll order: a new generation's (empty) WAL
+/// is created *before* the new snapshot is renamed into place, and the old
+/// generation's WAL is deleted only *after*. The snapshot names the
+/// generation it covers, so recovery always replays exactly the WAL that
+/// belongs to the snapshot it restored — a crash at any point between the
+/// steps leaves either (old snapshot, old WAL) or (new snapshot, empty new
+/// WAL), both consistent; never a snapshot paired with already-folded
+/// records.
+#[derive(Debug, Clone)]
+struct DurableState {
+    dir: PathBuf,
+    gen: u64,
+    wal: WalFile,
+}
+
+/// File name of the environment snapshot inside a durable checkpoint
+/// directory (`u64` LE generation header, then the
+/// [`crate::checkpoint::save`] bytes).
+pub const CHECKPOINT_FILE: &str = "checkpoint.bin";
+
+fn ckpt_io(dir: &Path, what: &str, e: &std::io::Error) -> CheckpointError {
+    CheckpointError::new(format!("durable checkpoint {what} {}: {e}", dir.display()))
+}
+
+impl DurableState {
+    fn wal_path(dir: &Path, gen: u64) -> PathBuf {
+        dir.join(format!("wal-{gen}.bin"))
+    }
+
+    /// Starts generation `gen`: fresh empty WAL first, then the snapshot
+    /// (temp file + atomic rename), then a sweep of stale-generation WALs.
+    fn create(dir: &Path, gen: u64, snapshot: &Bytes) -> Result<DurableState> {
+        let wal = WalFile::open(Self::wal_path(dir, gen))?;
+        wal.truncate()?;
+        let d = DurableState {
+            dir: dir.to_path_buf(),
+            gen,
+            wal,
+        };
+        d.write_snapshot(snapshot)?;
+        d.sweep_stale_wals();
+        Ok(d)
+    }
+
+    fn write_snapshot(&self, snapshot: &Bytes) -> Result<()> {
+        let final_path = self.dir.join(CHECKPOINT_FILE);
+        let tmp_path = self.dir.join(format!("{CHECKPOINT_FILE}.tmp"));
+        let mut buf = Vec::with_capacity(8 + snapshot.len());
+        buf.extend_from_slice(&self.gen.to_le_bytes());
+        buf.extend_from_slice(snapshot);
+        std::fs::write(&tmp_path, &buf).map_err(|e| ckpt_io(&self.dir, "write", &e))?;
+        std::fs::rename(&tmp_path, &final_path).map_err(|e| ckpt_io(&self.dir, "rename", &e))?;
+        Ok(())
+    }
+
+    /// Best-effort removal of WALs from other generations (left behind by
+    /// a crash mid-roll).
+    fn sweep_stale_wals(&self) {
+        let Ok(entries) = std::fs::read_dir(&self.dir) else {
+            return;
+        };
+        let keep = Self::wal_path(&self.dir, self.gen);
+        for entry in entries.flatten() {
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if name.starts_with("wal-") && name.ends_with(".bin") && path != keep {
+                let _ = std::fs::remove_file(&path);
+            }
+        }
+    }
+
+    /// Reads the snapshot header back: `(generation, env snapshot bytes)`.
+    fn load_snapshot(dir: &Path) -> Result<(u64, Bytes)> {
+        let raw = std::fs::read(dir.join(CHECKPOINT_FILE)).map_err(|e| ckpt_io(dir, "read", &e))?;
+        if raw.len() < 8 {
+            return Err(CheckpointError::new(format!(
+                "durable checkpoint {}: truncated generation header",
+                dir.display()
+            ))
+            .into());
+        }
+        let gen = u64::from_le_bytes(raw[..8].try_into().expect("8-byte slice"));
+        let len = raw.len();
+        Ok((gen, Bytes::from(raw).slice(8..len)))
+    }
+}
+
+/// What [`MaintenanceEngine::recover_from_disk`] found and replayed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DiskRecovery {
+    /// Complete WAL records replayed on top of the snapshot.
+    pub replayed_firings: u64,
+    /// Bytes of a cleanly torn WAL tail (a crash mid-append) that were
+    /// detected, discarded, and truncated from the file. Zero for an
+    /// intact log; callers should log a warning when nonzero.
+    pub torn_tail_bytes: u64,
 }
 
 /// A streaming maintenance engine over an [`IncrementalView`].
@@ -280,15 +387,110 @@ impl<B: ExecBackend> MaintenanceEngine<B> {
     /// snapshot taken here is the recovery floor.
     pub fn enable_checkpointing(&mut self, every: usize) -> Result<()> {
         let snapshot = self.view.checkpoint()?;
+        self.install_ckpt(every, snapshot, None);
+        Ok(())
+    }
+
+    /// As [`MaintenanceEngine::enable_checkpointing`], but also mirrors the
+    /// snapshot and the delta log to disk under `dir` (created if absent):
+    /// the snapshot as [`CHECKPOINT_FILE`] (generation header + bytes,
+    /// written atomically via temp-file + rename) and the log as one
+    /// append-only `wal-<generation>.bin` per checkpoint generation (see
+    /// [`crate::wal::WalFile`]). After a *process* crash — not just a
+    /// backend failure — a fresh engine built over the same program can
+    /// resume bit-identically with [`MaintenanceEngine::recover_from_disk`].
+    ///
+    /// Any previous durable state under `dir` is overwritten; use
+    /// [`MaintenanceEngine::recover_from_disk`] instead to resume from it.
+    pub fn enable_durable_checkpointing(
+        &mut self,
+        every: usize,
+        dir: impl AsRef<Path>,
+    ) -> Result<()> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir).map_err(|e| ckpt_io(dir, "mkdir", &e))?;
+        let snapshot = self.view.checkpoint()?;
+        let durable = DurableState::create(dir, 0, &snapshot)?;
+        self.install_ckpt(every, snapshot, Some(durable));
+        Ok(())
+    }
+
+    fn install_ckpt(&mut self, every: usize, snapshot: Bytes, durable: Option<DurableState>) {
         self.ckpt = Some(CheckpointState {
             every: every.max(1),
             rounds_since: 0,
             snapshot,
             log: Vec::new(),
             comm_at_last_success: self.view.comm(),
+            durable,
         });
         self.recovery.checkpoints += 1;
-        Ok(())
+    }
+
+    /// Path of the live on-disk WAL, when durable checkpointing is on.
+    pub fn durable_wal_path(&self) -> Option<PathBuf> {
+        self.ckpt
+            .as_ref()
+            .and_then(|c| c.durable.as_ref())
+            .map(|d| d.wal.path().to_path_buf())
+    }
+
+    /// Restores the newest on-disk checkpoint under `dir` and replays its
+    /// WAL, then starts a fresh checkpoint generation (cadence `every`)
+    /// covering the recovered state — the crash-restart counterpart of
+    /// [`MaintenanceEngine::recover`], for when the whole process died.
+    ///
+    /// A *cleanly torn* WAL tail (a crash mid-append cut the final record
+    /// short) is detected, dropped, and truncated away; recovery proceeds
+    /// from the last complete record and reports the dropped bytes in
+    /// [`DiskRecovery::torn_tail_bytes`] so the caller can log it.
+    /// Mid-file corruption — a complete record that does not decode — is
+    /// still a typed [`RuntimeError::Checkpoint`](crate::RuntimeError):
+    /// silently skipping folded state would diverge the views.
+    pub fn recover_from_disk(
+        &mut self,
+        every: usize,
+        dir: impl AsRef<Path>,
+    ) -> Result<DiskRecovery> {
+        let dir = dir.as_ref();
+        let (gen, snapshot) = DurableState::load_snapshot(dir)?;
+        let wal = WalFile::open(DurableState::wal_path(dir, gen))?;
+        let recovered = wal.read()?;
+        self.view.restore(snapshot)?;
+        for record in &recovered.records {
+            self.apply_record(record)?;
+            self.recovery.replayed_rank += record.rank();
+        }
+        let replayed_firings = recovered.records.len() as u64;
+        self.recovery.recoveries += 1;
+        self.recovery.replayed_firings += replayed_firings;
+        // Roll a fresh generation covering the recovered state so the
+        // replay work is never paid twice.
+        let post = self.view.checkpoint()?;
+        let durable = DurableState::create(dir, gen + 1, &post)?;
+        self.install_ckpt(every, post, Some(durable));
+        Ok(DiskRecovery {
+            replayed_firings,
+            torn_tail_bytes: recovered.torn_tail_bytes,
+        })
+    }
+
+    /// Re-fires one logged record against the view (the replay primitive
+    /// shared by in-memory and on-disk recovery).
+    fn apply_record(&mut self, record: &FiringRecord) -> Result<()> {
+        if record.joint {
+            let updates: Vec<(&str, &Matrix, &Matrix)> = record
+                .updates
+                .iter()
+                .map(|(name, u, v)| (name.as_str(), u, v))
+                .collect();
+            self.view.apply_joint(&updates)
+        } else {
+            for (input, u, v) in &record.updates {
+                self.view.apply_factored(input, u, v)?;
+            }
+            Ok(())
+        }
     }
 
     /// Whether checkpoint/replay fault tolerance is on.
@@ -311,6 +513,9 @@ impl<B: ExecBackend> MaintenanceEngine<B> {
             return Ok(());
         };
         ckpt.log.push(record.encode());
+        if let Some(d) = &ckpt.durable {
+            d.wal.append(record)?;
+        }
         ckpt.rounds_since += 1;
         ckpt.comm_at_last_success = comm;
         self.recovery.logged_firings += 1;
@@ -319,6 +524,12 @@ impl<B: ExecBackend> MaintenanceEngine<B> {
             let Some(ckpt) = self.ckpt.as_mut() else {
                 unreachable!("checkpoint state checked above");
             };
+            if let Some(d) = ckpt.durable.clone() {
+                // Roll the generation: the new WAL exists (empty) before
+                // the new snapshot lands, and the old WAL outlives both, so
+                // a crash at any point recovers consistently.
+                ckpt.durable = Some(DurableState::create(&d.dir, d.gen + 1, &snapshot)?);
+            }
             ckpt.snapshot = snapshot;
             ckpt.log.clear();
             ckpt.rounds_since = 0;
@@ -369,18 +580,7 @@ impl<B: ExecBackend> MaintenanceEngine<B> {
         // 3. Replay the delta log in firing order.
         for encoded in log {
             let record = FiringRecord::decode(encoded)?;
-            if record.joint {
-                let updates: Vec<(&str, &Matrix, &Matrix)> = record
-                    .updates
-                    .iter()
-                    .map(|(name, u, v)| (name.as_str(), u, v))
-                    .collect();
-                self.view.apply_joint(&updates)?;
-            } else {
-                for (input, u, v) in &record.updates {
-                    self.view.apply_factored(input, u, v)?;
-                }
-            }
+            self.apply_record(&record)?;
             self.recovery.replayed_firings += 1;
             self.recovery.replayed_rank += record.rank();
         }
@@ -600,6 +800,24 @@ impl<B: ExecBackend> MaintenanceEngine<B> {
     /// a failed [`MaintenanceEngine::flush`] the caller decides to drop).
     pub fn discard_pending(&mut self, input: &str) -> usize {
         self.pending.remove(input).map_or(0, |b| b.len())
+    }
+
+    /// Turns on the wait-free read path: publishes an epoch-0 snapshot
+    /// immediately, then republishes every `publish_every` flush rounds.
+    /// See [`crate::snapshot`] and [`IncrementalView::enable_serving`].
+    pub fn enable_serving(&mut self, publish_every: u64) -> crate::ViewHandle {
+        self.view.enable_serving(publish_every)
+    }
+
+    /// A reader handle onto the published snapshots, when serving is on.
+    pub fn serving_handle(&self) -> Option<crate::ViewHandle> {
+        self.view.serving_handle()
+    }
+
+    /// Forces an immediate snapshot publication of the current state,
+    /// regardless of cadence. Returns `false` when serving is off.
+    pub fn publish_snapshot(&self) -> bool {
+        self.view.publish_snapshot()
     }
 
     /// Reads a maintained matrix (flushed state only).

@@ -33,6 +33,7 @@ mod env;
 mod error;
 mod eval;
 mod exec;
+pub mod snapshot;
 pub mod stats;
 pub mod updates;
 mod view;
@@ -43,7 +44,7 @@ pub use backend::{
     ThreadedBackend,
 };
 pub use checkpoint::CheckpointError;
-pub use engine::{EngineStats, FlushPolicy, MaintenanceEngine, RecoveryStats};
+pub use engine::{DiskRecovery, EngineStats, FlushPolicy, MaintenanceEngine, RecoveryStats};
 pub use env::Env;
 pub use error::RuntimeError;
 pub use eval::{eval, Evaluator};
@@ -52,9 +53,12 @@ pub use exec::{
     ExecOptions, FiringReport, InversePrimitive, SchedStats, SparseStats, StageDelta,
 };
 pub use linview_dist::CommSnapshot;
+pub use snapshot::{
+    percentile_ns, ReaderPool, ReaderReport, SnapshotPublisher, ViewHandle, ViewSnapshot,
+};
 pub use updates::{BatchUpdate, RankOneUpdate, UpdateStream, Zipf};
 pub use view::{IncrementalView, ReevalView};
-pub use wal::FiringRecord;
+pub use wal::{FiringRecord, WalFile, WalRecovery};
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, RuntimeError>;

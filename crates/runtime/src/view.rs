@@ -19,6 +19,7 @@ use linview_expr::Catalog;
 use linview_matrix::Matrix;
 
 use crate::exec::{SchedStats, SparseStats};
+use crate::snapshot::{SnapshotPublisher, ViewHandle};
 use crate::updates::BatchUpdate;
 use crate::{
     Env, Evaluator, ExecBackend, ExecOptions, LocalBackend, RankOneUpdate, Result, RuntimeError,
@@ -101,6 +102,9 @@ pub struct IncrementalView<B: ExecBackend = LocalBackend> {
     sched: SchedStats,
     /// Cumulative sparse-execution counters across firings.
     sparse: SparseStats,
+    /// Wait-free snapshot publication for readers; `None` until
+    /// [`IncrementalView::enable_serving`].
+    serving: Option<SnapshotPublisher>,
 }
 
 impl IncrementalView<LocalBackend> {
@@ -168,7 +172,47 @@ impl<B: ExecBackend> IncrementalView<B> {
             backend,
             sched: SchedStats::default(),
             sparse: SparseStats::default(),
+            serving: None,
         })
+    }
+
+    /// Turns on the wait-free read path ([`crate::snapshot`]): publishes an
+    /// epoch-0 snapshot of the current environment immediately, then
+    /// republishes after every `publish_every` completed rounds (`0`
+    /// behaves like `1`). Returns a cloneable [`ViewHandle`] for readers;
+    /// call [`IncrementalView::serving_handle`] for more.
+    pub fn enable_serving(&mut self, publish_every: u64) -> ViewHandle {
+        let publisher = SnapshotPublisher::new(publish_every);
+        publisher.publish(&self.env);
+        let handle = publisher.handle();
+        self.serving = Some(publisher);
+        handle
+    }
+
+    /// A reader handle onto the published snapshots, when serving is on.
+    pub fn serving_handle(&self) -> Option<ViewHandle> {
+        self.serving.as_ref().map(SnapshotPublisher::handle)
+    }
+
+    /// Forces an immediate publication of the current environment,
+    /// regardless of cadence — e.g. to expose the final state after a
+    /// run's last (partial) batch. Returns `false` when serving is off.
+    pub fn publish_snapshot(&self) -> bool {
+        match &self.serving {
+            Some(srv) => {
+                srv.publish(&self.env);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Records one completed state-changing round (a firing or a restore)
+    /// with the serving layer, publishing per the cadence.
+    fn serving_round(&self, force: bool) {
+        if let Some(srv) = &self.serving {
+            srv.round_completed(&self.env, force);
+        }
     }
 
     /// Overrides trigger-execution options (inverse primitive, delta
@@ -203,6 +247,7 @@ impl<B: ExecBackend> IncrementalView<B> {
         )?;
         self.sched.record(report);
         self.sparse.merge(report.sparse);
+        self.serving_round(false);
         Ok(())
     }
 
@@ -223,6 +268,7 @@ impl<B: ExecBackend> IncrementalView<B> {
         )?;
         self.sched.record(report);
         self.sparse.merge(report.sparse);
+        self.serving_round(false);
         Ok(())
     }
 
@@ -312,6 +358,10 @@ impl<B: ExecBackend> IncrementalView<B> {
         let env = crate::checkpoint::restore(data)?;
         self.backend.materialize(&env)?;
         self.env = env;
+        // A restore changes observable state: count it as a round and
+        // republish unconditionally so readers never serve pre-restore
+        // state at a post-restore epoch.
+        self.serving_round(true);
         Ok(())
     }
 }

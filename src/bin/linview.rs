@@ -38,6 +38,7 @@ USAGE:
   linview lint (--dims LIST (--program SRC | --file PATH) | --app NAME)
                [LINT OPTIONS]
   linview engine [ENGINE OPTIONS]
+  linview serve [SERVE OPTIONS]
   linview worker --listen ADDR [--once]
   linview serve-cluster [--workers W] [--dir DIR]
 
@@ -114,6 +115,35 @@ ENGINE OPTIONS (stream a Zipf-skewed multi-input workload):
   --gemm KERNEL      dense GEMM kernel for the whole run (see above)
   --threads N        GEMM thread budget (see above)
 
+SERVE OPTIONS (live maintenance with wait-free snapshot readers):
+  --n N              square input dimension (default: 48)
+  --events E         rank-1 events to ingest across inputs A, B
+                     (default: 256)
+  --batch K          flush threshold (default: 8)
+  --policy P         count | rank | immediate batching policy
+                     (default: count)
+  --zipf S           row-skew exponent of the event stream (default: 1.5)
+  --workers W        cluster size for the threaded/socket backends
+                     (default: 4)
+  --backend B        local | threaded | socket (default: local)
+  --readers R        closed-loop reader threads hammering the published
+                     snapshots while maintenance runs (default: 4)
+  --publish-every P  snapshot publish cadence in flush rounds (default: 1;
+                     staleness is bounded by P-1 rounds-behind)
+  --pace-ms MS       sleep MS milliseconds between events (default: 0)
+  --wal-dir DIR      durable checkpoint + write-ahead-log directory: if it
+                     already holds a checkpoint, recover from it first
+                     (a torn WAL tail is truncated to the last complete
+                     record and reported), then keep checkpointing into it
+  --checkpoint-every N
+                     snapshot cadence for --wal-dir (default: 8)
+  --gemm KERNEL      dense GEMM kernel for the whole run (see above)
+  --threads N        GEMM thread budget (see above)
+
+  The run exits nonzero if the final published snapshot is not
+  bit-identical to the live engine state, or any reader observed a
+  non-monotone epoch sequence.
+
 WORKER OPTIONS (host grid partitions for a remote coordinator):
   --listen ADDR      tcp:HOST:PORT or unix:PATH to listen on (required;
                      tcp:HOST:0 picks a free port and prints it)
@@ -145,6 +175,12 @@ fn warn_on_bad_env_kernel() {
         eprintln!(
             "warning: ignoring LINVIEW_GEMM: {e}; using kernel '{}'",
             linview::matrix::default_kernel()
+        );
+    }
+    if let Some(e) = linview::matrix::env_threads_error() {
+        eprintln!(
+            "warning: ignoring LINVIEW_THREADS: {e}; using {} thread(s)",
+            gemm_threads()
         );
     }
 }
@@ -1056,6 +1092,270 @@ fn run_engine(args: &EngineArgs) -> Result<String, String> {
     Ok(out)
 }
 
+/// Options of the `serve` subcommand.
+struct ServeArgs {
+    n: usize,
+    events: usize,
+    batch: usize,
+    policy: String,
+    zipf: f64,
+    workers: usize,
+    backend: String,
+    readers: usize,
+    publish_every: u64,
+    pace_ms: u64,
+    wal_dir: Option<String>,
+    checkpoint_every: usize,
+}
+
+fn parse_serve_args(argv: &[String]) -> Result<ServeArgs, String> {
+    let mut args = ServeArgs {
+        n: 48,
+        events: 256,
+        batch: 8,
+        policy: "count".into(),
+        zipf: 1.5,
+        workers: 4,
+        backend: "local".into(),
+        readers: 4,
+        publish_every: 1,
+        pace_ms: 0,
+        wal_dir: None,
+        checkpoint_every: 8,
+    };
+    let next = |i: &mut usize, what: &str| -> Result<String, String> {
+        *i += 1;
+        argv.get(*i)
+            .cloned()
+            .ok_or_else(|| format!("missing value for {what}"))
+    };
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--n" => {
+                args.n = next(&mut i, "--n")?
+                    .parse()
+                    .map_err(|_| "bad --n value".to_string())?
+            }
+            "--events" => {
+                args.events = next(&mut i, "--events")?
+                    .parse()
+                    .map_err(|_| "bad --events value".to_string())?
+            }
+            "--batch" => {
+                args.batch = next(&mut i, "--batch")?
+                    .parse()
+                    .map_err(|_| "bad --batch value".to_string())?
+            }
+            "--policy" => args.policy = next(&mut i, "--policy")?,
+            "--zipf" => {
+                args.zipf = next(&mut i, "--zipf")?
+                    .parse()
+                    .map_err(|_| "bad --zipf value".to_string())?
+            }
+            "--workers" => {
+                args.workers = next(&mut i, "--workers")?
+                    .parse()
+                    .map_err(|_| "bad --workers value".to_string())?
+            }
+            "--backend" => args.backend = next(&mut i, "--backend")?,
+            "--readers" => {
+                args.readers = next(&mut i, "--readers")?
+                    .parse()
+                    .map_err(|_| "bad --readers value".to_string())?
+            }
+            "--publish-every" => {
+                args.publish_every = next(&mut i, "--publish-every")?
+                    .parse()
+                    .map_err(|_| "bad --publish-every value".to_string())?
+            }
+            "--pace-ms" => {
+                args.pace_ms = next(&mut i, "--pace-ms")?
+                    .parse()
+                    .map_err(|_| "bad --pace-ms value".to_string())?
+            }
+            "--wal-dir" => args.wal_dir = Some(next(&mut i, "--wal-dir")?),
+            "--checkpoint-every" => {
+                args.checkpoint_every = next(&mut i, "--checkpoint-every")?
+                    .parse()
+                    .map_err(|_| "bad --checkpoint-every value".to_string())?
+            }
+            "--gemm" => apply_gemm_flag(&next(&mut i, "--gemm")?)?,
+            "--threads" => apply_threads_flag(&next(&mut i, "--threads")?)?,
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown serve flag '{other}'")),
+        }
+        i += 1;
+    }
+    if !matches!(args.backend.as_str(), "local" | "threaded" | "socket") {
+        return Err(format!(
+            "unknown --backend '{}' (want local|threaded|socket)",
+            args.backend
+        ));
+    }
+    if !matches!(args.policy.as_str(), "count" | "rank" | "immediate") {
+        return Err(format!(
+            "unknown --policy '{}' (want count|rank|immediate)",
+            args.policy
+        ));
+    }
+    if args.readers == 0 {
+        return Err("--readers must be >= 1".into());
+    }
+    if args.checkpoint_every == 0 {
+        return Err("--checkpoint-every must be >= 1".into());
+    }
+    Ok(args)
+}
+
+/// Runs live maintenance with a closed-loop reader population on the
+/// wait-free snapshot path, then verifies the published state is
+/// bit-identical to the live engine.
+fn run_serve(args: &ServeArgs) -> Result<String, String> {
+    let program = parse_program("C := A * B; D := C * C;").map_err(|e| e.to_string())?;
+    let mut cat = Catalog::new();
+    cat.declare("A", args.n, args.n);
+    cat.declare("B", args.n, args.n);
+    let a = Matrix::random_spectral(args.n, 7, 0.8);
+    let b = Matrix::random_spectral(args.n, 8, 0.8);
+    let inputs = [("A", a), ("B", b)];
+    match args.backend.as_str() {
+        "threaded" => {
+            let backend = ThreadedBackend::new(args.workers).map_err(render_error)?;
+            let view = IncrementalView::build_on(backend, &program, &inputs, &cat)
+                .map_err(render_error)?;
+            serve_on(view, args)
+        }
+        "socket" => {
+            let cluster = linview::dist::Cluster::try_new(args.workers).map_err(render_error)?;
+            let (gr, gc) = (cluster.grid_rows(), cluster.grid_cols());
+            let (servers, addrs) = linview::dist::spawn_local_grid(gr, gc, "serve")
+                .map_err(|e| format!("cannot spawn local socket workers: {e}"))?;
+            let backend =
+                SocketBackend::connect_with_cluster(cluster, addrs, SocketConfig::default())
+                    .map_err(render_error)?;
+            let view = IncrementalView::build_on(backend, &program, &inputs, &cat)
+                .map_err(render_error)?;
+            let out = serve_on(view, args);
+            drop(servers);
+            out
+        }
+        _ => {
+            let view = IncrementalView::build(&program, &inputs, &cat).map_err(render_error)?;
+            serve_on(view, args)
+        }
+    }
+}
+
+fn serve_on<B: ExecBackend>(view: IncrementalView<B>, args: &ServeArgs) -> Result<String, String> {
+    use linview::runtime::{percentile_ns, ReaderPool, ReaderReport};
+
+    let policy = match args.policy.as_str() {
+        "immediate" => FlushPolicy::Immediate,
+        "rank" => FlushPolicy::Rank(args.batch),
+        _ => FlushPolicy::Count(args.batch),
+    };
+    let mut engine = MaintenanceEngine::new(view, policy);
+    let mut out = format!(
+        "serve: C := A * B; D := C * C;  (n = {}, backend {}, policy {}({}), \
+         {} readers, publish every {})\n",
+        args.n,
+        engine.view().backend().name(),
+        args.policy,
+        args.batch,
+        args.readers,
+        args.publish_every,
+    );
+    if let Some(dir) = &args.wal_dir {
+        let dir = std::path::Path::new(dir);
+        if dir.join(linview::runtime::engine::CHECKPOINT_FILE).exists() {
+            let rec = engine
+                .recover_from_disk(args.checkpoint_every, dir)
+                .map_err(render_error)?;
+            out.push_str(&format!(
+                "recovered from {}: {} firing(s) replayed, {} torn WAL tail byte(s) truncated\n",
+                dir.display(),
+                rec.replayed_firings,
+                rec.torn_tail_bytes,
+            ));
+        } else {
+            engine
+                .enable_durable_checkpointing(args.checkpoint_every, dir)
+                .map_err(render_error)?;
+        }
+    }
+    let handle = engine.enable_serving(args.publish_every);
+    let pool = ReaderPool::spawn(&handle, args.readers, &[]);
+    let mut stream = UpdateStream::new(args.n, args.n, 0.01, 42);
+    let t0 = std::time::Instant::now();
+    for i in 0..args.events {
+        let input = if i % 2 == 0 { "A" } else { "B" };
+        engine
+            .ingest(input, stream.next_rank_one_zipf(args.zipf))
+            .map_err(render_error)?;
+        if args.pace_ms > 0 {
+            std::thread::sleep(std::time::Duration::from_millis(args.pace_ms));
+        }
+    }
+    engine.flush_all().map_err(render_error)?;
+    let maint_wall = t0.elapsed();
+    // Staleness at the moment maintenance stopped, before the final
+    // forced sync below zeroes it.
+    let final_staleness = handle.staleness();
+    engine.publish_snapshot();
+    let reports = pool.stop();
+    let mut total = ReaderReport {
+        epochs_monotone: true,
+        ..ReaderReport::default()
+    };
+    for r in &reports {
+        total.merge(r);
+    }
+    let stats = engine.stats();
+    out.push_str(&format!(
+        "maintenance: {} events -> {} firings in {:?} (mean refresh {:?})\n",
+        stats.events,
+        stats.firings,
+        maint_wall,
+        stats.refresh.mean_wall(),
+    ));
+    let reads_per_sec = total.reads as f64 / maint_wall.as_secs_f64().max(1e-9);
+    out.push_str(&format!(
+        "readers: {} thread(s), {} reads ({:.3e} reads/s), staleness max {} \
+         final {} (rounds-behind), epoch {} after {} rounds\n",
+        args.readers,
+        total.reads,
+        reads_per_sec,
+        total.max_staleness,
+        final_staleness,
+        handle.epoch(),
+        handle.rounds(),
+    ));
+    let p50 = percentile_ns(&mut total.latencies_ns, 50.0);
+    let p99 = percentile_ns(&mut total.latencies_ns, 99.0);
+    out.push_str(&format!("read latency: p50 {p50} ns, p99 {p99} ns\n"));
+    let snap = handle.snapshot();
+    let mut worst = 0.0f64;
+    for name in snap.names() {
+        let live = engine.get(name).map_err(render_error)?;
+        let published = snap.get(name).map_err(render_error)?;
+        worst = worst.max(live.max_abs_diff(published));
+    }
+    out.push_str(&format!(
+        "serve divergence (snapshot vs live, {} views): {worst:.2e}\n",
+        snap.names().len()
+    ));
+    if worst != 0.0 {
+        return Err(format!(
+            "published snapshot diverged from live state by {worst:.2e} — serving path broken"
+        ));
+    }
+    if !total.epochs_monotone {
+        return Err("a reader observed a non-monotone epoch sequence — serving path broken".into());
+    }
+    Ok(out)
+}
+
 /// Options of the `worker` subcommand.
 struct WorkerArgs {
     listen: String,
@@ -1201,6 +1501,22 @@ fn main() -> ExitCode {
             Err(msg) => {
                 eprintln!("error: {msg}");
                 ExitCode::from(2)
+            }
+        };
+    }
+    if argv.first().map(String::as_str) == Some("serve") {
+        return match parse_serve_args(&argv[1..]).and_then(|a| run_serve(&a)) {
+            Ok(output) => {
+                print!("{output}");
+                ExitCode::SUCCESS
+            }
+            Err(msg) if msg.is_empty() => {
+                print!("{USAGE}");
+                ExitCode::SUCCESS
+            }
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                ExitCode::FAILURE
             }
         };
     }

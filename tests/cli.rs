@@ -583,3 +583,138 @@ fn serve_cluster_rejects_non_grid_worker_counts() {
         "missing cluster diagnostic: {stderr}"
     );
 }
+
+#[test]
+fn bad_env_thread_budget_warns_at_startup_and_falls_back() {
+    // LINVIEW_THREADS=0 (or garbage) must not silently pick some other
+    // budget: the run still succeeds, but says what it ignored — the
+    // same contract as LINVIEW_GEMM hardening.
+    for bad in ["0", "lots", "-3"] {
+        let (ok, _, stderr) = linview_env(
+            &["engine", "--n", "16", "--events", "4", "--backend", "local"],
+            &[("LINVIEW_THREADS", bad)],
+        );
+        assert!(ok, "engine under LINVIEW_THREADS={bad} failed: {stderr}");
+        assert!(
+            stderr.contains("warning: ignoring LINVIEW_THREADS")
+                && stderr.contains("invalid thread budget"),
+            "missing startup warning for {bad:?}: {stderr}"
+        );
+    }
+    // A valid value warns nothing.
+    let (ok, _, stderr) = linview_env(
+        &["engine", "--n", "16", "--events", "4", "--backend", "local"],
+        &[("LINVIEW_THREADS", "2")],
+    );
+    assert!(ok);
+    assert!(
+        !stderr.contains("warning: ignoring LINVIEW_THREADS"),
+        "spurious warning: {stderr}"
+    );
+}
+
+#[test]
+fn serve_reports_reads_staleness_latency_and_zero_divergence() {
+    let (ok, stdout, stderr) = linview(&[
+        "serve",
+        "--n",
+        "16",
+        "--events",
+        "48",
+        "--batch",
+        "4",
+        "--readers",
+        "2",
+        "--publish-every",
+        "2",
+        "--pace-ms",
+        "1",
+    ]);
+    assert!(ok, "serve failed: {stderr}");
+    assert!(
+        stdout.contains("serve divergence (snapshot vs live, 4 views): 0.00e0"),
+        "missing zero-divergence line: {stdout}"
+    );
+    assert!(
+        stdout.contains("read latency: p50"),
+        "missing latency report: {stdout}"
+    );
+    assert!(
+        stdout.contains("reads/s") && !stdout.contains("(s), 0 reads"),
+        "readers made no progress: {stdout}"
+    );
+    assert!(
+        stdout.contains("staleness max"),
+        "missing staleness report: {stdout}"
+    );
+}
+
+#[test]
+fn serve_rejects_bad_flags() {
+    let (ok, _, stderr) = linview(&["serve", "--backend", "dist"]);
+    assert!(!ok);
+    assert!(stderr.contains("--backend"), "missing diagnostic: {stderr}");
+    let (ok, _, stderr) = linview(&["serve", "--readers", "0"]);
+    assert!(!ok);
+    assert!(stderr.contains("--readers"), "missing diagnostic: {stderr}");
+    let (ok, _, stderr) = linview(&["serve", "--bogus"]);
+    assert!(!ok);
+    assert!(
+        stderr.contains("unknown serve flag"),
+        "missing diagnostic: {stderr}"
+    );
+}
+
+#[test]
+fn serve_recovers_from_a_torn_wal_directory() {
+    let dir = std::env::temp_dir().join(format!("lv-cli-serve-wal-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let dir_flag = dir.to_str().unwrap();
+    let base = &[
+        "serve",
+        "--n",
+        "12",
+        "--events",
+        "24",
+        "--batch",
+        "4",
+        "--readers",
+        "1",
+        "--wal-dir",
+        dir_flag,
+    ];
+    let (ok, _, stderr) = linview(base);
+    assert!(ok, "first serve run failed: {stderr}");
+
+    // Chop 3 bytes off the newest WAL generation: a torn tail.
+    let newest = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("wal-") && n.ends_with(".bin"))
+        })
+        .max()
+        .expect("a WAL file exists");
+    let len = std::fs::metadata(&newest).unwrap().len();
+    assert!(len > 3, "WAL too short to tear ({len} bytes)");
+    std::fs::OpenOptions::new()
+        .write(true)
+        .open(&newest)
+        .unwrap()
+        .set_len(len - 3)
+        .unwrap();
+
+    let (ok, stdout, stderr) = linview(base);
+    assert!(ok, "serve after torn WAL failed: {stderr}");
+    assert!(
+        stdout.contains("torn WAL tail byte(s) truncated") && stdout.contains("recovered from"),
+        "missing torn-tail recovery report: {stdout}"
+    );
+    assert!(
+        stdout.contains("serve divergence (snapshot vs live, 4 views): 0.00e0"),
+        "post-recovery serving diverged: {stdout}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
